@@ -1,0 +1,1 @@
+"""Benchmark harness reproducing the paper's evaluation (see DESIGN.md §4)."""

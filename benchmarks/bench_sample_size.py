@@ -1,0 +1,50 @@
+"""E2 — Sample-size sweep (extension).
+
+The paper fixes the sample size at 10 subject entities and claims that
+"very small samples" suffice.  This benchmark sweeps the sample size and
+reports precision/F1 of the three methods in the yago ⊂ dbpedia direction,
+showing where the quality saturates and how the query cost grows.
+"""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.evaluation.experiment import AlignmentExperiment
+from repro.evaluation.tables import TextTable
+
+from benchmarks.conftest import save_report
+
+SAMPLE_SIZES = (2, 5, 10, 20)
+
+
+def run_sweep(world) -> TextTable:
+    experiment = AlignmentExperiment(world, distractor_relations=3)
+    table = TextTable(
+        ["sample size", "method", "P", "F1", "endpoint queries"],
+        title="Sample-size sweep (yago ⊂ dbpedia direction)",
+    )
+    for sample_size in SAMPLE_SIZES:
+        configs = (
+            ("pca", AlignmentConfig.paper_pca_baseline(sample_size)),
+            ("cwa", AlignmentConfig.paper_cwa_baseline(sample_size)),
+            ("ubs", AlignmentConfig.paper_ubs(sample_size)),
+        )
+        for method_name, config in configs:
+            result = experiment.run_direction("yago", "dbpedia", config)
+            evaluation = experiment.evaluate_direction("yago", "dbpedia", result)
+            table.add_row(
+                sample_size,
+                method_name,
+                evaluation.precision,
+                evaluation.f1,
+                int(result.total_queries()),
+            )
+        table.add_separator()
+    return table
+
+
+@pytest.mark.benchmark(group="sample-size")
+def test_sample_size_sweep(benchmark, medium_world):
+    table = benchmark.pedantic(run_sweep, args=(medium_world,), rounds=1, iterations=1)
+    save_report("sample_size_sweep", table.render())
+    assert table.rows, "sweep must produce rows"

@@ -1,0 +1,75 @@
+"""E6 — Substrate micro-benchmarks (engineering, not from the paper).
+
+Throughput of the triple-store pattern matching and of the SPARQL engine on
+the query shapes the aligner issues.  These keep the substrate honest: a
+regression here silently inflates every experiment's runtime.
+"""
+
+import pytest
+
+from repro.endpoint.client import EndpointClient
+from repro.endpoint.endpoint import SparqlEndpoint
+from repro.sparql.evaluate import evaluate_query
+from repro.sparql.parser import parse_query
+
+
+@pytest.fixture(scope="module")
+def yago_store(medium_world):
+    return medium_world.kb("yago").store
+
+
+@pytest.fixture(scope="module")
+def sample_relation(medium_world):
+    infos = sorted(
+        medium_world.kb("yago").relations(), key=lambda info: -info.fact_count
+    )
+    return infos[0].iri
+
+
+@pytest.mark.benchmark(group="substrate-store")
+def test_store_pattern_match_by_predicate(benchmark, yago_store, sample_relation):
+    result = benchmark(lambda: sum(1 for _ in yago_store.match(predicate=sample_relation)))
+    assert result > 0
+
+
+@pytest.mark.benchmark(group="substrate-store")
+def test_store_membership_probe(benchmark, yago_store):
+    triples = list(yago_store.match())[:200]
+    result = benchmark(lambda: sum(1 for triple in triples if triple in yago_store))
+    assert result == len(triples)
+
+
+@pytest.mark.benchmark(group="substrate-sparql")
+def test_sparql_parse_throughput(benchmark):
+    query = (
+        "SELECT ?s ?o WHERE { VALUES ?s { <http://sofya.repro/yago/person_00001> } "
+        "?s <http://sofya.repro/yago/y_equivalent00> ?o } LIMIT 50"
+    )
+    parsed = benchmark(parse_query, query)
+    assert parsed is not None
+
+
+@pytest.mark.benchmark(group="substrate-sparql")
+def test_sparql_join_query(benchmark, yago_store, sample_relation):
+    query = (
+        f"SELECT ?s ?o WHERE {{ ?s <{sample_relation.value}> ?o . "
+        f"?s <http://www.w3.org/2002/07/owl#sameAs> ?x }} LIMIT 100"
+    )
+    result = benchmark(evaluate_query, yago_store, query)
+    assert len(result) >= 0
+
+
+@pytest.mark.benchmark(group="substrate-sparql")
+def test_sparql_count_query(benchmark, yago_store, sample_relation):
+    query = f"SELECT (COUNT(*) AS ?c) WHERE {{ ?s <{sample_relation.value}> ?o }}"
+    result = benchmark(evaluate_query, yago_store, query)
+    assert result.scalar_int() > 0
+
+
+@pytest.mark.benchmark(group="substrate-endpoint")
+def test_endpoint_client_batched_facts(benchmark, medium_world, sample_relation):
+    yago = medium_world.kb("yago")
+    client = EndpointClient(SparqlEndpoint(yago.store, name="bench"))
+    subjects = list(yago.store.subjects(sample_relation))[:20]
+    pairs = benchmark(client.facts_of_subjects, subjects, sample_relation)
+    assert pairs

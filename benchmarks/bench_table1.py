@@ -1,0 +1,84 @@
+"""E1 — Reproduction of the paper's Table 1 (the only table in the paper).
+
+"Alignment subsumptions – YAGO and DBpedia relations": precision and F1 of
+the accepted subsumptions in both directions (yago ⊂ dbpd, dbpd ⊂ yago) for
+
+* SSE + pca_conf (τ > 0.3),
+* SSE + cwa_conf (τ > 0.1),
+* UBS + pca_conf,
+
+at a sample size of 10 subject entities.  Following the paper's protocol,
+each method's τ is also re-selected to maximise the average F1 over both
+directions; both variants (paper thresholds and selected thresholds) are
+reported.
+"""
+
+import pytest
+
+from repro.evaluation.experiment import run_table1_experiment
+from repro.evaluation.tables import TextTable
+
+from benchmarks.conftest import save_report
+
+
+def _reference_rows() -> TextTable:
+    """The numbers published in the paper, for side-by-side comparison."""
+    table = TextTable(
+        ["method", "tau", "P (yago ⊂ dbpd)", "F1 (yago ⊂ dbpd)", "P (dbpd ⊂ yago)", "F1 (dbpd ⊂ yago)"],
+        title="Paper Table 1 (published values)",
+    )
+    table.add_row("pca", 0.3, 0.55, 0.58, 0.51, 0.48)
+    table.add_row("cwa", 0.1, 0.56, 0.59, 0.55, 0.53)
+    table.add_row("ubs", "-", 0.95, 0.97, 0.91, 0.82)
+    return table
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_with_paper_thresholds(benchmark, paper_scale_world):
+    """Table 1 with the thresholds exactly as published (τ>0.3 pca, τ>0.1 cwa)."""
+    report = benchmark.pedantic(
+        run_table1_experiment,
+        kwargs=dict(
+            world=paper_scale_world,
+            sample_size=10,
+            distractor_relations=5,
+            select_threshold=False,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    text = "\n\n".join(
+        [report.to_table().render(), _reference_rows().render()]
+    )
+    save_report("table1_paper_thresholds", text)
+
+    for direction in report.method("ubs").directions:
+        ubs = report.method("ubs").directions[direction]
+        pca = report.method("pca").directions[direction]
+        cwa = report.method("cwa").directions[direction]
+        assert ubs.precision >= pca.precision
+        assert ubs.precision >= cwa.precision
+        assert ubs.f1 >= pca.f1
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_with_selected_thresholds(benchmark, paper_scale_world):
+    """Table 1 with τ selected to maximise the average F1 (the paper's protocol)."""
+    report = benchmark.pedantic(
+        run_table1_experiment,
+        kwargs=dict(
+            world=paper_scale_world,
+            sample_size=10,
+            distractor_relations=5,
+            select_threshold=True,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("table1_selected_thresholds", report.to_table().render())
+
+    ubs_precisions = [d.precision for d in report.method("ubs").directions.values()]
+    assert min(ubs_precisions) >= 0.7
+    assert report.method("ubs").average_f1() >= max(
+        report.method("pca").average_f1(), report.method("cwa").average_f1()
+    ) - 0.02

@@ -1,0 +1,51 @@
+"""E3 — Threshold (τ) sweep and the paper's τ-selection protocol.
+
+The paper states the thresholds were "selected ... that led to the highest
+average F1 score for both ways implications".  This benchmark regenerates
+the underlying sweep: average F1 as a function of τ for the three methods,
+plus the τ each method ends up selecting.
+"""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.evaluation.experiment import AlignmentExperiment
+from repro.evaluation.tables import TextTable
+from repro.evaluation.thresholds import select_best_threshold
+
+from benchmarks.conftest import save_report
+
+GRID = tuple(round(0.1 * i, 1) for i in range(10))
+
+
+def run_sweep(world) -> TextTable:
+    experiment = AlignmentExperiment(world, distractor_relations=3)
+    directions = [("yago", "dbpedia"), ("dbpedia", "yago")]
+
+    table = TextTable(
+        ["method"] + [f"avg F1 @ τ>{tau}" for tau in GRID] + ["selected τ"],
+        title="Average F1 over both directions as a function of τ",
+    )
+    for method_name, config in (
+        ("pca", AlignmentConfig.paper_pca_baseline()),
+        ("cwa", AlignmentConfig.paper_cwa_baseline()),
+        ("ubs", AlignmentConfig.paper_ubs()),
+    ):
+        results, golds = [], []
+        for premise, conclusion in directions:
+            results.append(experiment.run_direction(premise, conclusion, config))
+            golds.append(experiment.gold_pairs(premise, conclusion))
+        selection = select_best_threshold(results, golds, grid=GRID)
+        table.add_row(
+            method_name,
+            *[selection.sweep[tau] for tau in GRID],
+            selection.threshold,
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="threshold-sweep")
+def test_threshold_sweep(benchmark, medium_world):
+    table = benchmark.pedantic(run_sweep, args=(medium_world,), rounds=1, iterations=1)
+    save_report("threshold_sweep", table.render())
+    assert len(table.rows) == 3

@@ -1,0 +1,131 @@
+"""E5 — Ablation of the UBS strategies on the paper's two worked examples.
+
+§2.2 motivates UBS with two failure modes:
+
+1. *Overlap mistaken for subsumption* (hasProducer vs directedBy) — checked
+   on the movie world.
+2. *Subsumption mistaken for equivalence* (composerOf vs creatorOf) —
+   checked on the music world.
+
+The ablation also varies the contradiction threshold ("only one case" vs
+requiring more) and the incompleteness model (subject-level vs fact-level),
+the design choices DESIGN.md lists.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.align.aligner import RemoteDataset, SofyaAligner
+from repro.align.config import AlignmentConfig
+from repro.evaluation.experiment import AlignmentExperiment
+from repro.evaluation.tables import TextTable
+from repro.synthetic.generator import generate_world
+from repro.synthetic.presets import movie_world_spec
+
+from benchmarks.conftest import save_report
+
+
+def run_movie_ablation(movie_world) -> TextTable:
+    experiment = AlignmentExperiment(movie_world, distractor_relations=0)
+    table = TextTable(
+        ["sampling", "contradiction threshold", "P", "R", "F1"],
+        title="Case 2 ablation (movie world): overlap mistaken for subsumption",
+    )
+    variants = (
+        ("SSE (baseline)", dataclasses.replace(AlignmentConfig.paper_pca_baseline()), "-"),
+        ("UBS, 1 contradiction", AlignmentConfig.paper_ubs(), "1"),
+        ("UBS, 3 contradictions",
+         dataclasses.replace(AlignmentConfig.paper_ubs(), ubs_contradiction_threshold=3), "3"),
+    )
+    for label, config, threshold in variants:
+        result = experiment.run_direction("imdb", "filmdb", config)
+        evaluation = experiment.evaluate_direction("imdb", "filmdb", result)
+        table.add_row(label, threshold, evaluation.precision, evaluation.metrics.recall, evaluation.f1)
+    return table
+
+
+def run_music_ablation(music_world) -> TextTable:
+    """Equivalence-claim rate with and without UBS (case 1)."""
+    table = TextTable(
+        ["sampling", "wrong equivalences claimed", "correct subsumptions kept"],
+        title="Case 1 ablation (music world): subsumption mistaken for equivalence",
+    )
+    worksdb = music_world.kb("worksdb")
+    creator_of = worksdb.namespace.term("creatorOf")
+    gold_subsumptions = {
+        premise.local_name
+        for premise, conclusion in music_world.ground_truth.subsumption_pairs(
+            "musicbrainz", "worksdb"
+        )
+        if conclusion == creator_of
+    }
+    for label, use_ubs in (("SSE (baseline)", False), ("UBS", True)):
+        config = dataclasses.replace(
+            AlignmentConfig.paper_ubs(sample_size=12),
+            use_unbiased_sampling=use_ubs,
+            test_equivalence=True,
+        )
+        aligner = SofyaAligner(
+            source=RemoteDataset.from_kb(worksdb),
+            target=RemoteDataset.from_kb(music_world.kb("musicbrainz")),
+            links=music_world.links,
+            config=config,
+        )
+        alignment = aligner.align_relation(creator_of)
+        accepted_subsumptions = {
+            rule.premise.relation.local_name for rule in alignment.accepted(0.3)
+        }
+        claimed_equivalences = sum(
+            1
+            for candidate in alignment.candidates
+            if candidate.equivalence() is not None and candidate.equivalence().accepted(0.8)
+        )
+        table.add_row(label, claimed_equivalences, len(accepted_subsumptions & gold_subsumptions))
+    return table
+
+
+def run_retention_mode_ablation() -> TextTable:
+    """UBS quality under subject-level vs fact-level incompleteness."""
+    table = TextTable(
+        ["incompleteness model", "P", "R", "F1"],
+        title="UBS sensitivity to the partial-completeness assumption",
+    )
+    for mode in ("subject", "fact"):
+        spec = movie_world_spec(films=200, people=240, seed=19)
+        for kb_spec in spec.kb_specs:
+            kb_spec.retention_mode = mode
+            kb_spec.fact_retention = 0.75
+        world = generate_world(spec)
+        experiment = AlignmentExperiment(world, distractor_relations=0)
+        result = experiment.run_direction("imdb", "filmdb", AlignmentConfig.paper_ubs())
+        evaluation = experiment.evaluate_direction("imdb", "filmdb", result)
+        table.add_row(
+            f"{mode}-level drops", evaluation.precision, evaluation.metrics.recall, evaluation.f1
+        )
+    return table
+
+
+@pytest.mark.benchmark(group="ubs-ablation")
+def test_movie_overlap_ablation(benchmark, movie_world):
+    table = benchmark.pedantic(run_movie_ablation, args=(movie_world,), rounds=1, iterations=1)
+    save_report("ubs_ablation_movie", table.render())
+    baseline_precision = float(table.rows[0][2])
+    ubs_precision = float(table.rows[1][2])
+    assert ubs_precision >= baseline_precision
+
+
+@pytest.mark.benchmark(group="ubs-ablation")
+def test_music_equivalence_ablation(benchmark, music_world):
+    table = benchmark.pedantic(run_music_ablation, args=(music_world,), rounds=1, iterations=1)
+    save_report("ubs_ablation_music", table.render())
+    baseline_claims = int(table.rows[0][1])
+    ubs_claims = int(table.rows[1][1])
+    assert ubs_claims <= baseline_claims
+
+
+@pytest.mark.benchmark(group="ubs-ablation")
+def test_retention_mode_ablation(benchmark):
+    table = benchmark.pedantic(run_retention_mode_ablation, rounds=1, iterations=1)
+    save_report("ubs_ablation_retention_mode", table.render())
+    assert len(table.rows) == 2

@@ -1,0 +1,84 @@
+"""Shared fixtures and reporting helpers for the benchmark harness.
+
+Every benchmark prints the table/series it reproduces (so the numbers are
+visible in the pytest output) and also writes it under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable artefacts.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.synthetic.generator import generate_world  # noqa: E402
+from repro.synthetic.presets import (  # noqa: E402
+    movie_world_spec,
+    music_world_spec,
+    yago_dbpedia_spec,
+)
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+#: Reports produced during this session, echoed in the terminal summary.
+_SESSION_REPORTS: list[tuple[str, str]] = []
+
+
+def save_report(name: str, text: str) -> None:
+    """Print a benchmark report and persist it under ``benchmarks/results/``."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+    _SESSION_REPORTS.append((name, text))
+    print(f"\n{text}\n", file=sys.stderr)
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    """Echo every reproduced table after the run (outside stdout capture)."""
+    if not _SESSION_REPORTS:
+        return
+    terminalreporter.write_sep("=", "reproduced tables (also in benchmarks/results/)")
+    for name, text in _SESSION_REPORTS:
+        terminalreporter.write_line("")
+        terminalreporter.write_line(f"[{name}]")
+        for line in text.splitlines():
+            terminalreporter.write_line(line)
+
+
+@pytest.fixture(scope="session")
+def paper_scale_world():
+    """The full-size YAGO-like / DBpedia-like pair (92 vs 1313 relations)."""
+    return generate_world(yago_dbpedia_spec())
+
+
+@pytest.fixture(scope="session")
+def medium_world():
+    """A reduced pair used by the sweep benchmarks to keep runtimes short."""
+    spec = yago_dbpedia_spec(
+        families=15,
+        yago_relation_count=45,
+        dbpedia_relation_count=150,
+        people=280,
+        works=200,
+        places=90,
+        orgs=70,
+        seed=2016,
+    )
+    return generate_world(spec)
+
+
+@pytest.fixture(scope="session")
+def movie_world():
+    """The §2.2 movie world (overlap mistaken for subsumption)."""
+    return generate_world(movie_world_spec(films=200, people=240))
+
+
+@pytest.fixture(scope="session")
+def music_world():
+    """The §2.2 music world (subsumption mistaken for equivalence)."""
+    return generate_world(music_world_spec(artists=220, works=420))

@@ -1,0 +1,91 @@
+"""Quickstart: align the relations of two small knowledge bases on the fly.
+
+The script builds two tiny KBs describing the same people with different
+vocabularies, links a few entities with ``owl:sameAs``, exposes both KBs as
+SPARQL endpoints, and asks SOFYA which relation of KB ``B`` corresponds to
+``A:bornIn`` — using only a handful of endpoint queries.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro.align import AlignmentConfig, RemoteDataset, SofyaAligner
+from repro.kb import KnowledgeBase, SameAsIndex
+from repro.rdf import Literal, Namespace
+
+A_NS = Namespace("http://example.org/kb-a/")
+B_NS = Namespace("http://example.org/kb-b/")
+
+
+def build_kbs() -> tuple[KnowledgeBase, KnowledgeBase, SameAsIndex]:
+    """Two KBs about the same people, plus the sameAs link set between them."""
+    kb_a = KnowledgeBase("kb-a", A_NS)
+    kb_b = KnowledgeBase("kb-b", B_NS)
+    links = SameAsIndex()
+
+    people = [
+        ("Frank_Sinatra", "USA", 1915),
+        ("Marie_Curie", "Poland", 1867),
+        ("Albert_Einstein", "Germany", 1879),
+        ("Ada_Lovelace", "England", 1815),
+        ("Alan_Turing", "England", 1912),
+        ("Grace_Hopper", "USA", 1906),
+        ("Nikola_Tesla", "Croatia", 1856),
+        ("Leonhard_Euler", "Switzerland", 1707),
+        ("Emmy_Noether", "Germany", 1882),
+        ("Srinivasa_Ramanujan", "India", 1887),
+        ("Rosalind_Franklin", "England", 1920),
+        ("Katherine_Johnson", "USA", 1918),
+    ]
+    for name, country, year in people:
+        person_a, person_b = A_NS[name], B_NS[name.lower()]
+        country_a, country_b = A_NS[country], B_NS[country.lower()]
+
+        # KB A uses "bornIn" / "name"; KB B uses "birthCountry" / "label".
+        kb_a.add_fact(person_a, A_NS.bornIn, country_a)
+        kb_a.add_fact(person_a, A_NS.name, Literal(name.replace("_", " ")))
+        kb_a.add_fact(person_a, A_NS.bornInYear, Literal(year))
+        kb_b.add_fact(person_b, B_NS.birthCountry, country_b)
+        kb_b.add_fact(person_b, B_NS.label, Literal(name.replace("_", " ").upper()))
+        # KB B also stores where people *worked* - correlated with birth
+        # country but by no means the same relation.
+        kb_b.add_fact(person_b, B_NS.workedIn, country_b if year % 3 else B_NS.usa)
+
+        links.add_link(person_a, person_b)
+        links.add_link(country_a, country_b)
+
+    return kb_a, kb_b, links
+
+
+def main() -> None:
+    kb_a, kb_b, links = build_kbs()
+
+    # The aligner only ever sees the two KBs through SPARQL endpoints.
+    source = RemoteDataset.from_kb(kb_a)   # K  : the KB we are querying
+    target = RemoteDataset.from_kb(kb_b)   # K' : the KB whose relations we align
+
+    config = AlignmentConfig.paper_ubs(sample_size=8)
+    aligner = SofyaAligner(source=source, target=target, links=links, config=config)
+
+    for relation_name in ("bornIn", "name"):
+        relation = A_NS[relation_name]
+        alignment = aligner.align_relation(relation)
+        print(f"\nCandidates for kb-a:{relation_name}")
+        for candidate in alignment.sorted_candidates():
+            flag = " (pruned by UBS)" if candidate.rule.pruned_by_ubs else ""
+            print(
+                f"  kb-b:{candidate.relation.local_name:<14} "
+                f"pca={candidate.confidence:.2f} support={candidate.rule.support}{flag}"
+            )
+        accepted = alignment.accepted(threshold=0.3)
+        print("  accepted:", ", ".join(str(rule) for rule in accepted) or "none")
+
+    stats = aligner.query_statistics()
+    total_queries = sum(s["queries"] for s in stats.values())
+    print(f"\nTotal endpoint queries issued: {total_queries:.0f}")
+    print("(the two KBs together hold", len(kb_a.store) + len(kb_b.store), "triples)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+Kept for environments whose pip/setuptools combination cannot perform
+PEP 660 editable installs (no ``wheel`` package available offline); all
+project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,72 @@
+"""SOFYA: Semantic on-the-fly Relation Alignment — full reproduction.
+
+This package reproduces the system described in
+
+    Koutraki, Preda, Vodislav.
+    "SOFYA: Semantic on-the-fly Relation Alignment." EDBT 2016.
+
+It is organised in layers, bottom-up:
+
+``repro.rdf``
+    A small, self-contained RDF data model (IRIs, literals, blank nodes,
+    triples, namespaces) with N-Triples and Turtle serialisation.
+``repro.store``
+    An in-memory, fully indexed triple store with pattern matching and
+    per-relation statistics.
+``repro.sparql``
+    A SPARQL subset engine (lexer, parser, algebra, evaluator) sufficient
+    for the queries SOFYA issues against remote endpoints.
+``repro.endpoint``
+    A SPARQL endpoint simulator: a query-only facade over a store with an
+    access policy (query quotas, row caps, latency model) and accounting.
+``repro.kb``
+    Knowledge-base level abstractions: relation metadata, inverse
+    relations, ``owl:sameAs`` equivalence index, multi-KB catalog.
+``repro.similarity``
+    String similarity functions used to align entity-literal relations.
+``repro.align``
+    The paper's contribution: subsumption/equivalence rules, CWA and PCA
+    confidence measures, Simple Sample Extraction, Unbiased Sample
+    Extraction, and the on-the-fly :class:`~repro.align.SofyaAligner`.
+``repro.baselines``
+    Full-snapshot miners and a PARIS-like probabilistic aligner used as
+    comparison points.
+``repro.synthetic``
+    Deterministic synthetic KB-pair generators with planted ground truth,
+    including YAGO-like / DBpedia-like presets.
+``repro.evaluation``
+    Precision/recall/F1, threshold selection, experiment runner and table
+    rendering used by the benchmark harness.
+"""
+
+from repro.align import (
+    AlignmentConfig,
+    AlignmentResult,
+    SofyaAligner,
+    cwa_confidence,
+    pca_confidence,
+)
+from repro.kb import KnowledgeBase, SameAsIndex
+from repro.rdf import IRI, BlankNode, Literal, Triple
+from repro.store import TripleStore
+from repro.endpoint import AccessPolicy, SparqlEndpoint
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "TripleStore",
+    "SparqlEndpoint",
+    "AccessPolicy",
+    "KnowledgeBase",
+    "SameAsIndex",
+    "SofyaAligner",
+    "AlignmentConfig",
+    "AlignmentResult",
+    "cwa_confidence",
+    "pca_confidence",
+    "__version__",
+]

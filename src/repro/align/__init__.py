@@ -1,0 +1,59 @@
+"""SOFYA's core: on-the-fly, instance-based relation alignment.
+
+The package implements the approach of §2 of the paper:
+
+* :mod:`repro.align.rule` — subsumption / equivalence rules,
+* :mod:`repro.align.confidence` — the ``cwa_conf`` (Eq. 1) and ``pca_conf``
+  (Eq. 2) ILP confidence measures,
+* :mod:`repro.align.evidence` — evidence sets built from sampled instances,
+* :mod:`repro.align.candidates` — candidate relation discovery,
+* :mod:`repro.align.sampling` — Simple Sample Extraction (the baseline),
+* :mod:`repro.align.unbiased` — Unbiased Sample Extraction (UBS, the
+  contribution),
+* :mod:`repro.align.aligner` — the :class:`SofyaAligner` orchestration,
+* :mod:`repro.align.config` / :mod:`repro.align.result` — configuration and
+  result containers.
+"""
+
+from repro.align.config import AlignmentConfig, CONFIDENCE_MEASURES
+from repro.align.confidence import (
+    confidence_of,
+    cwa_confidence,
+    cwa_confidence_of,
+    pca_confidence,
+    pca_confidence_of,
+    support_of,
+)
+from repro.align.evidence import EvidenceSet, SubjectEvidence
+from repro.align.rule import EquivalenceRule, RelationRef, SubsumptionRule
+from repro.align.candidates import Candidate, CandidateFinder
+from repro.align.sampling import SimpleSampleExtractor
+from repro.align.unbiased import UBSReport, UnbiasedSampleExtractor
+from repro.align.result import AlignmentResult, RelationAlignment, ScoredCandidate
+from repro.align.aligner import RemoteDataset, SofyaAligner
+
+__all__ = [
+    "AlignmentConfig",
+    "CONFIDENCE_MEASURES",
+    "cwa_confidence",
+    "pca_confidence",
+    "cwa_confidence_of",
+    "pca_confidence_of",
+    "confidence_of",
+    "support_of",
+    "EvidenceSet",
+    "SubjectEvidence",
+    "RelationRef",
+    "SubsumptionRule",
+    "EquivalenceRule",
+    "Candidate",
+    "CandidateFinder",
+    "SimpleSampleExtractor",
+    "UnbiasedSampleExtractor",
+    "UBSReport",
+    "ScoredCandidate",
+    "RelationAlignment",
+    "AlignmentResult",
+    "RemoteDataset",
+    "SofyaAligner",
+]

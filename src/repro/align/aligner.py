@@ -1,0 +1,378 @@
+"""The on-the-fly aligner (the system called SOFYA in the paper).
+
+:class:`SofyaAligner` ties the pieces together.  Given
+
+* a *source* dataset ``K`` (the KB the user is querying — the conclusion
+  side of mined rules),
+* a *target* dataset ``K′`` (the foreign KB whose relations should be
+  aligned to the query — the premise side),
+* the ``sameAs`` entity equivalence set ``E`` between them,
+
+it discovers candidate relations, samples instances through the endpoints
+only, scores every candidate with the configured ILP confidence measure,
+optionally applies the UBS pruning strategies and the equivalence test, and
+returns an :class:`~repro.align.result.AlignmentResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.endpoint.client import EndpointClient
+from repro.endpoint.policy import AccessPolicy
+from repro.errors import AlignmentError, EndpointError, QueryBudgetExceeded
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI, Term
+from repro.align.candidates import Candidate, CandidateFinder
+from repro.align.config import AlignmentConfig
+from repro.align.confidence import confidence_of, support_of
+from repro.align.evidence import EvidenceSet
+from repro.align.result import AlignmentResult, RelationAlignment, ScoredCandidate
+from repro.align.rule import RelationRef, SubsumptionRule
+from repro.align.sampling import SimpleSampleExtractor
+from repro.align.unbiased import UBSReport, UnbiasedSampleExtractor
+
+
+@dataclass
+class RemoteDataset:
+    """A dataset as seen by the aligner: a name, an endpoint client, and the
+    namespace its entities live in.
+
+    The aligner never touches a triple store directly — only the client.
+    """
+
+    name: str
+    client: EndpointClient
+    namespace: Namespace
+
+    @classmethod
+    def from_kb(
+        cls,
+        kb: KnowledgeBase,
+        policy: Optional[AccessPolicy] = None,
+    ) -> "RemoteDataset":
+        """Expose a local :class:`~repro.kb.KnowledgeBase` as a remote dataset."""
+        return cls(name=kb.name, client=kb.client(policy=policy), namespace=kb.namespace)
+
+
+class SofyaAligner:
+    """Instance-based, on-the-fly relation alignment between two KBs.
+
+    Parameters
+    ----------
+    source:
+        The dataset ``K`` holding the query relations (rule conclusions).
+    target:
+        The dataset ``K′`` in which aligned relations are searched (rule
+        premises).
+    links:
+        The ``sameAs`` equivalence set ``E`` between the two datasets.
+    config:
+        Algorithm parameters; defaults to the paper's UBS configuration.
+
+    Example
+    -------
+    >>> aligner = SofyaAligner(source, target, links, AlignmentConfig.paper_ubs())
+    >>> alignment = aligner.align_relation(relation)       # doctest: +SKIP
+    >>> alignment.accepted(threshold=0.3)                   # doctest: +SKIP
+    """
+
+    def __init__(
+        self,
+        source: RemoteDataset,
+        target: RemoteDataset,
+        links: SameAsIndex,
+        config: Optional[AlignmentConfig] = None,
+    ):
+        if source.name == target.name:
+            raise AlignmentError("Source and target datasets must differ")
+        self.source = source
+        self.target = target
+        self.links = links
+        self.config = config or AlignmentConfig()
+
+        self._candidate_finder = CandidateFinder(
+            source=source.client,
+            target=target.client,
+            links=links,
+            target_namespace=target.namespace,
+            config=self.config,
+        )
+        self._forward_sampler = SimpleSampleExtractor(
+            premise_client=target.client,
+            conclusion_client=source.client,
+            links=links,
+            conclusion_namespace=source.namespace,
+            config=self.config,
+        )
+        self._reverse_sampler = SimpleSampleExtractor(
+            premise_client=source.client,
+            conclusion_client=target.client,
+            links=links,
+            conclusion_namespace=target.namespace,
+            config=self.config,
+        )
+        self._ubs = UnbiasedSampleExtractor(
+            premise_client=target.client,
+            conclusion_client=source.client,
+            links=links,
+            conclusion_namespace=source.namespace,
+            config=self.config,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"SofyaAligner(source={self.source.name!r}, target={self.target.name!r}, "
+            f"measure={self.config.confidence_measure!r})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def align_relation(self, relation: IRI) -> RelationAlignment:
+        """Align one query relation of the source KB.
+
+        Returns a :class:`~repro.align.result.RelationAlignment` holding
+        every scored candidate; acceptance at a threshold is left to the
+        caller (or to :meth:`align_relations`).
+        """
+        conclusion_ref = RelationRef(kb=self.source.name, relation=relation)
+        alignment = RelationAlignment(relation=conclusion_ref)
+
+        candidates = self._candidate_finder.find(relation)
+        if not candidates:
+            return alignment
+
+        scored: List[ScoredCandidate] = []
+        forward_subjects: Dict[IRI, List[Term]] = {}
+        for candidate in candidates:
+            scored_candidate, subjects = self._score_candidate(
+                candidate, relation, conclusion_ref
+            )
+            scored.append(scored_candidate)
+            forward_subjects[candidate.relation] = subjects
+
+        ubs_subjects: Dict[IRI, List[Term]] = {}
+        if self.config.use_unbiased_sampling:
+            scored, ubs_subjects = self._apply_unbiased_sampling(scored, relation)
+
+        if self.config.test_equivalence:
+            for candidate in scored:
+                self._score_reverse(
+                    candidate,
+                    relation,
+                    conclusion_ref,
+                    forward_subjects.get(candidate.relation, []),
+                    ubs_subjects.get(candidate.relation, []),
+                )
+
+        alignment.candidates = scored
+        return alignment
+
+    def align_relations(
+        self, relations: Optional[Iterable[IRI]] = None
+    ) -> AlignmentResult:
+        """Align a collection of query relations (all of them by default).
+
+        When a query budget runs out mid-run, the relations already aligned
+        are returned rather than discarded — the on-the-fly algorithm is
+        any-time by design.
+        """
+        if relations is None:
+            relations = self.source.client.relations()
+        result = AlignmentResult(
+            source_kb=self.source.name,
+            target_kb=self.target.name,
+            config=self.config,
+        )
+        for relation in relations:
+            try:
+                result.add(self.align_relation(relation))
+            except (QueryBudgetExceeded, EndpointError):
+                break
+        result.query_statistics = self.query_statistics()
+        return result
+
+    def query_statistics(self) -> Dict[str, Dict[str, float]]:
+        """Per-endpoint accounting snapshots (queries, rows, virtual time)."""
+        return {
+            self.source.name: self.source.client.endpoint.log.snapshot(),
+            self.target.name: self.target.client.endpoint.log.snapshot(),
+        }
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def _score_candidate(
+        self,
+        candidate: Candidate,
+        relation: IRI,
+        conclusion_ref: RelationRef,
+    ) -> tuple[ScoredCandidate, List[Term]]:
+        """Score one candidate with Simple Sample Extraction.
+
+        Returns the scored candidate plus the sampled subjects (as
+        conclusion-KB identities); the equivalence test reuses them as the
+        reverse sample so that no extra sampling queries are needed — and so
+        that the paper's "composers that only composed" bias is reproduced
+        when UBS is disabled.
+        """
+        evidence = self._forward_sampler.extract(candidate.relation, relation)
+        rule = self._build_rule(
+            premise=RelationRef(kb=self.target.name, relation=candidate.relation),
+            conclusion=conclusion_ref,
+            evidence=evidence,
+        )
+        scored = ScoredCandidate(
+            rule=rule,
+            evidence_subjects=len(evidence),
+            candidate_hits=candidate.hits,
+        )
+        return scored, evidence.subjects()
+
+    def _build_rule(
+        self,
+        premise: RelationRef,
+        conclusion: RelationRef,
+        evidence: EvidenceSet,
+    ) -> SubsumptionRule:
+        measure = self.config.confidence_measure
+        confidence = confidence_of(evidence, measure)
+        body_size = (
+            evidence.pca_body_pairs() if measure == "pca" else evidence.premise_pairs()
+        )
+        return SubsumptionRule(
+            premise=premise,
+            conclusion=conclusion,
+            confidence=confidence,
+            support=support_of(evidence),
+            measure=measure,
+            body_size=body_size,
+        )
+
+    # ------------------------------------------------------------------ #
+    # UBS
+    # ------------------------------------------------------------------ #
+    def _apply_unbiased_sampling(
+        self,
+        scored: List[ScoredCandidate],
+        relation: IRI,
+    ) -> tuple[List[ScoredCandidate], Dict[IRI, List[Term]]]:
+        """Run the UBS check on provisionally accepted candidates.
+
+        Only candidates that pass the baseline threshold are worth
+        double-checking; the sibling set used to build disagreement samples
+        is that same provisional set (the paper's "candidate relations r′
+        and r″ subsumed by r for simple samples").
+
+        Returns the re-scored candidates plus, per candidate, the subjects
+        of the disagreement samples (reused by the equivalence test).
+        """
+        threshold = self.config.confidence_threshold
+        provisional = {
+            candidate.relation
+            for candidate in scored
+            if candidate.rule.accepted(threshold, self.config.min_support)
+        }
+        ubs_subjects: Dict[IRI, List[Term]] = {}
+        if len(provisional) < 2:
+            return scored, ubs_subjects
+
+        sibling_relations = sorted(provisional, key=lambda iri: iri.value)
+        updated: List[ScoredCandidate] = []
+        for candidate in scored:
+            if candidate.relation not in provisional:
+                updated.append(candidate)
+                continue
+            report = self._ubs.check_candidate(
+                candidate=candidate.relation,
+                siblings=sibling_relations,
+                conclusion_relation=relation,
+            )
+            ubs_subjects[candidate.relation] = list(report.disagreement_subjects)
+            updated.append(self._rescore_with_ubs(candidate, report))
+        return updated, ubs_subjects
+
+    def _rescore_with_ubs(
+        self, candidate: ScoredCandidate, report: UBSReport
+    ) -> ScoredCandidate:
+        """Merge the unbiased evidence into the rule and apply pruning."""
+        pruned = report.prunes(self.config.ubs_contradiction_threshold)
+        merged_rule = self._merge_rule_with_ubs(candidate.rule, report, pruned)
+        return ScoredCandidate(
+            rule=merged_rule,
+            evidence_subjects=candidate.evidence_subjects + len(report.extra_evidence),
+            candidate_hits=candidate.candidate_hits,
+            ubs_contradictions=report.contradictions,
+            ubs_confirmations=report.confirmations,
+            reverse_rule=candidate.reverse_rule,
+        )
+
+    @staticmethod
+    def _merge_rule_with_ubs(
+        rule: SubsumptionRule, report: UBSReport, pruned: bool
+    ) -> SubsumptionRule:
+        """Fold the unbiased samples into the rule's confidence counts.
+
+        Confirmations add shared pairs (numerator and denominator);
+        contradictions add counter-example pairs whose subject is known to
+        have conclusion facts, so they extend the denominator under both
+        the CWA and the PCA reading.
+        """
+        numerator = rule.support + report.confirmations
+        denominator = rule.body_size + report.confirmations + report.contradictions
+        confidence = (numerator / denominator) if denominator else 0.0
+        return SubsumptionRule(
+            premise=rule.premise,
+            conclusion=rule.conclusion,
+            confidence=confidence,
+            support=numerator,
+            measure=rule.measure,
+            body_size=denominator,
+            contradictions=report.contradictions,
+            pruned_by_ubs=pruned,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Equivalence (double subsumption)
+    # ------------------------------------------------------------------ #
+    def _score_reverse(
+        self,
+        candidate: ScoredCandidate,
+        relation: IRI,
+        conclusion_ref: RelationRef,
+        forward_subjects: List[Term],
+        ubs_subjects: List[Term],
+    ) -> None:
+        """Score the reverse implication ``r ⇒ r′`` for the equivalence test.
+
+        Without UBS the reverse sample simply reuses the subjects of the
+        forward check (no extra sampling queries) — which reproduces the
+        bias the paper describes: a sample of composers who only composed
+        makes ``creatorOf ⇔ composerOf`` look true.  With UBS enabled, the
+        translated disagreement subjects (composers who are *also* writers)
+        are put at the front of the sample, exposing the counter-examples.
+        """
+        subjects: List[Term] = []
+        if self.config.use_unbiased_sampling:
+            for subject in ubs_subjects:
+                image = self.links.translate(subject, self.source.namespace)
+                if image is not None and image not in subjects:
+                    subjects.append(image)
+        for subject in forward_subjects:
+            if subject not in subjects:
+                subjects.append(subject)
+        if not subjects:
+            subjects = self._reverse_sampler.sample_subjects(relation)
+
+        evidence = self._reverse_sampler.extract(
+            relation, candidate.relation, subjects=subjects
+        )
+        candidate.reverse_rule = self._build_rule(
+            premise=conclusion_ref,
+            conclusion=RelationRef(kb=self.target.name, relation=candidate.relation),
+            evidence=evidence,
+        )

@@ -1,0 +1,175 @@
+"""Candidate relation discovery.
+
+"Candidate relations r′ may be found by sampling r(x, y), then considering
+all r′ such that r′(x, y) for some sample." (§2.1)
+
+Concretely: sample facts of the query relation ``r`` from the source KB
+``K``, translate both arguments into the target KB ``K′`` through the
+``sameAs`` set, and ask ``K′`` which relations hold between the translated
+pairs.  For entity-literal relations the object cannot be translated, so
+candidates are instead the literal-valued relations of the translated
+subjects whose values match under the literal matcher.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.endpoint.client import EndpointClient
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import Namespace, SAME_AS
+from repro.rdf.terms import IRI, Literal, Term, is_entity_term
+from repro.align.config import AlignmentConfig
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """A candidate relation with the evidence that proposed it."""
+
+    relation: IRI
+    hits: int
+
+    def __str__(self) -> str:
+        return f"{self.relation.local_name} (hits={self.hits})"
+
+
+class CandidateFinder:
+    """Finds candidate relations in the target KB for one query relation.
+
+    Parameters
+    ----------
+    source:
+        Client of the source KB ``K`` (where the query relation lives).
+    target:
+        Client of the target KB ``K′`` (where candidates are searched).
+    links:
+        The ``sameAs`` entity equivalence set between the two KBs.
+    target_namespace:
+        Namespace of the target KB's entities, used to pick the right
+        representative out of a ``sameAs`` equivalence class.
+    config:
+        Alignment configuration (sampling sizes, literal matcher, seed).
+    """
+
+    def __init__(
+        self,
+        source: EndpointClient,
+        target: EndpointClient,
+        links: SameAsIndex,
+        target_namespace: Namespace,
+        config: Optional[AlignmentConfig] = None,
+    ):
+        self.source = source
+        self.target = target
+        self.links = links
+        self.target_namespace = target_namespace
+        self.config = config or AlignmentConfig()
+        self._random = random.Random(self.config.random_seed)
+
+    # ------------------------------------------------------------------ #
+    def find(self, relation: IRI) -> List[Candidate]:
+        """Candidate target relations for the source relation ``relation``.
+
+        Candidates are ranked by the number of sampled source facts they
+        co-occur with ("hits"), descending, and truncated to
+        ``config.max_candidates``.
+        """
+        sample_facts = self._sample_source_facts(relation)
+        if not sample_facts:
+            return []
+
+        entity_pairs, literal_pairs = self._translate_facts(sample_facts)
+
+        hit_counts: Dict[IRI, int] = {}
+        self._count_entity_candidates(entity_pairs, hit_counts)
+        self._count_literal_candidates(literal_pairs, hit_counts)
+        hit_counts.pop(SAME_AS, None)
+
+        candidates = [
+            Candidate(relation=candidate_relation, hits=hits)
+            for candidate_relation, hits in hit_counts.items()
+        ]
+        candidates.sort(key=lambda c: (-c.hits, c.relation.value))
+        if self.config.max_candidates is not None:
+            candidates = candidates[: self.config.max_candidates]
+        return candidates
+
+    # ------------------------------------------------------------------ #
+    def _sample_source_facts(self, relation: IRI) -> List[Tuple[Term, Term]]:
+        """A pseudo-random sample of facts of the query relation.
+
+        Two pages at independent offsets are fetched so that relations
+        whose extension is the union of several underlying populations
+        (e.g. ``creatorOf`` = composers ∪ writers) are not sampled from a
+        single contiguous region only.
+        """
+        sample_size = self.config.candidate_sample_size
+        total = self.source.count_facts(relation)
+        if total == 0:
+            return []
+        page_size = max(1, sample_size // 2)
+        max_offset = max(0, total - page_size)
+
+        facts: List[Tuple[Term, Term]] = []
+        seen: set = set()
+        for _ in range(2):
+            offset = self._random.randint(0, max_offset) if max_offset > 0 else 0
+            page = self.source.facts(relation, limit=page_size, offset=offset)
+            if not page and offset > 0:
+                page = self.source.facts(relation, limit=page_size)
+            for fact in page:
+                if fact not in seen:
+                    seen.add(fact)
+                    facts.append(fact)
+        return facts
+
+    def _translate_facts(
+        self, facts: List[Tuple[Term, Term]]
+    ) -> Tuple[List[Tuple[Term, Term]], List[Tuple[Term, Literal]]]:
+        """Split sampled facts into translated entity pairs and literal pairs.
+
+        Facts whose subject has no ``sameAs`` image in the target KB are
+        dropped (they cannot contribute evidence either way); entity
+        objects without an image are likewise dropped, mirroring the
+        paper's "do not punish for missing links" rule.
+        """
+        entity_pairs: List[Tuple[Term, Term]] = []
+        literal_pairs: List[Tuple[Term, Literal]] = []
+        for subject, obj in facts:
+            translated_subject = self.links.translate(subject, self.target_namespace)
+            if translated_subject is None:
+                continue
+            if isinstance(obj, Literal):
+                literal_pairs.append((translated_subject, obj))
+                continue
+            if is_entity_term(obj):
+                translated_object = self.links.translate(obj, self.target_namespace)
+                if translated_object is not None:
+                    entity_pairs.append((translated_subject, translated_object))
+        return entity_pairs, literal_pairs
+
+    def _count_entity_candidates(
+        self, pairs: List[Tuple[Term, Term]], hit_counts: Dict[IRI, int]
+    ) -> None:
+        if not pairs:
+            return
+        for _, relation, _ in self.target.relations_between_batch(pairs):
+            hit_counts[relation] = hit_counts.get(relation, 0) + 1
+
+    def _count_literal_candidates(
+        self, pairs: List[Tuple[Term, Literal]], hit_counts: Dict[IRI, int]
+    ) -> None:
+        if not pairs:
+            return
+        subjects = sorted({subject for subject, _ in pairs}, key=str)
+        descriptions = self.target.describe_subjects(subjects)
+        by_subject: Dict[Term, List[Tuple[IRI, Term]]] = {}
+        for subject, relation, obj in descriptions:
+            by_subject.setdefault(subject, []).append((relation, obj))
+        matcher = self.config.literal_matcher
+        for subject, source_literal in pairs:
+            for relation, obj in by_subject.get(subject, []):
+                if isinstance(obj, Literal) and matcher.matches(obj, source_literal):
+                    hit_counts[relation] = hit_counts.get(relation, 0) + 1

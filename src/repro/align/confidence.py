@@ -1,0 +1,94 @@
+"""The two ILP confidence measures of the paper.
+
+Equation (1), closed world assumption::
+
+    cwa_conf(r′ ⇒ r) = #(x,y): r′(x,y) ∧ r(x,y)  /  #(x,y): r′(x,y)
+
+Equation (2), partial completeness assumption (AMIE-style)::
+
+    pca_conf(r′ ⇒ r) = #(x,y): r′(x,y) ∧ r(x,y)  /  #(x,y): r′(x,y) ∧ ∃y′ r(x,y′)
+
+Both are exposed as plain count-based functions and as helpers taking an
+:class:`~repro.align.evidence.EvidenceSet`.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AlignmentError
+from repro.align.evidence import EvidenceSet
+
+
+def cwa_confidence(positives: int, premise_pairs: int) -> float:
+    """Closed-world confidence from raw counts (Eq. 1).
+
+    Parameters
+    ----------
+    positives:
+        Number of pairs satisfying both the premise and the conclusion.
+    premise_pairs:
+        Number of pairs satisfying the premise.
+
+    Returns
+    -------
+    float
+        ``positives / premise_pairs``; 0.0 when the denominator is 0.
+    """
+    _validate_counts(positives, premise_pairs)
+    if premise_pairs == 0:
+        return 0.0
+    return positives / premise_pairs
+
+
+def pca_confidence(positives: int, pca_body_pairs: int) -> float:
+    """Partial-completeness confidence from raw counts (Eq. 2).
+
+    Parameters
+    ----------
+    positives:
+        Number of pairs satisfying both the premise and the conclusion.
+    pca_body_pairs:
+        Number of premise pairs whose subject has at least one conclusion
+        fact (the PCA denominator).
+
+    Returns
+    -------
+    float
+        ``positives / pca_body_pairs``; 0.0 when the denominator is 0.
+    """
+    _validate_counts(positives, pca_body_pairs)
+    if pca_body_pairs == 0:
+        return 0.0
+    return positives / pca_body_pairs
+
+
+def cwa_confidence_of(evidence: EvidenceSet) -> float:
+    """Eq. 1 evaluated on an evidence set."""
+    return cwa_confidence(evidence.positive_pairs(), evidence.premise_pairs())
+
+
+def pca_confidence_of(evidence: EvidenceSet) -> float:
+    """Eq. 2 evaluated on an evidence set."""
+    return pca_confidence(evidence.positive_pairs(), evidence.pca_body_pairs())
+
+
+def confidence_of(evidence: EvidenceSet, measure: str) -> float:
+    """Dispatch on the measure name (``"pca"`` or ``"cwa"``)."""
+    if measure == "pca":
+        return pca_confidence_of(evidence)
+    if measure == "cwa":
+        return cwa_confidence_of(evidence)
+    raise AlignmentError(f"Unknown confidence measure: {measure!r}")
+
+
+def support_of(evidence: EvidenceSet) -> int:
+    """Rule support: the number of shared pairs (the numerator)."""
+    return evidence.positive_pairs()
+
+
+def _validate_counts(positives: int, denominator: int) -> None:
+    if positives < 0 or denominator < 0:
+        raise AlignmentError("Confidence counts must be non-negative")
+    if positives > denominator and denominator > 0:
+        raise AlignmentError(
+            f"positives ({positives}) cannot exceed the denominator ({denominator})"
+        )

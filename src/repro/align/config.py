@@ -1,0 +1,145 @@
+"""Configuration of the SOFYA aligner.
+
+Every knob the paper mentions (and every design choice DESIGN.md lists as
+worth ablating) is a field here, so experiments can sweep them without
+touching algorithm code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import AlignmentError
+from repro.similarity.literal_match import LiteralMatcher
+
+#: Valid confidence measure names.
+CONFIDENCE_MEASURES = ("pca", "cwa")
+
+
+@dataclass(frozen=True)
+class AlignmentConfig:
+    """Parameters of an on-the-fly alignment run.
+
+    Parameters
+    ----------
+    sample_size:
+        Number of sampled subject entities per candidate relation (the
+        paper evaluates with 10).
+    confidence_measure:
+        ``"pca"`` (partial completeness, Eq. 2) or ``"cwa"`` (closed world,
+        Eq. 1).
+    confidence_threshold:
+        τ: candidates whose confidence is strictly above the threshold are
+        accepted.  The paper uses τ > 0.3 for pca and τ > 0.1 for cwa.
+    min_support:
+        Minimum number of shared (x, y) pairs for a candidate to be
+        considered at all.
+    use_unbiased_sampling:
+        Enable the UBS strategies (the paper's contribution beyond the
+        baseline sampler).
+    ubs_contradiction_threshold:
+        Number of contradicting unbiased samples needed to prune a wrong
+        candidate.  The paper needs "only one case".
+    ubs_sample_size:
+        Number of unbiased (disagreement) samples fetched per sibling pair.
+    candidate_sample_size:
+        Number of source-relation facts sampled for candidate discovery.
+    max_candidates:
+        Upper bound on the number of candidate relations scored per query
+        relation (keeps the query budget predictable); ``None`` = no bound.
+    require_sameas_objects:
+        Mirror of the paper's rule "ignore the r_sub facts where the sameAs
+        links to entities in K are missing": facts whose *object* has no
+        translation are dropped from the evidence rather than counted as
+        counter-examples.  Setting this to ``False`` counts them against
+        the rule (an ablation).
+    oversample_factor:
+        How many times ``sample_size`` subjects to fetch per page before
+        filtering for linkable ones.
+    literal_matcher:
+        Matcher used for entity-literal relations.
+    random_seed:
+        Seed of the pseudo-random sampling (pages offsets).
+    test_equivalence:
+        Also test the reverse implication and report equivalences.
+    """
+
+    sample_size: int = 10
+    confidence_measure: str = "pca"
+    confidence_threshold: float = 0.3
+    min_support: int = 1
+    use_unbiased_sampling: bool = True
+    ubs_contradiction_threshold: int = 1
+    ubs_sample_size: int = 8
+    candidate_sample_size: int = 20
+    max_candidates: Optional[int] = 25
+    require_sameas_objects: bool = True
+    oversample_factor: int = 4
+    literal_matcher: LiteralMatcher = field(default_factory=LiteralMatcher)
+    random_seed: int = 42
+    test_equivalence: bool = False
+
+    def __post_init__(self) -> None:
+        if self.sample_size <= 0:
+            raise AlignmentError("sample_size must be positive")
+        if self.confidence_measure not in CONFIDENCE_MEASURES:
+            raise AlignmentError(
+                f"confidence_measure must be one of {CONFIDENCE_MEASURES}, "
+                f"got {self.confidence_measure!r}"
+            )
+        if not 0.0 <= self.confidence_threshold <= 1.0:
+            raise AlignmentError("confidence_threshold must be in [0, 1]")
+        if self.min_support < 0:
+            raise AlignmentError("min_support must be non-negative")
+        if self.ubs_contradiction_threshold < 1:
+            raise AlignmentError("ubs_contradiction_threshold must be at least 1")
+        if self.ubs_sample_size <= 0:
+            raise AlignmentError("ubs_sample_size must be positive")
+        if self.candidate_sample_size <= 0:
+            raise AlignmentError("candidate_sample_size must be positive")
+        if self.max_candidates is not None and self.max_candidates <= 0:
+            raise AlignmentError("max_candidates must be positive or None")
+        if self.oversample_factor < 1:
+            raise AlignmentError("oversample_factor must be at least 1")
+
+    # ------------------------------------------------------------------ #
+    # Paper presets
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def paper_pca_baseline(cls, sample_size: int = 10) -> "AlignmentConfig":
+        """Row 1 of Table 1: SSE sampling + pca_conf, τ > 0.3."""
+        return cls(
+            sample_size=sample_size,
+            confidence_measure="pca",
+            confidence_threshold=0.3,
+            use_unbiased_sampling=False,
+        )
+
+    @classmethod
+    def paper_cwa_baseline(cls, sample_size: int = 10) -> "AlignmentConfig":
+        """Row 2 of Table 1: SSE sampling + cwa_conf, τ > 0.1."""
+        return cls(
+            sample_size=sample_size,
+            confidence_measure="cwa",
+            confidence_threshold=0.1,
+            use_unbiased_sampling=False,
+        )
+
+    @classmethod
+    def paper_ubs(cls, sample_size: int = 10) -> "AlignmentConfig":
+        """Row 3 of Table 1: UBS sampling + pca_conf (the contribution)."""
+        return cls(
+            sample_size=sample_size,
+            confidence_measure="pca",
+            confidence_threshold=0.3,
+            use_unbiased_sampling=True,
+        )
+
+    def with_threshold(self, threshold: float) -> "AlignmentConfig":
+        """A copy of the config with a different acceptance threshold."""
+        return replace(self, confidence_threshold=threshold)
+
+    def with_sample_size(self, sample_size: int) -> "AlignmentConfig":
+        """A copy of the config with a different sample size."""
+        return replace(self, sample_size=sample_size)

@@ -1,0 +1,176 @@
+"""Evidence collected from sampled instances.
+
+The sampler turns raw endpoint answers into an :class:`EvidenceSet`: for
+each sampled subject (identified by its representative in the *conclusion*
+KB ``K``), it records
+
+* the premise objects — the objects of the candidate relation ``r′`` in
+  ``K′``, translated into ``K`` identities via ``sameAs`` (entity objects)
+  or kept as literals,
+* the conclusion objects — the objects of the query relation ``r`` for the
+  same subject in ``K``.
+
+Both confidence measures of the paper are pure functions of this evidence
+(:mod:`repro.align.confidence`), so CWA/PCA sweeps never re-query the
+endpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.rdf.terms import Literal, Term
+from repro.similarity.literal_match import LiteralMatcher
+
+
+@dataclass
+class SubjectEvidence:
+    """Evidence for one sampled subject.
+
+    Attributes
+    ----------
+    subject:
+        The subject entity, identified in the conclusion KB ``K``.
+    premise_objects:
+        Objects of the candidate relation ``r′`` for this subject,
+        translated to ``K`` identities (entities) or literal values.
+    conclusion_objects:
+        Objects of the query relation ``r`` for this subject in ``K``.
+    untranslatable_objects:
+        Number of premise objects dropped because they had no ``sameAs``
+        translation (kept for diagnostics; the paper ignores such facts).
+    from_unbiased_sampling:
+        Whether this subject was added by the UBS strategy rather than the
+        simple sampler.
+    """
+
+    subject: Term
+    premise_objects: List[Term] = field(default_factory=list)
+    conclusion_objects: List[Term] = field(default_factory=list)
+    untranslatable_objects: int = 0
+    from_unbiased_sampling: bool = False
+
+    def shared_pairs(self, literal_matcher: Optional[LiteralMatcher] = None) -> int:
+        """Number of premise objects that also appear as conclusion objects.
+
+        Entity objects are compared by identity (they have already been
+        translated to ``K`` identifiers); literal objects are compared with
+        the literal matcher when one is supplied, else by exact equality.
+        """
+        matched = 0
+        remaining = list(self.conclusion_objects)
+        for premise_object in self.premise_objects:
+            index = self._find_match(premise_object, remaining, literal_matcher)
+            if index is not None:
+                matched += 1
+                remaining.pop(index)
+        return matched
+
+    def has_conclusion_facts(self) -> bool:
+        """Whether the subject has any fact of the conclusion relation."""
+        return bool(self.conclusion_objects)
+
+    @staticmethod
+    def _find_match(
+        premise_object: Term,
+        candidates: Sequence[Term],
+        literal_matcher: Optional[LiteralMatcher],
+    ) -> Optional[int]:
+        for index, candidate in enumerate(candidates):
+            if premise_object == candidate:
+                return index
+            if (
+                literal_matcher is not None
+                and isinstance(premise_object, Literal)
+                and isinstance(candidate, Literal)
+                and literal_matcher.matches(premise_object, candidate)
+            ):
+                return index
+        return None
+
+
+@dataclass
+class EvidenceSet:
+    """Evidence for one candidate rule ``r′ ⇒ r`` over all sampled subjects."""
+
+    records: List[SubjectEvidence] = field(default_factory=list)
+    literal_matcher: Optional[LiteralMatcher] = None
+
+    def add(self, record: SubjectEvidence) -> None:
+        """Append one subject's evidence."""
+        self.records.append(record)
+
+    def extend(self, records: Iterable[SubjectEvidence]) -> None:
+        """Append several subjects' evidence."""
+        for record in records:
+            self.add(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[SubjectEvidence]:
+        return iter(self.records)
+
+    def merge(self, other: "EvidenceSet") -> "EvidenceSet":
+        """A new evidence set containing the records of both (coalesce).
+
+        Subjects present in both are merged: their premise / conclusion
+        object lists are unioned so a subject never appears twice.
+        """
+        by_subject: Dict[Term, SubjectEvidence] = {}
+        for record in list(self.records) + list(other.records):
+            existing = by_subject.get(record.subject)
+            if existing is None:
+                by_subject[record.subject] = SubjectEvidence(
+                    subject=record.subject,
+                    premise_objects=list(record.premise_objects),
+                    conclusion_objects=list(record.conclusion_objects),
+                    untranslatable_objects=record.untranslatable_objects,
+                    from_unbiased_sampling=record.from_unbiased_sampling,
+                )
+                continue
+            for obj in record.premise_objects:
+                if obj not in existing.premise_objects:
+                    existing.premise_objects.append(obj)
+            for obj in record.conclusion_objects:
+                if obj not in existing.conclusion_objects:
+                    existing.conclusion_objects.append(obj)
+            existing.untranslatable_objects += record.untranslatable_objects
+            existing.from_unbiased_sampling = (
+                existing.from_unbiased_sampling or record.from_unbiased_sampling
+            )
+        merged = EvidenceSet(literal_matcher=self.literal_matcher or other.literal_matcher)
+        merged.records = list(by_subject.values())
+        return merged
+
+    # ------------------------------------------------------------------ #
+    # Counts feeding the confidence measures
+    # ------------------------------------------------------------------ #
+    def positive_pairs(self) -> int:
+        """#(x, y) with r′(x, y) ∧ r(x, y) — the numerator of both measures."""
+        return sum(record.shared_pairs(self.literal_matcher) for record in self.records)
+
+    def premise_pairs(self) -> int:
+        """#(x, y) with r′(x, y) — the CWA denominator (Eq. 1)."""
+        return sum(len(record.premise_objects) for record in self.records)
+
+    def pca_body_pairs(self) -> int:
+        """#(x, y) with r′(x, y) ∧ ∃y′ r(x, y′) — the PCA denominator (Eq. 2)."""
+        return sum(
+            len(record.premise_objects)
+            for record in self.records
+            if record.has_conclusion_facts()
+        )
+
+    def subjects(self) -> List[Term]:
+        """The sampled subjects (conclusion-KB identities)."""
+        return [record.subject for record in self.records]
+
+    def unbiased_record_count(self) -> int:
+        """How many records came from the UBS strategy."""
+        return sum(1 for record in self.records if record.from_unbiased_sampling)
+
+    def counts(self) -> Tuple[int, int, int]:
+        """``(positives, cwa_denominator, pca_denominator)`` in one pass."""
+        return (self.positive_pairs(), self.premise_pairs(), self.pca_body_pairs())

@@ -1,0 +1,213 @@
+"""Result containers for alignment runs.
+
+The aligner separates *scoring* from *acceptance*: every candidate keeps
+its confidence, support and UBS diagnostics, and acceptance at a threshold
+``τ`` is a cheap post-processing step.  This is what lets the threshold
+sweep benchmark re-use a single expensive sampling run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.terms import IRI
+from repro.align.config import AlignmentConfig
+from repro.align.rule import EquivalenceRule, RelationRef, SubsumptionRule
+
+
+@dataclass
+class ScoredCandidate:
+    """One candidate relation with its full diagnostics.
+
+    Attributes
+    ----------
+    rule:
+        The scored subsumption ``candidate ⇒ query relation``.
+    evidence_subjects:
+        Number of sampled subjects behind the score.
+    candidate_hits:
+        Co-occurrence count from the candidate-discovery phase.
+    ubs_contradictions / ubs_confirmations:
+        Diagnostics from the unbiased sampling check (0 when disabled).
+    reverse_rule:
+        The reverse subsumption (query relation ⇒ candidate) when the
+        equivalence test was requested, else ``None``.
+    """
+
+    rule: SubsumptionRule
+    evidence_subjects: int = 0
+    candidate_hits: int = 0
+    ubs_contradictions: int = 0
+    ubs_confirmations: int = 0
+    reverse_rule: Optional[SubsumptionRule] = None
+
+    @property
+    def relation(self) -> IRI:
+        """The candidate relation IRI."""
+        return self.rule.premise.relation
+
+    @property
+    def confidence(self) -> float:
+        """Confidence of the forward rule."""
+        return self.rule.confidence
+
+    def equivalence(self) -> Optional[EquivalenceRule]:
+        """The equivalence rule when the reverse direction was scored."""
+        if self.reverse_rule is None:
+            return None
+        return EquivalenceRule(forward=self.rule, backward=self.reverse_rule)
+
+
+@dataclass
+class RelationAlignment:
+    """All scored candidates for one query relation."""
+
+    relation: RelationRef
+    candidates: List[ScoredCandidate] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[ScoredCandidate]:
+        return iter(self.candidates)
+
+    def __len__(self) -> int:
+        return len(self.candidates)
+
+    def sorted_candidates(self) -> List[ScoredCandidate]:
+        """Candidates by descending confidence, then support."""
+        return sorted(
+            self.candidates,
+            key=lambda c: (-c.rule.confidence, -c.rule.support, c.relation.value),
+        )
+
+    def accepted(
+        self, threshold: Optional[float] = None, min_support: Optional[int] = None
+    ) -> List[SubsumptionRule]:
+        """Rules accepted at threshold ``τ`` (defaults from the run config)."""
+        rules = []
+        for candidate in self.sorted_candidates():
+            effective_threshold = threshold if threshold is not None else 0.0
+            effective_support = min_support if min_support is not None else 1
+            if candidate.rule.accepted(effective_threshold, effective_support):
+                rules.append(candidate.rule)
+        return rules
+
+    def best(self) -> Optional[ScoredCandidate]:
+        """The highest-confidence candidate (``None`` when there is none)."""
+        ranked = self.sorted_candidates()
+        return ranked[0] if ranked else None
+
+    def equivalences(
+        self, threshold: float, min_support: int = 1
+    ) -> List[EquivalenceRule]:
+        """Accepted equivalence rules (both directions above threshold)."""
+        accepted = []
+        for candidate in self.candidates:
+            equivalence = candidate.equivalence()
+            if equivalence is not None and equivalence.accepted(threshold, min_support):
+                accepted.append(equivalence)
+        return accepted
+
+
+@dataclass
+class AlignmentResult:
+    """The outcome of aligning a set of query relations in one direction.
+
+    The *direction label* follows the paper's Table 1 notation:
+    ``"<premise KB> ⊂ <conclusion KB>"`` — e.g. ``"yago ⊂ dbpd"`` contains
+    rules whose premise relation comes from YAGO.
+    """
+
+    source_kb: str
+    target_kb: str
+    config: AlignmentConfig
+    alignments: Dict[IRI, RelationAlignment] = field(default_factory=dict)
+    query_statistics: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    @property
+    def direction(self) -> str:
+        """Table-1 style direction label (premise ⊂ conclusion)."""
+        return f"{self.target_kb} ⊂ {self.source_kb}"
+
+    def __len__(self) -> int:
+        return len(self.alignments)
+
+    def __iter__(self) -> Iterator[RelationAlignment]:
+        return iter(self.alignments.values())
+
+    def for_relation(self, relation: IRI) -> Optional[RelationAlignment]:
+        """The per-relation alignment for ``relation`` (``None`` if absent)."""
+        return self.alignments.get(relation)
+
+    def add(self, alignment: RelationAlignment) -> None:
+        """Register the alignment of one query relation."""
+        self.alignments[alignment.relation.relation] = alignment
+
+    # ------------------------------------------------------------------ #
+    def accepted_rules(
+        self, threshold: Optional[float] = None, min_support: Optional[int] = None
+    ) -> List[SubsumptionRule]:
+        """All accepted subsumption rules across query relations."""
+        effective_threshold = (
+            threshold if threshold is not None else self.config.confidence_threshold
+        )
+        effective_support = (
+            min_support if min_support is not None else self.config.min_support
+        )
+        rules: List[SubsumptionRule] = []
+        for alignment in self.alignments.values():
+            rules.extend(alignment.accepted(effective_threshold, effective_support))
+        return rules
+
+    def predicted_pairs(
+        self, threshold: Optional[float] = None, min_support: Optional[int] = None
+    ) -> Set[Tuple[IRI, IRI]]:
+        """Accepted ``(premise relation, conclusion relation)`` IRI pairs."""
+        return {
+            (rule.premise.relation, rule.conclusion.relation)
+            for rule in self.accepted_rules(threshold, min_support)
+        }
+
+    def scored_pairs(self) -> List[Tuple[IRI, IRI, float]]:
+        """Every scored ``(premise, conclusion, confidence)`` triple."""
+        scored = []
+        for alignment in self.alignments.values():
+            for candidate in alignment.candidates:
+                scored.append(
+                    (
+                        candidate.rule.premise.relation,
+                        candidate.rule.conclusion.relation,
+                        candidate.rule.confidence,
+                    )
+                )
+        return scored
+
+    def equivalences(
+        self, threshold: Optional[float] = None, min_support: Optional[int] = None
+    ) -> List[EquivalenceRule]:
+        """All accepted equivalence rules across query relations."""
+        effective_threshold = (
+            threshold if threshold is not None else self.config.confidence_threshold
+        )
+        effective_support = (
+            min_support if min_support is not None else self.config.min_support
+        )
+        equivalences: List[EquivalenceRule] = []
+        for alignment in self.alignments.values():
+            equivalences.extend(alignment.equivalences(effective_threshold, effective_support))
+        return equivalences
+
+    def total_queries(self) -> float:
+        """Total endpoint queries issued during the run (both endpoints)."""
+        return sum(stats.get("queries", 0.0) for stats in self.query_statistics.values())
+
+    def summary(self) -> str:
+        """A small human-readable summary."""
+        accepted = self.accepted_rules()
+        lines = [
+            f"Alignment {self.direction}",
+            f"  query relations : {len(self.alignments)}",
+            f"  accepted rules  : {len(accepted)} "
+            f"(τ > {self.config.confidence_threshold}, {self.config.confidence_measure})",
+            f"  endpoint queries: {self.total_queries():.0f}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,132 @@
+"""Alignment rules: subsumption and equivalence.
+
+A subsumption rule ``r′ ⇒ r`` states that every fact of the *premise*
+relation ``r′`` (in one KB) is also a fact of the *conclusion* relation
+``r`` (in the other KB), modulo ``sameAs`` identity of the arguments.  An
+equivalence ``r′ ⇔ r`` is a double subsumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rdf.terms import IRI
+
+
+@dataclass(frozen=True)
+class RelationRef:
+    """A relation together with the name of the KB it belongs to."""
+
+    kb: str
+    relation: IRI
+
+    @property
+    def name(self) -> str:
+        """Readable ``kb:localName`` form."""
+        return f"{self.kb}:{self.relation.local_name}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True)
+class SubsumptionRule:
+    """A scored subsumption ``premise ⇒ conclusion``.
+
+    Attributes
+    ----------
+    premise:
+        The relation on the rule body side (``r′`` in the paper).
+    conclusion:
+        The relation on the rule head side (``r``).
+    confidence:
+        Confidence under the configured measure, in [0, 1].
+    support:
+        Number of sampled ``(x, y)`` pairs satisfying both relations.
+    measure:
+        ``"pca"`` or ``"cwa"`` — the measure that produced ``confidence``.
+    body_size:
+        Denominator of the confidence (number of counted premise pairs).
+    contradictions:
+        Number of contradicting unbiased samples found by UBS (0 when UBS
+        was not used or found none).
+    pruned_by_ubs:
+        True when UBS rejected the rule regardless of its confidence.
+    """
+
+    premise: RelationRef
+    conclusion: RelationRef
+    confidence: float
+    support: int
+    measure: str
+    body_size: int = 0
+    contradictions: int = 0
+    pruned_by_ubs: bool = False
+
+    def __str__(self) -> str:
+        return (
+            f"{self.premise} => {self.conclusion} "
+            f"[{self.measure}={self.confidence:.3f}, support={self.support}]"
+        )
+
+    def accepted(self, threshold: float, min_support: int = 1) -> bool:
+        """Whether the rule is accepted at threshold ``τ``.
+
+        A rule is accepted when its confidence is strictly greater than
+        ``threshold`` (the paper writes ``τ > 0.3``), its support is at
+        least ``min_support`` and UBS did not prune it.
+        """
+        if self.pruned_by_ubs:
+            return False
+        if self.support < min_support:
+            return False
+        return self.confidence > threshold
+
+    def reversed_key(self) -> tuple:
+        """Key identifying the reverse rule (used by equivalence tests)."""
+        return (self.conclusion, self.premise)
+
+
+@dataclass(frozen=True)
+class EquivalenceRule:
+    """An equivalence ``left ⇔ right`` backed by two subsumptions."""
+
+    forward: SubsumptionRule
+    backward: SubsumptionRule
+
+    def __post_init__(self) -> None:
+        if (
+            self.forward.premise != self.backward.conclusion
+            or self.forward.conclusion != self.backward.premise
+        ):
+            raise ValueError("Equivalence requires mutually reversed subsumptions")
+
+    @property
+    def left(self) -> RelationRef:
+        """The premise of the forward subsumption."""
+        return self.forward.premise
+
+    @property
+    def right(self) -> RelationRef:
+        """The conclusion of the forward subsumption."""
+        return self.forward.conclusion
+
+    @property
+    def confidence(self) -> float:
+        """Conservative confidence: the minimum of the two directions."""
+        return min(self.forward.confidence, self.backward.confidence)
+
+    def accepted(self, threshold: float, min_support: int = 1) -> bool:
+        """Accepted iff both directions are accepted."""
+        return self.forward.accepted(threshold, min_support) and self.backward.accepted(
+            threshold, min_support
+        )
+
+    def __str__(self) -> str:
+        return f"{self.left} <=> {self.right} [confidence={self.confidence:.3f}]"
+
+
+def make_rule_key(premise: RelationRef, conclusion: RelationRef) -> tuple:
+    """Canonical dictionary key for a subsumption."""
+    return (premise.kb, premise.relation.value, conclusion.kb, conclusion.relation.value)

@@ -1,0 +1,215 @@
+"""Simple Sample Extraction (SSE) — the paper's baseline sampler (§2.2).
+
+Given a candidate relation ``r′`` in the premise KB ``K′`` and the query
+relation ``r`` in the conclusion KB ``K``, the extractor:
+
+1. draws a pseudo-random page of subjects of ``r′`` that have ``sameAs``
+   images in ``K`` (the set ``S_rsub``),
+2. retrieves the ``r′`` facts of those subjects (``K′_rsub_S``),
+3. translates subjects and entity objects to ``K`` identities through the
+   ``sameAs`` set (``P_rsub_S``), ignoring facts whose links are missing,
+4. retrieves **all** ``r`` facts of the translated subjects from ``K``
+   (``K_rsub_S`` — all facts per subject are needed by the PCA measure),
+5. coalesces everything into an :class:`~repro.align.evidence.EvidenceSet`.
+
+All endpoint access goes through :class:`~repro.endpoint.EndpointClient`,
+so the whole extraction costs a handful of queries regardless of KB size.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.endpoint.client import EndpointClient
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI, Literal, Term, is_entity_term
+from repro.align.config import AlignmentConfig
+from repro.align.evidence import EvidenceSet, SubjectEvidence
+
+#: Maximum number of subject pages fetched while looking for linkable subjects.
+_MAX_SAMPLE_PAGES = 4
+
+
+class SimpleSampleExtractor:
+    """Pseudo-random instance sampler for one KB pair.
+
+    Parameters
+    ----------
+    premise_client:
+        Endpoint client of the KB ``K′`` holding the candidate relation.
+    conclusion_client:
+        Endpoint client of the KB ``K`` holding the query relation.
+    links:
+        The ``sameAs`` equivalence set between the two KBs.
+    conclusion_namespace:
+        Namespace of ``K``'s entities (translation target).
+    config:
+        Alignment configuration.
+    """
+
+    def __init__(
+        self,
+        premise_client: EndpointClient,
+        conclusion_client: EndpointClient,
+        links: SameAsIndex,
+        conclusion_namespace: Namespace,
+        config: Optional[AlignmentConfig] = None,
+    ):
+        self.premise_client = premise_client
+        self.conclusion_client = conclusion_client
+        self.links = links
+        self.conclusion_namespace = conclusion_namespace
+        self.config = config or AlignmentConfig()
+        self._random = random.Random(self.config.random_seed)
+
+    # ------------------------------------------------------------------ #
+    def extract(
+        self,
+        premise_relation: IRI,
+        conclusion_relation: IRI,
+        subjects: Optional[Sequence[Term]] = None,
+    ) -> EvidenceSet:
+        """Build the evidence set for the rule ``premise ⇒ conclusion``.
+
+        Parameters
+        ----------
+        premise_relation:
+            The candidate relation ``r′`` in ``K′``.
+        conclusion_relation:
+            The query relation ``r`` in ``K``.
+        subjects:
+            Optional explicit sample (premise-KB subjects); when given the
+            pseudo-random sampling step is skipped.  Used by the unbiased
+            strategy and by the equivalence test.
+        """
+        if subjects is None:
+            sampled_subjects = self.sample_subjects(premise_relation)
+        else:
+            sampled_subjects = [s for s in subjects if self._translate_subject(s) is not None]
+            sampled_subjects = sampled_subjects[: self.config.sample_size]
+
+        if not sampled_subjects:
+            return EvidenceSet(literal_matcher=self.config.literal_matcher)
+
+        premise_facts = self.premise_client.facts_of_subjects(
+            sampled_subjects, premise_relation
+        )
+        records = self._build_records(sampled_subjects, premise_facts)
+        self._attach_conclusion_facts(records, conclusion_relation)
+
+        evidence = EvidenceSet(literal_matcher=self.config.literal_matcher)
+        evidence.extend(records.values())
+        return evidence
+
+    # ------------------------------------------------------------------ #
+    # Step 1: subject sampling
+    # ------------------------------------------------------------------ #
+    def sample_subjects(self, premise_relation: IRI) -> List[Term]:
+        """A pseudo-random sample of linkable subjects of ``premise_relation``.
+
+        Subjects without a ``sameAs`` image in the conclusion KB cannot
+        contribute evidence and are skipped; additional pages are fetched
+        (up to a small bound) until the sample is full or the relation's
+        subjects are exhausted.
+        """
+        sample_size = self.config.sample_size
+        page_size = max(sample_size * self.config.oversample_factor, sample_size)
+        total_subjects = self.premise_client.count_subjects(premise_relation)
+        if total_subjects == 0:
+            return []
+
+        max_offset = max(0, total_subjects - page_size)
+        offset = self._random.randint(0, max_offset) if max_offset > 0 else 0
+
+        chosen: List[Term] = []
+        seen: set = set()
+        for page_index in range(_MAX_SAMPLE_PAGES):
+            page = self.premise_client.subjects(
+                premise_relation, limit=page_size, offset=offset
+            )
+            if not page:
+                break
+            for subject in page:
+                if subject in seen:
+                    continue
+                seen.add(subject)
+                if self._translate_subject(subject) is not None:
+                    chosen.append(subject)
+                    if len(chosen) >= sample_size:
+                        return chosen
+            # Advance to the next page, wrapping around to the start.
+            offset += page_size
+            if offset >= total_subjects:
+                offset = 0
+            if len(seen) >= total_subjects:
+                break
+        return chosen
+
+    # ------------------------------------------------------------------ #
+    # Steps 2-3: premise facts and translation
+    # ------------------------------------------------------------------ #
+    def _build_records(
+        self,
+        subjects: Sequence[Term],
+        premise_facts: Sequence[Tuple[Term, Term]],
+    ) -> Dict[Term, SubjectEvidence]:
+        """Group premise facts by subject and translate them to ``K`` identities."""
+        records: Dict[Term, SubjectEvidence] = {}
+        translated_of: Dict[Term, Term] = {}
+        for subject in subjects:
+            translated = self._translate_subject(subject)
+            if translated is None:
+                continue
+            translated_of[subject] = translated
+            records[subject] = SubjectEvidence(subject=translated)
+
+        for subject, obj in premise_facts:
+            record = records.get(subject)
+            if record is None:
+                continue
+            translated_object = self._translate_object(obj)
+            if translated_object is None:
+                if self.config.require_sameas_objects:
+                    record.untranslatable_objects += 1
+                    continue
+                translated_object = obj
+            if translated_object not in record.premise_objects:
+                record.premise_objects.append(translated_object)
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Step 4: conclusion facts
+    # ------------------------------------------------------------------ #
+    def _attach_conclusion_facts(
+        self, records: Dict[Term, SubjectEvidence], conclusion_relation: IRI
+    ) -> None:
+        """Fetch all ``r`` facts of the translated subjects from ``K``."""
+        translated_subjects = [record.subject for record in records.values()]
+        if not translated_subjects:
+            return
+        conclusion_facts = self.conclusion_client.facts_of_subjects(
+            translated_subjects, conclusion_relation
+        )
+        by_translated: Dict[Term, List[Term]] = {}
+        for subject, obj in conclusion_facts:
+            by_translated.setdefault(subject, []).append(obj)
+        for record in records.values():
+            for obj in by_translated.get(record.subject, []):
+                if obj not in record.conclusion_objects:
+                    record.conclusion_objects.append(obj)
+
+    # ------------------------------------------------------------------ #
+    # Translation helpers
+    # ------------------------------------------------------------------ #
+    def _translate_subject(self, subject: Term) -> Optional[Term]:
+        return self.links.translate(subject, self.conclusion_namespace)
+
+    def _translate_object(self, obj: Term) -> Optional[Term]:
+        """Translate an object term; literals pass through unchanged."""
+        if isinstance(obj, Literal):
+            return obj
+        if is_entity_term(obj):
+            return self.links.translate(obj, self.conclusion_namespace)
+        return None

@@ -1,0 +1,24 @@
+"""Comparison baselines.
+
+The paper motivates SOFYA against approaches that align relations over the
+*entire* KB snapshot ([3, 7, 9] in its references).  Two such baselines are
+implemented here so the benchmark harness can quantify the trade-off the
+introduction describes (result quality vs. the cost of downloading and
+scanning whole dumps):
+
+* :class:`~repro.baselines.full_snapshot.FullSnapshotMiner` — exhaustive
+  CWA/PCA rule mining over complete KB dumps (an AMIE-style batch miner).
+* :class:`~repro.baselines.paris_like.ParisLikeAligner` — a simplified
+  PARIS-style probabilistic relation aligner based on functionality-weighted
+  overlap of full relation extensions.
+"""
+
+from repro.baselines.full_snapshot import FullSnapshotMiner, SnapshotRule
+from repro.baselines.paris_like import ParisLikeAligner, ParisScore
+
+__all__ = [
+    "FullSnapshotMiner",
+    "SnapshotRule",
+    "ParisLikeAligner",
+    "ParisScore",
+]

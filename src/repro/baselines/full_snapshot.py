@@ -1,0 +1,180 @@
+"""Exhaustive full-snapshot rule mining (AMIE-style batch baseline).
+
+Unlike SOFYA, this miner assumes it has both complete dumps in memory.  It
+computes the exact CWA and PCA confidences of every candidate subsumption
+by scanning every fact of every relation, translated through the ``sameAs``
+set.  It produces the best-possible instance-based scores — at the cost of
+touching every triple, which is precisely what the paper argues is
+impractical at query time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import SAME_AS
+from repro.rdf.terms import IRI, Literal, Term, is_entity_term
+from repro.similarity.literal_match import LiteralMatcher
+from repro.align.confidence import cwa_confidence, pca_confidence
+
+
+@dataclass(frozen=True)
+class SnapshotRule:
+    """A subsumption scored over the full snapshots."""
+
+    premise: IRI
+    conclusion: IRI
+    support: int
+    premise_pairs: int
+    pca_body_pairs: int
+
+    @property
+    def cwa(self) -> float:
+        """Exact closed-world confidence."""
+        return cwa_confidence(self.support, self.premise_pairs)
+
+    @property
+    def pca(self) -> float:
+        """Exact partial-completeness confidence."""
+        return pca_confidence(self.support, self.pca_body_pairs)
+
+    def confidence(self, measure: str) -> float:
+        """Confidence under the requested measure name."""
+        return self.pca if measure == "pca" else self.cwa
+
+
+class FullSnapshotMiner:
+    """Scores every premise-KB relation against every conclusion-KB relation.
+
+    Parameters
+    ----------
+    premise_kb:
+        The KB whose relations form rule premises (``K′``).
+    conclusion_kb:
+        The KB whose relations form rule conclusions (``K``).
+    links:
+        The ``sameAs`` equivalence set between the two KBs.
+    literal_matcher:
+        Matcher used to compare literal objects.
+    min_support:
+        Candidate pairs with fewer shared facts are not reported.
+    """
+
+    def __init__(
+        self,
+        premise_kb: KnowledgeBase,
+        conclusion_kb: KnowledgeBase,
+        links: SameAsIndex,
+        literal_matcher: Optional[LiteralMatcher] = None,
+        min_support: int = 1,
+    ):
+        self.premise_kb = premise_kb
+        self.conclusion_kb = conclusion_kb
+        self.links = links
+        self.literal_matcher = literal_matcher or LiteralMatcher()
+        self.min_support = min_support
+        #: Number of triples scanned by the last :meth:`mine` call.
+        self.triples_scanned = 0
+
+    # ------------------------------------------------------------------ #
+    def mine(
+        self, conclusion_relations: Optional[List[IRI]] = None
+    ) -> List[SnapshotRule]:
+        """Mine all subsumption rules toward the given conclusion relations.
+
+        When ``conclusion_relations`` is omitted, every relation of the
+        conclusion KB is considered.
+        """
+        self.triples_scanned = 0
+        conclusion_index = self._index_conclusion(conclusion_relations)
+        rules: List[SnapshotRule] = []
+        for premise_info in self.premise_kb.relations():
+            premise = premise_info.iri
+            counters = self._score_premise(premise, conclusion_index)
+            for conclusion, (support, premise_pairs, pca_pairs) in counters.items():
+                if support < self.min_support:
+                    continue
+                rules.append(
+                    SnapshotRule(
+                        premise=premise,
+                        conclusion=conclusion,
+                        support=support,
+                        premise_pairs=premise_pairs,
+                        pca_body_pairs=pca_pairs,
+                    )
+                )
+        rules.sort(key=lambda rule: (-rule.pca, -rule.support, rule.premise.value))
+        return rules
+
+    def accepted(
+        self, measure: str, threshold: float, conclusion_relations: Optional[List[IRI]] = None
+    ) -> Set[Tuple[IRI, IRI]]:
+        """The ``(premise, conclusion)`` pairs accepted at a threshold."""
+        return {
+            (rule.premise, rule.conclusion)
+            for rule in self.mine(conclusion_relations)
+            if rule.confidence(measure) > threshold
+        }
+
+    # ------------------------------------------------------------------ #
+    def _index_conclusion(
+        self, conclusion_relations: Optional[List[IRI]]
+    ) -> Dict[IRI, Dict[Term, List[Term]]]:
+        """Index conclusion facts as relation → subject → objects."""
+        wanted = set(conclusion_relations) if conclusion_relations is not None else None
+        index: Dict[IRI, Dict[Term, List[Term]]] = {}
+        for triple in self.conclusion_kb.store:
+            self.triples_scanned += 1
+            if triple.predicate == SAME_AS:
+                continue
+            if wanted is not None and triple.predicate not in wanted:
+                continue
+            by_subject = index.setdefault(triple.predicate, {})
+            by_subject.setdefault(triple.subject, []).append(triple.object)
+        return index
+
+    def _score_premise(
+        self, premise: IRI, conclusion_index: Dict[IRI, Dict[Term, List[Term]]]
+    ) -> Dict[IRI, Tuple[int, int, int]]:
+        """Count support / denominators of ``premise ⇒ c`` for every ``c``."""
+        counters: Dict[IRI, List[int]] = {
+            conclusion: [0, 0, 0] for conclusion in conclusion_index
+        }
+        namespace = self.conclusion_kb.namespace
+        for triple in self.premise_kb.store.match(predicate=premise):
+            self.triples_scanned += 1
+            subject = self.links.translate(triple.subject, namespace)
+            if subject is None:
+                continue
+            obj = triple.object
+            if is_entity_term(obj):
+                translated: Optional[Term] = self.links.translate(obj, namespace)
+                if translated is None:
+                    continue
+            else:
+                translated = obj
+            for conclusion, by_subject in conclusion_index.items():
+                counts = counters[conclusion]
+                counts[1] += 1
+                conclusion_objects = by_subject.get(subject)
+                if not conclusion_objects:
+                    continue
+                counts[2] += 1
+                if self._object_matches(translated, conclusion_objects):
+                    counts[0] += 1
+        return {
+            conclusion: (counts[0], counts[1], counts[2])
+            for conclusion, counts in counters.items()
+        }
+
+    def _object_matches(self, obj: Term, candidates: List[Term]) -> bool:
+        for candidate in candidates:
+            if obj == candidate:
+                return True
+            if isinstance(obj, Literal) and isinstance(candidate, Literal):
+                if self.literal_matcher.matches(obj, candidate):
+                    return True
+        return False

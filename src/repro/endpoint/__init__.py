@@ -1,0 +1,31 @@
+"""SPARQL endpoint simulator.
+
+The paper's whole point is that the remote KBs are only reachable through
+SPARQL endpoints: downloading the full dump is impossible or impractical,
+providers rate-limit queries, and results may be truncated.  This package
+models exactly that interface:
+
+* :class:`~repro.endpoint.policy.AccessPolicy` — query quota, per-query row
+  cap, simulated latency.
+* :class:`~repro.endpoint.endpoint.SparqlEndpoint` — a query-only facade
+  over a :class:`~repro.store.TripleStore`; the store itself is never
+  exposed to clients.
+* :class:`~repro.endpoint.log.QueryLog` — per-query accounting used by the
+  cost benchmarks (number of queries, rows transferred, simulated time).
+* :class:`~repro.endpoint.client.EndpointClient` — typed convenience
+  wrappers for the query shapes SOFYA issues (facts of a relation, sameAs
+  lookups, relation lists, counts).
+"""
+
+from repro.endpoint.policy import AccessPolicy
+from repro.endpoint.endpoint import SparqlEndpoint
+from repro.endpoint.log import QueryLog, QueryRecord
+from repro.endpoint.client import EndpointClient
+
+__all__ = [
+    "AccessPolicy",
+    "SparqlEndpoint",
+    "QueryLog",
+    "QueryRecord",
+    "EndpointClient",
+]

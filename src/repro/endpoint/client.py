@@ -1,0 +1,278 @@
+"""Typed convenience client for the query shapes SOFYA issues.
+
+The alignment layer never builds SPARQL strings itself; it goes through
+:class:`EndpointClient`, which turns typed calls (``facts_of_subject``,
+``relations_between`` ...) into SPARQL text, runs them through the
+endpoint (so policies and accounting apply) and converts results back to
+RDF terms.  Keeping this in one place also makes the query-count
+benchmarks easy to interpret.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.rdf.ntriples import term_to_ntriples
+from repro.rdf.namespace import SAME_AS
+from repro.rdf.terms import IRI, Literal, Term
+from repro.sparql.bindings import Variable
+from repro.sparql.results import ResultSet
+from repro.endpoint.endpoint import SparqlEndpoint
+
+
+def _nt(term: Term) -> str:
+    """Render a term for embedding into SPARQL text."""
+    return term_to_ntriples(term)
+
+
+class EndpointClient:
+    """High-level query helpers over one :class:`SparqlEndpoint`."""
+
+    def __init__(self, endpoint: SparqlEndpoint):
+        self.endpoint = endpoint
+
+    def __repr__(self) -> str:
+        return f"EndpointClient({self.endpoint.name!r})"
+
+    @property
+    def name(self) -> str:
+        """The wrapped endpoint's name."""
+        return self.endpoint.name
+
+    # ------------------------------------------------------------------ #
+    # Relation-level queries
+    # ------------------------------------------------------------------ #
+    def relations(self, limit: Optional[int] = None) -> List[IRI]:
+        """Distinct predicates of the dataset (optionally capped).
+
+        Public endpoints expose this cheaply; under a no-full-scan policy
+        the caller should rely on dataset metadata instead.
+        """
+        query = "SELECT DISTINCT ?p WHERE { ?s ?p ?o }"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        result = self.endpoint.select(query)
+        return [term for term in result.distinct_column("p") if isinstance(term, IRI)]
+
+    def count_facts(self, relation: IRI) -> int:
+        """Number of facts of ``relation``."""
+        query = f"SELECT (COUNT(*) AS ?c) WHERE {{ ?s {_nt(relation)} ?o }}"
+        return self.endpoint.select(query).scalar_int()
+
+    def count_subjects(self, relation: IRI) -> int:
+        """Number of distinct subjects of ``relation``."""
+        query = f"SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE {{ ?s {_nt(relation)} ?o }}"
+        return self.endpoint.select(query).scalar_int()
+
+    def facts(
+        self, relation: IRI, limit: Optional[int] = None, offset: int = 0
+    ) -> List[Tuple[Term, Term]]:
+        """``(subject, object)`` pairs of ``relation`` with LIMIT/OFFSET paging."""
+        query = f"SELECT ?s ?o WHERE {{ ?s {_nt(relation)} ?o }}"
+        if offset:
+            query += f" OFFSET {int(offset)}"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        result = self.endpoint.select(query)
+        pairs: List[Tuple[Term, Term]] = []
+        for row in result:
+            subject = row.get_term(Variable("s"))
+            obj = row.get_term(Variable("o"))
+            if subject is not None and obj is not None:
+                pairs.append((subject, obj))
+        return pairs
+
+    def subjects(
+        self, relation: IRI, limit: Optional[int] = None, offset: int = 0
+    ) -> List[Term]:
+        """Distinct subjects of ``relation`` with LIMIT/OFFSET paging."""
+        query = f"SELECT DISTINCT ?s WHERE {{ ?s {_nt(relation)} ?o }}"
+        if offset:
+            query += f" OFFSET {int(offset)}"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        return [t for t in self.endpoint.select(query).distinct_column("s") if t is not None]
+
+    # ------------------------------------------------------------------ #
+    # Entity-level queries
+    # ------------------------------------------------------------------ #
+    def objects_of(self, subject: Term, relation: IRI) -> List[Term]:
+        """All objects ``o`` with ``relation(subject, o)``."""
+        query = f"SELECT ?o WHERE {{ {_nt(subject)} {_nt(relation)} ?o }}"
+        return [t for t in self.endpoint.select(query).column("o") if t is not None]
+
+    def has_fact(self, subject: Term, relation: IRI, obj: Term) -> bool:
+        """ASK whether the fact ``relation(subject, obj)`` holds."""
+        query = f"ASK {{ {_nt(subject)} {_nt(relation)} {_nt(obj)} }}"
+        return self.endpoint.ask(query)
+
+    def subject_has_relation(self, subject: Term, relation: IRI) -> bool:
+        """ASK whether ``subject`` has *any* ``relation`` fact."""
+        query = f"ASK {{ {_nt(subject)} {_nt(relation)} ?o }}"
+        return self.endpoint.ask(query)
+
+    def relations_of_subject(self, subject: Term) -> List[IRI]:
+        """Distinct relations for which ``subject`` has at least one fact."""
+        query = f"SELECT DISTINCT ?p WHERE {{ {_nt(subject)} ?p ?o }}"
+        return [t for t in self.endpoint.select(query).distinct_column("p") if isinstance(t, IRI)]
+
+    def relations_between(self, subject: Term, obj: Term) -> List[IRI]:
+        """Distinct relations ``p`` such that ``p(subject, obj)`` holds."""
+        query = f"SELECT DISTINCT ?p WHERE {{ {_nt(subject)} ?p {_nt(obj)} }}"
+        return [t for t in self.endpoint.select(query).distinct_column("p") if isinstance(t, IRI)]
+
+    def relations_between_batch(
+        self, pairs: Sequence[Tuple[Term, Term]]
+    ) -> List[Tuple[Term, IRI, Term]]:
+        """Relations holding between each of several ``(subject, object)`` pairs.
+
+        One VALUES query covers the whole batch, so probing k translated
+        sample facts for candidate relations costs a single endpoint query.
+        """
+        if not pairs:
+            return []
+        values = " ".join(f"({_nt(s)} {_nt(o)})" for s, o in pairs)
+        query = f"SELECT ?s ?p ?o WHERE {{ VALUES (?s ?o) {{ {values} }} ?s ?p ?o }}"
+        result = self.endpoint.select(query)
+        matches: List[Tuple[Term, IRI, Term]] = []
+        for row in result:
+            subject = row.get_term(Variable("s"))
+            predicate = row.get_term(Variable("p"))
+            obj = row.get_term(Variable("o"))
+            if subject is not None and isinstance(predicate, IRI) and obj is not None:
+                matches.append((subject, predicate, obj))
+        return matches
+
+    def describe_subjects(
+        self, subjects: Sequence[Term]
+    ) -> List[Tuple[Term, IRI, Term]]:
+        """All ``(subject, predicate, object)`` facts of the given subjects.
+
+        A single VALUES query returning the full "entity description" of
+        each sampled subject — the workhorse of candidate discovery for
+        entity-literal relations where objects cannot be joined via sameAs.
+        """
+        if not subjects:
+            return []
+        values = " ".join(_nt(subject) for subject in subjects)
+        query = f"SELECT ?s ?p ?o WHERE {{ VALUES ?s {{ {values} }} ?s ?p ?o }}"
+        result = self.endpoint.select(query)
+        facts: List[Tuple[Term, IRI, Term]] = []
+        for row in result:
+            subject = row.get_term(Variable("s"))
+            predicate = row.get_term(Variable("p"))
+            obj = row.get_term(Variable("o"))
+            if subject is not None and isinstance(predicate, IRI) and obj is not None:
+                facts.append((subject, predicate, obj))
+        return facts
+
+    def disagreement_samples(
+        self,
+        primary: IRI,
+        sibling: IRI,
+        limit: Optional[int] = None,
+        offset: int = 0,
+    ) -> List[Tuple[Term, Term, Term]]:
+        """Subjects where ``primary`` and ``sibling`` have different objects.
+
+        Returns ``(x, y1, y2)`` with ``primary(x, y1)``, ``sibling(x, y2)``,
+        ``y1 != y2`` and ``not primary(x, y2)`` — exactly the unbiased
+        sample shape of the paper's UBS strategy (§2.2).
+        """
+        query = (
+            "SELECT ?x ?y1 ?y2 WHERE { "
+            f"?x {_nt(primary)} ?y1 . ?x {_nt(sibling)} ?y2 . "
+            "FILTER(?y1 != ?y2) "
+            f"FILTER NOT EXISTS {{ ?x {_nt(primary)} ?y2 }} }}"
+        )
+        if offset:
+            query += f" OFFSET {int(offset)}"
+        if limit is not None:
+            query += f" LIMIT {int(limit)}"
+        result = self.endpoint.select(query)
+        samples: List[Tuple[Term, Term, Term]] = []
+        for row in result:
+            x = row.get_term(Variable("x"))
+            y1 = row.get_term(Variable("y1"))
+            y2 = row.get_term(Variable("y2"))
+            if x is not None and y1 is not None and y2 is not None:
+                samples.append((x, y1, y2))
+        return samples
+
+    def facts_of_subjects(
+        self, subjects: Sequence[Term], relation: IRI
+    ) -> List[Tuple[Term, Term]]:
+        """All ``relation`` facts whose subject is in ``subjects``.
+
+        Issued as a single VALUES query so that a sample of k subjects
+        costs one endpoint query, matching the paper's "the same query
+        extracts the actual facts where the sample entities occur".
+        """
+        if not subjects:
+            return []
+        values = " ".join(_nt(subject) for subject in subjects)
+        query = (
+            f"SELECT ?s ?o WHERE {{ VALUES ?s {{ {values} }} ?s {_nt(relation)} ?o }}"
+        )
+        result = self.endpoint.select(query)
+        pairs: List[Tuple[Term, Term]] = []
+        for row in result:
+            subject = row.get_term(Variable("s"))
+            obj = row.get_term(Variable("o"))
+            if subject is not None and obj is not None:
+                pairs.append((subject, obj))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # sameAs queries
+    # ------------------------------------------------------------------ #
+    def same_as(self, entity: Term) -> List[Term]:
+        """Entities linked to ``entity`` by ``owl:sameAs`` (either direction)."""
+        query = (
+            "SELECT DISTINCT ?x WHERE { "
+            f"{{ {_nt(entity)} {_nt(SAME_AS)} ?x }} UNION {{ ?x {_nt(SAME_AS)} {_nt(entity)} }}"
+            " }"
+        )
+        return [t for t in self.endpoint.select(query).distinct_column("x") if t is not None]
+
+    def same_as_for_subjects(self, subjects: Sequence[Term]) -> List[Tuple[Term, Term]]:
+        """Batched sameAs lookup for several entities in one query."""
+        if not subjects:
+            return []
+        values = " ".join(_nt(subject) for subject in subjects)
+        query = (
+            f"SELECT ?s ?x WHERE {{ VALUES ?s {{ {values} }} "
+            f"{{ ?s {_nt(SAME_AS)} ?x }} UNION {{ ?x {_nt(SAME_AS)} ?s }} }}"
+        )
+        result = self.endpoint.select(query)
+        pairs: List[Tuple[Term, Term]] = []
+        for row in result:
+            subject = row.get_term(Variable("s"))
+            other = row.get_term(Variable("x"))
+            if subject is not None and other is not None:
+                pairs.append((subject, other))
+        return pairs
+
+    # ------------------------------------------------------------------ #
+    # Sampling support
+    # ------------------------------------------------------------------ #
+    def sample_subjects(
+        self, relation: IRI, sample_size: int, offset: int = 0
+    ) -> List[Term]:
+        """A page of distinct subjects of ``relation`` used as a sample.
+
+        The caller (the sampler) chooses the offset pseudo-randomly; the
+        endpoint sees a plain paged query, the way a live endpoint would.
+        """
+        return self.subjects(relation, limit=sample_size, offset=offset)
+
+    def literal_objects(self, subject: Term, relation: IRI) -> List[Literal]:
+        """Literal-valued objects of ``relation`` for ``subject``."""
+        query = (
+            f"SELECT ?o WHERE {{ {_nt(subject)} {_nt(relation)} ?o FILTER(ISLITERAL(?o)) }}"
+        )
+        return [
+            t
+            for t in self.endpoint.select(query).column("o")
+            if isinstance(t, Literal)
+        ]

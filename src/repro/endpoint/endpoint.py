@@ -1,0 +1,188 @@
+"""The SPARQL endpoint facade.
+
+A :class:`SparqlEndpoint` is the only handle the alignment layer gets on a
+remote dataset.  It accepts SPARQL text (or pre-parsed queries), enforces
+its :class:`~repro.endpoint.policy.AccessPolicy`, records accounting in a
+:class:`~repro.endpoint.log.QueryLog`, and returns result sets.  The
+underlying store is deliberately not reachable through the public API so
+that "no full dump access" is enforced by construction.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
+from repro.sparql.ast import (
+    AskQuery,
+    GroupGraphPattern,
+    OptionalNode,
+    Query,
+    SelectQuery,
+    TriplePatternNode,
+    UnionNode,
+    ValuesNode,
+)
+from repro.sparql.bindings import Variable
+from repro.sparql.evaluate import QueryEvaluator
+from repro.sparql.parser import parse_query
+from repro.sparql.results import AskResult, ResultSet
+from repro.store.triplestore import TripleStore
+from repro.endpoint.log import QueryLog, QueryRecord
+from repro.endpoint.policy import AccessPolicy
+
+
+class SparqlEndpoint:
+    """A query-only SPARQL access point over a triple store.
+
+    Parameters
+    ----------
+    store:
+        The dataset served by this endpoint.
+    name:
+        Endpoint name used in logs and error messages.
+    policy:
+        Access limits; defaults to :meth:`AccessPolicy.unlimited`.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        name: str = "endpoint",
+        policy: AccessPolicy | None = None,
+    ):
+        self._store = store
+        self.name = name
+        self.policy = policy or AccessPolicy.unlimited()
+        self.log = QueryLog()
+        self._evaluator = QueryEvaluator(store)
+        self._queries_issued = 0
+
+    def __repr__(self) -> str:
+        return f"SparqlEndpoint(name={self.name!r}, queries={self.log.query_count})"
+
+    # ------------------------------------------------------------------ #
+    @property
+    def queries_remaining(self) -> Union[int, None]:
+        """How many queries the policy still allows (``None`` = unlimited)."""
+        if self.policy.max_queries is None:
+            return None
+        return max(0, self.policy.max_queries - self._queries_issued)
+
+    def query(self, query: Union[str, Query]) -> Union[ResultSet, AskResult]:
+        """Execute a SPARQL query subject to the access policy.
+
+        Raises
+        ------
+        QueryBudgetExceeded
+            When the policy's query quota is exhausted.
+        EndpointError
+            When the query is a forbidden full scan under the policy.
+        ResultTruncated
+            When truncation occurs and the policy is configured to fail.
+        """
+        if self.queries_remaining == 0:
+            raise QueryBudgetExceeded(
+                f"Endpoint {self.name!r}: query budget of {self.policy.max_queries} exhausted"
+            )
+
+        query_text = query if isinstance(query, str) else f"<parsed:{type(query).__name__}>"
+        parsed = parse_query(query) if isinstance(query, str) else query
+
+        if not self.policy.allow_full_scan and self._is_full_scan(parsed):
+            raise EndpointError(
+                f"Endpoint {self.name!r}: dump-style full scans are not allowed by policy"
+            )
+
+        result = self._evaluator.evaluate(parsed)
+        self._queries_issued += 1
+
+        truncated = False
+        row_count = 0
+        form = "ASK"
+        if isinstance(result, ResultSet):
+            form = "SELECT"
+            if isinstance(parsed, SelectQuery) and parsed.is_aggregate:
+                form = "COUNT"
+            row_count = len(result)
+            cap = self.policy.max_result_rows
+            if cap is not None and row_count > cap:
+                if self.policy.fail_on_truncation:
+                    raise ResultTruncated(
+                        f"Endpoint {self.name!r}: result of {row_count} rows exceeds cap {cap}"
+                    )
+                result.rows = result.rows[:cap]
+                result.truncated = True
+                truncated = True
+                row_count = cap
+
+        self.log.record(
+            QueryRecord(
+                query=query_text,
+                form=form,
+                row_count=row_count,
+                truncated=truncated,
+                virtual_seconds=self.policy.estimated_cost(row_count),
+            )
+        )
+        return result
+
+    def select(self, query: Union[str, Query]) -> ResultSet:
+        """Like :meth:`query` but asserts a SELECT result."""
+        result = self.query(query)
+        if not isinstance(result, ResultSet):
+            raise EndpointError("Expected a SELECT query")
+        return result
+
+    def ask(self, query: Union[str, Query]) -> bool:
+        """Like :meth:`query` but asserts an ASK result and returns a bool."""
+        result = self.query(query)
+        if not isinstance(result, AskResult):
+            raise EndpointError("Expected an ASK query")
+        return bool(result)
+
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _is_full_scan(query: Query) -> bool:
+        """Whether every triple pattern in the query is fully unbound."""
+
+        def group_has_constant(group: GroupGraphPattern) -> bool:
+            for element in group.elements:
+                if isinstance(element, TriplePatternNode):
+                    if any(
+                        not isinstance(term, Variable)
+                        for term in (element.subject, element.predicate, element.object)
+                    ):
+                        return True
+                elif isinstance(element, ValuesNode):
+                    # Inline data binds variables to constants, so the joined
+                    # patterns are selective even if syntactically unbound.
+                    if any(term is not None for row in element.rows for term in row):
+                        return True
+                elif isinstance(element, OptionalNode):
+                    if group_has_constant(element.group):
+                        return True
+                elif isinstance(element, UnionNode):
+                    if any(group_has_constant(branch) for branch in element.branches):
+                        return True
+                elif isinstance(element, GroupGraphPattern):
+                    if group_has_constant(element):
+                        return True
+            return False
+
+        where = query.where if isinstance(query, (SelectQuery, AskQuery)) else None
+        if where is None:  # pragma: no cover - defensive
+            return False
+        has_patterns = bool(where.variables())
+        return has_patterns and not group_has_constant(where)
+
+    # ------------------------------------------------------------------ #
+    # Controlled introspection (not dump access)
+    # ------------------------------------------------------------------ #
+    def dataset_size(self) -> int:
+        """Number of triples served — public endpoints expose this as metadata."""
+        return len(self._store)
+
+    def reset_accounting(self) -> None:
+        """Clear the query log (does not restore an exhausted quota)."""
+        self.log.reset()

@@ -1,0 +1,79 @@
+"""Query accounting for endpoint simulators."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One executed query with its observed cost."""
+
+    query: str
+    form: str
+    row_count: int
+    truncated: bool
+    virtual_seconds: float
+
+
+@dataclass
+class QueryLog:
+    """Accumulates :class:`QueryRecord` entries for one endpoint.
+
+    The log is what the cost experiments (E4 in DESIGN.md) read: total
+    queries, rows transferred and simulated wall-clock, optionally reset
+    between experiment phases.
+    """
+
+    records: List[QueryRecord] = field(default_factory=list)
+
+    def record(self, record: QueryRecord) -> None:
+        """Append one record."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[QueryRecord]:
+        return iter(self.records)
+
+    @property
+    def query_count(self) -> int:
+        """Total number of queries executed."""
+        return len(self.records)
+
+    @property
+    def total_rows(self) -> int:
+        """Total number of result rows transferred."""
+        return sum(record.row_count for record in self.records)
+
+    @property
+    def total_virtual_seconds(self) -> float:
+        """Total simulated latency of all queries."""
+        return sum(record.virtual_seconds for record in self.records)
+
+    @property
+    def truncated_count(self) -> int:
+        """Number of queries whose results were truncated by policy."""
+        return sum(1 for record in self.records if record.truncated)
+
+    def by_form(self) -> dict[str, int]:
+        """Query counts grouped by query form (SELECT / ASK / COUNT)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.form] = counts.get(record.form, 0) + 1
+        return counts
+
+    def reset(self) -> None:
+        """Forget all records."""
+        self.records.clear()
+
+    def snapshot(self) -> dict[str, float]:
+        """A flat summary dictionary (used by benchmark reports)."""
+        return {
+            "queries": float(self.query_count),
+            "rows": float(self.total_rows),
+            "virtual_seconds": round(self.total_virtual_seconds, 6),
+            "truncated": float(self.truncated_count),
+        }

@@ -1,0 +1,91 @@
+"""Endpoint access policies.
+
+Public SPARQL endpoints (DBpedia, YAGO mirrors, ...) protect themselves
+with quotas: a maximum number of requests, capped result sizes, and latency
+that makes chatty clients slow.  :class:`AccessPolicy` captures those
+limits so experiments can quantify the "on-the-fly with few queries" claim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class AccessPolicy:
+    """Limits applied by a simulated SPARQL endpoint.
+
+    Parameters
+    ----------
+    max_queries:
+        Total number of queries a client may issue (``None`` = unlimited).
+    max_result_rows:
+        Per-query row cap.  Results larger than this are silently truncated
+        (like public endpoints' ``LIMIT 10000`` behaviour) unless
+        ``fail_on_truncation`` is set.
+    fail_on_truncation:
+        When ``True`` a truncated result raises
+        :class:`~repro.errors.ResultTruncated` instead of being cut.
+    latency_per_query:
+        Simulated fixed cost per query, in (virtual) seconds.
+    latency_per_row:
+        Simulated marginal cost per returned row, in (virtual) seconds.
+    allow_full_scan:
+        When ``False``, queries whose basic graph patterns contain no
+        constant term at all (i.e. a full dump scan such as
+        ``SELECT * WHERE { ?s ?p ?o }``) are rejected.  This models
+        providers that forbid dump-style extraction, and is what forces the
+        alignment algorithm to stay sample-based.
+    """
+
+    max_queries: Optional[int] = None
+    max_result_rows: Optional[int] = 10_000
+    fail_on_truncation: bool = False
+    latency_per_query: float = 0.25
+    latency_per_row: float = 0.0005
+    allow_full_scan: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_queries is not None and self.max_queries < 0:
+            raise ValueError("max_queries must be non-negative or None")
+        if self.max_result_rows is not None and self.max_result_rows <= 0:
+            raise ValueError("max_result_rows must be positive or None")
+        if self.latency_per_query < 0 or self.latency_per_row < 0:
+            raise ValueError("latencies must be non-negative")
+
+    @classmethod
+    def unlimited(cls) -> "AccessPolicy":
+        """A policy with no limits (useful for baselines and tests)."""
+        return cls(max_queries=None, max_result_rows=None, latency_per_query=0.0,
+                   latency_per_row=0.0)
+
+    @classmethod
+    def public_endpoint(cls) -> "AccessPolicy":
+        """A policy mimicking a public LOD endpoint.
+
+        10 000-row result cap, dump-style full scans rejected, and a
+        moderate per-query latency.
+        """
+        return cls(
+            max_queries=None,
+            max_result_rows=10_000,
+            allow_full_scan=False,
+            latency_per_query=0.35,
+            latency_per_row=0.0005,
+        )
+
+    @classmethod
+    def strict(cls, max_queries: int = 100) -> "AccessPolicy":
+        """A tight quota for stress-testing the on-the-fly algorithm."""
+        return cls(
+            max_queries=max_queries,
+            max_result_rows=1_000,
+            allow_full_scan=False,
+            latency_per_query=0.5,
+            latency_per_row=0.001,
+        )
+
+    def estimated_cost(self, rows: int) -> float:
+        """Virtual seconds consumed by one query returning ``rows`` rows."""
+        return self.latency_per_query + self.latency_per_row * rows

@@ -1,0 +1,71 @@
+"""Exception hierarchy shared by all repro subpackages.
+
+Every error raised by this library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the layer that failed.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class RDFError(ReproError):
+    """Malformed RDF terms, triples, or serialisations."""
+
+
+class ParseError(ReproError):
+    """A document or query could not be parsed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token when known, else ``None``.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" (line {line}" + (f", column {column}" if column is not None else "") + ")"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class SparqlError(ReproError):
+    """A SPARQL query is invalid or unsupported by the engine subset."""
+
+
+class StoreError(ReproError):
+    """Triple store misuse (e.g. adding malformed triples)."""
+
+
+class EndpointError(ReproError):
+    """Base class for endpoint access failures."""
+
+
+class QueryBudgetExceeded(EndpointError):
+    """The access policy's query quota has been exhausted."""
+
+
+class ResultTruncated(EndpointError):
+    """A query produced more rows than the endpoint policy allows.
+
+    This is only raised when the policy is configured to *fail* on
+    truncation; by default endpoints silently cap result sizes like public
+    SPARQL endpoints do.
+    """
+
+
+class AlignmentError(ReproError):
+    """Relation alignment could not be performed."""
+
+
+class EvaluationError(ReproError):
+    """Evaluation harness misuse (e.g. missing gold standard entries)."""
+
+
+class SyntheticDataError(ReproError):
+    """Synthetic dataset generation received inconsistent parameters."""

@@ -1,0 +1,32 @@
+"""Evaluation harness: metrics, threshold selection, experiments, tables.
+
+This package turns alignment runs into the numbers the paper reports:
+precision and F1 of the accepted subsumptions against a gold standard, per
+direction, with the acceptance threshold τ chosen to maximise the average
+F1 over both directions (the paper's protocol for Table 1).
+"""
+
+from repro.evaluation.metrics import PrecisionRecallF1, confusion_counts, precision_recall_f1
+from repro.evaluation.thresholds import ThresholdSelection, select_best_threshold
+from repro.evaluation.tables import TextTable
+from repro.evaluation.experiment import (
+    AlignmentExperiment,
+    DirectionResult,
+    MethodResult,
+    Table1Report,
+    run_table1_experiment,
+)
+
+__all__ = [
+    "PrecisionRecallF1",
+    "precision_recall_f1",
+    "confusion_counts",
+    "ThresholdSelection",
+    "select_best_threshold",
+    "TextTable",
+    "AlignmentExperiment",
+    "DirectionResult",
+    "MethodResult",
+    "Table1Report",
+    "run_table1_experiment",
+]

@@ -1,0 +1,72 @@
+"""Precision / recall / F1 over sets of predicted alignment pairs."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Set, Tuple, TypeVar
+
+Pair = TypeVar("Pair")
+
+
+@dataclass(frozen=True)
+class PrecisionRecallF1:
+    """A precision/recall/F1 triple with the underlying counts."""
+
+    precision: float
+    recall: float
+    f1: float
+    true_positives: int
+    false_positives: int
+    false_negatives: int
+
+    def as_row(self) -> Tuple[float, float, float]:
+        """``(P, R, F1)`` rounded to three decimals (for tables)."""
+        return (round(self.precision, 3), round(self.recall, 3), round(self.f1, 3))
+
+    def __str__(self) -> str:
+        return (
+            f"P={self.precision:.3f} R={self.recall:.3f} F1={self.f1:.3f} "
+            f"(tp={self.true_positives}, fp={self.false_positives}, fn={self.false_negatives})"
+        )
+
+
+def confusion_counts(predicted: Set[Pair], gold: Set[Pair]) -> Tuple[int, int, int]:
+    """``(true positives, false positives, false negatives)``."""
+    true_positives = len(predicted & gold)
+    false_positives = len(predicted - gold)
+    false_negatives = len(gold - predicted)
+    return true_positives, false_positives, false_negatives
+
+
+def precision_recall_f1(predicted: Set[Pair], gold: Set[Pair]) -> PrecisionRecallF1:
+    """Compute precision, recall and F1 of predicted pairs against the gold set.
+
+    Conventions for empty sets: with no predictions, precision is 1.0 when
+    the gold set is also empty and 0.0 otherwise; recall is 1.0 when the
+    gold set is empty.
+    """
+    true_positives, false_positives, false_negatives = confusion_counts(predicted, gold)
+
+    if not predicted:
+        precision = 1.0 if not gold else 0.0
+    else:
+        precision = true_positives / len(predicted)
+
+    if not gold:
+        recall = 1.0
+    else:
+        recall = true_positives / len(gold)
+
+    if precision + recall == 0.0:
+        f1 = 0.0
+    else:
+        f1 = 2 * precision * recall / (precision + recall)
+
+    return PrecisionRecallF1(
+        precision=precision,
+        recall=recall,
+        f1=f1,
+        true_positives=true_positives,
+        false_positives=false_positives,
+        false_negatives=false_negatives,
+    )

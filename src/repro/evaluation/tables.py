@@ -1,0 +1,64 @@
+"""Plain-text table rendering for benchmark reports."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+class TextTable:
+    """A small fixed-width table builder.
+
+    Used by the benchmark harness to print the reproduction of the paper's
+    Table 1 (and the extension tables) in a shape directly comparable to
+    the published numbers.
+    """
+
+    def __init__(self, columns: Sequence[str], title: Optional[str] = None):
+        self.title = title
+        self.columns = list(columns)
+        self.rows: List[List[str]] = []
+
+    def add_row(self, *cells: object) -> None:
+        """Append a row; cells are converted with ``str`` (floats get 2 decimals)."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"Expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        rendered = []
+        for cell in cells:
+            if isinstance(cell, float):
+                rendered.append(f"{cell:.2f}")
+            else:
+                rendered.append(str(cell))
+        self.rows.append(rendered)
+
+    def add_separator(self) -> None:
+        """Append a horizontal separator row."""
+        self.rows.append(["---"] * len(self.columns))
+
+    def render(self) -> str:
+        """Render the table as aligned plain text."""
+        widths = [len(column) for column in self.columns]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def format_row(cells: Sequence[str]) -> str:
+            return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+        separator = "-+-".join("-" * width for width in widths)
+        lines: List[str] = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(format_row(self.columns))
+        lines.append(separator)
+        for row in self.rows:
+            if all(cell == "---" for cell in row):
+                lines.append(separator)
+            else:
+                lines.append(format_row(row))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

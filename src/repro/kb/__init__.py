@@ -1,0 +1,25 @@
+"""Knowledge-base level abstractions.
+
+A :class:`KnowledgeBase` bundles a triple store with dataset metadata (its
+name, entity namespace, relation catalogue) and knows how to expose itself
+as a :class:`~repro.endpoint.SparqlEndpoint` — which is the only interface
+the alignment layer is allowed to use, per the paper's on-the-fly setting.
+
+A :class:`SameAsIndex` is the set ``E`` of ``owl:sameAs`` entity
+equivalences between two KBs, implemented as a union-find so that chains of
+links are handled transitively.
+"""
+
+from repro.kb.relation import RelationInfo, RelationKind
+from repro.kb.sameas import SameAsIndex
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.catalog import KBCatalog, LinkedPair
+
+__all__ = [
+    "KnowledgeBase",
+    "RelationInfo",
+    "RelationKind",
+    "SameAsIndex",
+    "KBCatalog",
+    "LinkedPair",
+]

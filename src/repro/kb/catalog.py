@@ -1,0 +1,99 @@
+"""Multi-KB catalog.
+
+A :class:`KBCatalog` keeps several knowledge bases plus the entity-link
+sets between pairs of them, which is the configuration the paper's
+motivating scenario needs: a federated query joins two KBs whose relations
+were aligned on the fly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import ReproError
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.sameas import SameAsIndex
+
+
+@dataclass(frozen=True)
+class LinkedPair:
+    """An ordered pair of KB names with their sameAs link set."""
+
+    source: str
+    target: str
+    links: SameAsIndex
+
+    def reversed(self) -> "LinkedPair":
+        """The same pair viewed in the opposite direction (links are symmetric)."""
+        return LinkedPair(source=self.target, target=self.source, links=self.links)
+
+
+class KBCatalog:
+    """Registry of knowledge bases and the link sets between them."""
+
+    def __init__(self) -> None:
+        self._kbs: Dict[str, KnowledgeBase] = {}
+        self._links: Dict[Tuple[str, str], SameAsIndex] = {}
+
+    def __len__(self) -> int:
+        return len(self._kbs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._kbs
+
+    def __iter__(self) -> Iterator[KnowledgeBase]:
+        return iter(self._kbs.values())
+
+    # ------------------------------------------------------------------ #
+    def register(self, kb: KnowledgeBase) -> None:
+        """Add a knowledge base (name must be unique)."""
+        if kb.name in self._kbs:
+            raise ReproError(f"A KB named {kb.name!r} is already registered")
+        self._kbs[kb.name] = kb
+
+    def get(self, name: str) -> KnowledgeBase:
+        """Look up a KB by name.
+
+        Raises
+        ------
+        ReproError
+            If no KB with that name is registered.
+        """
+        try:
+            return self._kbs[name]
+        except KeyError:
+            raise ReproError(f"Unknown knowledge base: {name!r}") from None
+
+    def names(self) -> List[str]:
+        """Registered KB names in registration order."""
+        return list(self._kbs)
+
+    # ------------------------------------------------------------------ #
+    def add_links(self, source: str, target: str, links: SameAsIndex) -> None:
+        """Register the sameAs link set between two KBs (order-insensitive)."""
+        if source not in self._kbs or target not in self._kbs:
+            raise ReproError("Both KBs must be registered before adding links")
+        self._links[self._key(source, target)] = links
+
+    def links_between(self, source: str, target: str) -> SameAsIndex:
+        """The sameAs link set between two KBs.
+
+        Falls back to an index built from the ``owl:sameAs`` triples stored
+        inside the two KBs when no explicit link set was registered.
+        """
+        key = self._key(source, target)
+        if key in self._links:
+            return self._links[key]
+        index = SameAsIndex.from_triples(self.get(source).same_as_links())
+        for triple in self.get(target).same_as_links():
+            index.add_link(triple.subject, triple.object)
+        return index
+
+    def linked_pair(self, source: str, target: str) -> LinkedPair:
+        """The :class:`LinkedPair` for the given direction."""
+        return LinkedPair(source=source, target=target, links=self.links_between(source, target))
+
+    @staticmethod
+    def _key(source: str, target: str) -> Tuple[str, str]:
+        return (source, target) if source <= target else (target, source)

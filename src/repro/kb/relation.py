@@ -1,0 +1,69 @@
+"""Relation metadata."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.rdf.terms import IRI
+
+
+class RelationKind(enum.Enum):
+    """Whether a relation's objects are entities or literals.
+
+    SOFYA treats the two differently: entity-entity relations are joined
+    through ``sameAs`` links, entity-literal relations are matched with
+    string similarity (§2.2 of the paper).
+    """
+
+    ENTITY_ENTITY = "entity-entity"
+    ENTITY_LITERAL = "entity-literal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass(frozen=True)
+class RelationInfo:
+    """Catalogue entry for one relation of a knowledge base.
+
+    Attributes
+    ----------
+    iri:
+        The relation IRI.
+    kind:
+        Entity-entity or entity-literal.
+    fact_count:
+        Number of facts at catalogue-build time (0 when unknown).
+    functionality:
+        PARIS-style functionality estimate in [0, 1] (1 = functional).
+    inverse_of:
+        Set when this relation is the explicitly-materialised inverse of
+        another relation (the paper assumes inverse relations have been
+        added to both KBs so only direct relations need to be mined).
+    """
+
+    iri: IRI
+    kind: RelationKind = RelationKind.ENTITY_ENTITY
+    fact_count: int = 0
+    functionality: float = 0.0
+    inverse_of: Optional[IRI] = None
+
+    @property
+    def name(self) -> str:
+        """Human-readable local name of the relation."""
+        return self.iri.local_name
+
+    @property
+    def is_literal_valued(self) -> bool:
+        """Whether the relation is entity-literal."""
+        return self.kind is RelationKind.ENTITY_LITERAL
+
+    @property
+    def is_inverse(self) -> bool:
+        """Whether the relation is a materialised inverse."""
+        return self.inverse_of is not None
+
+    def __str__(self) -> str:
+        return self.iri.value

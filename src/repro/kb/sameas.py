@@ -1,0 +1,158 @@
+"""The sameAs equivalence index (the paper's set ``E``).
+
+Implemented as a union-find (disjoint-set forest) with path compression so
+that chains of ``sameAs`` links (A ≡ B, B ≡ C) put all three entities into
+one equivalence class.  The index is direction-agnostic, matching
+``owl:sameAs`` semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.rdf.namespace import Namespace, SAME_AS
+from repro.rdf.terms import IRI, Term, is_entity_term
+from repro.rdf.triple import Triple
+
+
+class SameAsIndex:
+    """Union-find over entity identifiers linked by ``owl:sameAs``."""
+
+    def __init__(self, links: Optional[Iterable[Tuple[Term, Term]]] = None):
+        self._parent: Dict[Term, Term] = {}
+        self._rank: Dict[Term, int] = {}
+        self._members: Dict[Term, Set[Term]] = {}
+        self._link_count = 0
+        if links is not None:
+            for left, right in links:
+                self.add_link(left, right)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_triples(cls, triples: Iterable[Triple]) -> "SameAsIndex":
+        """Build an index from the ``owl:sameAs`` triples of an iterable."""
+        index = cls()
+        for triple in triples:
+            if triple.predicate == SAME_AS and is_entity_term(triple.object):
+                index.add_link(triple.subject, triple.object)
+        return index
+
+    def add_link(self, left: Term, right: Term) -> None:
+        """Record that ``left`` and ``right`` denote the same entity."""
+        if not is_entity_term(left) or not is_entity_term(right):
+            return
+        self._link_count += 1
+        root_left = self._find(left)
+        root_right = self._find(right)
+        if root_left == root_right:
+            return
+        # Union by rank.
+        if self._rank[root_left] < self._rank[root_right]:
+            root_left, root_right = root_right, root_left
+        self._parent[root_right] = root_left
+        if self._rank[root_left] == self._rank[root_right]:
+            self._rank[root_left] += 1
+        self._members[root_left].update(self._members.pop(root_right))
+
+    def _find(self, entity: Term) -> Term:
+        if entity not in self._parent:
+            self._parent[entity] = entity
+            self._rank[entity] = 0
+            self._members[entity] = {entity}
+            return entity
+        # Path compression.
+        root = entity
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[entity] != root:
+            self._parent[entity], entity = root, self._parent[entity]
+        return root
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Number of entities known to the index."""
+        return len(self._parent)
+
+    def __contains__(self, entity: object) -> bool:
+        return entity in self._parent
+
+    @property
+    def link_count(self) -> int:
+        """Number of ``add_link`` calls (raw links, not classes)."""
+        return self._link_count
+
+    def are_same(self, left: Term, right: Term) -> bool:
+        """Whether the two entities are (transitively) linked.
+
+        An entity is always the same as itself, even if it never appeared
+        in a link.
+        """
+        if left == right:
+            return True
+        if left not in self._parent or right not in self._parent:
+            return False
+        return self._find(left) == self._find(right)
+
+    def equivalence_class(self, entity: Term) -> Set[Term]:
+        """All entities equivalent to ``entity`` (including itself)."""
+        if entity not in self._parent:
+            return {entity}
+        return set(self._members[self._find(entity)])
+
+    def equivalents(self, entity: Term) -> Set[Term]:
+        """All entities equivalent to ``entity`` (excluding itself)."""
+        cls = self.equivalence_class(entity)
+        cls.discard(entity)
+        return cls
+
+    def translate(self, entity: Term, namespace: Namespace) -> Optional[Term]:
+        """The equivalent of ``entity`` whose IRI lies in ``namespace``.
+
+        Returns ``None`` when no equivalent lives in that namespace, and
+        ``entity`` itself if it already does.  When several equivalents
+        match, the lexicographically smallest is returned for determinism.
+        """
+        if isinstance(entity, IRI) and entity in namespace:
+            return entity
+        candidates = sorted(
+            (e for e in self.equivalents(entity) if isinstance(e, IRI) and e in namespace),
+            key=lambda e: e.value,
+        )
+        return candidates[0] if candidates else None
+
+    def classes(self) -> Iterator[Set[Term]]:
+        """Iterate over all equivalence classes with at least two members."""
+        for members in self._members.values():
+            if len(members) > 1:
+                yield set(members)
+
+    def class_count(self) -> int:
+        """Number of non-trivial equivalence classes."""
+        return sum(1 for _ in self.classes())
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def to_triples(self) -> List[Triple]:
+        """Materialise the index as ``owl:sameAs`` triples (spanning edges)."""
+        triples: List[Triple] = []
+        for members in self.classes():
+            ordered = sorted(members, key=str)
+            anchor = ordered[0]
+            for other in ordered[1:]:
+                triples.append(Triple(anchor, SAME_AS, other))  # type: ignore[arg-type]
+        return triples
+
+    def restricted_to(self, entities: Iterable[Term]) -> "SameAsIndex":
+        """A new index keeping only links among the given entities."""
+        allowed = set(entities)
+        index = SameAsIndex()
+        for members in self.classes():
+            kept = sorted((m for m in members if m in allowed), key=str)
+            for first, second in zip(kept, kept[1:]):
+                index.add_link(first, second)
+        return index

@@ -1,0 +1,69 @@
+"""Minimal, self-contained RDF data model.
+
+This subpackage implements the subset of the RDF 1.1 abstract syntax that
+the SOFYA reproduction needs: IRIs, literals (plain, language-tagged and
+datatyped), blank nodes, triples, namespace helpers and the standard
+vocabularies (``rdf:``, ``rdfs:``, ``owl:``, ``xsd:``), plus N-Triples and
+a pragmatic Turtle reader/writer.
+
+Everything is immutable and hashable so terms and triples can be used as
+dictionary keys and set members throughout the higher layers.
+"""
+
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    is_entity_term,
+    is_literal_term,
+)
+from repro.rdf.triple import Triple, TriplePattern
+from repro.rdf.namespace import (
+    DBO,
+    DBP,
+    FOAF,
+    Namespace,
+    NamespaceManager,
+    OWL,
+    RDF,
+    RDFS,
+    SOFYA,
+    XSD,
+    YAGO,
+)
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    term_to_ntriples,
+)
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+__all__ = [
+    "Term",
+    "IRI",
+    "Literal",
+    "BlankNode",
+    "Triple",
+    "TriplePattern",
+    "is_entity_term",
+    "is_literal_term",
+    "Namespace",
+    "NamespaceManager",
+    "RDF",
+    "RDFS",
+    "OWL",
+    "XSD",
+    "FOAF",
+    "YAGO",
+    "DBO",
+    "DBP",
+    "SOFYA",
+    "parse_ntriples",
+    "parse_ntriples_line",
+    "serialize_ntriples",
+    "term_to_ntriples",
+    "parse_turtle",
+    "serialize_turtle",
+]

@@ -1,0 +1,168 @@
+"""Namespaces and common RDF vocabularies.
+
+A :class:`Namespace` builds :class:`~repro.rdf.terms.IRI` objects from local
+names, either by attribute access (``YAGO.wasBornIn``) or by indexing
+(``YAGO["wasBornIn"]``).  The :class:`NamespaceManager` maps prefixes to
+namespaces and is used by the Turtle serialiser and the SPARQL parser to
+expand prefixed names.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Optional, Tuple
+
+from repro.errors import RDFError
+from repro.rdf.terms import IRI
+
+
+class Namespace:
+    """A namespace prefix that mints IRIs for local names."""
+
+    __slots__ = ("base",)
+
+    def __init__(self, base: str):
+        if not base:
+            raise RDFError("Namespace base must be non-empty")
+        object.__setattr__(self, "base", base)
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Namespace instances are immutable")
+
+    def __getattr__(self, local_name: str) -> IRI:
+        if local_name.startswith("_"):
+            raise AttributeError(local_name)
+        return IRI(self.base + local_name)
+
+    def __getitem__(self, local_name: str) -> IRI:
+        return IRI(self.base + local_name)
+
+    def __contains__(self, iri: object) -> bool:
+        return isinstance(iri, IRI) and iri.value.startswith(self.base)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Namespace) and other.base == self.base
+
+    def __hash__(self) -> int:
+        return hash(("Namespace", self.base))
+
+    def __repr__(self) -> str:
+        return f"Namespace({self.base!r})"
+
+    def term(self, local_name: str) -> IRI:
+        """Mint the IRI ``base + local_name``."""
+        return IRI(self.base + local_name)
+
+    def local(self, iri: IRI) -> Optional[str]:
+        """Return the local name of ``iri`` within this namespace, else ``None``."""
+        if iri in self:
+            return iri.value[len(self.base):]
+        return None
+
+
+#: Standard vocabularies.
+RDF = Namespace("http://www.w3.org/1999/02/22-rdf-syntax-ns#")
+RDFS = Namespace("http://www.w3.org/2000/01/rdf-schema#")
+OWL = Namespace("http://www.w3.org/2002/07/owl#")
+XSD = Namespace("http://www.w3.org/2001/XMLSchema#")
+FOAF = Namespace("http://xmlns.com/foaf/0.1/")
+
+#: Dataset namespaces used by the reproduction's synthetic KBs.
+YAGO = Namespace("http://yago-knowledge.org/resource/")
+DBO = Namespace("http://dbpedia.org/ontology/")
+DBP = Namespace("http://dbpedia.org/resource/")
+SOFYA = Namespace("http://sofya.repro/vocab#")
+
+#: The owl:sameAs predicate, used pervasively by the alignment layer.
+SAME_AS = OWL.sameAs
+
+
+class NamespaceManager:
+    """Bidirectional registry of prefix ↔ namespace bindings."""
+
+    #: Default bindings installed by :meth:`with_defaults`.
+    DEFAULT_BINDINGS: Tuple[Tuple[str, Namespace], ...] = (
+        ("rdf", RDF),
+        ("rdfs", RDFS),
+        ("owl", OWL),
+        ("xsd", XSD),
+        ("foaf", FOAF),
+        ("yago", YAGO),
+        ("dbo", DBO),
+        ("dbp", DBP),
+        ("sofya", SOFYA),
+    )
+
+    def __init__(self) -> None:
+        self._by_prefix: Dict[str, Namespace] = {}
+
+    @classmethod
+    def with_defaults(cls) -> "NamespaceManager":
+        """Create a manager pre-populated with the standard bindings."""
+        manager = cls()
+        for prefix, namespace in cls.DEFAULT_BINDINGS:
+            manager.bind(prefix, namespace)
+        return manager
+
+    def bind(self, prefix: str, namespace: Namespace | str) -> None:
+        """Bind ``prefix`` to ``namespace`` (replacing any previous binding)."""
+        if isinstance(namespace, str):
+            namespace = Namespace(namespace)
+        if not isinstance(namespace, Namespace):
+            raise RDFError(f"Expected a Namespace, got {type(namespace).__name__}")
+        self._by_prefix[prefix] = namespace
+
+    def namespace(self, prefix: str) -> Namespace:
+        """Return the namespace bound to ``prefix``.
+
+        Raises
+        ------
+        RDFError
+            If the prefix is unknown.
+        """
+        try:
+            return self._by_prefix[prefix]
+        except KeyError:
+            raise RDFError(f"Unknown namespace prefix: {prefix!r}") from None
+
+    def expand(self, qname: str) -> IRI:
+        """Expand a prefixed name such as ``"yago:wasBornIn"`` to an IRI."""
+        if ":" not in qname:
+            raise RDFError(f"Not a prefixed name: {qname!r}")
+        prefix, local = qname.split(":", 1)
+        return self.namespace(prefix).term(local)
+
+    def compact(self, iri: IRI) -> Optional[str]:
+        """Return the shortest prefixed form of ``iri``, or ``None``.
+
+        The longest matching namespace base wins so that more specific
+        namespaces take precedence.
+        """
+        best: Optional[Tuple[str, Namespace]] = None
+        for prefix, namespace in self._by_prefix.items():
+            if iri in namespace:
+                if best is None or len(namespace.base) > len(best[1].base):
+                    best = (prefix, namespace)
+        if best is None:
+            return None
+        prefix, namespace = best
+        local = namespace.local(iri)
+        if local is None or not _is_safe_local_name(local):
+            return None
+        return f"{prefix}:{local}"
+
+    def bindings(self) -> Iterator[Tuple[str, Namespace]]:
+        """Iterate over ``(prefix, namespace)`` pairs in insertion order."""
+        return iter(self._by_prefix.items())
+
+    def __contains__(self, prefix: str) -> bool:
+        return prefix in self._by_prefix
+
+    def __len__(self) -> int:
+        return len(self._by_prefix)
+
+
+def _is_safe_local_name(local: str) -> bool:
+    """Whether a local name can be written as a Turtle prefixed name."""
+    if not local:
+        return False
+    return all(ch.isalnum() or ch in "_-." for ch in local) and not local.startswith(".")

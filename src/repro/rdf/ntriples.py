@@ -1,0 +1,264 @@
+"""N-Triples parsing and serialisation.
+
+N-Triples is the line-based RDF exchange syntax.  It is used by the
+synthetic dataset generator to persist KBs to disk and by the test suite
+for round-trip checks.  The parser is strict about term syntax but tolerant
+of surrounding whitespace and comment lines.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, TextIO, Union
+
+from repro.errors import ParseError
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, XSD_STRING
+from repro.rdf.triple import Triple
+
+_ESCAPES = {
+    "\\": "\\\\",
+    '"': '\\"',
+    "\n": "\\n",
+    "\r": "\\r",
+    "\t": "\\t",
+}
+
+_UNESCAPES = {
+    "\\\\": "\\",
+    '\\"': '"',
+    "\\n": "\n",
+    "\\r": "\r",
+    "\\t": "\t",
+}
+
+
+def _escape_string(value: str) -> str:
+    out = []
+    for ch in value:
+        if ch in _ESCAPES:
+            out.append(_ESCAPES[ch])
+        elif ord(ch) < 0x20 or ch in ("\x85", "\u2028", "\u2029"):
+            # Control characters and the extra Unicode line separators must
+            # be escaped: the N-Triples reader is line-based and
+            # ``str.splitlines`` would otherwise break literals apart.
+            out.append(f"\\u{ord(ch):04X}")
+        else:
+            out.append(ch)
+    return "".join(out)
+
+
+def _unescape_string(value: str) -> str:
+    out = []
+    i = 0
+    while i < len(value):
+        if value[i] == "\\" and i + 1 < len(value):
+            pair = value[i : i + 2]
+            if pair in _UNESCAPES:
+                out.append(_UNESCAPES[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(value):
+                out.append(chr(int(value[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+            if pair == "\\U" and i + 10 <= len(value):
+                out.append(chr(int(value[i + 2 : i + 10], 16)))
+                i += 10
+                continue
+        out.append(value[i])
+        i += 1
+    return "".join(out)
+
+
+def term_to_ntriples(term: Term) -> str:
+    """Serialise a single RDF term in N-Triples syntax."""
+    if isinstance(term, IRI):
+        return f"<{term.value}>"
+    if isinstance(term, BlankNode):
+        return f"_:{term.label}"
+    if isinstance(term, Literal):
+        lexical = _escape_string(term.lexical)
+        if term.language:
+            return f'"{lexical}"@{term.language}'
+        if term.datatype and term.datatype != XSD_STRING:
+            return f'"{lexical}"^^<{term.datatype}>'
+        return f'"{lexical}"'
+    raise ParseError(f"Cannot serialise term: {term!r}")
+
+
+def serialize_ntriples(triples: Iterable[Triple], out: TextIO | None = None) -> str:
+    """Serialise ``triples`` to an N-Triples string (and optionally a stream).
+
+    Parameters
+    ----------
+    triples:
+        Any iterable of :class:`~repro.rdf.triple.Triple`.
+    out:
+        Optional text stream; when given, lines are also written to it.
+
+    Returns
+    -------
+    str
+        The full N-Triples document.
+    """
+    lines: List[str] = []
+    for triple in triples:
+        line = (
+            f"{term_to_ntriples(triple.subject)} "
+            f"{term_to_ntriples(triple.predicate)} "
+            f"{term_to_ntriples(triple.object)} ."
+        )
+        lines.append(line)
+        if out is not None:
+            out.write(line + "\n")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+class _LineScanner:
+    """Tokenizer for a single N-Triples line."""
+
+    def __init__(self, line: str, line_number: int):
+        self.line = line
+        self.pos = 0
+        self.line_number = line_number
+
+    def error(self, message: str) -> ParseError:
+        return ParseError(message, line=self.line_number, column=self.pos + 1)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < len(self.line) and self.line[self.pos] in " \t":
+            self.pos += 1
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.line)
+
+    def peek(self) -> str:
+        return self.line[self.pos] if self.pos < len(self.line) else ""
+
+    def expect(self, char: str) -> None:
+        if self.peek() != char:
+            raise self.error(f"Expected {char!r}, found {self.peek()!r}")
+        self.pos += 1
+
+    def read_iri(self) -> IRI:
+        self.expect("<")
+        end = self.line.find(">", self.pos)
+        if end == -1:
+            raise self.error("Unterminated IRI")
+        value = self.line[self.pos : end]
+        self.pos = end + 1
+        try:
+            return IRI(_unescape_string(value))
+        except Exception as exc:
+            raise self.error(f"Invalid IRI: {exc}") from exc
+
+    def read_bnode(self) -> BlankNode:
+        if not self.line.startswith("_:", self.pos):
+            raise self.error("Expected blank node")
+        self.pos += 2
+        start = self.pos
+        while self.pos < len(self.line) and (
+            self.line[self.pos].isalnum() or self.line[self.pos] in "_-"
+        ):
+            self.pos += 1
+        label = self.line[start : self.pos]
+        if not label:
+            raise self.error("Empty blank node label")
+        return BlankNode(label)
+
+    def read_literal(self) -> Literal:
+        self.expect('"')
+        out = []
+        while True:
+            if self.at_end():
+                raise self.error("Unterminated literal")
+            ch = self.line[self.pos]
+            if ch == "\\":
+                nxt = self.line[self.pos + 1] if self.pos + 1 < len(self.line) else ""
+                if nxt == "u":
+                    out.append(chr(int(self.line[self.pos + 2 : self.pos + 6], 16)))
+                    self.pos += 6
+                elif nxt == "U":
+                    out.append(chr(int(self.line[self.pos + 2 : self.pos + 10], 16)))
+                    self.pos += 10
+                else:
+                    out.append(_UNESCAPES.get(ch + nxt, nxt))
+                    self.pos += 2
+                continue
+            if ch == '"':
+                self.pos += 1
+                break
+            out.append(ch)
+            self.pos += 1
+        lexical = "".join(out)
+        if self.peek() == "@":
+            self.pos += 1
+            start = self.pos
+            while self.pos < len(self.line) and (
+                self.line[self.pos].isalnum() or self.line[self.pos] == "-"
+            ):
+                self.pos += 1
+            return Literal(lexical, language=self.line[start : self.pos])
+        if self.line.startswith("^^", self.pos):
+            self.pos += 2
+            datatype = self.read_iri()
+            return Literal(lexical, datatype=datatype)
+        return Literal(lexical)
+
+    def read_term(self, allow_literal: bool) -> Term:
+        self.skip_whitespace()
+        ch = self.peek()
+        if ch == "<":
+            return self.read_iri()
+        if ch == "_":
+            return self.read_bnode()
+        if ch == '"':
+            if not allow_literal:
+                raise self.error("Literal not allowed in this position")
+            return self.read_literal()
+        raise self.error(f"Unexpected character {ch!r}")
+
+
+def parse_ntriples_line(line: str, line_number: int = 1) -> Union[Triple, None]:
+    """Parse one N-Triples line.
+
+    Returns ``None`` for blank lines and comment lines (starting with ``#``).
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith("#"):
+        return None
+    scanner = _LineScanner(stripped, line_number)
+    subject = scanner.read_term(allow_literal=False)
+    predicate = scanner.read_term(allow_literal=False)
+    if not isinstance(predicate, IRI):
+        raise scanner.error("Predicate must be an IRI")
+    obj = scanner.read_term(allow_literal=True)
+    scanner.skip_whitespace()
+    scanner.expect(".")
+    scanner.skip_whitespace()
+    if not scanner.at_end():
+        raise scanner.error("Trailing content after terminating '.'")
+    return Triple(subject, predicate, obj)
+
+
+def parse_ntriples(source: Union[str, TextIO, Iterable[str]]) -> Iterator[Triple]:
+    """Parse an N-Triples document.
+
+    Parameters
+    ----------
+    source:
+        A string containing the whole document, an open text stream, or any
+        iterable of lines.
+
+    Yields
+    ------
+    Triple
+        One triple per non-blank, non-comment line.
+    """
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    for number, line in enumerate(lines, start=1):
+        triple = parse_ntriples_line(line, number)
+        if triple is not None:
+            yield triple

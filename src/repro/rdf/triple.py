@@ -1,0 +1,117 @@
+"""Triples and triple patterns."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.errors import RDFError
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, is_entity_term
+
+
+class Triple:
+    """An RDF triple ``(subject, predicate, object)``.
+
+    Subjects must be IRIs or blank nodes, predicates must be IRIs, and
+    objects can be any term.  Triples are immutable and hashable.
+    """
+
+    __slots__ = ("subject", "predicate", "object", "_hash")
+
+    def __init__(self, subject: Term, predicate: IRI, object: Term):
+        if not is_entity_term(subject):
+            raise RDFError(f"Triple subject must be an IRI or blank node, got {subject!r}")
+        if not isinstance(predicate, IRI):
+            raise RDFError(f"Triple predicate must be an IRI, got {predicate!r}")
+        if not isinstance(object, (IRI, Literal, BlankNode)):
+            raise RDFError(f"Triple object must be an RDF term, got {object!r}")
+        obj_setattr = super().__setattr__
+        obj_setattr("subject", subject)
+        obj_setattr("predicate", predicate)
+        obj_setattr("object", object)
+        obj_setattr("_hash", hash((subject, predicate, object)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Triple instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Triple)
+            and other.subject == self.subject
+            and other.predicate == self.predicate
+            and other.object == self.object
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __iter__(self) -> Iterator[Term]:
+        yield self.subject
+        yield self.predicate
+        yield self.object
+
+    def __repr__(self) -> str:
+        return f"Triple({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def as_tuple(self) -> tuple[Term, IRI, Term]:
+        """Return the triple as a plain ``(s, p, o)`` tuple."""
+        return (self.subject, self.predicate, self.object)
+
+
+class TriplePattern:
+    """A triple pattern where any position may be ``None`` (wildcard).
+
+    Used by the store's :meth:`~repro.store.TripleStore.match` API.  Unlike
+    SPARQL variables, wildcards are anonymous; joins are handled by the
+    SPARQL layer.
+    """
+
+    __slots__ = ("subject", "predicate", "object")
+
+    def __init__(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ):
+        super().__setattr__("subject", subject)
+        super().__setattr__("predicate", predicate)
+        super().__setattr__("object", object)
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("TriplePattern instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, TriplePattern)
+            and other.subject == self.subject
+            and other.predicate == self.predicate
+            and other.object == self.object
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.subject, self.predicate, self.object))
+
+    def __repr__(self) -> str:
+        return f"TriplePattern({self.subject!r}, {self.predicate!r}, {self.object!r})"
+
+    def matches(self, triple: Triple) -> bool:
+        """Whether ``triple`` is matched by this pattern."""
+        if self.subject is not None and triple.subject != self.subject:
+            return False
+        if self.predicate is not None and triple.predicate != self.predicate:
+            return False
+        if self.object is not None and triple.object != self.object:
+            return False
+        return True
+
+    @property
+    def bound_positions(self) -> tuple[str, ...]:
+        """Names of the positions that are bound (non-wildcard)."""
+        positions = []
+        if self.subject is not None:
+            positions.append("subject")
+        if self.predicate is not None:
+            positions.append("predicate")
+        if self.object is not None:
+            positions.append("object")
+        return tuple(positions)

@@ -1,0 +1,285 @@
+"""Pragmatic Turtle reader and writer.
+
+Turtle is used only for human-facing output (examples, debugging dumps) and
+for reading small hand-written fixture files in tests.  The writer groups
+triples by subject and abbreviates IRIs with the bound prefixes; the reader
+supports the common subset: ``@prefix`` directives, prefixed names, IRIs,
+literals (plain, language-tagged, datatyped, integer/decimal shorthands),
+``a`` for ``rdf:type``, and the ``;`` / ``,`` separators.  Blank node
+property lists and collections are not supported (they never occur in our
+fixtures) and raise :class:`~repro.errors.ParseError`.
+"""
+
+from __future__ import annotations
+
+import re
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Tuple
+
+from repro.errors import ParseError
+from repro.rdf.namespace import NamespaceManager, RDF
+from repro.rdf.ntriples import term_to_ntriples, _unescape_string
+from repro.rdf.terms import IRI, BlankNode, Literal, Term, XSD_DECIMAL, XSD_INTEGER
+from repro.rdf.triple import Triple
+
+
+def serialize_turtle(
+    triples: Iterable[Triple],
+    namespaces: NamespaceManager | None = None,
+) -> str:
+    """Serialise ``triples`` as Turtle, grouping by subject.
+
+    Parameters
+    ----------
+    triples:
+        The triples to serialise (order of subjects follows first occurrence).
+    namespaces:
+        Prefix bindings used for abbreviation.  Defaults to the library's
+        standard bindings.
+    """
+    manager = namespaces or NamespaceManager.with_defaults()
+
+    def render(term: Term) -> str:
+        if isinstance(term, IRI):
+            compact = manager.compact(term)
+            if compact is not None:
+                return compact
+        return term_to_ntriples(term)
+
+    by_subject: Dict[Term, List[Tuple[IRI, Term]]] = defaultdict(list)
+    subject_order: List[Term] = []
+    used_prefixes: set[str] = set()
+
+    def note_prefix(term: Term) -> None:
+        if isinstance(term, IRI):
+            compact = manager.compact(term)
+            if compact is not None:
+                used_prefixes.add(compact.split(":", 1)[0])
+
+    for triple in triples:
+        if triple.subject not in by_subject:
+            subject_order.append(triple.subject)
+        by_subject[triple.subject].append((triple.predicate, triple.object))
+        note_prefix(triple.subject)
+        note_prefix(triple.predicate)
+        note_prefix(triple.object)
+
+    lines: List[str] = []
+    for prefix, namespace in manager.bindings():
+        if prefix in used_prefixes:
+            lines.append(f"@prefix {prefix}: <{namespace.base}> .")
+    if lines:
+        lines.append("")
+
+    for subject in subject_order:
+        pairs = by_subject[subject]
+        rendered_pairs = [f"    {render(p)} {render(o)}" for p, o in pairs]
+        body = " ;\n".join(rendered_pairs)
+        lines.append(f"{render(subject)}\n{body} .")
+        lines.append("")
+
+    return "\n".join(lines).rstrip("\n") + ("\n" if lines else "")
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<iri><[^>]*>)
+  | (?P<string>"(?:[^"\\]|\\.)*")
+  | (?P<keyword>@prefix|@base)
+  | (?P<langtag>@[a-zA-Z][a-zA-Z0-9-]*)
+  | (?P<dtype>\^\^)
+  | (?P<bnode>_:[\w-]+)
+  | (?P<prefixed>[A-Za-z_][\w.-]*:[\w.%-]*|:[\w.%-]+)
+  | (?P<kw_a>\ba\b)
+  | (?P<number>[+-]?\d+(?:\.\d+)?)
+  | (?P<punct>[.;,\[\]()])
+    """,
+    re.VERBOSE,
+)
+
+
+def _tokenize_turtle(text: str) -> Iterator[Tuple[str, str, int]]:
+    """Yield ``(kind, value, line_number)`` tokens, skipping comments."""
+    for line_number, line in enumerate(text.splitlines(), start=1):
+        # Strip comments that are neither inside a string literal nor inside
+        # an IRI (IRIs routinely contain '#', e.g. the OWL namespace).
+        cleaned = []
+        in_string = False
+        in_iri = False
+        i = 0
+        while i < len(line):
+            ch = line[i]
+            if ch == '"' and not in_iri and (i == 0 or line[i - 1] != "\\"):
+                in_string = not in_string
+            elif ch == "<" and not in_string:
+                in_iri = True
+            elif ch == ">" and not in_string:
+                in_iri = False
+            if ch == "#" and not in_string and not in_iri:
+                break
+            cleaned.append(ch)
+            i += 1
+        remaining = "".join(cleaned)
+        pos = 0
+        while pos < len(remaining):
+            if remaining[pos].isspace():
+                pos += 1
+                continue
+            match = _TOKEN_RE.match(remaining, pos)
+            if match is None:
+                raise ParseError(
+                    f"Unexpected character {remaining[pos]!r}", line=line_number, column=pos + 1
+                )
+            kind = match.lastgroup or "unknown"
+            if kind == "kw_a":
+                kind = "keyword"
+            yield kind, match.group(0), line_number
+            pos = match.end()
+
+
+class _TurtleParser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self.tokens = list(_tokenize_turtle(text))
+        self.pos = 0
+        self.namespaces = NamespaceManager()
+        self.base: str | None = None
+
+    def error(self, message: str) -> ParseError:
+        line = self.tokens[self.pos][2] if self.pos < len(self.tokens) else None
+        return ParseError(message, line=line)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.tokens)
+
+    def peek(self) -> Tuple[str, str, int]:
+        if self.at_end():
+            raise ParseError("Unexpected end of Turtle document")
+        return self.tokens[self.pos]
+
+    def advance(self) -> Tuple[str, str, int]:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def expect_punct(self, value: str) -> None:
+        kind, text, _ = self.advance()
+        if kind != "punct" or text != value:
+            raise self.error(f"Expected {value!r}, found {text!r}")
+
+    def parse(self) -> Iterator[Triple]:
+        while not self.at_end():
+            kind, text, _ = self.peek()
+            if kind == "keyword" and text == "@prefix":
+                self._parse_prefix()
+            elif kind == "keyword" and text == "@base":
+                self._parse_base()
+            else:
+                yield from self._parse_statement()
+
+    def _parse_prefix(self) -> None:
+        self.advance()  # @prefix
+        kind, text, _ = self.advance()
+        if kind != "prefixed" or not text.endswith(":"):
+            # prefixed names include the colon; a bare prefix looks like "ex:"
+            raise self.error(f"Expected prefix declaration, found {text!r}")
+        prefix = text[:-1]
+        kind, iri_text, _ = self.advance()
+        if kind != "iri":
+            raise self.error(f"Expected IRI in @prefix, found {iri_text!r}")
+        self.namespaces.bind(prefix, iri_text[1:-1])
+        self.expect_punct(".")
+
+    def _parse_base(self) -> None:
+        self.advance()  # @base
+        kind, iri_text, _ = self.advance()
+        if kind != "iri":
+            raise self.error(f"Expected IRI in @base, found {iri_text!r}")
+        self.base = iri_text[1:-1]
+        self.expect_punct(".")
+
+    def _parse_statement(self) -> Iterator[Triple]:
+        subject = self._parse_term(allow_literal=False)
+        while True:
+            predicate = self._parse_predicate()
+            while True:
+                obj = self._parse_term(allow_literal=True)
+                yield Triple(subject, predicate, obj)  # type: ignore[arg-type]
+                kind, text, _ = self.peek()
+                if kind == "punct" and text == ",":
+                    self.advance()
+                    continue
+                break
+            kind, text, _ = self.peek()
+            if kind == "punct" and text == ";":
+                self.advance()
+                # Allow trailing ';' before '.'
+                kind, text, _ = self.peek()
+                if kind == "punct" and text == ".":
+                    self.advance()
+                    return
+                continue
+            if kind == "punct" and text == ".":
+                self.advance()
+                return
+            raise self.error(f"Expected ';', ',' or '.', found {text!r}")
+
+    def _parse_predicate(self) -> IRI:
+        kind, text, _ = self.peek()
+        if kind == "keyword" and text == "a":
+            self.advance()
+            return RDF.type
+        term = self._parse_term(allow_literal=False)
+        if not isinstance(term, IRI):
+            raise self.error("Predicate must be an IRI")
+        return term
+
+    def _parse_term(self, allow_literal: bool) -> Term:
+        kind, text, _ = self.advance()
+        if kind == "iri":
+            value = text[1:-1]
+            if self.base and not re.match(r"^[a-z][a-z0-9+.-]*:", value, re.IGNORECASE):
+                value = self.base + value
+            return IRI(_unescape_string(value))
+        if kind == "prefixed":
+            prefix, local = text.split(":", 1)
+            try:
+                return self.namespaces.namespace(prefix).term(local)
+            except Exception as exc:
+                raise self.error(str(exc)) from exc
+        if kind == "bnode":
+            return BlankNode(text[2:])
+        if kind == "punct" and text == "[":
+            raise self.error("Blank node property lists are not supported")
+        if kind == "punct" and text == "(":
+            raise self.error("RDF collections are not supported")
+        if not allow_literal:
+            raise self.error(f"Unexpected token {text!r} in subject/predicate position")
+        if kind == "string":
+            lexical = _unescape_string(text[1:-1])
+            if not self.at_end():
+                nkind, ntext, _ = self.peek()
+                if nkind == "langtag":
+                    self.advance()
+                    return Literal(lexical, language=ntext[1:])
+                if nkind == "dtype":
+                    self.advance()
+                    datatype = self._parse_term(allow_literal=False)
+                    if not isinstance(datatype, IRI):
+                        raise self.error("Datatype must be an IRI")
+                    return Literal(lexical, datatype=datatype)
+            return Literal(lexical)
+        if kind == "number":
+            datatype = XSD_DECIMAL if "." in text else XSD_INTEGER
+            return Literal(text, datatype=datatype)
+        raise self.error(f"Unexpected token {text!r}")
+
+
+def parse_turtle(text: str) -> Iterator[Triple]:
+    """Parse a Turtle document and yield its triples.
+
+    Supports the subset described in the module docstring.
+    """
+    parser = _TurtleParser(text)
+    yield from parser.parse()

@@ -1,0 +1,33 @@
+"""String similarity functions.
+
+SOFYA aligns entity-literal relations by matching literal values across KBs
+with string similarity functions (§2.2: "If r_sub is an entity-literal
+relation, we retrieve from K facts of the samples S and apply string
+similarity functions to align the literals").  This package provides the
+classic measures plus a configurable :class:`LiteralMatcher` facade used by
+the alignment layer.
+"""
+
+from repro.similarity.normalize import normalize_string, tokenize_words
+from repro.similarity.levenshtein import levenshtein_distance, levenshtein_similarity
+from repro.similarity.jaro import jaro_similarity, jaro_winkler_similarity
+from repro.similarity.ngram import ngram_similarity, ngrams, trigram_similarity
+from repro.similarity.jaccard import dice_coefficient, jaccard_similarity, token_jaccard
+from repro.similarity.literal_match import LiteralMatcher, SIMILARITY_FUNCTIONS
+
+__all__ = [
+    "normalize_string",
+    "tokenize_words",
+    "levenshtein_distance",
+    "levenshtein_similarity",
+    "jaro_similarity",
+    "jaro_winkler_similarity",
+    "ngrams",
+    "ngram_similarity",
+    "trigram_similarity",
+    "jaccard_similarity",
+    "token_jaccard",
+    "dice_coefficient",
+    "LiteralMatcher",
+    "SIMILARITY_FUNCTIONS",
+]

@@ -1,0 +1,34 @@
+"""Set-based similarities: Jaccard and Dice."""
+
+from __future__ import annotations
+
+from typing import Collection, Set
+
+from repro.similarity.normalize import tokenize_words
+
+
+def jaccard_similarity(left: Collection, right: Collection) -> float:
+    """Jaccard similarity of two collections (treated as sets), in [0, 1]."""
+    left_set: Set = set(left)
+    right_set: Set = set(right)
+    if not left_set and not right_set:
+        return 1.0
+    if not left_set or not right_set:
+        return 0.0
+    return len(left_set & right_set) / len(left_set | right_set)
+
+
+def dice_coefficient(left: Collection, right: Collection) -> float:
+    """Sørensen-Dice coefficient of two collections, in [0, 1]."""
+    left_set: Set = set(left)
+    right_set: Set = set(right)
+    if not left_set and not right_set:
+        return 1.0
+    if not left_set or not right_set:
+        return 0.0
+    return 2 * len(left_set & right_set) / (len(left_set) + len(right_set))
+
+
+def token_jaccard(left: str, right: str) -> float:
+    """Jaccard similarity of the word-token sets of two strings."""
+    return jaccard_similarity(tokenize_words(left), tokenize_words(right))

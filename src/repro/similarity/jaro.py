@@ -1,0 +1,68 @@
+"""Jaro and Jaro-Winkler similarity."""
+
+from __future__ import annotations
+
+
+def jaro_similarity(left: str, right: str) -> float:
+    """Jaro similarity in [0, 1].
+
+    Counts characters that match within a sliding window of half the longer
+    string, then discounts transpositions.
+    """
+    if left == right:
+        return 1.0
+    if not left or not right:
+        return 0.0
+
+    match_window = max(len(left), len(right)) // 2 - 1
+    match_window = max(match_window, 0)
+
+    left_matched = [False] * len(left)
+    right_matched = [False] * len(right)
+    matches = 0
+
+    for i, left_char in enumerate(left):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(right))
+        for j in range(start, end):
+            if right_matched[j] or right[j] != left_char:
+                continue
+            left_matched[i] = True
+            right_matched[j] = True
+            matches += 1
+            break
+
+    if matches == 0:
+        return 0.0
+
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(left_matched):
+        if not matched:
+            continue
+        while not right_matched[j]:
+            j += 1
+        if left[i] != right[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+
+    return (
+        matches / len(left) + matches / len(right) + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(left: str, right: str, prefix_scale: float = 0.1) -> float:
+    """Jaro-Winkler similarity: Jaro boosted by the common prefix length.
+
+    ``prefix_scale`` is clamped to the standard maximum of 0.25 to keep the
+    result within [0, 1].
+    """
+    prefix_scale = min(max(prefix_scale, 0.0), 0.25)
+    jaro = jaro_similarity(left, right)
+    prefix_length = 0
+    for left_char, right_char in zip(left[:4], right[:4]):
+        if left_char != right_char:
+            break
+        prefix_length += 1
+    return jaro + prefix_length * prefix_scale * (1.0 - jaro)

@@ -1,0 +1,42 @@
+"""Levenshtein (edit) distance and the derived similarity."""
+
+from __future__ import annotations
+
+
+def levenshtein_distance(left: str, right: str) -> int:
+    """Minimum number of single-character edits turning ``left`` into ``right``.
+
+    Standard dynamic programming with two rolling rows: O(len(left) *
+    len(right)) time, O(min(len)) memory.
+    """
+    if left == right:
+        return 0
+    if not left:
+        return len(right)
+    if not right:
+        return len(left)
+    # Keep the shorter string in the inner dimension for memory.
+    if len(right) < len(left):
+        left, right = right, left
+
+    previous = list(range(len(left) + 1))
+    for row_index, right_char in enumerate(right, start=1):
+        current = [row_index]
+        for col_index, left_char in enumerate(left, start=1):
+            insert_cost = current[col_index - 1] + 1
+            delete_cost = previous[col_index] + 1
+            substitute_cost = previous[col_index - 1] + (0 if left_char == right_char else 1)
+            current.append(min(insert_cost, delete_cost, substitute_cost))
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(left: str, right: str) -> float:
+    """Normalised Levenshtein similarity in [0, 1].
+
+    ``1 - distance / max(len)``; two empty strings are fully similar.
+    """
+    if not left and not right:
+        return 1.0
+    longest = max(len(left), len(right))
+    return 1.0 - levenshtein_distance(left, right) / longest

@@ -1,0 +1,99 @@
+"""Literal matching facade used for entity-literal relations.
+
+The matcher decides whether two literal values (coming from different KBs)
+should be considered "the same value" for the purposes of counting a shared
+fact.  Numeric and date-like literals are compared by value with a small
+relative tolerance; strings are normalised and compared with a configurable
+similarity function against a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.rdf.terms import Literal
+from repro.similarity.jaccard import token_jaccard
+from repro.similarity.jaro import jaro_winkler_similarity
+from repro.similarity.levenshtein import levenshtein_similarity
+from repro.similarity.ngram import trigram_similarity
+from repro.similarity.normalize import normalize_string
+
+#: Registry of string similarity functions selectable by name.
+SIMILARITY_FUNCTIONS: Dict[str, Callable[[str, str], float]] = {
+    "levenshtein": levenshtein_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+    "trigram": trigram_similarity,
+    "token_jaccard": token_jaccard,
+}
+
+
+@dataclass(frozen=True)
+class LiteralMatcher:
+    """Configurable equality test for literals across KBs.
+
+    Parameters
+    ----------
+    similarity:
+        Name of the string similarity function (see
+        :data:`SIMILARITY_FUNCTIONS`).
+    threshold:
+        Minimum similarity for two strings to count as matching.
+    numeric_tolerance:
+        Maximum relative difference for two numeric literals to match.
+    normalize:
+        Whether to normalise strings before comparison.
+    """
+
+    similarity: str = "jaro_winkler"
+    threshold: float = 0.9
+    numeric_tolerance: float = 0.001
+    normalize: bool = True
+
+    def __post_init__(self) -> None:
+        if self.similarity not in SIMILARITY_FUNCTIONS:
+            raise ValueError(
+                f"Unknown similarity function {self.similarity!r}; "
+                f"choose one of {sorted(SIMILARITY_FUNCTIONS)}"
+            )
+        if not 0.0 <= self.threshold <= 1.0:
+            raise ValueError("threshold must be in [0, 1]")
+        if self.numeric_tolerance < 0:
+            raise ValueError("numeric_tolerance must be non-negative")
+
+    # ------------------------------------------------------------------ #
+    def score(self, left: Literal, right: Literal) -> float:
+        """Similarity score of two literals in [0, 1]."""
+        numeric_score = self._numeric_score(left, right)
+        if numeric_score is not None:
+            return numeric_score
+        left_text = left.lexical
+        right_text = right.lexical
+        if self.normalize:
+            left_text = normalize_string(left_text)
+            right_text = normalize_string(right_text)
+        if not left_text and not right_text:
+            return 1.0
+        return SIMILARITY_FUNCTIONS[self.similarity](left_text, right_text)
+
+    def matches(self, left: Literal, right: Literal) -> bool:
+        """Whether the two literals should be treated as the same value."""
+        return self.score(left, right) >= self.threshold
+
+    # ------------------------------------------------------------------ #
+    def _numeric_score(self, left: Literal, right: Literal) -> float | None:
+        """Score for numeric pairs (``None`` when not both numeric)."""
+        if not (left.is_numeric() and right.is_numeric()):
+            return None
+        try:
+            left_value = float(left.lexical)
+            right_value = float(right.lexical)
+        except ValueError:
+            return None
+        if left_value == right_value:
+            return 1.0
+        scale = max(abs(left_value), abs(right_value))
+        if scale == 0:
+            return 1.0
+        relative_difference = abs(left_value - right_value) / scale
+        return 1.0 if relative_difference <= self.numeric_tolerance else 0.0

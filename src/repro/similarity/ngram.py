@@ -1,0 +1,40 @@
+"""Character n-gram similarity."""
+
+from __future__ import annotations
+
+from typing import List, Set
+
+
+def ngrams(text: str, n: int = 3, pad: bool = True) -> List[str]:
+    """Character n-grams of ``text``.
+
+    With ``pad=True`` the string is padded with ``n - 1`` boundary markers
+    (``#``) on each side so that short strings still produce informative
+    grams.
+    """
+    if n <= 0:
+        raise ValueError("n must be positive")
+    if pad:
+        padding = "#" * (n - 1)
+        text = f"{padding}{text}{padding}"
+    if len(text) < n:
+        return [text] if text else []
+    return [text[i : i + n] for i in range(len(text) - n + 1)]
+
+
+def ngram_similarity(left: str, right: str, n: int = 3) -> float:
+    """Jaccard similarity of the two strings' n-gram sets, in [0, 1]."""
+    left_grams: Set[str] = set(ngrams(left, n))
+    right_grams: Set[str] = set(ngrams(right, n))
+    if not left_grams and not right_grams:
+        return 1.0
+    if not left_grams or not right_grams:
+        return 0.0
+    intersection = len(left_grams & right_grams)
+    union = len(left_grams | right_grams)
+    return intersection / union
+
+
+def trigram_similarity(left: str, right: str) -> float:
+    """``ngram_similarity`` with ``n=3`` (the most common choice)."""
+    return ngram_similarity(left, right, n=3)

@@ -1,0 +1,53 @@
+"""String normalisation used before similarity comparison.
+
+Literal values coming from different KBs differ in case, punctuation,
+underscores-vs-spaces and diacritics.  Normalising both sides first makes
+the similarity scores meaningful.
+"""
+
+from __future__ import annotations
+
+import re
+import unicodedata
+from typing import List
+
+_WHITESPACE_RE = re.compile(r"\s+")
+_PUNCTUATION_RE = re.compile(r"[^\w\s]")
+
+
+def strip_accents(text: str) -> str:
+    """Remove diacritical marks (``"Chopin né Szopen"`` → ``"Chopin ne Szopen"``)."""
+    decomposed = unicodedata.normalize("NFKD", text)
+    return "".join(ch for ch in decomposed if not unicodedata.combining(ch))
+
+
+def normalize_string(
+    text: str,
+    lowercase: bool = True,
+    remove_punctuation: bool = True,
+    collapse_whitespace: bool = True,
+    remove_accents: bool = True,
+) -> str:
+    """Normalise a string for comparison.
+
+    The default pipeline: strip accents, lowercase, replace underscores by
+    spaces, drop punctuation, collapse runs of whitespace.
+    """
+    result = text
+    if remove_accents:
+        result = strip_accents(result)
+    if lowercase:
+        result = result.lower()
+    result = result.replace("_", " ")
+    if remove_punctuation:
+        result = _PUNCTUATION_RE.sub(" ", result)
+    if collapse_whitespace:
+        result = _WHITESPACE_RE.sub(" ", result).strip()
+    return result
+
+
+def tokenize_words(text: str, normalize: bool = True) -> List[str]:
+    """Split a string into word tokens (after optional normalisation)."""
+    if normalize:
+        text = normalize_string(text)
+    return [token for token in text.split(" ") if token]

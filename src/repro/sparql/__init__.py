@@ -1,0 +1,46 @@
+"""SPARQL subset engine.
+
+SOFYA's on-the-fly alignment only ever talks to remote datasets through
+SPARQL endpoints, so this package implements the query subset those
+interactions need:
+
+* ``SELECT`` (with ``DISTINCT``, projection, ``*``), ``ASK``,
+* aggregate ``COUNT`` (``SELECT (COUNT(*) AS ?c)`` / ``COUNT(DISTINCT ?x)``),
+* basic graph patterns with joins on shared variables,
+* ``OPTIONAL``, ``UNION``, ``FILTER`` with the common builtins,
+* ``VALUES`` inline data,
+* ``ORDER BY``, ``LIMIT``, ``OFFSET``.
+
+The engine has three stages: the :mod:`lexer <repro.sparql.lexer>` produces
+tokens, the :mod:`parser <repro.sparql.parser>` builds an AST
+(:mod:`repro.sparql.ast`) and the :mod:`evaluator <repro.sparql.evaluate>`
+runs the AST against a :class:`~repro.store.TripleStore`, producing a
+:class:`~repro.sparql.results.ResultSet`.
+"""
+
+from repro.sparql.ast import (
+    AskQuery,
+    CountExpression,
+    GroupGraphPattern,
+    SelectQuery,
+    TriplePatternNode,
+)
+from repro.sparql.bindings import Binding, Variable
+from repro.sparql.evaluate import QueryEvaluator, evaluate_query
+from repro.sparql.parser import parse_query
+from repro.sparql.results import AskResult, ResultSet
+
+__all__ = [
+    "Variable",
+    "Binding",
+    "parse_query",
+    "evaluate_query",
+    "QueryEvaluator",
+    "ResultSet",
+    "AskResult",
+    "SelectQuery",
+    "AskQuery",
+    "GroupGraphPattern",
+    "TriplePatternNode",
+    "CountExpression",
+]

@@ -1,0 +1,256 @@
+"""Abstract syntax tree for the supported SPARQL subset.
+
+The AST mirrors the grammar closely: a query has a form (SELECT / ASK), a
+:class:`GroupGraphPattern` body, and solution modifiers.  Expressions used
+in ``FILTER`` and projection are a small hierarchy rooted at
+:class:`Expression`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple, Union
+
+from repro.rdf.terms import Term
+from repro.sparql.bindings import PatternTerm, Variable
+
+
+# --------------------------------------------------------------------------- #
+# Expressions
+# --------------------------------------------------------------------------- #
+class Expression:
+    """Base class for FILTER / projection expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class VariableExpression(Expression):
+    """A bare variable used as an expression (``?x``)."""
+
+    variable: Variable
+
+
+@dataclass(frozen=True)
+class TermExpression(Expression):
+    """A constant RDF term used as an expression."""
+
+    term: Term
+
+
+@dataclass(frozen=True)
+class UnaryExpression(Expression):
+    """A unary operator application: ``!expr``, ``-expr``, ``+expr``."""
+
+    operator: str
+    operand: Expression
+
+
+@dataclass(frozen=True)
+class BinaryExpression(Expression):
+    """A binary operator application.
+
+    Operators: ``||``, ``&&``, ``=``, ``!=``, ``<``, ``>``, ``<=``, ``>=``,
+    ``+``, ``-``, ``*``, ``/``.
+    """
+
+    operator: str
+    left: Expression
+    right: Expression
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    """A builtin function call such as ``REGEX(?x, "foo", "i")``."""
+
+    name: str
+    arguments: Tuple[Expression, ...]
+
+
+@dataclass(frozen=True)
+class InExpression(Expression):
+    """``expr IN (e1, e2, ...)`` or its negation."""
+
+    operand: Expression
+    choices: Tuple[Expression, ...]
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class ExistsExpression(Expression):
+    """``EXISTS { ... }`` / ``NOT EXISTS { ... }`` filter expression."""
+
+    group: "GroupGraphPattern"
+    negated: bool = False
+
+
+@dataclass(frozen=True)
+class CountExpression(Expression):
+    """``COUNT(*)`` or ``COUNT([DISTINCT] ?var)`` aggregate."""
+
+    variable: Optional[Variable] = None
+    distinct: bool = False
+
+    @property
+    def counts_all(self) -> bool:
+        """True for ``COUNT(*)``."""
+        return self.variable is None
+
+
+# --------------------------------------------------------------------------- #
+# Graph patterns
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class TriplePatternNode:
+    """A triple pattern whose positions may be variables or concrete terms."""
+
+    subject: PatternTerm
+    predicate: PatternTerm
+    object: PatternTerm
+
+    def variables(self) -> List[Variable]:
+        """Variables mentioned by this pattern (in s, p, o order)."""
+        return [t for t in (self.subject, self.predicate, self.object) if isinstance(t, Variable)]
+
+
+@dataclass(frozen=True)
+class FilterNode:
+    """A ``FILTER`` constraint."""
+
+    expression: Expression
+
+
+@dataclass(frozen=True)
+class OptionalNode:
+    """An ``OPTIONAL { ... }`` group."""
+
+    group: "GroupGraphPattern"
+
+
+@dataclass(frozen=True)
+class UnionNode:
+    """A ``{ ... } UNION { ... }`` alternative (left-deep for >2 branches)."""
+
+    branches: Tuple["GroupGraphPattern", ...]
+
+
+@dataclass(frozen=True)
+class ValuesNode:
+    """Inline data: ``VALUES (?a ?b) { (..) (..) }``.
+
+    ``rows`` may contain ``None`` for UNDEF entries.
+    """
+
+    variables: Tuple[Variable, ...]
+    rows: Tuple[Tuple[Optional[Term], ...], ...]
+
+
+#: Any element that may appear inside a group graph pattern.
+GroupElement = Union[TriplePatternNode, FilterNode, OptionalNode, UnionNode, ValuesNode, "GroupGraphPattern"]
+
+
+@dataclass(frozen=True)
+class GroupGraphPattern:
+    """A ``{ ... }`` group: an ordered sequence of group elements."""
+
+    elements: Tuple[GroupElement, ...] = ()
+
+    def triple_patterns(self) -> List[TriplePatternNode]:
+        """All top-level triple patterns of this group."""
+        return [e for e in self.elements if isinstance(e, TriplePatternNode)]
+
+    def variables(self) -> List[Variable]:
+        """All variables mentioned anywhere in the group (deduplicated, ordered)."""
+        seen: List[Variable] = []
+
+        def visit(element: GroupElement) -> None:
+            if isinstance(element, TriplePatternNode):
+                for var in element.variables():
+                    if var not in seen:
+                        seen.append(var)
+            elif isinstance(element, OptionalNode):
+                for var in element.group.variables():
+                    if var not in seen:
+                        seen.append(var)
+            elif isinstance(element, UnionNode):
+                for branch in element.branches:
+                    for var in branch.variables():
+                        if var not in seen:
+                            seen.append(var)
+            elif isinstance(element, ValuesNode):
+                for var in element.variables:
+                    if var not in seen:
+                        seen.append(var)
+            elif isinstance(element, GroupGraphPattern):
+                for var in element.variables():
+                    if var not in seen:
+                        seen.append(var)
+            # FilterNode variables do not bind anything.
+
+        for element in self.elements:
+            visit(element)
+        return seen
+
+
+# --------------------------------------------------------------------------- #
+# Queries
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class ProjectionItem:
+    """One item of the SELECT clause.
+
+    Either a plain variable, or an aliased expression
+    ``(COUNT(?x) AS ?c)`` where ``expression`` is set and ``alias`` names
+    the output variable.
+    """
+
+    variable: Optional[Variable] = None
+    expression: Optional[Expression] = None
+    alias: Optional[Variable] = None
+
+    @property
+    def output_variable(self) -> Variable:
+        """The variable under which the item appears in the result set."""
+        if self.alias is not None:
+            return self.alias
+        if self.variable is not None:
+            return self.variable
+        raise ValueError("Projection item has neither variable nor alias")
+
+
+@dataclass(frozen=True)
+class OrderCondition:
+    """One ORDER BY condition."""
+
+    expression: Expression
+    descending: bool = False
+
+
+@dataclass(frozen=True)
+class SelectQuery:
+    """A parsed ``SELECT`` query."""
+
+    projection: Tuple[ProjectionItem, ...]
+    where: GroupGraphPattern
+    distinct: bool = False
+    select_all: bool = False
+    order_by: Tuple[OrderCondition, ...] = ()
+    group_by: Tuple[Variable, ...] = ()
+    limit: Optional[int] = None
+    offset: int = 0
+
+    @property
+    def is_aggregate(self) -> bool:
+        """Whether any projection item is an aggregate expression."""
+        return any(isinstance(item.expression, CountExpression) for item in self.projection)
+
+
+@dataclass(frozen=True)
+class AskQuery:
+    """A parsed ``ASK`` query."""
+
+    where: GroupGraphPattern
+
+
+#: Either supported query form.
+Query = Union[SelectQuery, AskQuery]

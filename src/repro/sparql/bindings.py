@@ -1,0 +1,124 @@
+"""Variables and solution bindings.
+
+A :class:`Variable` is a SPARQL query variable (``?x``).  A
+:class:`Binding` is one solution mapping from variables to RDF terms; it is
+immutable so partially evaluated solutions can be shared safely while the
+evaluator explores alternative joins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+from repro.errors import SparqlError
+from repro.rdf.terms import Term
+
+
+class Variable:
+    """A SPARQL variable.  The name excludes the leading ``?``/``$``."""
+
+    __slots__ = ("name", "_hash")
+
+    def __init__(self, name: str):
+        if not name or not isinstance(name, str):
+            raise SparqlError("Variable name must be a non-empty string")
+        if name.startswith("?") or name.startswith("$"):
+            name = name[1:]
+        if not name or not all(ch.isalnum() or ch == "_" for ch in name):
+            raise SparqlError(f"Invalid variable name: {name!r}")
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "_hash", hash(("Variable", name)))
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Variable instances are immutable")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Variable) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return f"?{self.name}"
+
+
+#: A position in a triple pattern: either a concrete term or a variable.
+PatternTerm = Union[Term, Variable]
+
+
+class Binding(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms (one solution row)."""
+
+    __slots__ = ("_data", "_hash")
+
+    EMPTY: "Binding"
+
+    def __init__(self, data: Optional[Mapping[Variable, Term]] = None):
+        mapping: Dict[Variable, Term] = dict(data) if data else {}
+        object.__setattr__(self, "_data", mapping)
+        object.__setattr__(self, "_hash", None)
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("Binding instances are immutable")
+
+    def __getitem__(self, key: Variable) -> Term:
+        return self._data[key]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._data)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __hash__(self) -> int:
+        cached = self._hash
+        if cached is None:
+            cached = hash(frozenset(self._data.items()))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Binding):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"?{var.name}={term!r}" for var, term in self._data.items())
+        return f"Binding({{{inner}}})"
+
+    def get_term(self, variable: Variable) -> Optional[Term]:
+        """The term bound to ``variable`` or ``None`` if unbound."""
+        return self._data.get(variable)
+
+    def extend(self, variable: Variable, term: Term) -> Optional["Binding"]:
+        """Bind ``variable`` to ``term``.
+
+        Returns a new binding, or ``None`` when ``variable`` is already
+        bound to a *different* term (the join is incompatible).
+        """
+        existing = self._data.get(variable)
+        if existing is not None:
+            return self if existing == term else None
+        data = dict(self._data)
+        data[variable] = term
+        return Binding(data)
+
+    def merge(self, other: "Binding") -> Optional["Binding"]:
+        """Merge with another binding; ``None`` when they conflict."""
+        merged = dict(self._data)
+        for variable, term in other._data.items():
+            existing = merged.get(variable)
+            if existing is not None and existing != term:
+                return None
+            merged[variable] = term
+        return Binding(merged)
+
+    def project(self, variables: list[Variable]) -> "Binding":
+        """Keep only the given variables."""
+        return Binding({v: t for v, t in self._data.items() if v in set(variables)})
+
+
+Binding.EMPTY = Binding()

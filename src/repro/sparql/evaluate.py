@@ -1,0 +1,347 @@
+"""Query evaluation against a :class:`~repro.store.TripleStore`.
+
+The evaluator walks the AST produced by the parser.  Basic graph patterns
+are evaluated by nested-loop joins with a simple selectivity-based pattern
+reordering (most-bound patterns first); this is plenty for the KB sizes the
+reproduction uses while remaining easy to reason about.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.errors import SparqlError
+from repro.rdf.terms import Term
+from repro.sparql.ast import (
+    AskQuery,
+    CountExpression,
+    FilterNode,
+    GroupGraphPattern,
+    OptionalNode,
+    ProjectionItem,
+    Query,
+    SelectQuery,
+    TriplePatternNode,
+    UnionNode,
+    ValuesNode,
+)
+from repro.sparql.bindings import Binding, Variable
+from repro.sparql.functions import EvalError, ExpressionEvaluator, value_to_term
+from repro.sparql.parser import parse_query
+from repro.sparql.results import AskResult, ResultSet
+from repro.store.triplestore import TripleStore
+
+
+class QueryEvaluator:
+    """Evaluates parsed queries against one triple store."""
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+        self._expressions = ExpressionEvaluator(exists_callback=self._exists)
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+    def evaluate(self, query: Union[Query, str]) -> Union[ResultSet, AskResult]:
+        """Evaluate a query (AST or SPARQL text) and return its result."""
+        if isinstance(query, str):
+            query = parse_query(query)
+        if isinstance(query, SelectQuery):
+            return self._evaluate_select(query)
+        if isinstance(query, AskQuery):
+            return self._evaluate_ask(query)
+        raise SparqlError(f"Unsupported query type: {type(query).__name__}")
+
+    # ------------------------------------------------------------------ #
+    # SELECT / ASK
+    # ------------------------------------------------------------------ #
+    def _evaluate_select(self, query: SelectQuery) -> ResultSet:
+        solutions = list(self._evaluate_group(query.where, Binding.EMPTY))
+
+        if query.is_aggregate:
+            return self._evaluate_aggregate(query, solutions)
+
+        if query.select_all:
+            variables = query.where.variables()
+        else:
+            variables = [item.output_variable for item in query.projection]
+
+        rows: List[Binding] = []
+        for solution in solutions:
+            row = self._project(query, solution, variables)
+            rows.append(row)
+
+        if query.order_by:
+            rows = self._order_rows(rows, query)
+        if query.distinct:
+            rows = self._distinct(rows)
+        rows = self._slice(rows, query.offset, query.limit)
+        return ResultSet(variables, rows)
+
+    def _evaluate_ask(self, query: AskQuery) -> AskResult:
+        for _ in self._evaluate_group(query.where, Binding.EMPTY):
+            return AskResult(True)
+        return AskResult(False)
+
+    def _evaluate_aggregate(self, query: SelectQuery, solutions: List[Binding]) -> ResultSet:
+        """Evaluate a COUNT-only aggregate query (optionally GROUP BY)."""
+        non_aggregate = [
+            item
+            for item in query.projection
+            if not isinstance(item.expression, CountExpression)
+        ]
+        group_by = list(query.group_by)
+        if not group_by and non_aggregate:
+            group_by = [item.output_variable for item in non_aggregate if item.variable]
+
+        groups: dict[Tuple[Optional[Term], ...], List[Binding]] = {}
+        if group_by:
+            for solution in solutions:
+                key = tuple(solution.get_term(v) for v in group_by)
+                groups.setdefault(key, []).append(solution)
+        else:
+            # A COUNT without GROUP BY always yields exactly one row, even
+            # over an empty solution sequence (count = 0).
+            groups[()] = list(solutions)
+
+        variables = [item.output_variable for item in query.projection]
+        rows: List[Binding] = []
+        for key, members in groups.items():
+            data = {}
+            for variable, term in zip(group_by, key):
+                if term is not None:
+                    data[variable] = term
+            for item in query.projection:
+                if isinstance(item.expression, CountExpression):
+                    count = self._count(item.expression, members)
+                    data[item.output_variable] = value_to_term(count)
+                elif item.variable is not None and item.variable in data:
+                    pass
+            rows.append(Binding(data))
+
+        rows = self._slice(rows, query.offset, query.limit)
+        return ResultSet(variables, rows)
+
+    @staticmethod
+    def _count(expression: CountExpression, solutions: Sequence[Binding]) -> int:
+        if expression.counts_all:
+            return len(solutions)
+        variable = expression.variable
+        assert variable is not None
+        values = [s.get_term(variable) for s in solutions if s.get_term(variable) is not None]
+        if expression.distinct:
+            return len(set(values))
+        return len(values)
+
+    def _project(
+        self, query: SelectQuery, solution: Binding, variables: List[Variable]
+    ) -> Binding:
+        if query.select_all:
+            return solution.project(variables)
+        data = {}
+        for item in query.projection:
+            if item.expression is not None and not isinstance(item.expression, CountExpression):
+                try:
+                    value = self._expressions.evaluate(item.expression, solution)
+                except EvalError:
+                    continue
+                data[item.output_variable] = value_to_term(value)
+            elif item.variable is not None:
+                term = solution.get_term(item.variable)
+                if term is not None:
+                    data[item.output_variable] = term
+        return Binding(data)
+
+    def _order_rows(self, rows: List[Binding], query: SelectQuery) -> List[Binding]:
+        def key_for(row: Binding) -> Tuple:
+            keys: List = []
+            for condition in query.order_by:
+                try:
+                    value = self._expressions.evaluate(condition.expression, row)
+                except EvalError:
+                    keys.append((0, ""))
+                    continue
+                from repro.rdf.terms import IRI, Literal
+
+                if isinstance(value, Literal):
+                    keys.append((1,) + value.sort_key())
+                elif isinstance(value, IRI):
+                    keys.append((2, 0.0, value.value))
+                elif isinstance(value, bool):
+                    keys.append((1, float(value), ""))
+                elif isinstance(value, (int, float)):
+                    keys.append((1, 0, float(value)))
+                else:
+                    keys.append((1, 0.0, str(value)))
+            return tuple(keys)
+
+        ordered = rows
+        # Apply conditions right-to-left so earlier conditions dominate
+        # (stable sort); descending handled per condition.
+        for index in range(len(query.order_by) - 1, -1, -1):
+            condition = query.order_by[index]
+
+            def single_key(row: Binding, idx: int = index) -> Tuple:
+                return key_for(row)[idx]
+
+            ordered = sorted(ordered, key=single_key, reverse=condition.descending)
+        return ordered
+
+    @staticmethod
+    def _distinct(rows: List[Binding]) -> List[Binding]:
+        seen = set()
+        unique: List[Binding] = []
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                unique.append(row)
+        return unique
+
+    @staticmethod
+    def _slice(rows: List[Binding], offset: int, limit: Optional[int]) -> List[Binding]:
+        if offset:
+            rows = rows[offset:]
+        if limit is not None:
+            rows = rows[:limit]
+        return rows
+
+    # ------------------------------------------------------------------ #
+    # Graph pattern evaluation
+    # ------------------------------------------------------------------ #
+    def _evaluate_group(
+        self, group: GroupGraphPattern, initial: Binding
+    ) -> Iterator[Binding]:
+        solutions: Iterable[Binding] = [initial]
+        elements = self._reorder_elements(group)
+        for element in elements:
+            if isinstance(element, TriplePatternNode):
+                solutions = self._join_pattern(solutions, element)
+            elif isinstance(element, FilterNode):
+                solutions = self._apply_filter(solutions, element)
+            elif isinstance(element, OptionalNode):
+                solutions = self._apply_optional(solutions, element)
+            elif isinstance(element, UnionNode):
+                solutions = self._apply_union(solutions, element)
+            elif isinstance(element, ValuesNode):
+                solutions = self._apply_values(solutions, element)
+            elif isinstance(element, GroupGraphPattern):
+                solutions = self._apply_subgroup(solutions, element)
+            else:  # pragma: no cover - parser prevents this
+                raise SparqlError(f"Unsupported group element: {element!r}")
+        return iter(list(solutions))
+
+    @staticmethod
+    def _reorder_elements(group: GroupGraphPattern) -> List:
+        """Order triple patterns before filters applied late, keep others in place.
+
+        Triple patterns are sorted so that patterns with more constant terms
+        run first (cheap selectivity heuristic), while FILTER / OPTIONAL /
+        UNION keep their relative position *after* all triple patterns of
+        the group, matching SPARQL's bottom-up semantics for the subset we
+        support.
+        """
+        triple_patterns = [e for e in group.elements if isinstance(e, TriplePatternNode)]
+        values_nodes = [e for e in group.elements if isinstance(e, ValuesNode)]
+        others = [
+            e
+            for e in group.elements
+            if not isinstance(e, (TriplePatternNode, ValuesNode))
+        ]
+
+        def constants(pattern: TriplePatternNode) -> int:
+            return sum(
+                0 if isinstance(t, Variable) else 1
+                for t in (pattern.subject, pattern.predicate, pattern.object)
+            )
+
+        ordered_patterns = sorted(triple_patterns, key=constants, reverse=True)
+        return values_nodes + ordered_patterns + others
+
+    def _join_pattern(
+        self, solutions: Iterable[Binding], pattern: TriplePatternNode
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            yield from self._match_pattern(pattern, solution)
+
+    def _match_pattern(
+        self, pattern: TriplePatternNode, solution: Binding
+    ) -> Iterator[Binding]:
+        def resolve(term) -> Optional[Term]:
+            if isinstance(term, Variable):
+                return solution.get_term(term)
+            return term
+
+        subject = resolve(pattern.subject)
+        predicate = resolve(pattern.predicate)
+        obj = resolve(pattern.object)
+
+        for triple in self.store.match(subject, predicate, obj):
+            extended: Optional[Binding] = solution
+            for position, value in (
+                (pattern.subject, triple.subject),
+                (pattern.predicate, triple.predicate),
+                (pattern.object, triple.object),
+            ):
+                if isinstance(position, Variable):
+                    extended = extended.extend(position, value)  # type: ignore[union-attr]
+                    if extended is None:
+                        break
+            if extended is not None:
+                yield extended
+
+    def _apply_filter(
+        self, solutions: Iterable[Binding], node: FilterNode
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            if self._expressions.evaluate_boolean(node.expression, solution):
+                yield solution
+
+    def _apply_optional(
+        self, solutions: Iterable[Binding], node: OptionalNode
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            matched = False
+            for extended in self._evaluate_group(node.group, solution):
+                matched = True
+                yield extended
+            if not matched:
+                yield solution
+
+    def _apply_union(
+        self, solutions: Iterable[Binding], node: UnionNode
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            for branch in node.branches:
+                yield from self._evaluate_group(branch, solution)
+
+    def _apply_values(
+        self, solutions: Iterable[Binding], node: ValuesNode
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            for row in node.rows:
+                extended: Optional[Binding] = solution
+                for variable, term in zip(node.variables, row):
+                    if term is None:
+                        continue
+                    extended = extended.extend(variable, term)  # type: ignore[union-attr]
+                    if extended is None:
+                        break
+                if extended is not None:
+                    yield extended
+
+    def _apply_subgroup(
+        self, solutions: Iterable[Binding], group: GroupGraphPattern
+    ) -> Iterator[Binding]:
+        for solution in solutions:
+            yield from self._evaluate_group(group, solution)
+
+    def _exists(self, group: object, binding: Binding) -> bool:
+        assert isinstance(group, GroupGraphPattern)
+        for _ in self._evaluate_group(group, binding):
+            return True
+        return False
+
+
+def evaluate_query(store: TripleStore, query: Union[Query, str]) -> Union[ResultSet, AskResult]:
+    """Convenience wrapper: evaluate ``query`` against ``store``."""
+    return QueryEvaluator(store).evaluate(query)

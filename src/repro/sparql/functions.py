@@ -1,0 +1,370 @@
+"""Expression evaluation for FILTERs and projections.
+
+SPARQL expression evaluation has the notion of an *error* value (type
+errors, unbound variables); an error in a FILTER makes the solution fail
+rather than aborting the whole query.  We model errors with the
+:class:`EvalError` sentinel exception, caught by the evaluator.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Callable, Dict, List, Union
+
+from repro.errors import SparqlError
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+)
+from repro.sparql.ast import (
+    BinaryExpression,
+    CountExpression,
+    ExistsExpression,
+    Expression,
+    FunctionCall,
+    InExpression,
+    TermExpression,
+    UnaryExpression,
+    VariableExpression,
+)
+from repro.sparql.bindings import Binding
+
+
+class EvalError(Exception):
+    """SPARQL expression evaluation error (not a Python bug).
+
+    A raised :class:`EvalError` means "this expression has no value for
+    this solution"; FILTERs treat it as ``False``.
+    """
+
+
+#: Values produced by expression evaluation: either an RDF term or a plain
+#: Python value (bool / int / float / str) for intermediate results.
+Value = Union[Term, bool, int, float, str]
+
+
+def term_to_value(term: Term) -> Value:
+    """Convert an RDF term to the native value used for arithmetic/comparison."""
+    if isinstance(term, Literal):
+        if term.datatype == XSD_BOOLEAN:
+            return term.lexical.strip().lower() in ("true", "1")
+        if term.is_numeric():
+            try:
+                value = float(term.lexical)
+            except ValueError as exc:
+                raise EvalError(f"Invalid numeric literal: {term.lexical!r}") from exc
+            return int(value) if value.is_integer() and term.datatype == XSD_INTEGER else value
+        return term.lexical
+    return term
+
+
+def effective_boolean_value(value: Value) -> bool:
+    """SPARQL effective boolean value (EBV) of ``value``."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return value != 0
+    if isinstance(value, str):
+        return len(value) > 0
+    if isinstance(value, Literal):
+        return effective_boolean_value(term_to_value(value))
+    raise EvalError(f"No effective boolean value for {value!r}")
+
+
+def _string_value(value: Value) -> str:
+    if isinstance(value, Literal):
+        return value.lexical
+    if isinstance(value, IRI):
+        return value.value
+    if isinstance(value, BlankNode):
+        raise EvalError("STR of a blank node is undefined")
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
+
+
+def _numeric_value(value: Value) -> Union[int, float]:
+    if isinstance(value, bool):
+        raise EvalError("Boolean used where a number is required")
+    if isinstance(value, (int, float)):
+        return value
+    if isinstance(value, Literal):
+        inner = term_to_value(value)
+        if isinstance(inner, (int, float)) and not isinstance(inner, bool):
+            return inner
+    raise EvalError(f"Not a numeric value: {value!r}")
+
+
+def _compare(left: Value, right: Value, operator: str) -> bool:
+    """SPARQL value comparison with type promotion."""
+    # Term identity comparisons for IRIs / blank nodes.
+    if isinstance(left, (IRI, BlankNode)) or isinstance(right, (IRI, BlankNode)):
+        if operator == "=":
+            return left == right
+        if operator == "!=":
+            return left != right
+        raise EvalError("Ordering comparison on IRIs / blank nodes")
+
+    left_value = term_to_value(left) if isinstance(left, Literal) else left
+    right_value = term_to_value(right) if isinstance(right, Literal) else right
+
+    numeric = isinstance(left_value, (int, float)) and isinstance(right_value, (int, float)) and (
+        not isinstance(left_value, bool) and not isinstance(right_value, bool)
+    )
+    if not numeric:
+        left_value = _string_value(left) if isinstance(left, Literal) else str(left_value)
+        right_value = _string_value(right) if isinstance(right, Literal) else str(right_value)
+
+    if operator == "=":
+        return left_value == right_value
+    if operator == "!=":
+        return left_value != right_value
+    if operator == "<":
+        return left_value < right_value
+    if operator == ">":
+        return left_value > right_value
+    if operator == "<=":
+        return left_value <= right_value
+    if operator == ">=":
+        return left_value >= right_value
+    raise EvalError(f"Unknown comparison operator {operator!r}")
+
+
+class ExpressionEvaluator:
+    """Evaluates :class:`~repro.sparql.ast.Expression` trees over bindings.
+
+    Parameters
+    ----------
+    exists_callback:
+        Callable used to evaluate ``EXISTS { ... }`` sub-patterns; injected
+        by the query evaluator to avoid a circular import.
+    """
+
+    def __init__(self, exists_callback: Callable[[object, Binding], bool] | None = None):
+        self._exists_callback = exists_callback
+        self._builtins: Dict[str, Callable[[List[Value]], Value]] = {
+            "BOUND": self._fn_bound_placeholder,
+            "STR": lambda args: _string_value(args[0]),
+            "STRLEN": lambda args: len(_string_value(args[0])),
+            "LCASE": lambda args: _string_value(args[0]).lower(),
+            "UCASE": lambda args: _string_value(args[0]).upper(),
+            "ABS": lambda args: abs(_numeric_value(args[0])),
+            "CONTAINS": lambda args: _string_value(args[1]) in _string_value(args[0]),
+            "STRSTARTS": lambda args: _string_value(args[0]).startswith(_string_value(args[1])),
+            "STRENDS": lambda args: _string_value(args[0]).endswith(_string_value(args[1])),
+            "ISIRI": lambda args: isinstance(args[0], IRI),
+            "ISURI": lambda args: isinstance(args[0], IRI),
+            "ISBLANK": lambda args: isinstance(args[0], BlankNode),
+            "ISLITERAL": lambda args: isinstance(args[0], Literal),
+            "ISNUMERIC": lambda args: isinstance(args[0], Literal) and args[0].is_numeric(),
+            "SAMETERM": lambda args: args[0] == args[1],
+            "LANG": self._fn_lang,
+            "LANGMATCHES": self._fn_langmatches,
+            "DATATYPE": self._fn_datatype,
+            "REGEX": self._fn_regex,
+            "IF": self._fn_if,
+            "COALESCE": self._fn_coalesce,
+        }
+
+    # -------------------------------------------------------------- #
+    def evaluate(self, expression: Expression, binding: Binding) -> Value:
+        """Evaluate ``expression`` under ``binding``.
+
+        Raises
+        ------
+        EvalError
+            When the expression has no value (unbound variable, type error).
+        """
+        if isinstance(expression, VariableExpression):
+            term = binding.get_term(expression.variable)
+            if term is None:
+                raise EvalError(f"Unbound variable ?{expression.variable.name}")
+            return term
+        if isinstance(expression, TermExpression):
+            return expression.term
+        if isinstance(expression, UnaryExpression):
+            return self._evaluate_unary(expression, binding)
+        if isinstance(expression, BinaryExpression):
+            return self._evaluate_binary(expression, binding)
+        if isinstance(expression, FunctionCall):
+            return self._evaluate_function(expression, binding)
+        if isinstance(expression, InExpression):
+            return self._evaluate_in(expression, binding)
+        if isinstance(expression, ExistsExpression):
+            return self._evaluate_exists(expression, binding)
+        if isinstance(expression, CountExpression):
+            raise EvalError("COUNT is only valid in the SELECT clause")
+        raise SparqlError(f"Unknown expression node: {expression!r}")
+
+    def evaluate_boolean(self, expression: Expression, binding: Binding) -> bool:
+        """Evaluate an expression to its effective boolean value.
+
+        FILTER semantics: evaluation errors yield ``False``.
+        """
+        try:
+            return effective_boolean_value(self.evaluate(expression, binding))
+        except EvalError:
+            return False
+
+    # -------------------------------------------------------------- #
+    def _evaluate_unary(self, expression: UnaryExpression, binding: Binding) -> Value:
+        if expression.operator == "!":
+            return not effective_boolean_value(self.evaluate(expression.operand, binding))
+        value = _numeric_value(self.evaluate(expression.operand, binding))
+        return -value if expression.operator == "-" else +value
+
+    def _evaluate_binary(self, expression: BinaryExpression, binding: Binding) -> Value:
+        operator = expression.operator
+        if operator == "&&":
+            return self.evaluate_boolean(expression.left, binding) and self.evaluate_boolean(
+                expression.right, binding
+            )
+        if operator == "||":
+            return self.evaluate_boolean(expression.left, binding) or self.evaluate_boolean(
+                expression.right, binding
+            )
+        left = self.evaluate(expression.left, binding)
+        right = self.evaluate(expression.right, binding)
+        if operator in ("=", "!=", "<", ">", "<=", ">="):
+            return _compare(left, right, operator)
+        left_number = _numeric_value(left)
+        right_number = _numeric_value(right)
+        if operator == "+":
+            return left_number + right_number
+        if operator == "-":
+            return left_number - right_number
+        if operator == "*":
+            return left_number * right_number
+        if operator == "/":
+            if right_number == 0:
+                raise EvalError("Division by zero")
+            return left_number / right_number
+        raise SparqlError(f"Unknown binary operator {operator!r}")
+
+    def _evaluate_function(self, call: FunctionCall, binding: Binding) -> Value:
+        name = call.name.upper()
+        if name == "BOUND":
+            return self._fn_bound(call, binding)
+        if name == "COALESCE":
+            return self._fn_coalesce_lazy(call, binding)
+        if name == "IF":
+            return self._fn_if_lazy(call, binding)
+        handler = self._builtins.get(name)
+        if handler is None:
+            raise SparqlError(f"Unsupported builtin function {name}")
+        arguments = [self.evaluate(arg, binding) for arg in call.arguments]
+        return handler(arguments)
+
+    def _evaluate_in(self, expression: InExpression, binding: Binding) -> bool:
+        value = self.evaluate(expression.operand, binding)
+        found = False
+        for choice in expression.choices:
+            try:
+                if _compare(value, self.evaluate(choice, binding), "="):
+                    found = True
+                    break
+            except EvalError:
+                continue
+        return (not found) if expression.negated else found
+
+    def _evaluate_exists(self, expression: ExistsExpression, binding: Binding) -> bool:
+        if self._exists_callback is None:
+            raise SparqlError("EXISTS is not available in this context")
+        result = self._exists_callback(expression.group, binding)
+        return (not result) if expression.negated else result
+
+    # -------------------------------------------------------------- #
+    # Builtins that need the raw AST or binding
+    # -------------------------------------------------------------- #
+    def _fn_bound(self, call: FunctionCall, binding: Binding) -> bool:
+        if len(call.arguments) != 1 or not isinstance(call.arguments[0], VariableExpression):
+            raise EvalError("BOUND requires a single variable argument")
+        variable = call.arguments[0].variable
+        return binding.get_term(variable) is not None
+
+    def _fn_bound_placeholder(self, args: List[Value]) -> Value:  # pragma: no cover
+        raise EvalError("BOUND must be evaluated lazily")
+
+    def _fn_coalesce_lazy(self, call: FunctionCall, binding: Binding) -> Value:
+        for argument in call.arguments:
+            try:
+                return self.evaluate(argument, binding)
+            except EvalError:
+                continue
+        raise EvalError("COALESCE: all arguments errored")
+
+    def _fn_coalesce(self, args: List[Value]) -> Value:  # pragma: no cover
+        raise EvalError("COALESCE must be evaluated lazily")
+
+    def _fn_if_lazy(self, call: FunctionCall, binding: Binding) -> Value:
+        if len(call.arguments) != 3:
+            raise EvalError("IF requires exactly three arguments")
+        condition = effective_boolean_value(self.evaluate(call.arguments[0], binding))
+        chosen = call.arguments[1] if condition else call.arguments[2]
+        return self.evaluate(chosen, binding)
+
+    def _fn_if(self, args: List[Value]) -> Value:  # pragma: no cover
+        raise EvalError("IF must be evaluated lazily")
+
+    @staticmethod
+    def _fn_lang(args: List[Value]) -> str:
+        value = args[0]
+        if isinstance(value, Literal):
+            return value.language or ""
+        raise EvalError("LANG requires a literal")
+
+    @staticmethod
+    def _fn_langmatches(args: List[Value]) -> bool:
+        tag = _string_value(args[0]).lower()
+        pattern = _string_value(args[1]).lower()
+        if pattern == "*":
+            return bool(tag)
+        return tag == pattern or tag.startswith(pattern + "-")
+
+    @staticmethod
+    def _fn_datatype(args: List[Value]) -> IRI:
+        value = args[0]
+        if isinstance(value, Literal):
+            if value.language:
+                return IRI("http://www.w3.org/1999/02/22-rdf-syntax-ns#langString")
+            return IRI(value.datatype or XSD_STRING)
+        raise EvalError("DATATYPE requires a literal")
+
+    @staticmethod
+    def _fn_regex(args: List[Value]) -> bool:
+        if len(args) < 2:
+            raise EvalError("REGEX requires at least two arguments")
+        text = _string_value(args[0])
+        pattern = _string_value(args[1])
+        flags = 0
+        if len(args) >= 3:
+            flag_text = _string_value(args[2])
+            if "i" in flag_text:
+                flags |= re.IGNORECASE
+            if "s" in flag_text:
+                flags |= re.DOTALL
+            if "m" in flag_text:
+                flags |= re.MULTILINE
+        try:
+            return re.search(pattern, text, flags) is not None
+        except re.error as exc:
+            raise EvalError(f"Invalid regular expression: {exc}") from exc
+
+
+def value_to_term(value: Value) -> Term:
+    """Convert a native value back to an RDF term (for projection aliases)."""
+    if isinstance(value, (IRI, Literal, BlankNode)):
+        return value
+    if isinstance(value, bool):
+        return Literal("true" if value else "false", datatype=XSD_BOOLEAN)
+    if isinstance(value, int):
+        return Literal(str(value), datatype=XSD_INTEGER)
+    if isinstance(value, float):
+        return Literal(repr(value), datatype=XSD_DOUBLE)
+    return Literal(str(value))

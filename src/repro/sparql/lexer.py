@@ -1,0 +1,209 @@
+"""SPARQL tokenizer.
+
+The lexer turns a query string into a flat list of :class:`Token` objects.
+It understands the lexical forms needed by the supported subset: IRIs,
+prefixed names, variables, string literals (with language tags and
+datatypes), numbers, booleans, keywords, punctuation, and comments.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import List
+
+from repro.errors import ParseError
+
+#: Keywords recognised by the parser (upper-cased for comparison).
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "ASK",
+        "WHERE",
+        "DISTINCT",
+        "REDUCED",
+        "OPTIONAL",
+        "FILTER",
+        "UNION",
+        "PREFIX",
+        "BASE",
+        "LIMIT",
+        "OFFSET",
+        "ORDER",
+        "GROUP",
+        "BY",
+        "ASC",
+        "DESC",
+        "AS",
+        "COUNT",
+        "VALUES",
+        "UNDEF",
+        "IN",
+        "NOT",
+        "EXISTS",
+        "A",
+        "TRUE",
+        "FALSE",
+    }
+)
+
+#: Builtin function names.
+BUILTINS = frozenset(
+    {
+        "REGEX",
+        "BOUND",
+        "STR",
+        "LANG",
+        "LANGMATCHES",
+        "DATATYPE",
+        "ISIRI",
+        "ISURI",
+        "ISBLANK",
+        "ISLITERAL",
+        "ISNUMERIC",
+        "SAMETERM",
+        "CONTAINS",
+        "STRSTARTS",
+        "STRENDS",
+        "STRLEN",
+        "LCASE",
+        "UCASE",
+        "ABS",
+        "IF",
+        "COALESCE",
+    }
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A lexical token.
+
+    ``kind`` is one of: ``IRI``, ``PNAME``, ``VAR``, ``STRING``, ``LANGTAG``,
+    ``NUMBER``, ``KEYWORD``, ``BUILTIN``, ``NAME``, ``PUNCT``, ``EOF``.
+    ``value`` keeps the raw text except for IRIs (angle brackets stripped)
+    and strings (quotes stripped, escapes resolved).
+    """
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        """Whether this token is a keyword with one of the given names."""
+        return self.kind == "KEYWORD" and self.value.upper() in {n.upper() for n in names}
+
+    def is_punct(self, *symbols: str) -> bool:
+        """Whether this token is one of the given punctuation symbols."""
+        return self.kind == "PUNCT" and self.value in symbols
+
+
+_TOKEN_PATTERNS = [
+    ("IRI", re.compile(r"<([^<>\"{}|^`\\\s]*)>")),
+    ("VAR", re.compile(r"[?$]([A-Za-z_][A-Za-z0-9_]*)")),
+    ("STRING", re.compile(r'"((?:[^"\\]|\\.)*)"' + r"|'((?:[^'\\]|\\.)*)'")),
+    ("LANGTAG", re.compile(r"@([A-Za-z]+(?:-[A-Za-z0-9]+)*)")),
+    ("NUMBER", re.compile(r"[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?")),
+    ("PNAME", re.compile(r"[A-Za-z_][A-Za-z0-9_.-]*:[A-Za-z0-9_.%-]*|:[A-Za-z0-9_.%-]+")),
+    ("NAME", re.compile(r"[A-Za-z_][A-Za-z0-9_]*")),
+    (
+        "PUNCT",
+        re.compile(
+            r"\^\^|&&|\|\||!=|<=|>=|[{}().,;*=<>!+/\-\[\]]"
+        ),
+    ),
+]
+
+_ESCAPE_MAP = {"\\n": "\n", "\\t": "\t", "\\r": "\r", '\\"': '"', "\\'": "'", "\\\\": "\\"}
+
+
+def _unescape(text: str) -> str:
+    out = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            pair = text[i : i + 2]
+            if pair in _ESCAPE_MAP:
+                out.append(_ESCAPE_MAP[pair])
+                i += 2
+                continue
+            if pair == "\\u" and i + 6 <= len(text):
+                out.append(chr(int(text[i + 2 : i + 6], 16)))
+                i += 6
+                continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def tokenize(query: str) -> List[Token]:
+    """Tokenize a SPARQL query string.
+
+    Raises
+    ------
+    ParseError
+        On any character that does not start a valid token.
+    """
+    tokens: List[Token] = []
+    line = 1
+    line_start = 0
+    pos = 0
+    length = len(query)
+
+    while pos < length:
+        ch = query[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            line_start = pos
+            continue
+        if ch in " \t\r":
+            pos += 1
+            continue
+        if ch == "#":
+            while pos < length and query[pos] != "\n":
+                pos += 1
+            continue
+
+        column = pos - line_start + 1
+        matched = False
+
+        # '<' is ambiguous between IRI and less-than: try IRI first, and if
+        # it fails fall through to punctuation.
+        for kind, pattern in _TOKEN_PATTERNS:
+            match = pattern.match(query, pos)
+            if match is None:
+                continue
+            text = match.group(0)
+            if kind == "IRI":
+                value = match.group(1)
+            elif kind == "VAR":
+                value = match.group(1)
+            elif kind == "STRING":
+                raw = match.group(1) if match.group(1) is not None else match.group(2)
+                value = _unescape(raw)
+            elif kind == "LANGTAG":
+                value = match.group(1)
+            elif kind == "NAME":
+                upper = text.upper()
+                if upper in KEYWORDS:
+                    kind = "KEYWORD"
+                    value = text
+                elif upper in BUILTINS:
+                    kind = "BUILTIN"
+                    value = upper
+                else:
+                    value = text
+            else:
+                value = text
+            tokens.append(Token(kind, value, line, column))
+            pos = match.end()
+            matched = True
+            break
+
+        if not matched:
+            raise ParseError(f"Unexpected character {ch!r}", line=line, column=column)
+
+    tokens.append(Token("EOF", "", line, length - line_start + 1))
+    return tokens

@@ -1,0 +1,572 @@
+"""Recursive-descent parser for the supported SPARQL subset.
+
+The parser produces the AST defined in :mod:`repro.sparql.ast`.  It is
+deliberately strict: queries that use features outside the supported subset
+raise :class:`~repro.errors.SparqlError` rather than being silently
+mis-interpreted.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.errors import ParseError, SparqlError
+from repro.rdf.namespace import RDF, NamespaceManager
+from repro.rdf.terms import (
+    IRI,
+    Literal,
+    Term,
+    XSD_BOOLEAN,
+    XSD_DECIMAL,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+)
+from repro.sparql.ast import (
+    AskQuery,
+    BinaryExpression,
+    CountExpression,
+    ExistsExpression,
+    Expression,
+    FilterNode,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpression,
+    OptionalNode,
+    OrderCondition,
+    ProjectionItem,
+    Query,
+    SelectQuery,
+    TermExpression,
+    TriplePatternNode,
+    UnaryExpression,
+    UnionNode,
+    ValuesNode,
+    VariableExpression,
+)
+from repro.sparql.bindings import PatternTerm, Variable
+from repro.sparql.lexer import Token, tokenize
+
+
+class _Parser:
+    """Stateful cursor over the token list."""
+
+    def __init__(self, tokens: List[Token], namespaces: Optional[NamespaceManager] = None):
+        self.tokens = tokens
+        self.pos = 0
+        self.namespaces = namespaces or NamespaceManager.with_defaults()
+
+    # ----------------------------------------------------------------- #
+    # Cursor helpers
+    # ----------------------------------------------------------------- #
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.peek()
+        if token.kind != "EOF":
+            self.pos += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self.peek()
+        return ParseError(message, line=token.line, column=token.column)
+
+    def expect_punct(self, symbol: str) -> Token:
+        token = self.advance()
+        if not token.is_punct(symbol):
+            raise self.error(f"Expected {symbol!r}, found {token.value!r}", token)
+        return token
+
+    def expect_keyword(self, *names: str) -> Token:
+        token = self.advance()
+        if not token.is_keyword(*names):
+            raise self.error(f"Expected {' or '.join(names)}, found {token.value!r}", token)
+        return token
+
+    # ----------------------------------------------------------------- #
+    # Entry point
+    # ----------------------------------------------------------------- #
+    def parse_query(self) -> Query:
+        self._parse_prologue()
+        token = self.peek()
+        if token.is_keyword("SELECT"):
+            query = self._parse_select()
+        elif token.is_keyword("ASK"):
+            query = self._parse_ask()
+        else:
+            raise self.error(f"Expected SELECT or ASK, found {token.value!r}")
+        if not self.peek().kind == "EOF":
+            raise self.error(f"Unexpected trailing content: {self.peek().value!r}")
+        return query
+
+    def _parse_prologue(self) -> None:
+        while True:
+            token = self.peek()
+            if token.is_keyword("PREFIX"):
+                self.advance()
+                pname = self.advance()
+                if pname.kind != "PNAME" or not pname.value.endswith(":"):
+                    raise self.error("Expected prefix name ending in ':'", pname)
+                iri = self.advance()
+                if iri.kind != "IRI":
+                    raise self.error("Expected IRI after prefix name", iri)
+                self.namespaces.bind(pname.value[:-1], iri.value)
+            elif token.is_keyword("BASE"):
+                self.advance()
+                iri = self.advance()
+                if iri.kind != "IRI":
+                    raise self.error("Expected IRI after BASE", iri)
+                # BASE is accepted but unused: all our IRIs are absolute.
+            else:
+                return
+
+    # ----------------------------------------------------------------- #
+    # SELECT / ASK
+    # ----------------------------------------------------------------- #
+    def _parse_select(self) -> SelectQuery:
+        self.expect_keyword("SELECT")
+        distinct = False
+        if self.peek().is_keyword("DISTINCT", "REDUCED"):
+            distinct = self.advance().value.upper() == "DISTINCT"
+
+        select_all = False
+        projection: List[ProjectionItem] = []
+        if self.peek().is_punct("*"):
+            self.advance()
+            select_all = True
+        else:
+            while True:
+                token = self.peek()
+                if token.kind == "VAR":
+                    self.advance()
+                    projection.append(ProjectionItem(variable=Variable(token.value)))
+                elif token.is_punct("("):
+                    projection.append(self._parse_aliased_projection())
+                else:
+                    break
+            if not projection:
+                raise self.error("SELECT clause requires '*' or at least one variable")
+
+        if self.peek().is_keyword("WHERE"):
+            self.advance()
+        where = self._parse_group_graph_pattern()
+
+        group_by: Tuple[Variable, ...] = ()
+        order_by: Tuple[OrderCondition, ...] = ()
+        limit: Optional[int] = None
+        offset = 0
+
+        while True:
+            token = self.peek()
+            if token.is_keyword("GROUP"):
+                self.advance()
+                self.expect_keyword("BY")
+                group_vars: List[Variable] = []
+                while self.peek().kind == "VAR":
+                    group_vars.append(Variable(self.advance().value))
+                if not group_vars:
+                    raise self.error("GROUP BY requires at least one variable")
+                group_by = tuple(group_vars)
+            elif token.is_keyword("ORDER"):
+                self.advance()
+                self.expect_keyword("BY")
+                order_by = tuple(self._parse_order_conditions())
+            elif token.is_keyword("LIMIT"):
+                self.advance()
+                limit = self._parse_integer("LIMIT")
+            elif token.is_keyword("OFFSET"):
+                self.advance()
+                offset = self._parse_integer("OFFSET")
+            else:
+                break
+
+        return SelectQuery(
+            projection=tuple(projection),
+            where=where,
+            distinct=distinct,
+            select_all=select_all,
+            order_by=order_by,
+            group_by=group_by,
+            limit=limit,
+            offset=offset,
+        )
+
+    def _parse_integer(self, clause: str) -> int:
+        token = self.advance()
+        if token.kind != "NUMBER" or not token.value.lstrip("+-").isdigit():
+            raise self.error(f"{clause} requires a non-negative integer", token)
+        value = int(token.value)
+        if value < 0:
+            raise self.error(f"{clause} requires a non-negative integer", token)
+        return value
+
+    def _parse_aliased_projection(self) -> ProjectionItem:
+        self.expect_punct("(")
+        expression = self._parse_expression()
+        self.expect_keyword("AS")
+        var_token = self.advance()
+        if var_token.kind != "VAR":
+            raise self.error("Expected variable after AS", var_token)
+        self.expect_punct(")")
+        return ProjectionItem(expression=expression, alias=Variable(var_token.value))
+
+    def _parse_order_conditions(self) -> List[OrderCondition]:
+        conditions: List[OrderCondition] = []
+        while True:
+            token = self.peek()
+            if token.is_keyword("ASC", "DESC"):
+                descending = token.value.upper() == "DESC"
+                self.advance()
+                self.expect_punct("(")
+                expression = self._parse_expression()
+                self.expect_punct(")")
+                conditions.append(OrderCondition(expression, descending))
+            elif token.kind == "VAR":
+                self.advance()
+                conditions.append(OrderCondition(VariableExpression(Variable(token.value))))
+            else:
+                break
+        if not conditions:
+            raise self.error("ORDER BY requires at least one condition")
+        return conditions
+
+    def _parse_ask(self) -> AskQuery:
+        self.expect_keyword("ASK")
+        if self.peek().is_keyword("WHERE"):
+            self.advance()
+        return AskQuery(where=self._parse_group_graph_pattern())
+
+    # ----------------------------------------------------------------- #
+    # Group graph patterns
+    # ----------------------------------------------------------------- #
+    def _parse_group_graph_pattern(self) -> GroupGraphPattern:
+        self.expect_punct("{")
+        elements: List = []
+        while True:
+            token = self.peek()
+            if token.is_punct("}"):
+                self.advance()
+                break
+            if token.kind == "EOF":
+                raise self.error("Unterminated group graph pattern")
+            if token.is_keyword("OPTIONAL"):
+                self.advance()
+                elements.append(OptionalNode(self._parse_group_graph_pattern()))
+            elif token.is_keyword("FILTER"):
+                self.advance()
+                elements.append(FilterNode(self._parse_filter_constraint()))
+            elif token.is_keyword("VALUES"):
+                self.advance()
+                elements.append(self._parse_values())
+            elif token.is_punct("{"):
+                group = self._parse_group_graph_pattern()
+                if self.peek().is_keyword("UNION"):
+                    branches = [group]
+                    while self.peek().is_keyword("UNION"):
+                        self.advance()
+                        branches.append(self._parse_group_graph_pattern())
+                    elements.append(UnionNode(tuple(branches)))
+                else:
+                    elements.append(group)
+            else:
+                elements.extend(self._parse_triples_block())
+            # Optional '.' separators between elements.
+            while self.peek().is_punct("."):
+                self.advance()
+        return GroupGraphPattern(tuple(elements))
+
+    def _parse_triples_block(self) -> List[TriplePatternNode]:
+        patterns: List[TriplePatternNode] = []
+        subject = self._parse_pattern_term(position="subject")
+        while True:
+            predicate = self._parse_pattern_term(position="predicate")
+            while True:
+                obj = self._parse_pattern_term(position="object")
+                patterns.append(TriplePatternNode(subject, predicate, obj))
+                if self.peek().is_punct(","):
+                    self.advance()
+                    continue
+                break
+            if self.peek().is_punct(";"):
+                self.advance()
+                # A dangling ';' before '.' or '}' is allowed.
+                if self.peek().is_punct(".", "}"):
+                    break
+                continue
+            break
+        return patterns
+
+    def _parse_values(self) -> ValuesNode:
+        variables: List[Variable] = []
+        token = self.peek()
+        single_var = False
+        if token.kind == "VAR":
+            self.advance()
+            variables.append(Variable(token.value))
+            single_var = True
+        else:
+            self.expect_punct("(")
+            while self.peek().kind == "VAR":
+                variables.append(Variable(self.advance().value))
+            self.expect_punct(")")
+        if not variables:
+            raise self.error("VALUES requires at least one variable")
+
+        self.expect_punct("{")
+        rows: List[Tuple[Optional[Term], ...]] = []
+        while not self.peek().is_punct("}"):
+            if single_var:
+                rows.append((self._parse_values_term(),))
+            else:
+                self.expect_punct("(")
+                row: List[Optional[Term]] = []
+                while not self.peek().is_punct(")"):
+                    row.append(self._parse_values_term())
+                self.expect_punct(")")
+                if len(row) != len(variables):
+                    raise self.error(
+                        f"VALUES row has {len(row)} terms but {len(variables)} variables"
+                    )
+                rows.append(tuple(row))
+        self.expect_punct("}")
+        return ValuesNode(tuple(variables), tuple(rows))
+
+    def _parse_values_term(self) -> Optional[Term]:
+        if self.peek().is_keyword("UNDEF"):
+            self.advance()
+            return None
+        term = self._parse_pattern_term(position="object", allow_variable=False)
+        assert not isinstance(term, Variable)
+        return term
+
+    # ----------------------------------------------------------------- #
+    # Terms
+    # ----------------------------------------------------------------- #
+    def _parse_pattern_term(
+        self, position: str, allow_variable: bool = True
+    ) -> PatternTerm:
+        token = self.advance()
+        if token.kind == "VAR":
+            if not allow_variable:
+                raise self.error("Variable not allowed here", token)
+            return Variable(token.value)
+        if token.kind == "IRI":
+            return IRI(token.value)
+        if token.kind == "PNAME":
+            return self._expand_pname(token)
+        if token.is_keyword("A"):
+            if position != "predicate":
+                # 'a' is only rdf:type in predicate position; elsewhere it
+                # would have been lexed as a NAME anyway.
+                raise self.error("'a' is only valid as a predicate", token)
+            return RDF.type
+        if token.is_keyword("TRUE", "FALSE"):
+            return Literal(token.value.lower(), datatype=XSD_BOOLEAN)
+        if token.kind == "NUMBER":
+            return self._number_literal(token.value)
+        if token.kind == "STRING":
+            if position in ("subject", "predicate"):
+                raise self.error("Literal not allowed in subject/predicate position", token)
+            return self._finish_literal(token.value)
+        raise self.error(f"Unexpected token {token.value!r} in {position} position", token)
+
+    def _expand_pname(self, token: Token) -> IRI:
+        try:
+            return self.namespaces.expand(token.value)
+        except Exception as exc:
+            raise self.error(str(exc), token) from None
+
+    def _number_literal(self, text: str) -> Literal:
+        if any(ch in text for ch in ".eE"):
+            datatype = XSD_DOUBLE if ("e" in text or "E" in text) else XSD_DECIMAL
+        else:
+            datatype = XSD_INTEGER
+        return Literal(text, datatype=datatype)
+
+    def _finish_literal(self, lexical: str) -> Literal:
+        token = self.peek()
+        if token.kind == "LANGTAG":
+            self.advance()
+            return Literal(lexical, language=token.value)
+        if token.is_punct("^^"):
+            self.advance()
+            dt_token = self.advance()
+            if dt_token.kind == "IRI":
+                return Literal(lexical, datatype=dt_token.value)
+            if dt_token.kind == "PNAME":
+                return Literal(lexical, datatype=self._expand_pname(dt_token))
+            raise self.error("Expected datatype IRI after '^^'", dt_token)
+        return Literal(lexical)
+
+    # ----------------------------------------------------------------- #
+    # Expressions (precedence climbing)
+    # ----------------------------------------------------------------- #
+    def _parse_filter_constraint(self) -> Expression:
+        token = self.peek()
+        if token.is_punct("("):
+            self.advance()
+            expression = self._parse_expression()
+            self.expect_punct(")")
+            return expression
+        if token.kind == "BUILTIN" or token.is_keyword("NOT", "EXISTS"):
+            return self._parse_expression()
+        raise self.error("FILTER requires a parenthesised expression or builtin call")
+
+    def _parse_expression(self) -> Expression:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expression:
+        left = self._parse_and()
+        while self.peek().is_punct("||"):
+            self.advance()
+            left = BinaryExpression("||", left, self._parse_and())
+        return left
+
+    def _parse_and(self) -> Expression:
+        left = self._parse_relational()
+        while self.peek().is_punct("&&"):
+            self.advance()
+            left = BinaryExpression("&&", left, self._parse_relational())
+        return left
+
+    def _parse_relational(self) -> Expression:
+        left = self._parse_additive()
+        token = self.peek()
+        if token.is_punct("=", "!=", "<", ">", "<=", ">="):
+            operator = self.advance().value
+            return BinaryExpression(operator, left, self._parse_additive())
+        if token.is_keyword("IN"):
+            self.advance()
+            return InExpression(left, tuple(self._parse_expression_list()))
+        if token.is_keyword("NOT") and self.peek(1).is_keyword("IN"):
+            self.advance()
+            self.advance()
+            return InExpression(left, tuple(self._parse_expression_list()), negated=True)
+        return left
+
+    def _parse_expression_list(self) -> List[Expression]:
+        self.expect_punct("(")
+        items: List[Expression] = []
+        if not self.peek().is_punct(")"):
+            items.append(self._parse_expression())
+            while self.peek().is_punct(","):
+                self.advance()
+                items.append(self._parse_expression())
+        self.expect_punct(")")
+        return items
+
+    def _parse_additive(self) -> Expression:
+        left = self._parse_multiplicative()
+        while self.peek().is_punct("+", "-"):
+            operator = self.advance().value
+            left = BinaryExpression(operator, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expression:
+        left = self._parse_unary()
+        while self.peek().is_punct("*", "/"):
+            operator = self.advance().value
+            left = BinaryExpression(operator, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expression:
+        token = self.peek()
+        if token.is_punct("!"):
+            self.advance()
+            return UnaryExpression("!", self._parse_unary())
+        if token.is_punct("-"):
+            self.advance()
+            return UnaryExpression("-", self._parse_unary())
+        if token.is_punct("+"):
+            self.advance()
+            return UnaryExpression("+", self._parse_unary())
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expression:
+        token = self.peek()
+        if token.is_punct("("):
+            self.advance()
+            expression = self._parse_expression()
+            self.expect_punct(")")
+            return expression
+        if token.kind == "VAR":
+            self.advance()
+            return VariableExpression(Variable(token.value))
+        if token.kind == "BUILTIN":
+            return self._parse_function_call()
+        if token.is_keyword("COUNT"):
+            return self._parse_count()
+        if token.is_keyword("NOT") and self.peek(1).is_keyword("EXISTS"):
+            self.advance()
+            self.advance()
+            return ExistsExpression(self._parse_group_graph_pattern(), negated=True)
+        if token.is_keyword("EXISTS"):
+            self.advance()
+            return ExistsExpression(self._parse_group_graph_pattern())
+        if token.kind in ("IRI", "PNAME", "STRING", "NUMBER") or token.is_keyword(
+            "TRUE", "FALSE"
+        ):
+            term = self._parse_pattern_term(position="object")
+            assert not isinstance(term, Variable)
+            return TermExpression(term)
+        raise self.error(f"Unexpected token {token.value!r} in expression")
+
+    def _parse_function_call(self) -> Expression:
+        name_token = self.advance()
+        name = name_token.value.upper()
+        self.expect_punct("(")
+        arguments: List[Expression] = []
+        if not self.peek().is_punct(")"):
+            arguments.append(self._parse_expression())
+            while self.peek().is_punct(","):
+                self.advance()
+                arguments.append(self._parse_expression())
+        self.expect_punct(")")
+        return FunctionCall(name, tuple(arguments))
+
+    def _parse_count(self) -> CountExpression:
+        self.expect_keyword("COUNT")
+        self.expect_punct("(")
+        distinct = False
+        if self.peek().is_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        token = self.peek()
+        if token.is_punct("*"):
+            self.advance()
+            result = CountExpression(variable=None, distinct=distinct)
+        elif token.kind == "VAR":
+            self.advance()
+            result = CountExpression(variable=Variable(token.value), distinct=distinct)
+        else:
+            raise self.error("COUNT requires '*' or a variable", token)
+        self.expect_punct(")")
+        return result
+
+
+def parse_query(query: str, namespaces: Optional[NamespaceManager] = None) -> Query:
+    """Parse a SPARQL query string into an AST.
+
+    Parameters
+    ----------
+    query:
+        The SPARQL text.
+    namespaces:
+        Optional pre-bound prefixes available in addition to any ``PREFIX``
+        declarations in the query itself.  Defaults to the library's
+        standard bindings (``rdf``, ``rdfs``, ``owl``, ``xsd``, ``yago``,
+        ``dbo``, ...).
+
+    Raises
+    ------
+    ParseError
+        If the query text is malformed.
+    SparqlError
+        If the query uses an unsupported feature.
+    """
+    if not isinstance(query, str) or not query.strip():
+        raise SparqlError("Query must be a non-empty string")
+    tokens = tokenize(query)
+    parser = _Parser(tokens, namespaces)
+    return parser.parse_query()

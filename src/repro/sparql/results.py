@@ -1,0 +1,129 @@
+"""Query result containers."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.rdf.terms import Literal, Term
+from repro.sparql.bindings import Binding, Variable
+
+
+class ResultSet:
+    """The result of a ``SELECT`` query.
+
+    A result set is a sequence of rows; each row maps output variable names
+    to RDF terms (or ``None`` for unbound OPTIONAL variables).
+
+    Attributes
+    ----------
+    variables:
+        The projected variables in SELECT-clause order.
+    rows:
+        The solution rows as :class:`~repro.sparql.bindings.Binding`.
+    truncated:
+        Set by the endpoint layer when the row count was capped by policy.
+    """
+
+    def __init__(self, variables: Sequence[Variable], rows: Sequence[Binding]):
+        self.variables: List[Variable] = list(variables)
+        self.rows: List[Binding] = list(rows)
+        self.truncated: bool = False
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Binding]:
+        return iter(self.rows)
+
+    def __bool__(self) -> bool:
+        return bool(self.rows)
+
+    def __repr__(self) -> str:
+        names = ", ".join(f"?{v.name}" for v in self.variables)
+        return f"ResultSet(vars=[{names}], rows={len(self.rows)})"
+
+    # ------------------------------------------------------------------ #
+    def column(self, variable: Variable | str) -> List[Optional[Term]]:
+        """All values of one variable, in row order (``None`` when unbound)."""
+        if isinstance(variable, str):
+            variable = Variable(variable)
+        return [row.get_term(variable) for row in self.rows]
+
+    def distinct_column(self, variable: Variable | str) -> List[Term]:
+        """Distinct non-null values of one variable, preserving first-seen order."""
+        seen: Dict[Term, None] = {}
+        for value in self.column(variable):
+            if value is not None and value not in seen:
+                seen[value] = None
+        return list(seen)
+
+    def to_dicts(self) -> List[Dict[str, Optional[Term]]]:
+        """Rows as plain dictionaries keyed by variable name."""
+        result = []
+        for row in self.rows:
+            result.append({v.name: row.get_term(v) for v in self.variables})
+        return result
+
+    def scalar(self) -> Optional[Term]:
+        """The single value of a one-row, one-variable result (else ``None``)."""
+        if len(self.rows) != 1 or len(self.variables) != 1:
+            return None
+        return self.rows[0].get_term(self.variables[0])
+
+    def scalar_int(self, default: int = 0) -> int:
+        """The scalar as an integer — convenient for ``COUNT`` queries."""
+        term = self.scalar()
+        if isinstance(term, Literal):
+            try:
+                return int(float(term.lexical))
+            except ValueError:
+                return default
+        return default
+
+    def to_text(self, max_rows: int = 20) -> str:
+        """A small fixed-width text rendering for logs and examples."""
+        header = [f"?{v.name}" for v in self.variables]
+        body: List[List[str]] = []
+        for row in self.rows[:max_rows]:
+            body.append(
+                [
+                    str(row.get_term(v)) if row.get_term(v) is not None else ""
+                    for v in self.variables
+                ]
+            )
+        widths = [len(h) for h in header]
+        for line in body:
+            for i, cell in enumerate(line):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            " | ".join(h.ljust(widths[i]) for i, h in enumerate(header)),
+            "-+-".join("-" * w for w in widths),
+        ]
+        for line in body:
+            lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(line)))
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)
+
+
+class AskResult:
+    """The boolean result of an ``ASK`` query."""
+
+    def __init__(self, value: bool):
+        self.value = bool(value)
+
+    def __bool__(self) -> bool:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, AskResult):
+            return self.value == other.value
+        if isinstance(other, bool):
+            return self.value == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(("AskResult", self.value))
+
+    def __repr__(self) -> str:
+        return f"AskResult({self.value})"

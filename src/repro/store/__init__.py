@@ -1,0 +1,22 @@
+"""In-memory indexed triple store.
+
+The store keeps three hash-based permutation indexes (SPO, POS, OSP) so that
+every triple-pattern shape is answered by at most one index lookup followed
+by set intersection.  It also maintains per-predicate statistics used by the
+knowledge-base layer (relation catalogues, functionality estimates) and by
+the synthetic data generator's sanity checks.
+"""
+
+from repro.store.triplestore import TripleStore
+from repro.store.index import TripleIndex
+from repro.store.stats import PredicateStatistics, StoreStatistics
+from repro.store.bulk import load_ntriples_file, load_triples
+
+__all__ = [
+    "TripleStore",
+    "TripleIndex",
+    "PredicateStatistics",
+    "StoreStatistics",
+    "load_triples",
+    "load_ntriples_file",
+]

@@ -1,0 +1,42 @@
+"""Bulk-loading helpers for the triple store."""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.rdf.ntriples import parse_ntriples
+from repro.rdf.turtle import parse_turtle
+from repro.rdf.triple import Triple
+from repro.store.triplestore import TripleStore
+
+
+def load_triples(
+    triples: Iterable[Triple],
+    name: str = "store",
+    store: TripleStore | None = None,
+) -> TripleStore:
+    """Load an iterable of triples into a (new or existing) store."""
+    if store is None:
+        store = TripleStore(name=name)
+    store.add_all(triples)
+    return store
+
+
+def load_ntriples_file(
+    path: Union[str, Path],
+    name: str | None = None,
+    store: TripleStore | None = None,
+) -> TripleStore:
+    """Load an ``.nt`` or ``.ttl`` file into a store.
+
+    The format is chosen from the file extension: ``.ttl`` uses the Turtle
+    reader, everything else is parsed as N-Triples.
+    """
+    path = Path(path)
+    text = path.read_text(encoding="utf-8")
+    if path.suffix.lower() in (".ttl", ".turtle"):
+        triples = parse_turtle(text)
+    else:
+        triples = parse_ntriples(text)
+    return load_triples(triples, name=name or path.stem, store=store)

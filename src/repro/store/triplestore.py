@@ -1,0 +1,270 @@
+"""The in-memory triple store.
+
+:class:`TripleStore` is the storage substrate under every knowledge base in
+this reproduction.  It maintains three permutation indexes so that any of
+the eight triple-pattern shapes is answered efficiently:
+
+========= ==========================
+pattern    index used
+========= ==========================
+(s, p, o)  SPO (membership test)
+(s, p, ?)  SPO
+(s, ?, o)  OSP
+(s, ?, ?)  SPO
+(?, p, o)  POS
+(?, p, ?)  POS
+(?, ?, o)  OSP
+(?, ?, ?)  full scan over SPO
+========= ==========================
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Set
+
+from repro.errors import StoreError
+from repro.rdf.terms import IRI, Literal, Term, is_entity_term
+from repro.rdf.triple import Triple, TriplePattern
+from repro.store.index import TripleIndex
+from repro.store.stats import PredicateStatistics, StoreStatistics
+
+
+class TripleStore:
+    """A fully indexed, in-memory set of RDF triples.
+
+    The store is a *set*: adding the same triple twice is a no-op.  All
+    mutation happens through :meth:`add` / :meth:`remove` so the three
+    indexes and the statistics stay consistent.
+
+    Parameters
+    ----------
+    name:
+        Optional human-readable name (used in ``repr`` and logs).
+    triples:
+        Optional initial triples to load.
+    """
+
+    def __init__(self, name: str = "store", triples: Optional[Iterable[Triple]] = None):
+        self.name = name
+        self._spo = TripleIndex()
+        self._pos = TripleIndex()
+        self._osp = TripleIndex()
+        self._size = 0
+        if triples is not None:
+            self.add_all(triples)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Triple) -> bool:
+        """Add a triple.  Returns ``True`` if the store changed."""
+        if not isinstance(triple, Triple):
+            raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
+        added = self._spo.add(triple.subject, triple.predicate, triple.object)
+        if not added:
+            return False
+        self._pos.add(triple.predicate, triple.object, triple.subject)
+        self._osp.add(triple.object, triple.subject, triple.predicate)
+        self._size += 1
+        return True
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples; returns the number actually inserted."""
+        inserted = 0
+        for triple in triples:
+            if self.add(triple):
+                inserted += 1
+        return inserted
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple.  Returns ``True`` if it was present."""
+        removed = self._spo.remove(triple.subject, triple.predicate, triple.object)
+        if not removed:
+            return False
+        self._pos.remove(triple.predicate, triple.object, triple.subject)
+        self._osp.remove(triple.object, triple.subject, triple.predicate)
+        self._size -= 1
+        return True
+
+    def clear(self) -> None:
+        """Remove every triple."""
+        self._spo.clear()
+        self._pos.clear()
+        self._osp.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, triple: object) -> bool:
+        if not isinstance(triple, Triple):
+            return False
+        return self._spo.contains(triple.subject, triple.predicate, triple.object)
+
+    def __iter__(self) -> Iterator[Triple]:
+        for s, p, o in self._spo.triples():
+            yield Triple(s, p, o)  # type: ignore[arg-type]
+
+    def __repr__(self) -> str:
+        return f"TripleStore(name={self.name!r}, size={self._size})"
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield all triples matching the given (possibly wildcard) pattern.
+
+        ``None`` in any position means "match anything".
+        """
+        s, p, o = subject, predicate, object
+        if s is not None and p is not None and o is not None:
+            if self._spo.contains(s, p, o):
+                yield Triple(s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.thirds(s, p):
+                yield Triple(s, p, obj)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.thirds(o, s):
+                yield Triple(s, pred, o)  # type: ignore[arg-type]
+            return
+        if s is not None:
+            for pred, obj in self._spo.pairs(s):
+                yield Triple(s, pred, obj)  # type: ignore[arg-type]
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.thirds(p, o):
+                yield Triple(subj, p, o)
+            return
+        if p is not None:
+            for obj, subj in self._pos.pairs(p):
+                yield Triple(subj, p, obj)
+            return
+        if o is not None:
+            for subj, pred in self._osp.pairs(o):
+                yield Triple(subj, pred, o)  # type: ignore[arg-type]
+            return
+        yield from iter(self)
+
+    def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """:meth:`match` taking a :class:`~repro.rdf.triple.TriplePattern`."""
+        return self.match(pattern.subject, pattern.predicate, pattern.object)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """Count matching triples without materialising them (when possible)."""
+        if subject is None and predicate is None and object is None:
+            return self._size
+        if subject is None and object is None and predicate is not None:
+            return self._pos.count_for_key(predicate)
+        if predicate is None and object is None and subject is not None:
+            return self._spo.count_for_key(subject)
+        if subject is None and predicate is None and object is not None:
+            return self._osp.count_for_key(object)
+        return sum(1 for _ in self.match(subject, predicate, object))
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary access
+    # ------------------------------------------------------------------ #
+    def predicates(self) -> List[IRI]:
+        """All distinct predicates, sorted by IRI for determinism."""
+        return sorted(self._pos.keys(), key=lambda p: p.value)  # type: ignore[union-attr]
+
+    def subjects(self, predicate: Optional[IRI] = None) -> Iterator[Term]:
+        """Distinct subjects, optionally restricted to one predicate."""
+        if predicate is None:
+            yield from self._spo.keys()
+            return
+        seen: Set[Term] = set()
+        for obj, subj in self._pos.pairs(predicate):
+            if subj not in seen:
+                seen.add(subj)
+                yield subj
+
+    def objects(self, predicate: Optional[IRI] = None) -> Iterator[Term]:
+        """Distinct objects, optionally restricted to one predicate."""
+        if predicate is None:
+            yield from self._osp.keys()
+            return
+        yield from self._pos.seconds(predicate)
+
+    def objects_of(self, subject: Term, predicate: IRI) -> List[Term]:
+        """All objects ``o`` such that ``(subject, predicate, o)`` is a fact."""
+        return list(self._spo.thirds(subject, predicate))
+
+    def subjects_of(self, predicate: IRI, object: Term) -> List[Term]:
+        """All subjects ``s`` such that ``(s, predicate, object)`` is a fact."""
+        return list(self._pos.thirds(predicate, object))
+
+    def predicates_of(self, subject: Term) -> List[IRI]:
+        """Distinct predicates appearing with ``subject`` as subject."""
+        return list(self._spo.seconds(subject))  # type: ignore[arg-type]
+
+    def predicates_between(self, subject: Term, object: Term) -> List[IRI]:
+        """Distinct predicates ``p`` with a fact ``(subject, p, object)``."""
+        return list(self._osp.thirds(object, subject))  # type: ignore[arg-type]
+
+    def has_subject(self, subject: Term) -> bool:
+        """Whether any fact has ``subject`` in subject position."""
+        return self._spo.has_key(subject)
+
+    def entities(self) -> Set[Term]:
+        """All IRIs/blank nodes appearing in subject or object position."""
+        result: Set[Term] = set()
+        for subj in self._spo.keys():
+            if is_entity_term(subj):
+                result.add(subj)
+        for obj in self._osp.keys():
+            if is_entity_term(obj):
+                result.add(obj)
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def predicate_statistics(self, predicate: IRI) -> PredicateStatistics:
+        """Compute statistics for one predicate from the indexes."""
+        fact_count = self._pos.count_for_key(predicate)
+        distinct_objects = self._pos.second_count_for_key(predicate)
+        distinct_subjects = sum(1 for _ in self.subjects(predicate))
+        literal_objects = sum(
+            1 for obj, _ in self._pos.pairs(predicate) if isinstance(obj, Literal)
+        )
+        return PredicateStatistics(
+            predicate=predicate,
+            fact_count=fact_count,
+            distinct_subjects=distinct_subjects,
+            distinct_objects=distinct_objects,
+            literal_object_count=literal_objects,
+        )
+
+    def statistics(self) -> StoreStatistics:
+        """Compute a full statistics snapshot."""
+        stats = StoreStatistics(
+            triple_count=self._size,
+            predicate_count=self._pos.key_count(),
+            subject_count=self._spo.key_count(),
+            object_count=self._osp.key_count(),
+        )
+        predicate_stats: Dict[IRI, PredicateStatistics] = {}
+        for predicate in self._pos.keys():
+            predicate_stats[predicate] = self.predicate_statistics(predicate)  # type: ignore[index]
+        stats.predicates = predicate_stats
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    def copy(self, name: Optional[str] = None) -> "TripleStore":
+        """A deep-enough copy: terms are shared (immutable), indexes rebuilt."""
+        return TripleStore(name=name or f"{self.name}-copy", triples=iter(self))

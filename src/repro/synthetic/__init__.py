@@ -1,0 +1,51 @@
+"""Synthetic KB-pair generation with planted ground truth.
+
+The paper evaluates on YAGO2 (92 relations) and DBpedia (1313 relations).
+Those dumps cannot be shipped or downloaded here, so this package builds
+deterministic synthetic substitutes that preserve the phenomena the
+algorithm is sensitive to:
+
+* two KBs describing the *same underlying world* with different entity
+  identifiers, different relation vocabularies and different literal
+  formatting,
+* incompleteness — each KB only knows a fraction of the true facts,
+* partial ``sameAs`` linkage between the two entity sets,
+* planted **ground-truth alignments** of three kinds: equivalences, strict
+  subsumptions, and *correlated-but-unaligned* relation pairs (the UBS
+  failure modes),
+* filler ("noise") relations so the relation counts can mirror the paper's
+  92 vs 1313.
+
+Everything is seeded and deterministic: the same spec always produces the
+same pair of KBs, the same links and the same gold standard.
+"""
+
+from repro.synthetic.schema import (
+    CanonicalEntityType,
+    CanonicalRelation,
+    GroundTruth,
+    KBSpec,
+    RelationMapping,
+    WorldSpec,
+)
+from repro.synthetic.generator import GeneratedWorld, WorldGenerator, generate_world
+from repro.synthetic.presets import (
+    movie_world_spec,
+    music_world_spec,
+    yago_dbpedia_spec,
+)
+
+__all__ = [
+    "CanonicalEntityType",
+    "CanonicalRelation",
+    "RelationMapping",
+    "KBSpec",
+    "WorldSpec",
+    "GroundTruth",
+    "WorldGenerator",
+    "GeneratedWorld",
+    "generate_world",
+    "movie_world_spec",
+    "music_world_spec",
+    "yago_dbpedia_spec",
+]

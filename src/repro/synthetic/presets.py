@@ -1,0 +1,426 @@
+"""Ready-made world specifications.
+
+Three presets are provided:
+
+* :func:`movie_world_spec` — the paper's *hasDirector / hasProducer /
+  directedBy* example (overlap mistaken for subsumption).
+* :func:`music_world_spec` — the paper's *composerOf / writerOf /
+  creatorOf* example (subsumption mistaken for equivalence).
+* :func:`yago_dbpedia_spec` — a parameterised YAGO-like vs DBpedia-like
+  pair whose relation counts default to the paper's 92 vs 1313, containing
+  a mix of equivalences, strict subsumptions, correlated traps (in both
+  orientations) and literal-valued relations, plus filler relations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import SyntheticDataError
+from repro.rdf.namespace import Namespace
+from repro.synthetic.schema import (
+    CanonicalEntityType,
+    CanonicalRelation,
+    KBSpec,
+    RelationMapping,
+    WorldSpec,
+)
+
+#: Namespaces of the synthetic datasets.
+MOVIE_A_NS = Namespace("http://sofya.repro/imdb/")
+MOVIE_B_NS = Namespace("http://sofya.repro/filmdb/")
+MUSIC_A_NS = Namespace("http://sofya.repro/musicbrainz/")
+MUSIC_B_NS = Namespace("http://sofya.repro/worksdb/")
+YAGO_LIKE_NS = Namespace("http://sofya.repro/yago/")
+DBPEDIA_LIKE_NS = Namespace("http://sofya.repro/dbpedia/")
+
+
+def movie_world_spec(
+    films: int = 160,
+    people: int = 200,
+    producer_director_correlation: float = 0.7,
+    link_rate: float = 0.95,
+    seed: int = 11,
+) -> WorldSpec:
+    """The movie world of §2.2: producers often direct their own films.
+
+    KB ``imdb`` (premise side) has ``hasDirector`` and ``hasProducer``;
+    KB ``filmdb`` (conclusion side) has ``directedBy`` and ``producedBy``.
+    The gold standard contains ``hasDirector ⇒ directedBy`` but *not*
+    ``hasProducer ⇒ directedBy`` — the trap the UBS strategy must avoid.
+    """
+    entity_types = [
+        CanonicalEntityType("film", films),
+        CanonicalEntityType("person", people),
+    ]
+    canonical = [
+        CanonicalRelation("directs", subject_type="film", object_type="person",
+                          subject_coverage=0.95),
+        CanonicalRelation("produces", subject_type="film", object_type="person",
+                          subject_coverage=0.9, correlated_with="directs",
+                          correlation=producer_director_correlation),
+        CanonicalRelation("filmTitle", subject_type="film", literal=True,
+                          literal_kind="name", subject_coverage=1.0),
+    ]
+    imdb = KBSpec(
+        name="imdb",
+        namespace=MOVIE_A_NS,
+        fact_retention=0.9,
+        literal_style="plain",
+        mappings=[
+            RelationMapping("hasDirector", sources=("directs",)),
+            RelationMapping("hasProducer", sources=("produces",)),
+            RelationMapping("hasTitle", sources=("filmTitle",)),
+        ],
+    )
+    filmdb = KBSpec(
+        name="filmdb",
+        namespace=MOVIE_B_NS,
+        fact_retention=0.85,
+        literal_style="underscore",
+        mappings=[
+            RelationMapping("directedBy", sources=("directs",)),
+            RelationMapping("producedBy", sources=("produces",)),
+            RelationMapping("title", sources=("filmTitle",)),
+        ],
+    )
+    return WorldSpec(
+        entity_types=entity_types,
+        canonical_relations=canonical,
+        kb_specs=[imdb, filmdb],
+        link_rate=link_rate,
+        seed=seed,
+    )
+
+
+def music_world_spec(
+    artists: int = 180,
+    works: int = 320,
+    link_rate: float = 0.95,
+    seed: int = 13,
+) -> WorldSpec:
+    """The music world of §2.2: ``creatorOf`` is the union of composing and writing.
+
+    KB ``musicbrainz`` (premise side) has ``composerOf`` and ``writerOf``;
+    KB ``worksdb`` (conclusion side) has ``creatorOf`` = union of both.
+    Both premise relations are subsumed by ``creatorOf``, but neither is
+    equivalent to it — the equivalence trap of §2.2.
+    """
+    entity_types = [
+        CanonicalEntityType("artist", artists),
+        CanonicalEntityType("work", works),
+    ]
+    canonical = [
+        # Most composers only compose; a minority also writes.  That is what
+        # makes the equivalence trap of §2.2 realistic: a random sample of
+        # composers is likely to miss the writers among them.
+        CanonicalRelation("composes", subject_type="artist", object_type="work",
+                          subject_coverage=0.55, min_objects=1, max_objects=4),
+        CanonicalRelation("writes", subject_type="artist", object_type="work",
+                          subject_coverage=0.28, min_objects=1, max_objects=3),
+        CanonicalRelation("artistName", subject_type="artist", literal=True,
+                          literal_kind="name", subject_coverage=1.0),
+    ]
+    musicbrainz = KBSpec(
+        name="musicbrainz",
+        namespace=MUSIC_A_NS,
+        fact_retention=0.9,
+        mappings=[
+            RelationMapping("composerOf", sources=("composes",)),
+            RelationMapping("writerOf", sources=("writes",)),
+            RelationMapping("artistLabel", sources=("artistName",)),
+        ],
+    )
+    worksdb = KBSpec(
+        name="worksdb",
+        namespace=MUSIC_B_NS,
+        fact_retention=0.85,
+        literal_style="upper",
+        mappings=[
+            RelationMapping("creatorOf", sources=("composes", "writes")),
+            RelationMapping("name", sources=("artistName",)),
+        ],
+    )
+    return WorldSpec(
+        entity_types=entity_types,
+        canonical_relations=canonical,
+        kb_specs=[musicbrainz, worksdb],
+        link_rate=link_rate,
+        seed=seed,
+    )
+
+
+#: The family patterns cycled by :func:`yago_dbpedia_spec`.
+FAMILY_PATTERNS = ("equivalent", "subsumption", "trap_premise", "trap_conclusion", "literal")
+
+#: (subject type, object type) combinations cycled across families.
+_FAMILY_SIGNATURES = (
+    ("person", "place"),
+    ("person", "work"),
+    ("work", "person"),
+    ("person", "org"),
+    ("org", "place"),
+    ("work", "place"),
+)
+
+
+def yago_dbpedia_spec(
+    families: int = 25,
+    yago_relation_count: int = 92,
+    dbpedia_relation_count: int = 1313,
+    people: int = 500,
+    works: int = 350,
+    places: int = 140,
+    orgs: int = 120,
+    yago_fact_retention: float = 0.75,
+    dbpedia_fact_retention: float = 0.85,
+    trap_correlation: float = 0.93,
+    link_rate: float = 0.85,
+    link_noise: float = 0.06,
+    noise_fact_count: int = 12,
+    seed: int = 2016,
+) -> WorldSpec:
+    """A YAGO-like / DBpedia-like pair mirroring the paper's evaluation setup.
+
+    Parameters
+    ----------
+    families:
+        Number of *aligned relation families*.  Each family follows one of
+        the patterns in :data:`FAMILY_PATTERNS` (cycled):
+
+        * ``equivalent`` — one YAGO relation equivalent to one DBpedia
+          relation;
+        * ``subsumption`` — two specific YAGO relations whose union is one
+          DBpedia relation (subsumptions that are not equivalences);
+        * ``trap_premise`` — a correct YAGO⇒DBpedia pair plus a *correlated
+          but unaligned* YAGO relation (the UBS "overlap mistaken for
+          subsumption" trap, premise side);
+        * ``trap_conclusion`` — the same trap built on the DBpedia side;
+        * ``literal`` — an equivalent pair of entity-literal relations with
+          different formatting in the two KBs.
+    yago_relation_count / dbpedia_relation_count:
+        Total relation counts per KB (the paper's 92 and 1313 by default);
+        the difference between the total and the aligned relations is
+        filled with noise relations.
+    """
+    if families < len(FAMILY_PATTERNS):
+        raise SyntheticDataError(
+            f"families must be at least {len(FAMILY_PATTERNS)} to cover all patterns"
+        )
+
+    entity_types = [
+        CanonicalEntityType("person", people),
+        CanonicalEntityType("work", works),
+        CanonicalEntityType("place", places),
+        CanonicalEntityType("org", orgs),
+    ]
+
+    canonical: List[CanonicalRelation] = []
+    yago_mappings: List[RelationMapping] = []
+    dbpedia_mappings: List[RelationMapping] = []
+
+    def varied_retention(base: float, index: int) -> float:
+        """Per-family incompleteness: some relations are well covered, some poorly."""
+        offsets = (-0.12, -0.06, 0.0, 0.06, 0.1)
+        value = base + offsets[index % len(offsets)]
+        return min(0.97, max(0.4, round(value, 3)))
+
+    for index in range(families):
+        pattern = FAMILY_PATTERNS[index % len(FAMILY_PATTERNS)]
+        subject_type, object_type = _FAMILY_SIGNATURES[index % len(_FAMILY_SIGNATURES)]
+        tag = f"{pattern}{index:02d}"
+        max_objects = 1 + (index % 3)
+        yago_retention = varied_retention(yago_fact_retention, index)
+        dbpedia_retention = varied_retention(dbpedia_fact_retention, index + 2)
+
+        if pattern == "equivalent":
+            canonical.append(
+                CanonicalRelation(f"c_{tag}", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.7,
+                                  max_objects=max_objects)
+            )
+            # A premise-side relation correlated with the equivalent pair but
+            # aligned to nothing: a false-positive opportunity for both
+            # directions' baselines.
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_shadow", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.6,
+                                  max_objects=max_objects,
+                                  correlated_with=f"c_{tag}",
+                                  correlation=trap_correlation)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}", sources=(f"c_{tag}",),
+                                fact_retention=yago_retention)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_shadow", sources=(f"c_{tag}_shadow",),
+                                fact_retention=yago_retention)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}", sources=(f"c_{tag}",),
+                                fact_retention=dbpedia_retention)
+            )
+
+        elif pattern == "subsumption":
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_a", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.55,
+                                  max_objects=max_objects)
+            )
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_b", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.55,
+                                  max_objects=max_objects)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_a", sources=(f"c_{tag}_a",),
+                                fact_retention=yago_retention)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_b", sources=(f"c_{tag}_b",),
+                                fact_retention=yago_retention)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}_union", sources=(f"c_{tag}_a", f"c_{tag}_b"),
+                                fact_retention=dbpedia_retention)
+            )
+
+        elif pattern == "trap_premise":
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_base", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.75,
+                                  max_objects=max_objects)
+            )
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_corr", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.7,
+                                  max_objects=max_objects,
+                                  correlated_with=f"c_{tag}_base",
+                                  correlation=trap_correlation)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_true", sources=(f"c_{tag}_base",),
+                                fact_retention=yago_retention)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_corr", sources=(f"c_{tag}_corr",),
+                                fact_retention=yago_retention)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}", sources=(f"c_{tag}_base",),
+                                fact_retention=dbpedia_retention)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}_corr", sources=(f"c_{tag}_corr",),
+                                fact_retention=dbpedia_retention)
+            )
+
+        elif pattern == "trap_conclusion":
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_base", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.75,
+                                  max_objects=max_objects)
+            )
+            canonical.append(
+                CanonicalRelation(f"c_{tag}_corr", subject_type=subject_type,
+                                  object_type=object_type, subject_coverage=0.7,
+                                  max_objects=max_objects,
+                                  correlated_with=f"c_{tag}_base",
+                                  correlation=trap_correlation)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}_true", sources=(f"c_{tag}_base",),
+                                fact_retention=dbpedia_retention)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}_corr", sources=(f"c_{tag}_corr",),
+                                fact_retention=dbpedia_retention)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}", sources=(f"c_{tag}_base",),
+                                fact_retention=yago_retention)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_corr", sources=(f"c_{tag}_corr",),
+                                fact_retention=yago_retention)
+            )
+
+        elif pattern == "literal":
+            # Cycle the value spaces so that two different literal relations
+            # over the same subjects are not extensionally identical (a
+            # person's name is shared across "label"-like relations, but a
+            # motto, a population count and a founding year are not).
+            literal_kind = ("name", "year", "code", "number")[(index // len(FAMILY_PATTERNS)) % 4]
+            canonical.append(
+                CanonicalRelation(f"c_{tag}", subject_type=subject_type, literal=True,
+                                  literal_kind=literal_kind, subject_coverage=0.85)
+            )
+            yago_mappings.append(
+                RelationMapping(f"y_{tag}_label", sources=(f"c_{tag}",),
+                                fact_retention=yago_retention)
+            )
+            dbpedia_mappings.append(
+                RelationMapping(f"d_{tag}_name", sources=(f"c_{tag}",),
+                                fact_retention=dbpedia_retention)
+            )
+
+    # ------------------------------------------------------------------ #
+    # Pad with noise relations up to the requested totals.
+    # ------------------------------------------------------------------ #
+    _pad_with_noise(yago_mappings, yago_relation_count, "y_noise", noise_fact_count)
+    _pad_with_noise(dbpedia_mappings, dbpedia_relation_count, "d_noise", noise_fact_count)
+
+    yago_like = KBSpec(
+        name="yago",
+        namespace=YAGO_LIKE_NS,
+        mappings=yago_mappings,
+        fact_retention=yago_fact_retention,
+        entity_style="plain",
+        literal_style="underscore",
+    )
+    dbpedia_like = KBSpec(
+        name="dbpedia",
+        namespace=DBPEDIA_LIKE_NS,
+        mappings=dbpedia_mappings,
+        fact_retention=dbpedia_fact_retention,
+        entity_style="prefixed",
+        literal_style="plain",
+    )
+    return WorldSpec(
+        entity_types=entity_types,
+        canonical_relations=canonical,
+        kb_specs=[yago_like, dbpedia_like],
+        link_rate=link_rate,
+        link_noise=link_noise,
+        seed=seed,
+    )
+
+
+def _pad_with_noise(
+    mappings: List[RelationMapping],
+    target_count: int,
+    prefix: str,
+    noise_fact_count: int,
+) -> None:
+    """Append noise relations until ``mappings`` has ``target_count`` entries."""
+    if target_count < len(mappings):
+        raise SyntheticDataError(
+            f"Requested {target_count} relations but {len(mappings)} aligned relations "
+            "are already defined; increase the relation count or reduce families"
+        )
+    signatures = _FAMILY_SIGNATURES
+    index = 0
+    while len(mappings) < target_count:
+        subject_type, object_type = signatures[index % len(signatures)]
+        mappings.append(
+            RelationMapping(
+                f"{prefix}{index:04d}",
+                sources=(),
+                noise_fact_count=noise_fact_count,
+                noise_subject_type=subject_type,
+                noise_object_type=object_type,
+                literal=(index % 7 == 3),
+            )
+        )
+        index += 1

@@ -1,0 +1,335 @@
+"""Specifications of synthetic worlds and the derived ground truth.
+
+The model has three layers:
+
+1. A *canonical world*: typed entities and canonical relations between
+   them.  This layer is never exposed to the aligner; it is the "real
+   world" both KBs describe.
+2. Two (or more) *KB specs*: each KB relation is a
+   :class:`RelationMapping` whose extension is the union of one or more
+   canonical relations, thinned by an incompleteness factor and rendered
+   with KB-specific entity IRIs / literal formatting.
+3. The :class:`GroundTruth` of relation alignments, derived purely from the
+   mappings: KB-A relation ``a`` is subsumed by KB-B relation ``b`` iff the
+   canonical sources of ``a`` are a subset of the sources of ``b``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.errors import SyntheticDataError
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import IRI
+
+
+@dataclass(frozen=True)
+class CanonicalEntityType:
+    """A type of canonical entities (people, films, cities, ...)."""
+
+    name: str
+    count: int
+
+    def __post_init__(self) -> None:
+        if self.count <= 0:
+            raise SyntheticDataError(f"Entity type {self.name!r} must have a positive count")
+
+
+@dataclass(frozen=True)
+class CanonicalRelation:
+    """A canonical (world-level) relation.
+
+    Parameters
+    ----------
+    name:
+        Unique canonical name, e.g. ``"directs"``.
+    subject_type / object_type:
+        Entity types of the arguments.  ``object_type`` is ignored for
+        literal relations.
+    literal:
+        When ``True`` the objects are literal values derived from the
+        subject (names, dates, numbers) rather than entities.
+    literal_kind:
+        ``"name"`` | ``"year"`` | ``"number"`` — what kind of literal to
+        generate.
+    subject_coverage:
+        Fraction of subjects of ``subject_type`` that have at least one
+        fact of this relation.
+    min_objects / max_objects:
+        Range of objects per participating subject (uniform).
+    correlated_with:
+        Optional name of another canonical relation with the same subject
+        type; see ``correlation``.
+    correlation:
+        Probability that a fact of this relation *reuses an object* of the
+        correlated relation for the same subject instead of an independent
+        one.  This is how "the director is often also the producer" worlds
+        are built.
+    """
+
+    name: str
+    subject_type: str
+    object_type: str = ""
+    literal: bool = False
+    literal_kind: str = "name"
+    subject_coverage: float = 0.8
+    min_objects: int = 1
+    max_objects: int = 1
+    correlated_with: Optional[str] = None
+    correlation: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.literal and not self.object_type:
+            raise SyntheticDataError(
+                f"Entity-valued canonical relation {self.name!r} needs an object_type"
+            )
+        if not 0.0 < self.subject_coverage <= 1.0:
+            raise SyntheticDataError("subject_coverage must be in (0, 1]")
+        if self.min_objects < 1 or self.max_objects < self.min_objects:
+            raise SyntheticDataError("invalid min_objects/max_objects range")
+        if not 0.0 <= self.correlation <= 1.0:
+            raise SyntheticDataError("correlation must be in [0, 1]")
+        if self.correlated_with and self.literal:
+            raise SyntheticDataError("literal relations cannot be correlated")
+
+
+@dataclass(frozen=True)
+class RelationMapping:
+    """One relation of a KB, defined by its canonical sources.
+
+    Parameters
+    ----------
+    name:
+        Local name of the relation in the KB's namespace.
+    sources:
+        Canonical relation names whose union is this relation's ideal
+        extension.  An empty tuple denotes a *noise* relation with random
+        facts, unaligned to anything.
+    fact_retention:
+        Fraction of the ideal extension the KB actually knows (models
+        incompleteness).  ``None`` uses the KB-level default.
+    noise_fact_count:
+        For noise relations: how many random facts to generate.
+    noise_subject_type / noise_object_type:
+        Types used to draw random facts for noise relations.
+    literal:
+        Set for noise relations that should be literal-valued.
+    """
+
+    name: str
+    sources: Tuple[str, ...] = ()
+    fact_retention: Optional[float] = None
+    noise_fact_count: int = 30
+    noise_subject_type: str = ""
+    noise_object_type: str = ""
+    literal: bool = False
+
+    @property
+    def is_noise(self) -> bool:
+        """Whether this is an unaligned filler relation."""
+        return not self.sources
+
+    def source_set(self) -> FrozenSet[str]:
+        """The canonical sources as a frozen set."""
+        return frozenset(self.sources)
+
+
+@dataclass
+class KBSpec:
+    """Specification of one synthetic KB.
+
+    ``retention_mode`` controls how incompleteness is applied:
+
+    * ``"subject"`` (default) — for each relation, a subject either keeps
+      *all* of its facts or loses all of them.  This matches the partial
+      completeness assumption the paper's PCA measure (and its UBS
+      contradiction test) relies on: "a KB knows either all or none of the
+      r-attributes of some x".
+    * ``"fact"`` — facts are dropped independently; used as an ablation to
+      show how the method degrades when the PCA assumption is violated.
+    """
+
+    name: str
+    namespace: Namespace
+    mappings: List[RelationMapping] = field(default_factory=list)
+    fact_retention: float = 0.85
+    retention_mode: str = "subject"
+    entity_style: str = "plain"
+    literal_style: str = "plain"
+    add_inverse_relations: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.fact_retention <= 1.0:
+            raise SyntheticDataError("fact_retention must be in (0, 1]")
+        if self.retention_mode not in ("subject", "fact"):
+            raise SyntheticDataError("retention_mode must be 'subject' or 'fact'")
+        names = [mapping.name for mapping in self.mappings]
+        if len(names) != len(set(names)):
+            raise SyntheticDataError(f"KB {self.name!r} has duplicate relation names")
+
+    def relation_names(self) -> List[str]:
+        """Local names of all relations of this KB."""
+        return [mapping.name for mapping in self.mappings]
+
+    def mapping(self, name: str) -> RelationMapping:
+        """Look up a mapping by local name."""
+        for candidate in self.mappings:
+            if candidate.name == name:
+                return candidate
+        raise SyntheticDataError(f"KB {self.name!r} has no relation named {name!r}")
+
+
+@dataclass
+class WorldSpec:
+    """Full specification of a synthetic two-KB world."""
+
+    entity_types: List[CanonicalEntityType]
+    canonical_relations: List[CanonicalRelation]
+    kb_specs: List[KBSpec]
+    #: Fraction of shared entities that receive a ``sameAs`` link at all.
+    link_rate: float = 0.9
+    #: Fraction of generated links that point to the *wrong* entity — noisy
+    #: interlinking is pervasive in the LOD cloud and is the main reason
+    #: correct rules do not score a perfect confidence on real data.
+    link_noise: float = 0.0
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if len(self.kb_specs) != 2:
+            raise SyntheticDataError("A WorldSpec needs exactly two KB specs")
+        if not 0.0 < self.link_rate <= 1.0:
+            raise SyntheticDataError("link_rate must be in (0, 1]")
+        if not 0.0 <= self.link_noise < 1.0:
+            raise SyntheticDataError("link_noise must be in [0, 1)")
+        type_names = {entity_type.name for entity_type in self.entity_types}
+        canonical_names = set()
+        for relation in self.canonical_relations:
+            if relation.name in canonical_names:
+                raise SyntheticDataError(f"Duplicate canonical relation {relation.name!r}")
+            canonical_names.add(relation.name)
+            if relation.subject_type not in type_names:
+                raise SyntheticDataError(
+                    f"Canonical relation {relation.name!r} uses unknown subject type"
+                )
+            if not relation.literal and relation.object_type not in type_names:
+                raise SyntheticDataError(
+                    f"Canonical relation {relation.name!r} uses unknown object type"
+                )
+            if relation.correlated_with and relation.correlated_with not in canonical_names:
+                # Correlated relations must be declared after their base.
+                raise SyntheticDataError(
+                    f"Canonical relation {relation.name!r} correlates with the undeclared "
+                    f"relation {relation.correlated_with!r}"
+                )
+        for kb in self.kb_specs:
+            for mapping in kb.mappings:
+                unknown = set(mapping.sources) - canonical_names
+                if unknown:
+                    raise SyntheticDataError(
+                        f"Relation {kb.name}:{mapping.name} maps unknown canonical "
+                        f"relations {sorted(unknown)}"
+                    )
+
+    def canonical(self, name: str) -> CanonicalRelation:
+        """Look up a canonical relation by name."""
+        for relation in self.canonical_relations:
+            if relation.name == name:
+                return relation
+        raise SyntheticDataError(f"Unknown canonical relation {name!r}")
+
+    def kb(self, name: str) -> KBSpec:
+        """Look up a KB spec by name."""
+        for kb_spec in self.kb_specs:
+            if kb_spec.name == name:
+                return kb_spec
+        raise SyntheticDataError(f"Unknown KB spec {name!r}")
+
+    def ground_truth(self) -> "GroundTruth":
+        """Derive the gold-standard alignment from the mappings."""
+        return GroundTruth.from_spec(self)
+
+
+class GroundTruth:
+    """Gold-standard subsumptions and equivalences between two KBs.
+
+    A subsumption ``(premise_kb, premise_relation) ⇒ (conclusion_kb,
+    conclusion_relation)`` is in the gold standard iff the canonical
+    sources of the premise are a non-empty subset of the sources of the
+    conclusion.  Noise relations never participate.
+    """
+
+    def __init__(self) -> None:
+        self._subsumptions: Set[Tuple[str, IRI, str, IRI]] = set()
+
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_spec(cls, spec: WorldSpec) -> "GroundTruth":
+        """Build the gold standard for a two-KB world spec."""
+        truth = cls()
+        first, second = spec.kb_specs
+        truth._add_direction(first, second)
+        truth._add_direction(second, first)
+        return truth
+
+    def _add_direction(self, premise_kb: KBSpec, conclusion_kb: KBSpec) -> None:
+        for premise in premise_kb.mappings:
+            if premise.is_noise:
+                continue
+            premise_sources = premise.source_set()
+            for conclusion in conclusion_kb.mappings:
+                if conclusion.is_noise:
+                    continue
+                if premise_sources and premise_sources <= conclusion.source_set():
+                    self.add_subsumption(
+                        premise_kb.name,
+                        premise_kb.namespace.term(premise.name),
+                        conclusion_kb.name,
+                        conclusion_kb.namespace.term(conclusion.name),
+                    )
+
+    # ------------------------------------------------------------------ #
+    def add_subsumption(
+        self, premise_kb: str, premise: IRI, conclusion_kb: str, conclusion: IRI
+    ) -> None:
+        """Record one gold subsumption."""
+        self._subsumptions.add((premise_kb, premise, conclusion_kb, conclusion))
+
+    def __len__(self) -> int:
+        return len(self._subsumptions)
+
+    def contains(
+        self, premise_kb: str, premise: IRI, conclusion_kb: str, conclusion: IRI
+    ) -> bool:
+        """Whether the given subsumption is in the gold standard."""
+        return (premise_kb, premise, conclusion_kb, conclusion) in self._subsumptions
+
+    def subsumption_pairs(
+        self, premise_kb: str, conclusion_kb: str
+    ) -> Set[Tuple[IRI, IRI]]:
+        """All gold ``(premise, conclusion)`` pairs for one direction."""
+        return {
+            (premise, conclusion)
+            for kb1, premise, kb2, conclusion in self._subsumptions
+            if kb1 == premise_kb and kb2 == conclusion_kb
+        }
+
+    def equivalence_pairs(
+        self, premise_kb: str, conclusion_kb: str
+    ) -> Set[Tuple[IRI, IRI]]:
+        """Gold equivalences: subsumptions holding in both directions."""
+        forward = self.subsumption_pairs(premise_kb, conclusion_kb)
+        backward = self.subsumption_pairs(conclusion_kb, premise_kb)
+        return {(p, c) for (p, c) in forward if (c, p) in backward}
+
+    def conclusion_relations(self, premise_kb: str, conclusion_kb: str) -> Set[IRI]:
+        """All conclusion-side relations participating in this direction."""
+        return {c for (_, c) in self.subsumption_pairs(premise_kb, conclusion_kb)}
+
+    def premise_relations(self, premise_kb: str, conclusion_kb: str) -> Set[IRI]:
+        """All premise-side relations participating in this direction."""
+        return {p for (p, _) in self.subsumption_pairs(premise_kb, conclusion_kb)}
+
+    def all_pairs(self) -> Set[Tuple[str, IRI, str, IRI]]:
+        """The raw gold standard (both directions)."""
+        return set(self._subsumptions)

@@ -1,0 +1,88 @@
+"""Shared fixtures for the test suite.
+
+The expensive fixtures (generated worlds) are session-scoped: they are
+deterministic, read-only from the tests' point of view, and regenerating
+them per test would dominate the suite's runtime.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.rdf.namespace import Namespace, OWL
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triple import Triple
+from repro.store.triplestore import TripleStore
+from repro.synthetic.generator import generate_world
+from repro.synthetic.presets import movie_world_spec, music_world_spec, yago_dbpedia_spec
+
+#: Namespaces used by the hand-built fixtures.
+EX = Namespace("http://example.org/kb1/")
+EX2 = Namespace("http://example.org/kb2/")
+
+
+@pytest.fixture
+def empty_store() -> TripleStore:
+    """A fresh empty store."""
+    return TripleStore(name="empty")
+
+
+@pytest.fixture
+def people_store() -> TripleStore:
+    """A small store about three people, with entity and literal facts."""
+    store = TripleStore(name="people")
+    sinatra = EX["Frank_Sinatra"]
+    einstein = EX["Albert_Einstein"]
+    curie = EX["Marie_Curie"]
+    store.add_all(
+        [
+            Triple(sinatra, EX.bornIn, EX.USA),
+            Triple(sinatra, EX.name, Literal("Frank Sinatra")),
+            Triple(sinatra, EX.profession, EX.Singer),
+            Triple(einstein, EX.bornIn, EX.Germany),
+            Triple(einstein, EX.name, Literal("Albert Einstein")),
+            Triple(einstein, EX.profession, EX.Physicist),
+            Triple(curie, EX.bornIn, EX.Poland),
+            Triple(curie, EX.name, Literal("Marie Curie")),
+            Triple(curie, EX.profession, EX.Physicist),
+            Triple(sinatra, OWL.sameAs, EX2["FrankSinatra"]),
+            Triple(einstein, OWL.sameAs, EX2["AlbertEinstein"]),
+        ]
+    )
+    return store
+
+
+@pytest.fixture
+def people_kb(people_store: TripleStore) -> KnowledgeBase:
+    """The people store wrapped as a knowledge base."""
+    return KnowledgeBase(name="people", namespace=EX, store=people_store)
+
+
+@pytest.fixture(scope="session")
+def movie_world():
+    """The hasDirector / hasProducer / directedBy world (§2.2 case 2)."""
+    return generate_world(movie_world_spec(films=80, people=100, seed=11))
+
+
+@pytest.fixture(scope="session")
+def music_world():
+    """The composerOf / writerOf / creatorOf world (§2.2 case 1)."""
+    return generate_world(music_world_spec(artists=100, works=200, seed=13))
+
+
+@pytest.fixture(scope="session")
+def small_yago_dbpedia_world():
+    """A scaled-down YAGO-like / DBpedia-like pair for integration tests."""
+    spec = yago_dbpedia_spec(
+        families=10,
+        yago_relation_count=30,
+        dbpedia_relation_count=60,
+        people=180,
+        works=140,
+        places=70,
+        orgs=60,
+        noise_fact_count=8,
+        seed=97,
+    )
+    return generate_world(spec)

@@ -1,0 +1,133 @@
+"""Tests for the SofyaAligner orchestration (the paper's §2 end to end)."""
+
+import dataclasses
+
+import pytest
+
+from repro.align.aligner import RemoteDataset, SofyaAligner
+from repro.align.config import AlignmentConfig
+from repro.endpoint.policy import AccessPolicy
+from repro.errors import AlignmentError
+
+
+def make_aligner(world, source_name, target_name, config, policy=None):
+    source = RemoteDataset.from_kb(world.kb(source_name), policy=policy)
+    target = RemoteDataset.from_kb(world.kb(target_name), policy=policy)
+    return SofyaAligner(source=source, target=target, links=world.links, config=config)
+
+
+class TestConstruction:
+    def test_remote_dataset_from_kb(self, movie_world):
+        dataset = RemoteDataset.from_kb(movie_world.kb("imdb"))
+        assert dataset.name == "imdb"
+        assert dataset.namespace == movie_world.kb("imdb").namespace
+
+    def test_source_and_target_must_differ(self, movie_world):
+        dataset = RemoteDataset.from_kb(movie_world.kb("imdb"))
+        with pytest.raises(AlignmentError):
+            SofyaAligner(source=dataset, target=dataset, links=movie_world.links)
+
+    def test_repr(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig())
+        assert "filmdb" in repr(aligner) and "imdb" in repr(aligner)
+
+
+class TestAlignRelation:
+    def test_baseline_scores_true_and_trap_candidates(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_pca_baseline())
+        filmdb = movie_world.kb("filmdb")
+        alignment = aligner.align_relation(filmdb.namespace.term("directedBy"))
+        by_name = {c.relation.local_name: c for c in alignment.candidates}
+        assert by_name["hasDirector"].confidence > 0.9
+        # The correlated relation looks convincing on simple samples - the trap.
+        assert by_name["hasProducer"].confidence > 0.3
+
+    def test_ubs_prunes_the_trap(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_ubs())
+        filmdb = movie_world.kb("filmdb")
+        alignment = aligner.align_relation(filmdb.namespace.term("directedBy"))
+        by_name = {c.relation.local_name: c for c in alignment.candidates}
+        assert by_name["hasProducer"].rule.pruned_by_ubs
+        assert by_name["hasProducer"].ubs_contradictions >= 1
+        assert not by_name["hasDirector"].rule.pruned_by_ubs
+        accepted = {rule.premise.relation.local_name for rule in alignment.accepted(0.3)}
+        assert accepted == {"hasDirector"}
+
+    def test_unknown_relation_returns_empty_alignment(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig())
+        alignment = aligner.align_relation(movie_world.kb("filmdb").namespace.term("nope"))
+        assert len(alignment) == 0
+        assert alignment.best() is None
+
+    def test_literal_relation_alignment(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_ubs())
+        filmdb = movie_world.kb("filmdb")
+        alignment = aligner.align_relation(filmdb.namespace.term("title"))
+        best = alignment.best()
+        assert best is not None
+        assert best.relation.local_name == "hasTitle"
+        assert best.confidence > 0.8
+
+    def test_equivalence_scoring(self, music_world):
+        config = dataclasses.replace(AlignmentConfig.paper_ubs(), test_equivalence=True)
+        aligner = make_aligner(music_world, "worksdb", "musicbrainz", config)
+        worksdb = music_world.kb("worksdb")
+        alignment = aligner.align_relation(worksdb.namespace.term("creatorOf"))
+        scored = [c for c in alignment.candidates if c.reverse_rule is not None]
+        assert scored, "equivalence test should score the reverse direction"
+        for candidate in scored:
+            # creatorOf is the union of composing and writing, so the reverse
+            # implication must look weaker than the forward one.
+            if candidate.relation.local_name in ("composerOf", "writerOf"):
+                assert candidate.reverse_rule.confidence <= candidate.rule.confidence
+
+    def test_cwa_measure_respected(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_cwa_baseline())
+        filmdb = movie_world.kb("filmdb")
+        alignment = aligner.align_relation(filmdb.namespace.term("directedBy"))
+        assert all(candidate.rule.measure == "cwa" for candidate in alignment.candidates)
+
+
+class TestAlignRelations:
+    def test_aligns_multiple_relations(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_ubs())
+        filmdb = movie_world.kb("filmdb")
+        relations = [
+            filmdb.namespace.term("directedBy"),
+            filmdb.namespace.term("producedBy"),
+            filmdb.namespace.term("title"),
+        ]
+        result = aligner.align_relations(relations)
+        assert len(result) == 3
+        assert result.direction == "imdb ⊂ filmdb"
+        accepted_pairs = {
+            (p.local_name, c.local_name) for p, c in result.predicted_pairs(threshold=0.3)
+        }
+        assert ("hasDirector", "directedBy") in accepted_pairs
+        assert ("hasProducer", "producedBy") in accepted_pairs
+        assert ("hasProducer", "directedBy") not in accepted_pairs
+
+    def test_query_statistics_recorded(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_ubs())
+        filmdb = movie_world.kb("filmdb")
+        result = aligner.align_relations([filmdb.namespace.term("directedBy")])
+        assert result.total_queries() > 0
+        assert set(result.query_statistics) == {"filmdb", "imdb"}
+
+    def test_query_budget_exhaustion_is_graceful(self, movie_world):
+        policy = AccessPolicy(max_queries=6)
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_ubs(), policy)
+        filmdb = movie_world.kb("filmdb")
+        relations = [
+            filmdb.namespace.term("directedBy"),
+            filmdb.namespace.term("producedBy"),
+            filmdb.namespace.term("title"),
+        ]
+        result = aligner.align_relations(relations)
+        # The run stops early but still returns a result object.
+        assert len(result) < len(relations)
+
+    def test_default_relations_come_from_source_catalogue(self, movie_world):
+        aligner = make_aligner(movie_world, "filmdb", "imdb", AlignmentConfig.paper_pca_baseline())
+        result = aligner.align_relations()
+        assert len(result) >= 3

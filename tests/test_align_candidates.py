@@ -1,0 +1,119 @@
+"""Unit tests for candidate relation discovery."""
+
+import pytest
+
+from repro.align.candidates import CandidateFinder
+from repro.align.config import AlignmentConfig
+from repro.rdf.namespace import SAME_AS
+
+
+@pytest.fixture
+def movie_setup(movie_world):
+    """Clients and namespaces for the movie world, filmdb -> imdb direction."""
+    filmdb = movie_world.kb("filmdb")
+    imdb = movie_world.kb("imdb")
+    return {
+        "world": movie_world,
+        "source": filmdb.client(),   # query relations live in filmdb
+        "target": imdb.client(),     # candidates come from imdb
+        "target_ns": imdb.namespace,
+        "filmdb": filmdb,
+        "imdb": imdb,
+    }
+
+
+class TestCandidateFinder:
+    def test_finds_true_candidate(self, movie_setup):
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+        )
+        directed_by = movie_setup["filmdb"].namespace.term("directedBy")
+        candidates = finder.find(directed_by)
+        names = {candidate.relation.local_name for candidate in candidates}
+        assert "hasDirector" in names
+
+    def test_correlated_relation_also_proposed(self, movie_setup):
+        # The whole point of the UBS strategy: hasProducer shows up as a
+        # (wrong) candidate for directedBy because of the correlation.
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+        )
+        directed_by = movie_setup["filmdb"].namespace.term("directedBy")
+        names = {c.relation.local_name for c in finder.find(directed_by)}
+        assert "hasProducer" in names
+
+    def test_same_as_never_proposed(self, movie_setup):
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+        )
+        directed_by = movie_setup["filmdb"].namespace.term("directedBy")
+        assert SAME_AS not in {c.relation for c in finder.find(directed_by)}
+
+    def test_literal_relation_candidates(self, movie_setup):
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+        )
+        title = movie_setup["filmdb"].namespace.term("title")
+        names = {c.relation.local_name for c in finder.find(title)}
+        assert "hasTitle" in names
+
+    def test_unknown_relation_yields_no_candidates(self, movie_setup):
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+        )
+        missing = movie_setup["filmdb"].namespace.term("doesNotExist")
+        assert finder.find(missing) == []
+
+    def test_candidates_ranked_by_hits(self, movie_setup):
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+        )
+        directed_by = movie_setup["filmdb"].namespace.term("directedBy")
+        candidates = finder.find(directed_by)
+        hits = [candidate.hits for candidate in candidates]
+        assert hits == sorted(hits, reverse=True)
+        assert candidates[0].relation.local_name == "hasDirector"
+
+    def test_max_candidates_respected(self, movie_setup):
+        config = AlignmentConfig(max_candidates=1)
+        finder = CandidateFinder(
+            source=movie_setup["source"],
+            target=movie_setup["target"],
+            links=movie_setup["world"].links,
+            target_namespace=movie_setup["target_ns"],
+            config=config,
+        )
+        directed_by = movie_setup["filmdb"].namespace.term("directedBy")
+        assert len(finder.find(directed_by)) == 1
+
+    def test_deterministic_given_seed(self, movie_setup):
+        def run():
+            finder = CandidateFinder(
+                source=movie_setup["filmdb"].client(),
+                target=movie_setup["imdb"].client(),
+                links=movie_setup["world"].links,
+                target_namespace=movie_setup["target_ns"],
+                config=AlignmentConfig(random_seed=5),
+            )
+            directed_by = movie_setup["filmdb"].namespace.term("directedBy")
+            return [(c.relation, c.hits) for c in finder.find(directed_by)]
+
+        assert run() == run()

@@ -1,0 +1,104 @@
+"""Unit tests for the CWA / PCA confidence measures (Eq. 1 and Eq. 2)."""
+
+import pytest
+
+from repro.errors import AlignmentError
+from repro.align.confidence import (
+    confidence_of,
+    cwa_confidence,
+    cwa_confidence_of,
+    pca_confidence,
+    pca_confidence_of,
+    support_of,
+)
+from repro.align.evidence import EvidenceSet, SubjectEvidence
+
+from tests.conftest import EX
+
+
+def make_evidence():
+    """Three subjects:
+
+    * s1: premise objects {a, b}, conclusion objects {a}      (1 shared of 2, has r facts)
+    * s2: premise objects {c},    conclusion objects {}        (0 shared, no r facts)
+    * s3: premise objects {d},    conclusion objects {d, e}    (1 shared of 1, has r facts)
+
+    positives = 2, premise pairs = 4, pca body pairs = 3.
+    """
+    evidence = EvidenceSet()
+    evidence.add(SubjectEvidence(EX.s1, premise_objects=[EX.a, EX.b], conclusion_objects=[EX.a]))
+    evidence.add(SubjectEvidence(EX.s2, premise_objects=[EX.c], conclusion_objects=[]))
+    evidence.add(SubjectEvidence(EX.s3, premise_objects=[EX.d], conclusion_objects=[EX.d, EX.e]))
+    return evidence
+
+
+class TestCountBasedFunctions:
+    def test_cwa_formula(self):
+        assert cwa_confidence(2, 4) == pytest.approx(0.5)
+
+    def test_pca_formula(self):
+        assert pca_confidence(2, 3) == pytest.approx(2 / 3)
+
+    def test_zero_denominators(self):
+        assert cwa_confidence(0, 0) == 0.0
+        assert pca_confidence(0, 0) == 0.0
+
+    def test_full_confidence(self):
+        assert cwa_confidence(5, 5) == 1.0
+        assert pca_confidence(5, 5) == 1.0
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(AlignmentError):
+            cwa_confidence(-1, 2)
+        with pytest.raises(AlignmentError):
+            pca_confidence(1, -2)
+
+    def test_positives_exceeding_denominator_rejected(self):
+        with pytest.raises(AlignmentError):
+            cwa_confidence(5, 3)
+
+
+class TestEvidenceBasedFunctions:
+    def test_counts_extracted_from_evidence(self):
+        evidence = make_evidence()
+        assert evidence.positive_pairs() == 2
+        assert evidence.premise_pairs() == 4
+        assert evidence.pca_body_pairs() == 3
+        assert evidence.counts() == (2, 4, 3)
+
+    def test_cwa_of_evidence(self):
+        assert cwa_confidence_of(make_evidence()) == pytest.approx(0.5)
+
+    def test_pca_of_evidence(self):
+        assert pca_confidence_of(make_evidence()) == pytest.approx(2 / 3)
+
+    def test_pca_at_least_cwa(self):
+        evidence = make_evidence()
+        assert pca_confidence_of(evidence) >= cwa_confidence_of(evidence)
+
+    def test_confidence_of_dispatch(self):
+        evidence = make_evidence()
+        assert confidence_of(evidence, "pca") == pca_confidence_of(evidence)
+        assert confidence_of(evidence, "cwa") == cwa_confidence_of(evidence)
+
+    def test_confidence_of_unknown_measure(self):
+        with pytest.raises(AlignmentError):
+            confidence_of(make_evidence(), "f1")
+
+    def test_support(self):
+        assert support_of(make_evidence()) == 2
+
+    def test_empty_evidence(self):
+        empty = EvidenceSet()
+        assert cwa_confidence_of(empty) == 0.0
+        assert pca_confidence_of(empty) == 0.0
+        assert support_of(empty) == 0
+
+    def test_pca_ignores_subjects_without_conclusion_facts(self):
+        # The key difference between Eq. 1 and Eq. 2: subject s2 contributes
+        # to the CWA denominator but not to the PCA denominator.
+        evidence = EvidenceSet()
+        evidence.add(SubjectEvidence(EX.s1, premise_objects=[EX.a], conclusion_objects=[EX.a]))
+        evidence.add(SubjectEvidence(EX.s2, premise_objects=[EX.b], conclusion_objects=[]))
+        assert pca_confidence_of(evidence) == 1.0
+        assert cwa_confidence_of(evidence) == 0.5

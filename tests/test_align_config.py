@@ -1,0 +1,81 @@
+"""Unit tests for the alignment configuration."""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.errors import AlignmentError
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        config = AlignmentConfig()
+        assert config.sample_size == 10
+        assert config.confidence_measure == "pca"
+
+    def test_invalid_sample_size(self):
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(sample_size=0)
+
+    def test_invalid_measure(self):
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(confidence_measure="f-measure")
+
+    def test_invalid_threshold(self):
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(confidence_threshold=1.5)
+
+    def test_invalid_min_support(self):
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(min_support=-1)
+
+    def test_invalid_ubs_settings(self):
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(ubs_contradiction_threshold=0)
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(ubs_sample_size=0)
+
+    def test_invalid_candidate_settings(self):
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(candidate_sample_size=0)
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(max_candidates=0)
+        with pytest.raises(AlignmentError):
+            AlignmentConfig(oversample_factor=0)
+
+
+class TestPaperPresets:
+    def test_pca_baseline_matches_paper_row(self):
+        config = AlignmentConfig.paper_pca_baseline()
+        assert config.confidence_measure == "pca"
+        assert config.confidence_threshold == pytest.approx(0.3)
+        assert not config.use_unbiased_sampling
+        assert config.sample_size == 10
+
+    def test_cwa_baseline_matches_paper_row(self):
+        config = AlignmentConfig.paper_cwa_baseline()
+        assert config.confidence_measure == "cwa"
+        assert config.confidence_threshold == pytest.approx(0.1)
+        assert not config.use_unbiased_sampling
+
+    def test_ubs_preset_matches_paper_row(self):
+        config = AlignmentConfig.paper_ubs()
+        assert config.confidence_measure == "pca"
+        assert config.use_unbiased_sampling
+
+    def test_presets_accept_sample_size(self):
+        assert AlignmentConfig.paper_ubs(sample_size=25).sample_size == 25
+
+
+class TestDerivedCopies:
+    def test_with_threshold(self):
+        config = AlignmentConfig().with_threshold(0.7)
+        assert config.confidence_threshold == pytest.approx(0.7)
+        assert AlignmentConfig().confidence_threshold != 0.7
+
+    def test_with_sample_size(self):
+        assert AlignmentConfig().with_sample_size(3).sample_size == 3
+
+    def test_copies_are_frozen(self):
+        config = AlignmentConfig()
+        with pytest.raises(Exception):
+            config.sample_size = 99  # type: ignore[misc]

@@ -1,0 +1,98 @@
+"""Unit tests for evidence sets and per-subject evidence."""
+
+from repro.align.evidence import EvidenceSet, SubjectEvidence
+from repro.rdf.terms import Literal
+from repro.similarity.literal_match import LiteralMatcher
+
+from tests.conftest import EX
+
+
+class TestSubjectEvidence:
+    def test_shared_pairs_entity_objects(self):
+        record = SubjectEvidence(
+            EX.s, premise_objects=[EX.a, EX.b], conclusion_objects=[EX.b, EX.c]
+        )
+        assert record.shared_pairs() == 1
+
+    def test_shared_pairs_no_double_counting(self):
+        # Two identical premise objects cannot both match the single
+        # conclusion object.
+        record = SubjectEvidence(
+            EX.s, premise_objects=[EX.a, EX.a], conclusion_objects=[EX.a]
+        )
+        assert record.shared_pairs() == 1
+
+    def test_shared_pairs_with_literal_matcher(self):
+        record = SubjectEvidence(
+            EX.s,
+            premise_objects=[Literal("Frank_Sinatra")],
+            conclusion_objects=[Literal("frank sinatra")],
+        )
+        assert record.shared_pairs() == 0
+        assert record.shared_pairs(LiteralMatcher()) == 1
+
+    def test_has_conclusion_facts(self):
+        assert SubjectEvidence(EX.s, conclusion_objects=[EX.a]).has_conclusion_facts()
+        assert not SubjectEvidence(EX.s).has_conclusion_facts()
+
+
+class TestEvidenceSet:
+    def test_add_and_iterate(self):
+        evidence = EvidenceSet()
+        evidence.add(SubjectEvidence(EX.s1))
+        evidence.extend([SubjectEvidence(EX.s2), SubjectEvidence(EX.s3)])
+        assert len(evidence) == 3
+        assert [record.subject for record in evidence] == [EX.s1, EX.s2, EX.s3]
+
+    def test_subjects(self):
+        evidence = EvidenceSet()
+        evidence.add(SubjectEvidence(EX.s1))
+        assert evidence.subjects() == [EX.s1]
+
+    def test_unbiased_record_count(self):
+        evidence = EvidenceSet()
+        evidence.add(SubjectEvidence(EX.s1))
+        evidence.add(SubjectEvidence(EX.s2, from_unbiased_sampling=True))
+        assert evidence.unbiased_record_count() == 1
+
+    def test_merge_unions_objects_per_subject(self):
+        left = EvidenceSet()
+        left.add(SubjectEvidence(EX.s1, premise_objects=[EX.a], conclusion_objects=[EX.a]))
+        right = EvidenceSet()
+        right.add(SubjectEvidence(EX.s1, premise_objects=[EX.b], conclusion_objects=[EX.a]))
+        right.add(SubjectEvidence(EX.s2, premise_objects=[EX.c]))
+
+        merged = left.merge(right)
+        assert len(merged) == 2
+        record = next(r for r in merged if r.subject == EX.s1)
+        assert set(record.premise_objects) == {EX.a, EX.b}
+        assert record.conclusion_objects == [EX.a]
+
+    def test_merge_preserves_unbiased_flag(self):
+        left = EvidenceSet()
+        left.add(SubjectEvidence(EX.s1))
+        right = EvidenceSet()
+        right.add(SubjectEvidence(EX.s1, from_unbiased_sampling=True))
+        merged = left.merge(right)
+        assert merged.records[0].from_unbiased_sampling
+
+    def test_merge_keeps_literal_matcher(self):
+        matcher = LiteralMatcher(threshold=0.5)
+        left = EvidenceSet(literal_matcher=matcher)
+        merged = left.merge(EvidenceSet())
+        assert merged.literal_matcher is matcher
+
+    def test_merge_does_not_mutate_inputs(self):
+        left = EvidenceSet()
+        left.add(SubjectEvidence(EX.s1, premise_objects=[EX.a]))
+        right = EvidenceSet()
+        right.add(SubjectEvidence(EX.s1, premise_objects=[EX.b]))
+        left.merge(right)
+        assert left.records[0].premise_objects == [EX.a]
+        assert right.records[0].premise_objects == [EX.b]
+
+    def test_counts_on_untranslatable_objects(self):
+        evidence = EvidenceSet()
+        evidence.add(SubjectEvidence(EX.s1, premise_objects=[], untranslatable_objects=3))
+        assert evidence.premise_pairs() == 0
+        assert evidence.positive_pairs() == 0

@@ -1,0 +1,115 @@
+"""Unit tests for alignment result containers."""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.align.result import AlignmentResult, RelationAlignment, ScoredCandidate
+from repro.align.rule import RelationRef, SubsumptionRule
+
+from tests.conftest import EX, EX2
+
+CONCLUSION = RelationRef("dbpedia", EX2.birthPlace)
+
+
+def scored(local_name: str, confidence: float, support: int = 5, pruned: bool = False,
+           reverse_confidence=None) -> ScoredCandidate:
+    premise = RelationRef("yago", EX[local_name])
+    rule = SubsumptionRule(
+        premise=premise, conclusion=CONCLUSION, confidence=confidence, support=support,
+        measure="pca", body_size=10, pruned_by_ubs=pruned,
+    )
+    reverse = None
+    if reverse_confidence is not None:
+        reverse = SubsumptionRule(
+            premise=CONCLUSION, conclusion=premise, confidence=reverse_confidence,
+            support=support, measure="pca",
+        )
+    return ScoredCandidate(rule=rule, evidence_subjects=10, candidate_hits=3, reverse_rule=reverse)
+
+
+@pytest.fixture
+def alignment() -> RelationAlignment:
+    return RelationAlignment(
+        relation=CONCLUSION,
+        candidates=[
+            scored("wasBornIn", 0.95, reverse_confidence=0.9),
+            scored("diedIn", 0.4),
+            scored("livesIn", 0.8, pruned=True),
+            scored("citizenOf", 0.2, support=0),
+        ],
+    )
+
+
+class TestRelationAlignment:
+    def test_sorted_candidates_by_confidence(self, alignment):
+        names = [c.relation.local_name for c in alignment.sorted_candidates()]
+        assert names == ["wasBornIn", "livesIn", "diedIn", "citizenOf"]
+
+    def test_accepted_filters_threshold_support_and_pruning(self, alignment):
+        accepted = {rule.premise.relation.local_name for rule in alignment.accepted(0.3)}
+        assert accepted == {"wasBornIn", "diedIn"}
+
+    def test_best(self, alignment):
+        assert alignment.best().relation.local_name == "wasBornIn"
+
+    def test_len_and_iter(self, alignment):
+        assert len(alignment) == 4
+        assert len(list(alignment)) == 4
+
+    def test_equivalences(self, alignment):
+        equivalences = alignment.equivalences(threshold=0.3)
+        assert len(equivalences) == 1
+        assert equivalences[0].left.relation.local_name == "wasBornIn"
+
+    def test_candidate_equivalence_none_without_reverse(self, alignment):
+        assert alignment.candidates[1].equivalence() is None
+
+
+class TestAlignmentResult:
+    def _result(self, alignment) -> AlignmentResult:
+        result = AlignmentResult(
+            source_kb="dbpedia", target_kb="yago", config=AlignmentConfig.paper_ubs()
+        )
+        result.add(alignment)
+        result.query_statistics = {"dbpedia": {"queries": 12.0}, "yago": {"queries": 30.0}}
+        return result
+
+    def test_direction_label(self, alignment):
+        assert self._result(alignment).direction == "yago ⊂ dbpedia"
+
+    def test_accepted_rules_use_config_threshold_by_default(self, alignment):
+        result = self._result(alignment)
+        names = {rule.premise.relation.local_name for rule in result.accepted_rules()}
+        assert names == {"wasBornIn", "diedIn"}
+
+    def test_accepted_rules_with_explicit_threshold(self, alignment):
+        result = self._result(alignment)
+        names = {rule.premise.relation.local_name for rule in result.accepted_rules(threshold=0.9)}
+        assert names == {"wasBornIn"}
+
+    def test_predicted_pairs(self, alignment):
+        pairs = self._result(alignment).predicted_pairs(threshold=0.9)
+        assert pairs == {(EX.wasBornIn, EX2.birthPlace)}
+
+    def test_scored_pairs_include_everything(self, alignment):
+        assert len(self._result(alignment).scored_pairs()) == 4
+
+    def test_for_relation(self, alignment):
+        result = self._result(alignment)
+        assert result.for_relation(EX2.birthPlace) is alignment
+        assert result.for_relation(EX2.unknown) is None
+
+    def test_equivalences(self, alignment):
+        assert len(self._result(alignment).equivalences(threshold=0.3)) == 1
+
+    def test_total_queries_and_summary(self, alignment):
+        result = self._result(alignment)
+        assert result.total_queries() == pytest.approx(42.0)
+        summary = result.summary()
+        assert "yago ⊂ dbpedia" in summary
+        assert "42" in summary
+
+    def test_len_and_iteration(self, alignment):
+        result = self._result(alignment)
+        assert len(result) == 1
+        assert list(result) == [alignment]

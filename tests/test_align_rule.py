@@ -1,0 +1,93 @@
+"""Unit tests for subsumption / equivalence rules."""
+
+import pytest
+
+from repro.align.rule import EquivalenceRule, RelationRef, SubsumptionRule, make_rule_key
+
+from tests.conftest import EX, EX2
+
+PREMISE = RelationRef(kb="yago", relation=EX.wasBornIn)
+CONCLUSION = RelationRef(kb="dbpedia", relation=EX2.birthPlace)
+
+
+def rule(confidence=0.9, support=5, pruned=False, measure="pca"):
+    return SubsumptionRule(
+        premise=PREMISE,
+        conclusion=CONCLUSION,
+        confidence=confidence,
+        support=support,
+        measure=measure,
+        body_size=10,
+        pruned_by_ubs=pruned,
+    )
+
+
+class TestRelationRef:
+    def test_name_combines_kb_and_local_name(self):
+        assert PREMISE.name == "yago:wasBornIn"
+        assert str(PREMISE) == "yago:wasBornIn"
+
+    def test_equality(self):
+        assert PREMISE == RelationRef("yago", EX.wasBornIn)
+        assert PREMISE != CONCLUSION
+
+
+class TestSubsumptionRule:
+    def test_accepted_above_threshold(self):
+        assert rule(confidence=0.9).accepted(0.3)
+        assert not rule(confidence=0.2).accepted(0.3)
+
+    def test_threshold_is_strict(self):
+        assert not rule(confidence=0.3).accepted(0.3)
+
+    def test_min_support(self):
+        assert not rule(support=0).accepted(0.1, min_support=1)
+        assert rule(support=2).accepted(0.1, min_support=2)
+
+    def test_ubs_pruning_overrides_confidence(self):
+        assert not rule(confidence=1.0, pruned=True).accepted(0.1)
+
+    def test_str_rendering(self):
+        text = str(rule())
+        assert "yago:wasBornIn" in text and "dbpedia:birthPlace" in text and "pca" in text
+
+    def test_reversed_key(self):
+        assert rule().reversed_key() == (CONCLUSION, PREMISE)
+
+    def test_make_rule_key(self):
+        key = make_rule_key(PREMISE, CONCLUSION)
+        assert key[0] == "yago" and key[2] == "dbpedia"
+
+
+class TestEquivalenceRule:
+    def _reverse_rule(self, confidence=0.8):
+        return SubsumptionRule(
+            premise=CONCLUSION,
+            conclusion=PREMISE,
+            confidence=confidence,
+            support=4,
+            measure="pca",
+        )
+
+    def test_construction_requires_mutually_reversed_rules(self):
+        equivalence = EquivalenceRule(forward=rule(), backward=self._reverse_rule())
+        assert equivalence.left == PREMISE
+        assert equivalence.right == CONCLUSION
+
+    def test_mismatched_rules_rejected(self):
+        with pytest.raises(ValueError):
+            EquivalenceRule(forward=rule(), backward=rule())
+
+    def test_confidence_is_minimum(self):
+        equivalence = EquivalenceRule(forward=rule(confidence=0.9), backward=self._reverse_rule(0.6))
+        assert equivalence.confidence == pytest.approx(0.6)
+
+    def test_accepted_requires_both_directions(self):
+        good = EquivalenceRule(forward=rule(0.9), backward=self._reverse_rule(0.8))
+        weak = EquivalenceRule(forward=rule(0.9), backward=self._reverse_rule(0.2))
+        assert good.accepted(0.3)
+        assert not weak.accepted(0.3)
+
+    def test_str_rendering(self):
+        equivalence = EquivalenceRule(forward=rule(), backward=self._reverse_rule())
+        assert "<=>" in str(equivalence)

@@ -1,0 +1,162 @@
+"""Unit tests for Simple Sample Extraction."""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.align.sampling import SimpleSampleExtractor
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal
+
+#: A tiny fully-controlled KB pair for precise assertions.
+A_NS = Namespace("http://sampling.test/a/")
+B_NS = Namespace("http://sampling.test/b/")
+
+
+@pytest.fixture
+def tiny_pair():
+    """KB A: bornAt(p, city); KB B: birthPlace(p, city) missing one fact."""
+    kb_a = KnowledgeBase("A", A_NS)
+    kb_b = KnowledgeBase("B", B_NS)
+    links = SameAsIndex()
+    for index in range(4):
+        person_a, person_b = A_NS[f"p{index}"], B_NS[f"p{index}"]
+        city_a, city_b = A_NS[f"c{index}"], B_NS[f"c{index}"]
+        kb_a.add_fact(person_a, A_NS.bornAt, city_a)
+        links.add_link(person_a, person_b)
+        links.add_link(city_a, city_b)
+        if index != 3:
+            # KB B does not know p3's birth place at all (PCA-friendly gap).
+            kb_b.add_fact(person_b, B_NS.birthPlace, city_b)
+    # An extra B fact that A does not have.
+    kb_b.add_fact(B_NS.p0, B_NS.birthPlace, B_NS.extraCity)
+    return kb_a, kb_b, links
+
+
+def make_extractor(tiny_pair, **config_kwargs):
+    kb_a, kb_b, links = tiny_pair
+    config = AlignmentConfig(sample_size=4, random_seed=1, **config_kwargs)
+    return SimpleSampleExtractor(
+        premise_client=kb_a.client(),
+        conclusion_client=kb_b.client(),
+        links=links,
+        conclusion_namespace=B_NS,
+        config=config,
+    ), kb_a, kb_b
+
+
+class TestSampleSubjects:
+    def test_only_linkable_subjects_sampled(self, tiny_pair):
+        extractor, kb_a, _ = make_extractor(tiny_pair)
+        kb_a.add_fact(A_NS.unlinked, A_NS.bornAt, A_NS.somewhere)
+        subjects = extractor.sample_subjects(A_NS.bornAt)
+        assert A_NS.unlinked not in subjects
+        assert len(subjects) == 4
+
+    def test_sample_size_respected(self, tiny_pair):
+        extractor, *_ = make_extractor(tiny_pair)
+        extractor.config = AlignmentConfig(sample_size=2, random_seed=1)
+        assert len(extractor.sample_subjects(A_NS.bornAt)) == 2
+
+    def test_empty_relation(self, tiny_pair):
+        extractor, *_ = make_extractor(tiny_pair)
+        assert extractor.sample_subjects(A_NS.noSuchRelation) == []
+
+
+class TestExtract:
+    def test_evidence_counts(self, tiny_pair):
+        extractor, *_ = make_extractor(tiny_pair)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace)
+        # 4 sampled subjects, p3 has no conclusion facts.
+        assert len(evidence) == 4
+        assert evidence.positive_pairs() == 3
+        assert evidence.premise_pairs() == 4
+        assert evidence.pca_body_pairs() == 3
+
+    def test_subjects_are_translated_to_conclusion_namespace(self, tiny_pair):
+        extractor, *_ = make_extractor(tiny_pair)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace)
+        assert all(record.subject in B_NS for record in evidence)
+
+    def test_conclusion_objects_include_all_facts_of_subject(self, tiny_pair):
+        # Required by the PCA measure: all r facts of a sampled subject are
+        # retrieved, not only the ones matching the premise.
+        extractor, *_ = make_extractor(tiny_pair)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace)
+        p0_record = next(r for r in evidence if r.subject == B_NS.p0)
+        assert set(p0_record.conclusion_objects) == {B_NS.c0, B_NS.extraCity}
+
+    def test_explicit_subject_list_skips_sampling(self, tiny_pair):
+        extractor, *_ = make_extractor(tiny_pair)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace, subjects=[A_NS.p1])
+        assert len(evidence) == 1
+        assert evidence.records[0].subject == B_NS.p1
+
+    def test_explicit_subjects_without_links_are_dropped(self, tiny_pair):
+        extractor, *_ = make_extractor(tiny_pair)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace, subjects=[A_NS.nobody])
+        assert len(evidence) == 0
+
+    def test_untranslatable_objects_ignored_by_default(self, tiny_pair):
+        extractor, kb_a, _ = make_extractor(tiny_pair)
+        # p1 has a second bornAt fact whose object has no sameAs image.
+        kb_a.add_fact(A_NS.p1, A_NS.bornAt, A_NS.unlinkedCity)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace)
+        p1_record = next(r for r in evidence if r.subject == B_NS.p1)
+        assert p1_record.untranslatable_objects == 1
+        assert len(p1_record.premise_objects) == 1
+
+    def test_untranslatable_objects_kept_when_configured(self, tiny_pair):
+        extractor, kb_a, _ = make_extractor(tiny_pair, require_sameas_objects=False)
+        kb_a.add_fact(A_NS.p1, A_NS.bornAt, A_NS.unlinkedCity)
+        evidence = extractor.extract(A_NS.bornAt, B_NS.birthPlace)
+        p1_record = next(r for r in evidence if r.subject == B_NS.p1)
+        # The raw object is kept and counts against the rule.
+        assert len(p1_record.premise_objects) == 2
+
+    def test_literal_objects_pass_through(self, tiny_pair):
+        extractor, kb_a, kb_b = make_extractor(tiny_pair)
+        kb_a.add_fact(A_NS.p0, A_NS.label, Literal("Person Zero"))
+        kb_b.add_fact(B_NS.p0, B_NS.name, Literal("person zero"))
+        evidence = extractor.extract(A_NS.label, B_NS.name)
+        assert evidence.positive_pairs() == 1
+
+    def test_deterministic_given_seed(self, movie_world):
+        imdb = movie_world.kb("imdb")
+        filmdb = movie_world.kb("filmdb")
+
+        def run():
+            extractor = SimpleSampleExtractor(
+                premise_client=imdb.client(),
+                conclusion_client=filmdb.client(),
+                links=movie_world.links,
+                conclusion_namespace=filmdb.namespace,
+                config=AlignmentConfig(random_seed=3),
+            )
+            evidence = extractor.extract(
+                imdb.namespace.term("hasDirector"), filmdb.namespace.term("directedBy")
+            )
+            return evidence.counts()
+
+        assert run() == run()
+
+    def test_query_budget_is_small(self, movie_world):
+        # The whole extraction for one candidate must stay within a handful
+        # of endpoint queries - that is the point of the paper.
+        imdb = movie_world.kb("imdb")
+        filmdb = movie_world.kb("filmdb")
+        premise_client = imdb.client()
+        conclusion_client = filmdb.client()
+        extractor = SimpleSampleExtractor(
+            premise_client=premise_client,
+            conclusion_client=conclusion_client,
+            links=movie_world.links,
+            conclusion_namespace=filmdb.namespace,
+            config=AlignmentConfig(sample_size=10),
+        )
+        extractor.extract(imdb.namespace.term("hasDirector"), filmdb.namespace.term("directedBy"))
+        total_queries = (
+            premise_client.endpoint.log.query_count + conclusion_client.endpoint.log.query_count
+        )
+        assert total_queries <= 8

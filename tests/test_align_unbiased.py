@@ -1,0 +1,162 @@
+"""Unit tests for Unbiased Sample Extraction (UBS)."""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.align.unbiased import UBSReport, UnbiasedSampleExtractor
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import Namespace
+
+#: Controlled movie-style world: K' has hasDirector/hasProducer, K has directedBy.
+KP_NS = Namespace("http://ubs.test/kprime/")
+K_NS = Namespace("http://ubs.test/k/")
+
+
+@pytest.fixture
+def controlled_pair():
+    """Five films; in two of them the producer differs from the director."""
+    kprime = KnowledgeBase("kprime", KP_NS)
+    k = KnowledgeBase("k", K_NS)
+    links = SameAsIndex()
+
+    people = [f"person{i}" for i in range(6)]
+    for index in range(5):
+        film_p, film_k = KP_NS[f"film{index}"], K_NS[f"film{index}"]
+        links.add_link(film_p, film_k)
+        director = people[index]
+        kprime.add_fact(film_p, KP_NS.hasDirector, KP_NS[director])
+        k.add_fact(film_k, K_NS.directedBy, K_NS[director])
+        links.add_link(KP_NS[director], K_NS[director])
+        # Films 0-2: producer == director (the trap); films 3-4: different person.
+        producer = director if index < 3 else people[index + 1]
+        kprime.add_fact(film_p, KP_NS.hasProducer, KP_NS[producer])
+        links.add_link(KP_NS[producer], K_NS[producer])
+    return kprime, k, links
+
+
+def make_extractor(controlled_pair, **config_kwargs):
+    kprime, k, links = controlled_pair
+    config = AlignmentConfig(ubs_sample_size=10, **config_kwargs)
+    return UnbiasedSampleExtractor(
+        premise_client=kprime.client(),
+        conclusion_client=k.client(),
+        links=links,
+        conclusion_namespace=K_NS,
+        config=config,
+    )
+
+
+class TestUBSReport:
+    def test_prunes_requires_threshold_and_majority(self):
+        report = UBSReport(candidate=KP_NS.hasProducer, contradictions=2, confirmations=1)
+        assert report.prunes(1)
+        assert report.prunes(2)
+        assert not report.prunes(3)
+
+    def test_no_pruning_when_confirmations_dominate(self):
+        report = UBSReport(candidate=KP_NS.hasProducer, contradictions=1, confirmations=3)
+        assert not report.prunes(1)
+
+    def test_no_pruning_without_contradictions(self):
+        report = UBSReport(candidate=KP_NS.hasProducer)
+        assert not report.prunes(1)
+
+
+class TestCheckCandidate:
+    def test_wrong_candidate_contradicted(self, controlled_pair):
+        extractor = make_extractor(controlled_pair)
+        report = extractor.check_candidate(
+            candidate=KP_NS.hasProducer,
+            siblings=[KP_NS.hasDirector, KP_NS.hasProducer],
+            conclusion_relation=K_NS.directedBy,
+        )
+        # Films 3 and 4 contradict hasProducer => directedBy.
+        assert report.contradictions == 2
+        assert report.confirmations == 0
+        assert report.prunes(1)
+
+    def test_correct_candidate_not_contradicted(self, controlled_pair):
+        extractor = make_extractor(controlled_pair)
+        report = extractor.check_candidate(
+            candidate=KP_NS.hasDirector,
+            siblings=[KP_NS.hasDirector, KP_NS.hasProducer],
+            conclusion_relation=K_NS.directedBy,
+        )
+        assert report.contradictions == 0
+        assert report.confirmations == 2
+        assert not report.prunes(1)
+
+    def test_candidate_is_never_its_own_sibling(self, controlled_pair):
+        extractor = make_extractor(controlled_pair)
+        report = extractor.check_candidate(
+            candidate=KP_NS.hasProducer,
+            siblings=[KP_NS.hasProducer],
+            conclusion_relation=K_NS.directedBy,
+        )
+        assert report.contradictions == 0
+        assert report.confirmations == 0
+        assert report.extra_evidence.records == []
+
+    def test_extra_evidence_is_collected(self, controlled_pair):
+        extractor = make_extractor(controlled_pair)
+        report = extractor.check_candidate(
+            candidate=KP_NS.hasProducer,
+            siblings=[KP_NS.hasDirector],
+            conclusion_relation=K_NS.directedBy,
+        )
+        assert len(report.extra_evidence) == 2
+        assert all(record.from_unbiased_sampling for record in report.extra_evidence)
+        assert len(report.disagreement_subjects) == 2
+
+    def test_contradiction_requires_conclusion_knowledge(self, controlled_pair):
+        # If K does not know the sibling's object either, the sample is not
+        # counted as a contradiction (no punishment for incompleteness).
+        kprime, k, links = controlled_pair
+        k.store.remove(
+            next(iter(k.store.match(subject=K_NS.film3, predicate=K_NS.directedBy)))
+        )
+        extractor = make_extractor((kprime, k, links))
+        report = extractor.check_candidate(
+            candidate=KP_NS.hasProducer,
+            siblings=[KP_NS.hasDirector],
+            conclusion_relation=K_NS.directedBy,
+        )
+        assert report.contradictions == 1
+
+    def test_missing_links_skip_samples(self, controlled_pair):
+        kprime, k, _ = controlled_pair
+        empty_links = SameAsIndex()
+        extractor = UnbiasedSampleExtractor(
+            premise_client=kprime.client(),
+            conclusion_client=k.client(),
+            links=empty_links,
+            conclusion_namespace=K_NS,
+            config=AlignmentConfig(),
+        )
+        report = extractor.check_candidate(
+            candidate=KP_NS.hasProducer,
+            siblings=[KP_NS.hasDirector],
+            conclusion_relation=K_NS.directedBy,
+        )
+        assert report.contradictions == 0
+        assert report.confirmations == 0
+
+    def test_stops_querying_once_threshold_reached(self, controlled_pair):
+        kprime, k, links = controlled_pair
+        premise_client = kprime.client()
+        extractor = UnbiasedSampleExtractor(
+            premise_client=premise_client,
+            conclusion_client=k.client(),
+            links=links,
+            conclusion_namespace=K_NS,
+            config=AlignmentConfig(ubs_contradiction_threshold=1, ubs_sample_size=10),
+        )
+        extractor.check_candidate(
+            candidate=KP_NS.hasProducer,
+            siblings=[KP_NS.hasDirector, KP_NS.hasTitle, KP_NS.hasEditor],
+            conclusion_relation=K_NS.directedBy,
+        )
+        # Once the first sibling produced enough contradictions, no further
+        # disagreement queries are issued for the remaining siblings.
+        assert premise_client.endpoint.log.query_count == 1

@@ -1,0 +1,107 @@
+"""Tests for the full-snapshot and PARIS-like baselines."""
+
+import pytest
+
+from repro.baselines.full_snapshot import FullSnapshotMiner
+from repro.baselines.paris_like import ParisLikeAligner
+
+
+class TestFullSnapshotMiner:
+    @pytest.fixture(scope="class")
+    def rules(self, request):
+        movie_world = request.getfixturevalue("movie_world")
+        miner = FullSnapshotMiner(
+            premise_kb=movie_world.kb("imdb"),
+            conclusion_kb=movie_world.kb("filmdb"),
+            links=movie_world.links,
+        )
+        return {(r.premise.local_name, r.conclusion.local_name): r for r in miner.mine()}, miner
+
+    def test_true_rules_score_high(self, rules):
+        by_pair, _ = rules
+        assert by_pair[("hasDirector", "directedBy")].pca > 0.85
+        assert by_pair[("hasProducer", "producedBy")].pca > 0.85
+        assert by_pair[("hasTitle", "title")].pca > 0.85
+
+    def test_exhaustive_mining_sees_partial_overlap(self, rules):
+        by_pair, _ = rules
+        trap = by_pair[("hasProducer", "directedBy")]
+        # With the full extension the overlap is visible but clearly below
+        # the correct rules' confidence.
+        assert 0.3 < trap.pca < by_pair[("hasDirector", "directedBy")].pca
+
+    def test_cwa_not_above_pca(self, rules):
+        by_pair, _ = rules
+        for rule in by_pair.values():
+            assert rule.cwa <= rule.pca + 1e-9
+
+    def test_scan_cost_is_whole_dataset(self, rules, movie_world):
+        _, miner = rules
+        total = len(movie_world.kb("imdb").store) + len(movie_world.kb("filmdb").store)
+        # The snapshot miner must touch (at least) every premise-KB triple —
+        # the cost SOFYA avoids.
+        assert miner.triples_scanned >= total * 0.5
+
+    def test_accepted_threshold_filtering(self, movie_world):
+        miner = FullSnapshotMiner(
+            premise_kb=movie_world.kb("imdb"),
+            conclusion_kb=movie_world.kb("filmdb"),
+            links=movie_world.links,
+        )
+        accepted = miner.accepted("pca", threshold=0.9)
+        names = {(p.local_name, c.local_name) for p, c in accepted}
+        assert ("hasDirector", "directedBy") in names
+        assert ("hasProducer", "directedBy") not in names
+
+    def test_conclusion_relation_restriction(self, movie_world):
+        filmdb_ns = movie_world.kb("filmdb").namespace
+        miner = FullSnapshotMiner(
+            premise_kb=movie_world.kb("imdb"),
+            conclusion_kb=movie_world.kb("filmdb"),
+            links=movie_world.links,
+        )
+        rules = miner.mine(conclusion_relations=[filmdb_ns.directedBy])
+        assert {rule.conclusion.local_name for rule in rules} == {"directedBy"}
+
+    def test_min_support_filter(self, movie_world):
+        miner = FullSnapshotMiner(
+            premise_kb=movie_world.kb("imdb"),
+            conclusion_kb=movie_world.kb("filmdb"),
+            links=movie_world.links,
+            min_support=10_000,
+        )
+        assert miner.mine() == []
+
+
+class TestParisLikeAligner:
+    @pytest.fixture(scope="class")
+    def scores(self, request):
+        movie_world = request.getfixturevalue("movie_world")
+        aligner = ParisLikeAligner(
+            premise_kb=movie_world.kb("imdb"),
+            conclusion_kb=movie_world.kb("filmdb"),
+            links=movie_world.links,
+        )
+        return {(s.premise.local_name, s.conclusion.local_name): s for s in aligner.align()}
+
+    def test_correct_pairs_rank_above_traps(self, scores):
+        assert (
+            scores[("hasDirector", "directedBy")].probability
+            > scores[("hasProducer", "directedBy")].probability
+        )
+
+    def test_probability_bounded(self, scores):
+        assert all(0.0 <= score.probability <= 1.0 for score in scores.values())
+
+    def test_overlap_counts_positive(self, scores):
+        assert scores[("hasTitle", "title")].overlap > 0
+
+    def test_accepted_threshold(self, movie_world):
+        aligner = ParisLikeAligner(
+            premise_kb=movie_world.kb("imdb"),
+            conclusion_kb=movie_world.kb("filmdb"),
+            links=movie_world.links,
+        )
+        accepted = aligner.accepted(threshold=0.6)
+        names = {(p.local_name, c.local_name) for p, c in accepted}
+        assert ("hasDirector", "directedBy") in names

@@ -1,0 +1,141 @@
+"""Unit tests for the typed endpoint client."""
+
+import pytest
+
+from repro.endpoint.client import EndpointClient
+from repro.endpoint.endpoint import SparqlEndpoint
+from repro.rdf.namespace import OWL
+from repro.rdf.terms import Literal
+from repro.rdf.triple import Triple
+from repro.store.triplestore import TripleStore
+
+from tests.conftest import EX, EX2
+
+
+@pytest.fixture
+def client(people_store) -> EndpointClient:
+    return EndpointClient(SparqlEndpoint(people_store, name="people"))
+
+
+class TestRelationQueries:
+    def test_relations(self, client):
+        relations = client.relations()
+        assert EX.bornIn in relations
+        assert EX.name in relations
+
+    def test_relations_with_limit(self, client):
+        assert len(client.relations(limit=2)) <= 2
+
+    def test_count_facts(self, client):
+        assert client.count_facts(EX.bornIn) == 3
+        assert client.count_facts(EX.unknown) == 0
+
+    def test_count_subjects(self, client):
+        assert client.count_subjects(EX.profession) == 3
+
+    def test_facts_with_paging(self, client):
+        all_facts = client.facts(EX.bornIn)
+        assert len(all_facts) == 3
+        page = client.facts(EX.bornIn, limit=2, offset=1)
+        assert len(page) == 2
+
+    def test_subjects(self, client):
+        subjects = client.subjects(EX.bornIn)
+        assert EX["Marie_Curie"] in subjects
+        assert len(subjects) == 3
+
+
+class TestEntityQueries:
+    def test_objects_of(self, client):
+        assert client.objects_of(EX["Marie_Curie"], EX.bornIn) == [EX.Poland]
+
+    def test_has_fact(self, client):
+        assert client.has_fact(EX["Marie_Curie"], EX.bornIn, EX.Poland)
+        assert not client.has_fact(EX["Marie_Curie"], EX.bornIn, EX.USA)
+
+    def test_subject_has_relation(self, client):
+        assert client.subject_has_relation(EX["Marie_Curie"], EX.bornIn)
+        assert not client.subject_has_relation(EX.USA, EX.bornIn)
+
+    def test_relations_of_subject(self, client):
+        assert set(client.relations_of_subject(EX["Marie_Curie"])) == {
+            EX.bornIn,
+            EX.name,
+            EX.profession,
+        }
+
+    def test_relations_between(self, client):
+        assert client.relations_between(EX["Marie_Curie"], EX.Poland) == [EX.bornIn]
+
+    def test_facts_of_subjects_batched(self, client):
+        facts = client.facts_of_subjects(
+            [EX["Marie_Curie"], EX["Albert_Einstein"]], EX.bornIn
+        )
+        assert len(facts) == 2
+        # One endpoint query for the whole batch.
+        assert client.endpoint.log.query_count == 1
+
+    def test_facts_of_subjects_empty_input(self, client):
+        assert client.facts_of_subjects([], EX.bornIn) == []
+        assert client.endpoint.log.query_count == 0
+
+    def test_relations_between_batch(self, client):
+        matches = client.relations_between_batch(
+            [(EX["Marie_Curie"], EX.Poland), (EX["Frank_Sinatra"], EX.USA)]
+        )
+        assert len(matches) == 2
+        assert {relation for _, relation, _ in matches} == {EX.bornIn}
+
+    def test_describe_subjects(self, client):
+        facts = client.describe_subjects([EX["Marie_Curie"]])
+        assert len(facts) == 3
+
+    def test_literal_objects(self, client):
+        literals = client.literal_objects(EX["Marie_Curie"], EX.name)
+        assert literals == [Literal("Marie Curie")]
+        assert client.literal_objects(EX["Marie_Curie"], EX.bornIn) == []
+
+
+class TestSameAsQueries:
+    def test_same_as_forward(self, client):
+        assert client.same_as(EX["Frank_Sinatra"]) == [EX2["FrankSinatra"]]
+
+    def test_same_as_reverse_direction(self, people_store):
+        # A link stored in the opposite direction is still found.
+        people_store.add(Triple(EX2["MarieCurie"], OWL.sameAs, EX["Marie_Curie"]))
+        client = EndpointClient(SparqlEndpoint(people_store))
+        assert client.same_as(EX["Marie_Curie"]) == [EX2["MarieCurie"]]
+
+    def test_same_as_for_subjects_batched(self, client):
+        pairs = client.same_as_for_subjects([EX["Frank_Sinatra"], EX["Albert_Einstein"]])
+        assert len(pairs) == 2
+        assert client.endpoint.log.query_count == 1
+
+
+class TestSamplingSupport:
+    def test_sample_subjects_uses_paging(self, client):
+        sample = client.sample_subjects(EX.bornIn, sample_size=2, offset=1)
+        assert len(sample) == 2
+
+    def test_disagreement_samples(self):
+        store = TripleStore()
+        film = EX["film1"]
+        store.add_all(
+            [
+                Triple(film, EX.director, EX["alice"]),
+                Triple(film, EX.producer, EX["bob"]),
+                Triple(EX["film2"], EX.director, EX["carol"]),
+                Triple(EX["film2"], EX.producer, EX["carol"]),
+            ]
+        )
+        client = EndpointClient(SparqlEndpoint(store))
+        samples = client.disagreement_samples(primary=EX.director, sibling=EX.producer)
+        assert samples == [(film, EX["alice"], EX["bob"])]
+
+    def test_disagreement_samples_respect_limit(self):
+        store = TripleStore()
+        for index in range(5):
+            store.add(Triple(EX[f"f{index}"], EX.director, EX[f"d{index}"]))
+            store.add(Triple(EX[f"f{index}"], EX.producer, EX[f"p{index}"]))
+        client = EndpointClient(SparqlEndpoint(store))
+        assert len(client.disagreement_samples(EX.director, EX.producer, limit=3)) == 3

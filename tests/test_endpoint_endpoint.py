@@ -1,0 +1,103 @@
+"""Unit tests for the SPARQL endpoint facade."""
+
+import pytest
+
+from repro.endpoint.endpoint import SparqlEndpoint
+from repro.endpoint.policy import AccessPolicy
+from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
+from repro.sparql.results import AskResult, ResultSet
+
+from tests.conftest import EX
+
+PREFIX = "PREFIX ex: <http://example.org/kb1/> "
+
+
+class TestQueryExecution:
+    def test_select_returns_result_set(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        result = endpoint.query(PREFIX + "SELECT ?s WHERE { ?s ex:bornIn ?c }")
+        assert isinstance(result, ResultSet)
+        assert len(result) == 3
+
+    def test_ask_helper(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        assert endpoint.ask(PREFIX + "ASK { ex:Marie_Curie ex:bornIn ex:Poland }")
+
+    def test_select_helper_rejects_ask(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        with pytest.raises(EndpointError):
+            endpoint.select(PREFIX + "ASK { ?s ?p ?o }")
+
+    def test_ask_helper_rejects_select(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        with pytest.raises(EndpointError):
+            endpoint.ask(PREFIX + "SELECT ?s WHERE { ?s ?p ?o }")
+
+    def test_dataset_size(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        assert endpoint.dataset_size() == len(people_store)
+
+
+class TestPolicyEnforcement:
+    def test_query_budget(self, people_store):
+        endpoint = SparqlEndpoint(people_store, policy=AccessPolicy(max_queries=2))
+        endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+        assert endpoint.queries_remaining == 1
+        endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+        with pytest.raises(QueryBudgetExceeded):
+            endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+
+    def test_budget_survives_log_reset(self, people_store):
+        endpoint = SparqlEndpoint(people_store, policy=AccessPolicy(max_queries=1))
+        endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+        endpoint.reset_accounting()
+        assert endpoint.log.query_count == 0
+        with pytest.raises(QueryBudgetExceeded):
+            endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+
+    def test_row_cap_truncates_silently(self, people_store):
+        endpoint = SparqlEndpoint(people_store, policy=AccessPolicy(max_result_rows=2))
+        result = endpoint.select(PREFIX + "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        assert len(result) == 2
+        assert result.truncated
+        assert endpoint.log.truncated_count == 1
+
+    def test_row_cap_can_fail_hard(self, people_store):
+        policy = AccessPolicy(max_result_rows=2, fail_on_truncation=True)
+        endpoint = SparqlEndpoint(people_store, policy=policy)
+        with pytest.raises(ResultTruncated):
+            endpoint.select(PREFIX + "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+
+    def test_full_scan_forbidden(self, people_store):
+        endpoint = SparqlEndpoint(people_store, policy=AccessPolicy(allow_full_scan=False))
+        with pytest.raises(EndpointError):
+            endpoint.select("SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+
+    def test_constant_pattern_allowed_under_no_full_scan(self, people_store):
+        endpoint = SparqlEndpoint(people_store, policy=AccessPolicy(allow_full_scan=False))
+        result = endpoint.select(PREFIX + "SELECT ?s WHERE { ?s ex:bornIn ?c }")
+        assert len(result) == 3
+
+    def test_unlimited_queries_reports_none_remaining(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        assert endpoint.queries_remaining is None
+
+
+class TestAccounting:
+    def test_log_records_query_forms(self, people_store):
+        endpoint = SparqlEndpoint(people_store)
+        endpoint.query(PREFIX + "SELECT ?s WHERE { ?s ex:bornIn ?c }")
+        endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+        endpoint.query(PREFIX + "SELECT (COUNT(*) AS ?c) WHERE { ?s ex:bornIn ?c }")
+        assert endpoint.log.by_form() == {"SELECT": 1, "ASK": 1, "COUNT": 1}
+
+    def test_log_records_rows_and_cost(self, people_store):
+        policy = AccessPolicy(latency_per_query=1.0, latency_per_row=0.0)
+        endpoint = SparqlEndpoint(people_store, policy=policy)
+        endpoint.query(PREFIX + "SELECT ?s WHERE { ?s ex:bornIn ?c }")
+        assert endpoint.log.total_rows == 3
+        assert endpoint.log.total_virtual_seconds == pytest.approx(1.0)
+
+    def test_repr_contains_name(self, people_store):
+        endpoint = SparqlEndpoint(people_store, name="yago-endpoint")
+        assert "yago-endpoint" in repr(endpoint)

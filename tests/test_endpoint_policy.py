@@ -1,0 +1,84 @@
+"""Unit tests for endpoint access policies and the query log."""
+
+import pytest
+
+from repro.endpoint.log import QueryLog, QueryRecord
+from repro.endpoint.policy import AccessPolicy
+
+
+class TestAccessPolicy:
+    def test_defaults(self):
+        policy = AccessPolicy()
+        assert policy.max_queries is None
+        assert policy.max_result_rows == 10_000
+        assert policy.allow_full_scan
+
+    def test_unlimited_preset(self):
+        policy = AccessPolicy.unlimited()
+        assert policy.max_result_rows is None
+        assert policy.estimated_cost(1000) == 0.0
+
+    def test_public_endpoint_preset(self):
+        policy = AccessPolicy.public_endpoint()
+        assert not policy.allow_full_scan
+        assert policy.max_result_rows == 10_000
+
+    def test_strict_preset(self):
+        policy = AccessPolicy.strict(max_queries=7)
+        assert policy.max_queries == 7
+        assert not policy.allow_full_scan
+
+    def test_estimated_cost(self):
+        policy = AccessPolicy(latency_per_query=0.5, latency_per_row=0.01)
+        assert policy.estimated_cost(10) == pytest.approx(0.6)
+
+    def test_negative_max_queries_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPolicy(max_queries=-1)
+
+    def test_zero_result_rows_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPolicy(max_result_rows=0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            AccessPolicy(latency_per_query=-0.1)
+
+
+class TestQueryLog:
+    def _record(self, rows=5, truncated=False, form="SELECT", seconds=0.1):
+        return QueryRecord(
+            query="SELECT ...", form=form, row_count=rows, truncated=truncated,
+            virtual_seconds=seconds,
+        )
+
+    def test_accumulates_records(self):
+        log = QueryLog()
+        log.record(self._record(rows=3))
+        log.record(self._record(rows=7, form="ASK"))
+        assert log.query_count == 2
+        assert log.total_rows == 10
+        assert len(list(log)) == 2
+
+    def test_virtual_time_and_truncation(self):
+        log = QueryLog()
+        log.record(self._record(seconds=0.25, truncated=True))
+        log.record(self._record(seconds=0.75))
+        assert log.total_virtual_seconds == pytest.approx(1.0)
+        assert log.truncated_count == 1
+
+    def test_by_form(self):
+        log = QueryLog()
+        log.record(self._record(form="SELECT"))
+        log.record(self._record(form="SELECT"))
+        log.record(self._record(form="ASK"))
+        assert log.by_form() == {"SELECT": 2, "ASK": 1}
+
+    def test_snapshot_and_reset(self):
+        log = QueryLog()
+        log.record(self._record(rows=4))
+        snapshot = log.snapshot()
+        assert snapshot["queries"] == 1.0
+        assert snapshot["rows"] == 4.0
+        log.reset()
+        assert log.query_count == 0

@@ -1,0 +1,79 @@
+"""Tests for the experiment runner (integration-level, small worlds)."""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.evaluation.experiment import AlignmentExperiment, run_table1_experiment
+
+
+class TestAlignmentExperiment:
+    def test_query_relations_include_gold_and_distractors(self, movie_world):
+        experiment = AlignmentExperiment(movie_world, distractor_relations=0)
+        relations = experiment.query_relations("imdb", "filmdb")
+        names = {relation.local_name for relation in relations}
+        assert {"directedBy", "producedBy", "title"} <= names
+
+    def test_max_query_relations_cap(self, movie_world):
+        experiment = AlignmentExperiment(movie_world, max_query_relations=1)
+        assert len(experiment.query_relations("imdb", "filmdb")) == 1
+
+    def test_run_direction_and_evaluate(self, movie_world):
+        experiment = AlignmentExperiment(movie_world, distractor_relations=0)
+        result = experiment.run_direction("imdb", "filmdb", AlignmentConfig.paper_ubs())
+        evaluation = experiment.evaluate_direction("imdb", "filmdb", result)
+        assert evaluation.direction == "imdb ⊂ filmdb"
+        assert evaluation.precision == 1.0
+        assert evaluation.metrics.recall == 1.0
+
+    def test_baseline_is_fooled_but_ubs_is_not(self, movie_world):
+        experiment = AlignmentExperiment(movie_world, distractor_relations=0)
+        baseline = experiment.run_direction("imdb", "filmdb", AlignmentConfig.paper_pca_baseline())
+        ubs = experiment.run_direction("imdb", "filmdb", AlignmentConfig.paper_ubs())
+        baseline_eval = experiment.evaluate_direction("imdb", "filmdb", baseline)
+        ubs_eval = experiment.evaluate_direction("imdb", "filmdb", ubs)
+        assert ubs_eval.precision > baseline_eval.precision
+
+    def test_gold_pairs_nonempty(self, movie_world):
+        experiment = AlignmentExperiment(movie_world)
+        assert len(experiment.gold_pairs("imdb", "filmdb")) == 3
+
+    def test_run_method_selects_threshold(self, movie_world):
+        experiment = AlignmentExperiment(movie_world, distractor_relations=0)
+        method = experiment.run_method("ubs", AlignmentConfig.paper_ubs(), select_threshold=True)
+        assert set(method.directions) == {"imdb ⊂ filmdb", "filmdb ⊂ imdb"}
+        assert 0.0 <= method.threshold <= 1.0
+        assert method.average_f1() > 0.5
+
+
+class TestTable1Report:
+    @pytest.fixture(scope="class")
+    def report(self, request):
+        movie_world = request.getfixturevalue("movie_world")
+        return run_table1_experiment(
+            movie_world, sample_size=10, distractor_relations=0, select_threshold=False
+        )
+
+    def test_three_methods_reported(self, report):
+        assert [method.method for method in report.methods] == ["pca", "cwa", "ubs"]
+
+    def test_fixed_thresholds_match_paper(self, report):
+        assert report.method("pca").threshold == pytest.approx(0.3)
+        assert report.method("cwa").threshold == pytest.approx(0.1)
+        assert report.method("ubs").threshold == pytest.approx(0.3)
+
+    def test_ubs_dominates_baselines_in_precision(self, report):
+        directions = list(report.method("ubs").directions)
+        for direction in directions:
+            ubs_precision = report.method("ubs").directions[direction].precision
+            pca_precision = report.method("pca").directions[direction].precision
+            assert ubs_precision >= pca_precision
+
+    def test_table_rendering_shape(self, report):
+        text = report.to_table().render()
+        assert "Table 1" in text
+        assert "P (" in text and "F1 (" in text
+        assert "ubs" in text
+
+    def test_unknown_method_lookup(self, report):
+        with pytest.raises(KeyError):
+            report.method("nope")

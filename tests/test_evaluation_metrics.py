@@ -1,0 +1,92 @@
+"""Unit tests for evaluation metrics and text tables."""
+
+import pytest
+
+from repro.evaluation.metrics import confusion_counts, precision_recall_f1
+from repro.evaluation.tables import TextTable
+
+
+class TestPrecisionRecallF1:
+    def test_perfect_prediction(self):
+        gold = {("a", "x"), ("b", "y")}
+        report = precision_recall_f1(gold, gold)
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+        assert report.f1 == 1.0
+
+    def test_half_precision_full_recall(self):
+        gold = {("a", "x")}
+        predicted = {("a", "x"), ("b", "y")}
+        report = precision_recall_f1(predicted, gold)
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == 1.0
+        assert report.f1 == pytest.approx(2 / 3)
+
+    def test_partial_recall(self):
+        gold = {("a", "x"), ("b", "y"), ("c", "z")}
+        predicted = {("a", "x")}
+        report = precision_recall_f1(predicted, gold)
+        assert report.recall == pytest.approx(1 / 3)
+        assert report.true_positives == 1
+        assert report.false_negatives == 2
+
+    def test_disjoint_sets(self):
+        report = precision_recall_f1({("a", "x")}, {("b", "y")})
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+        assert report.f1 == 0.0
+
+    def test_empty_prediction_and_empty_gold(self):
+        report = precision_recall_f1(set(), set())
+        assert report.precision == 1.0
+        assert report.recall == 1.0
+
+    def test_empty_prediction_nonempty_gold(self):
+        report = precision_recall_f1(set(), {("a", "x")})
+        assert report.precision == 0.0
+        assert report.recall == 0.0
+
+    def test_nonempty_prediction_empty_gold(self):
+        report = precision_recall_f1({("a", "x")}, set())
+        assert report.precision == 0.0
+        assert report.recall == 1.0
+
+    def test_confusion_counts(self):
+        assert confusion_counts({1, 2, 3}, {2, 3, 4}) == (2, 1, 1)
+
+    def test_as_row_rounding(self):
+        report = precision_recall_f1({("a", "x"), ("b", "y"), ("c", "z")}, {("a", "x")})
+        assert report.as_row() == (pytest.approx(0.333), 1.0, 0.5)
+
+    def test_str_contains_counts(self):
+        report = precision_recall_f1({("a", "x")}, {("a", "x")})
+        assert "tp=1" in str(report)
+
+
+class TestTextTable:
+    def test_render_alignment(self):
+        table = TextTable(["method", "P", "F1"], title="Results")
+        table.add_row("ubs", 0.951, 0.974)
+        table.add_row("pca", 0.55, 0.58)
+        text = table.render()
+        assert "Results" in text
+        assert "0.95" in text and "0.55" in text
+        lines = text.splitlines()
+        assert len({len(line) for line in lines[2:]}) <= 2  # aligned columns
+
+    def test_wrong_arity_rejected(self):
+        table = TextTable(["a", "b"])
+        with pytest.raises(ValueError):
+            table.add_row(1)
+
+    def test_separator_rendering(self):
+        table = TextTable(["a"])
+        table.add_row("x")
+        table.add_separator()
+        table.add_row("y")
+        assert table.render().count("---") >= 1
+
+    def test_str_equals_render(self):
+        table = TextTable(["a"])
+        table.add_row("x")
+        assert str(table) == table.render()

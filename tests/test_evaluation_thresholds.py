@@ -1,0 +1,91 @@
+"""Unit tests for the τ-selection protocol."""
+
+import pytest
+
+from repro.align.config import AlignmentConfig
+from repro.align.result import AlignmentResult, RelationAlignment, ScoredCandidate
+from repro.align.rule import RelationRef, SubsumptionRule
+from repro.evaluation.thresholds import (
+    DEFAULT_GRID,
+    ThresholdSelection,
+    evaluate_at_threshold,
+    select_best_threshold,
+)
+
+from tests.conftest import EX, EX2
+
+
+def result_with(scored_pairs, source="dbpedia", target="yago"):
+    """Build an AlignmentResult with the given (premise local name, confidence) pairs."""
+    conclusion = RelationRef(source, EX2.birthPlace)
+    alignment = RelationAlignment(relation=conclusion)
+    for local_name, confidence in scored_pairs:
+        rule = SubsumptionRule(
+            premise=RelationRef(target, EX[local_name]),
+            conclusion=conclusion,
+            confidence=confidence,
+            support=3,
+            measure="pca",
+        )
+        alignment.candidates.append(ScoredCandidate(rule=rule))
+    result = AlignmentResult(source_kb=source, target_kb=target, config=AlignmentConfig())
+    result.add(alignment)
+    return result
+
+
+GOLD = {(EX.wasBornIn, EX2.birthPlace)}
+
+
+class TestEvaluateAtThreshold:
+    def test_low_threshold_accepts_everything(self):
+        result = result_with([("wasBornIn", 0.9), ("diedIn", 0.5)])
+        report = evaluate_at_threshold(result, GOLD, threshold=0.1)
+        assert report.precision == pytest.approx(0.5)
+        assert report.recall == 1.0
+
+    def test_high_threshold_filters_wrong_rule(self):
+        result = result_with([("wasBornIn", 0.9), ("diedIn", 0.5)])
+        report = evaluate_at_threshold(result, GOLD, threshold=0.7)
+        assert report.precision == 1.0
+
+    def test_threshold_above_everything_kills_recall(self):
+        result = result_with([("wasBornIn", 0.9)])
+        report = evaluate_at_threshold(result, GOLD, threshold=0.95)
+        assert report.recall == 0.0
+
+
+class TestSelectBestThreshold:
+    def test_selects_separating_threshold(self):
+        result = result_with([("wasBornIn", 0.9), ("diedIn", 0.5)])
+        selection = select_best_threshold([result], [GOLD])
+        assert 0.5 <= selection.threshold < 0.9
+        assert selection.average_f1 == 1.0
+        assert isinstance(selection, ThresholdSelection)
+
+    def test_ties_break_toward_larger_threshold(self):
+        result = result_with([("wasBornIn", 0.9)])
+        selection = select_best_threshold([result], [GOLD])
+        # Any τ below 0.9 gives F1=1.0; the largest such grid value wins.
+        assert selection.threshold == pytest.approx(0.85)
+
+    def test_average_over_directions(self):
+        forward = result_with([("wasBornIn", 0.9), ("diedIn", 0.8)])
+        backward = result_with([("wasBornIn", 0.9)], source="yago", target="dbpedia")
+        backward_gold = {(EX.wasBornIn, EX2.birthPlace)}
+        selection = select_best_threshold([forward, backward], [GOLD, backward_gold])
+        assert set(selection.per_direction) == {"yago ⊂ dbpedia", "dbpedia ⊂ yago"}
+        assert selection.average_f1 <= 1.0
+
+    def test_sweep_contains_grid(self):
+        result = result_with([("wasBornIn", 0.9)])
+        selection = select_best_threshold([result], [GOLD], grid=[0.1, 0.5])
+        assert set(selection.sweep) == {0.1, 0.5}
+
+    def test_mismatched_lengths_rejected(self):
+        result = result_with([("wasBornIn", 0.9)])
+        with pytest.raises(ValueError):
+            select_best_threshold([result], [])
+
+    def test_default_grid_is_fine_grained(self):
+        assert len(DEFAULT_GRID) == 20
+        assert DEFAULT_GRID[0] == 0.0

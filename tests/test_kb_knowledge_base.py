@@ -1,0 +1,148 @@
+"""Unit tests for the KnowledgeBase facade and the KB catalog."""
+
+import pytest
+
+from repro.errors import ReproError, StoreError
+from repro.kb.catalog import KBCatalog
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.relation import RelationKind
+from repro.kb.sameas import SameAsIndex
+from repro.rdf.namespace import SAME_AS
+from repro.rdf.terms import Literal
+from repro.endpoint.policy import AccessPolicy
+
+from tests.conftest import EX, EX2
+
+
+class TestConstruction:
+    def test_entity_and_relation_minting(self, people_kb):
+        assert people_kb.entity("X") == EX.X
+        assert people_kb.relation("knows") == EX.knows
+
+    def test_add_fact(self, people_kb):
+        before = len(people_kb)
+        assert people_kb.add_fact(EX.X, EX.knows, EX.Y)
+        assert not people_kb.add_fact(EX.X, EX.knows, EX.Y)
+        assert len(people_kb) == before + 1
+
+    def test_add_same_as(self, people_kb):
+        people_kb.add_same_as(EX["Marie_Curie"], EX2["MarieCurie"])
+        links = list(people_kb.same_as_links())
+        assert len(links) == 3
+
+    def test_repr(self, people_kb):
+        assert "people" in repr(people_kb)
+
+
+class TestRelationCatalogue:
+    def test_relations_exclude_same_as(self, people_kb):
+        relations = people_kb.relations()
+        iris = {info.iri for info in relations}
+        assert SAME_AS not in iris
+        assert EX.bornIn in iris
+
+    def test_relations_can_include_same_as(self, people_kb):
+        iris = {info.iri for info in people_kb.relations(include_same_as=True)}
+        assert SAME_AS in iris
+
+    def test_relation_kind_detection(self, people_kb):
+        assert people_kb.relation_info(EX.name).kind is RelationKind.ENTITY_LITERAL
+        assert people_kb.relation_info(EX.bornIn).kind is RelationKind.ENTITY_ENTITY
+
+    def test_relation_info_fields(self, people_kb):
+        info = people_kb.relation_info(EX.bornIn)
+        assert info.fact_count == 3
+        assert info.functionality == pytest.approx(1.0)
+        assert info.name == "bornIn"
+        assert not info.is_inverse
+
+    def test_relation_info_unknown_raises(self, people_kb):
+        with pytest.raises(StoreError):
+            people_kb.relation_info(EX.nothing)
+
+    def test_has_relation_and_count(self, people_kb):
+        assert people_kb.has_relation(EX.name)
+        assert not people_kb.has_relation(EX.nothing)
+        assert people_kb.relation_count() == 3
+
+    def test_catalogue_invalidated_by_new_facts(self, people_kb):
+        assert not people_kb.has_relation(EX.livesIn)
+        people_kb.add_fact(EX["Marie_Curie"], EX.livesIn, EX.Paris)
+        assert people_kb.has_relation(EX.livesIn)
+
+
+class TestEntityAccess:
+    def test_contains_entity(self, people_kb):
+        assert people_kb.contains_entity(EX["Marie_Curie"])
+        assert people_kb.contains_entity(EX.Poland)
+        assert not people_kb.contains_entity(EX.Nowhere)
+
+    def test_entities_iteration(self, people_kb):
+        assert EX.USA in set(people_kb.entities())
+
+
+class TestEndpointViews:
+    def test_endpoint_uses_policy(self, people_kb):
+        endpoint = people_kb.endpoint(policy=AccessPolicy(max_queries=1))
+        endpoint.query("ASK { ?s ?p ?o }")
+        assert endpoint.queries_remaining == 0
+
+    def test_client_shortcut(self, people_kb):
+        client = people_kb.client()
+        assert client.count_facts(EX.bornIn) == 3
+
+    def test_endpoint_name_defaults(self, people_kb):
+        assert people_kb.endpoint().name == "people-endpoint"
+
+
+class TestKBCatalog:
+    def _catalog(self, people_kb):
+        other = KnowledgeBase(name="other", namespace=EX2)
+        other.add_fact(EX2["FrankSinatra"], EX2.birthCountry, EX2.USA)
+        catalog = KBCatalog()
+        catalog.register(people_kb)
+        catalog.register(other)
+        return catalog, other
+
+    def test_register_and_get(self, people_kb):
+        catalog, other = self._catalog(people_kb)
+        assert catalog.get("people") is people_kb
+        assert catalog.get("other") is other
+        assert len(catalog) == 2
+        assert "people" in catalog
+        assert catalog.names() == ["people", "other"]
+
+    def test_duplicate_registration_rejected(self, people_kb):
+        catalog, _ = self._catalog(people_kb)
+        with pytest.raises(ReproError):
+            catalog.register(people_kb)
+
+    def test_get_unknown_rejected(self, people_kb):
+        catalog, _ = self._catalog(people_kb)
+        with pytest.raises(ReproError):
+            catalog.get("nope")
+
+    def test_links_between_falls_back_to_stored_same_as(self, people_kb):
+        catalog, _ = self._catalog(people_kb)
+        links = catalog.links_between("people", "other")
+        assert links.are_same(EX["Frank_Sinatra"], EX2["FrankSinatra"])
+
+    def test_explicit_links_take_precedence(self, people_kb):
+        catalog, _ = self._catalog(people_kb)
+        explicit = SameAsIndex([(EX["Marie_Curie"], EX2["MarieCurie"])])
+        catalog.add_links("people", "other", explicit)
+        links = catalog.links_between("other", "people")
+        assert links.are_same(EX["Marie_Curie"], EX2["MarieCurie"])
+        assert not links.are_same(EX["Frank_Sinatra"], EX2["FrankSinatra"])
+
+    def test_add_links_requires_registered_kbs(self, people_kb):
+        catalog, _ = self._catalog(people_kb)
+        with pytest.raises(ReproError):
+            catalog.add_links("people", "missing", SameAsIndex())
+
+    def test_linked_pair_and_reverse(self, people_kb):
+        catalog, _ = self._catalog(people_kb)
+        pair = catalog.linked_pair("people", "other")
+        assert pair.source == "people"
+        assert pair.reversed().source == "other"
+        assert pair.reversed().links is pair.links

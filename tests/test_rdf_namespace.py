@@ -1,0 +1,110 @@
+"""Unit tests for namespaces and the namespace manager."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf.namespace import (
+    DBO,
+    Namespace,
+    NamespaceManager,
+    OWL,
+    RDF,
+    SAME_AS,
+    XSD,
+    YAGO,
+)
+from repro.rdf.terms import IRI
+
+
+class TestNamespace:
+    def test_attribute_access_mints_iri(self):
+        assert YAGO.wasBornIn == IRI("http://yago-knowledge.org/resource/wasBornIn")
+
+    def test_item_access_mints_iri(self):
+        assert YAGO["Frank_Sinatra"].value.endswith("Frank_Sinatra")
+
+    def test_term_method(self):
+        ns = Namespace("http://example.org/")
+        assert ns.term("x") == IRI("http://example.org/x")
+
+    def test_contains(self):
+        assert YAGO.wasBornIn in YAGO
+        assert YAGO.wasBornIn not in DBO
+
+    def test_local(self):
+        assert YAGO.local(YAGO.wasBornIn) == "wasBornIn"
+        assert YAGO.local(DBO.birthPlace) is None
+
+    def test_equality(self):
+        assert Namespace("http://x.org/") == Namespace("http://x.org/")
+        assert Namespace("http://x.org/") != Namespace("http://y.org/")
+
+    def test_empty_base_rejected(self):
+        with pytest.raises(RDFError):
+            Namespace("")
+
+    def test_underscore_attributes_not_minted(self):
+        ns = Namespace("http://example.org/")
+        with pytest.raises(AttributeError):
+            ns._internal  # noqa: B018
+
+    def test_same_as_constant(self):
+        assert SAME_AS == OWL.sameAs
+
+
+class TestNamespaceManager:
+    def test_defaults_include_standard_prefixes(self):
+        manager = NamespaceManager.with_defaults()
+        assert "rdf" in manager
+        assert manager.namespace("owl") == OWL
+        assert len(manager) >= 8
+
+    def test_expand(self):
+        manager = NamespaceManager.with_defaults()
+        assert manager.expand("yago:wasBornIn") == YAGO.wasBornIn
+
+    def test_expand_unknown_prefix(self):
+        manager = NamespaceManager.with_defaults()
+        with pytest.raises(RDFError):
+            manager.expand("nope:thing")
+
+    def test_expand_requires_colon(self):
+        manager = NamespaceManager.with_defaults()
+        with pytest.raises(RDFError):
+            manager.expand("wasBornIn")
+
+    def test_compact(self):
+        manager = NamespaceManager.with_defaults()
+        assert manager.compact(YAGO.wasBornIn) == "yago:wasBornIn"
+
+    def test_compact_unknown_namespace(self):
+        manager = NamespaceManager.with_defaults()
+        assert manager.compact(IRI("http://unknown.example/x")) is None
+
+    def test_compact_prefers_longest_base(self):
+        manager = NamespaceManager()
+        manager.bind("short", "http://example.org/")
+        manager.bind("long", "http://example.org/deep/")
+        assert manager.compact(IRI("http://example.org/deep/x")) == "long:x"
+
+    def test_compact_rejects_unsafe_local_names(self):
+        # Parentheses are legal in IRIs but not in Turtle prefixed names, so
+        # the manager must refuse to abbreviate them.
+        manager = NamespaceManager.with_defaults()
+        assert manager.compact(XSD["foo(bar)"]) is None
+
+    def test_bind_with_string(self):
+        manager = NamespaceManager()
+        manager.bind("ex", "http://example.org/")
+        assert manager.expand("ex:a") == IRI("http://example.org/a")
+
+    def test_bind_rejects_non_namespace(self):
+        manager = NamespaceManager()
+        with pytest.raises(RDFError):
+            manager.bind("x", 42)  # type: ignore[arg-type]
+
+    def test_bindings_iteration(self):
+        manager = NamespaceManager()
+        manager.bind("a", "http://a.org/")
+        manager.bind("b", "http://b.org/")
+        assert [prefix for prefix, _ in manager.bindings()] == ["a", "b"]

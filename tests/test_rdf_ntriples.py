@@ -1,0 +1,148 @@
+"""Unit tests for the N-Triples reader/writer."""
+
+import io
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.ntriples import (
+    parse_ntriples,
+    parse_ntriples_line,
+    serialize_ntriples,
+    term_to_ntriples,
+)
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.rdf.triple import Triple
+
+S = IRI("http://example.org/s")
+P = IRI("http://example.org/p")
+O = IRI("http://example.org/o")
+
+
+class TestTermSerialisation:
+    def test_iri(self):
+        assert term_to_ntriples(S) == "<http://example.org/s>"
+
+    def test_blank_node(self):
+        assert term_to_ntriples(BlankNode("b1")) == "_:b1"
+
+    def test_plain_literal(self):
+        assert term_to_ntriples(Literal("hello")) == '"hello"'
+
+    def test_language_literal(self):
+        assert term_to_ntriples(Literal("hello", language="en")) == '"hello"@en'
+
+    def test_datatyped_literal(self):
+        rendered = term_to_ntriples(Literal(5))
+        assert rendered == '"5"^^<http://www.w3.org/2001/XMLSchema#integer>'
+
+    def test_string_escaping(self):
+        rendered = term_to_ntriples(Literal('say "hi"\nplease\t!'))
+        assert rendered == '"say \\"hi\\"\\nplease\\t!"'
+
+
+class TestLineParsing:
+    def test_simple_triple(self):
+        triple = parse_ntriples_line(
+            "<http://example.org/s> <http://example.org/p> <http://example.org/o> ."
+        )
+        assert triple == Triple(S, P, O)
+
+    def test_literal_object(self):
+        triple = parse_ntriples_line(f"{term_to_ntriples(S)} {term_to_ntriples(P)} \"x y\" .")
+        assert triple.object == Literal("x y")
+
+    def test_language_tagged_literal(self):
+        triple = parse_ntriples_line(
+            f'{term_to_ntriples(S)} {term_to_ntriples(P)} "ciao"@it .'
+        )
+        assert triple.object == Literal("ciao", language="it")
+
+    def test_datatyped_literal(self):
+        triple = parse_ntriples_line(
+            f'{term_to_ntriples(S)} {term_to_ntriples(P)} '
+            '"7"^^<http://www.w3.org/2001/XMLSchema#integer> .'
+        )
+        assert triple.object == Literal("7", datatype="http://www.w3.org/2001/XMLSchema#integer")
+
+    def test_blank_node_subject(self):
+        triple = parse_ntriples_line(f"_:b0 {term_to_ntriples(P)} {term_to_ntriples(O)} .")
+        assert triple.subject == BlankNode("b0")
+
+    def test_escaped_quotes_in_literal(self):
+        triple = parse_ntriples_line(
+            f'{term_to_ntriples(S)} {term_to_ntriples(P)} "say \\"hi\\"" .'
+        )
+        assert triple.object == Literal('say "hi"')
+
+    def test_unicode_escape(self):
+        triple = parse_ntriples_line(
+            f'{term_to_ntriples(S)} {term_to_ntriples(P)} "caf\\u00e9" .'
+        )
+        assert triple.object == Literal("café")
+
+    def test_comment_line_returns_none(self):
+        assert parse_ntriples_line("# a comment") is None
+
+    def test_blank_line_returns_none(self):
+        assert parse_ntriples_line("   ") is None
+
+    def test_missing_dot_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(f"{term_to_ntriples(S)} {term_to_ntriples(P)} {term_to_ntriples(O)}")
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(f'{term_to_ntriples(S)} "p" {term_to_ntriples(O)} .')
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(f'"s" {term_to_ntriples(P)} {term_to_ntriples(O)} .')
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line(
+                f"{term_to_ntriples(S)} {term_to_ntriples(P)} {term_to_ntriples(O)} . extra"
+            )
+
+    def test_unterminated_iri_rejected(self):
+        with pytest.raises(ParseError):
+            parse_ntriples_line("<http://example.org/s <p> <o> .")
+
+    def test_parse_error_carries_position(self):
+        with pytest.raises(ParseError) as excinfo:
+            parse_ntriples_line("<http://example.org/s> oops .", line_number=7)
+        assert excinfo.value.line == 7
+
+
+class TestDocumentRoundTrip:
+    def _sample_triples(self):
+        return [
+            Triple(S, P, O),
+            Triple(S, P, Literal("plain")),
+            Triple(S, P, Literal("tagged", language="en")),
+            Triple(S, P, Literal(42)),
+            Triple(BlankNode("x"), P, Literal('with "quotes" and \n newline')),
+        ]
+
+    def test_round_trip(self):
+        triples = self._sample_triples()
+        document = serialize_ntriples(triples)
+        assert list(parse_ntriples(document)) == triples
+
+    def test_serialize_to_stream(self):
+        buffer = io.StringIO()
+        serialize_ntriples(self._sample_triples(), out=buffer)
+        assert buffer.getvalue().count("\n") == 5
+
+    def test_parse_skips_comments_and_blanks(self):
+        document = "# header\n\n" + serialize_ntriples([Triple(S, P, O)])
+        assert len(list(parse_ntriples(document))) == 1
+
+    def test_parse_accepts_iterable_of_lines(self):
+        document = serialize_ntriples(self._sample_triples())
+        assert len(list(parse_ntriples(document.splitlines()))) == 5
+
+    def test_empty_document(self):
+        assert serialize_ntriples([]) == ""
+        assert list(parse_ntriples("")) == []

@@ -1,0 +1,165 @@
+"""Unit tests for RDF terms (IRI, Literal, BlankNode)."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf.terms import (
+    IRI,
+    BlankNode,
+    Literal,
+    XSD_BOOLEAN,
+    XSD_DOUBLE,
+    XSD_INTEGER,
+    XSD_STRING,
+    is_entity_term,
+    is_literal_term,
+)
+
+
+class TestIRI:
+    def test_value_round_trip(self):
+        iri = IRI("http://example.org/thing")
+        assert iri.value == "http://example.org/thing"
+        assert str(iri) == "http://example.org/thing"
+
+    def test_equality_is_structural(self):
+        assert IRI("http://example.org/a") == IRI("http://example.org/a")
+        assert IRI("http://example.org/a") != IRI("http://example.org/b")
+
+    def test_hashable_and_usable_in_sets(self):
+        values = {IRI("http://example.org/a"), IRI("http://example.org/a")}
+        assert len(values) == 1
+
+    def test_not_equal_to_plain_string(self):
+        assert IRI("http://example.org/a") != "http://example.org/a"
+
+    def test_empty_iri_rejected(self):
+        with pytest.raises(RDFError):
+            IRI("")
+
+    @pytest.mark.parametrize("bad", ["<http://x>", "http://x y", 'http://"x', "a\nb"])
+    def test_forbidden_characters_rejected(self, bad):
+        with pytest.raises(RDFError):
+            IRI(bad)
+
+    def test_non_string_rejected(self):
+        with pytest.raises(RDFError):
+            IRI(42)  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        iri = IRI("http://example.org/a")
+        with pytest.raises(AttributeError):
+            iri.value = "http://example.org/b"
+
+    def test_local_name_hash_separator(self):
+        assert IRI("http://example.org/ns#birthPlace").local_name == "birthPlace"
+
+    def test_local_name_slash_separator(self):
+        assert IRI("http://dbpedia.org/ontology/birthPlace").local_name == "birthPlace"
+
+    def test_namespace_property(self):
+        iri = IRI("http://dbpedia.org/ontology/birthPlace")
+        assert iri.namespace == "http://dbpedia.org/ontology/"
+
+    def test_ordering_is_lexicographic(self):
+        assert IRI("http://a.org/x") < IRI("http://b.org/x")
+
+    def test_local_name_of_trailing_slash(self):
+        # No usable local name after the final separator: the whole value is returned.
+        iri = IRI("http://example.org/ns/")
+        assert iri.local_name == iri.value
+
+
+class TestBlankNode:
+    def test_label_round_trip(self):
+        node = BlankNode("b1")
+        assert node.label == "b1"
+        assert str(node) == "_:b1"
+
+    def test_equality(self):
+        assert BlankNode("x") == BlankNode("x")
+        assert BlankNode("x") != BlankNode("y")
+
+    def test_auto_label_is_unique(self):
+        assert BlankNode().label != BlankNode().label
+
+    def test_empty_label_rejected(self):
+        with pytest.raises(RDFError):
+            BlankNode("")
+
+
+class TestLiteral:
+    def test_plain_literal(self):
+        literal = Literal("hello")
+        assert literal.lexical == "hello"
+        assert literal.language is None
+        assert literal.datatype is None
+
+    def test_language_tag_lowercased(self):
+        literal = Literal("hello", language="EN")
+        assert literal.language == "en"
+        assert literal.datatype is None
+
+    def test_datatype_from_iri_object(self):
+        literal = Literal("5", datatype=IRI(XSD_INTEGER))
+        assert literal.datatype == XSD_INTEGER
+
+    def test_language_and_datatype_conflict(self):
+        with pytest.raises(RDFError):
+            Literal("x", language="en", datatype=XSD_STRING)
+
+    def test_int_coercion(self):
+        literal = Literal(42)
+        assert literal.lexical == "42"
+        assert literal.datatype == XSD_INTEGER
+        assert literal.to_python() == 42
+
+    def test_float_coercion(self):
+        literal = Literal(3.5)
+        assert literal.datatype == XSD_DOUBLE
+        assert literal.to_python() == pytest.approx(3.5)
+
+    def test_bool_coercion(self):
+        assert Literal(True).lexical == "true"
+        assert Literal(True).datatype == XSD_BOOLEAN
+        assert Literal(False).to_python() is False
+
+    def test_equality_includes_language(self):
+        assert Literal("a", language="en") != Literal("a", language="fr")
+        assert Literal("a", language="en") == Literal("a", language="en")
+
+    def test_equality_includes_datatype(self):
+        assert Literal("5", datatype=XSD_INTEGER) != Literal("5")
+
+    def test_is_numeric(self):
+        assert Literal(5).is_numeric()
+        assert Literal(2.5).is_numeric()
+        assert not Literal("five").is_numeric()
+
+    def test_numeric_sort_order(self):
+        values = sorted([Literal(10), Literal(2), Literal(33)])
+        assert [v.to_python() for v in values] == [2, 10, 33]
+
+    def test_to_python_falls_back_to_lexical(self):
+        literal = Literal("not-a-number", datatype=XSD_INTEGER)
+        assert literal.to_python() == "not-a-number"
+
+    def test_invalid_language_tag(self):
+        with pytest.raises(RDFError):
+            Literal("x", language="en glish")
+
+    def test_unsupported_python_type(self):
+        with pytest.raises(RDFError):
+            Literal(["list"])  # type: ignore[arg-type]
+
+
+class TestTermPredicates:
+    def test_is_entity_term(self):
+        assert is_entity_term(IRI("http://x.org/a"))
+        assert is_entity_term(BlankNode("b"))
+        assert not is_entity_term(Literal("x"))
+        assert not is_entity_term("plain string")
+
+    def test_is_literal_term(self):
+        assert is_literal_term(Literal("x"))
+        assert not is_literal_term(IRI("http://x.org/a"))

@@ -1,0 +1,83 @@
+"""Unit tests for Triple and TriplePattern."""
+
+import pytest
+
+from repro.errors import RDFError
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.rdf.triple import Triple, TriplePattern
+
+S = IRI("http://example.org/s")
+P = IRI("http://example.org/p")
+O = IRI("http://example.org/o")
+
+
+class TestTriple:
+    def test_construction_and_accessors(self):
+        triple = Triple(S, P, O)
+        assert triple.subject == S
+        assert triple.predicate == P
+        assert triple.object == O
+
+    def test_equality_and_hash(self):
+        assert Triple(S, P, O) == Triple(S, P, O)
+        assert hash(Triple(S, P, O)) == hash(Triple(S, P, O))
+        assert Triple(S, P, O) != Triple(S, P, S)
+
+    def test_iteration_order(self):
+        assert list(Triple(S, P, O)) == [S, P, O]
+
+    def test_as_tuple(self):
+        assert Triple(S, P, O).as_tuple() == (S, P, O)
+
+    def test_literal_object_allowed(self):
+        triple = Triple(S, P, Literal("x"))
+        assert isinstance(triple.object, Literal)
+
+    def test_blank_node_subject_allowed(self):
+        triple = Triple(BlankNode("b"), P, O)
+        assert isinstance(triple.subject, BlankNode)
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(RDFError):
+            Triple(Literal("x"), P, O)  # type: ignore[arg-type]
+
+    def test_literal_predicate_rejected(self):
+        with pytest.raises(RDFError):
+            Triple(S, Literal("x"), O)  # type: ignore[arg-type]
+
+    def test_blank_node_predicate_rejected(self):
+        with pytest.raises(RDFError):
+            Triple(S, BlankNode("b"), O)  # type: ignore[arg-type]
+
+    def test_non_term_object_rejected(self):
+        with pytest.raises(RDFError):
+            Triple(S, P, "plain")  # type: ignore[arg-type]
+
+    def test_immutable(self):
+        triple = Triple(S, P, O)
+        with pytest.raises(AttributeError):
+            triple.subject = O
+
+
+class TestTriplePattern:
+    def test_full_wildcard_matches_everything(self):
+        assert TriplePattern().matches(Triple(S, P, O))
+
+    def test_bound_subject_mismatch(self):
+        assert not TriplePattern(subject=O).matches(Triple(S, P, O))
+
+    def test_bound_all_positions(self):
+        pattern = TriplePattern(S, P, O)
+        assert pattern.matches(Triple(S, P, O))
+        assert not pattern.matches(Triple(S, P, S))
+
+    def test_bound_positions_reported(self):
+        assert TriplePattern(subject=S, object=O).bound_positions == ("subject", "object")
+        assert TriplePattern().bound_positions == ()
+
+    def test_equality(self):
+        assert TriplePattern(S, None, O) == TriplePattern(S, None, O)
+        assert TriplePattern(S, None, O) != TriplePattern(S, P, O)
+
+    def test_hashable(self):
+        assert len({TriplePattern(S, P, O), TriplePattern(S, P, O)}) == 1

@@ -1,0 +1,121 @@
+"""Unit tests for the Turtle reader/writer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.rdf.namespace import NamespaceManager, RDF, YAGO
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triple import Triple
+from repro.rdf.turtle import parse_turtle, serialize_turtle
+
+S = YAGO["Frank_Sinatra"]
+
+
+class TestTurtleWriter:
+    def test_groups_by_subject(self):
+        triples = [
+            Triple(S, YAGO.wasBornIn, YAGO.USA),
+            Triple(S, YAGO.hasName, Literal("Frank Sinatra")),
+        ]
+        text = serialize_turtle(triples)
+        # One subject block, two predicate lines separated by ';'.
+        assert text.count("yago:Frank_Sinatra\n") == 1
+        assert ";" in text
+
+    def test_emits_only_used_prefixes(self):
+        text = serialize_turtle([Triple(S, YAGO.wasBornIn, YAGO.USA)])
+        assert "@prefix yago:" in text
+        assert "@prefix dbo:" not in text
+
+    def test_unknown_namespace_written_in_full(self):
+        other = IRI("http://nowhere.example/x")
+        text = serialize_turtle([Triple(other, YAGO.knows, other)])
+        assert "<http://nowhere.example/x>" in text
+
+    def test_empty_input(self):
+        assert serialize_turtle([]) == ""
+
+
+class TestTurtleReader:
+    def test_round_trip(self):
+        triples = [
+            Triple(S, YAGO.wasBornIn, YAGO.USA),
+            Triple(S, YAGO.hasName, Literal("Frank Sinatra")),
+            Triple(S, YAGO.label, Literal("Frank Sinatra", language="en")),
+            Triple(S, YAGO.bornInYear, Literal(1915)),
+        ]
+        assert set(parse_turtle(serialize_turtle(triples))) == set(triples)
+
+    def test_prefix_declaration(self):
+        text = "@prefix ex: <http://example.org/> .\nex:a ex:p ex:b ."
+        triples = list(parse_turtle(text))
+        assert triples == [
+            Triple(IRI("http://example.org/a"), IRI("http://example.org/p"), IRI("http://example.org/b"))
+        ]
+
+    def test_a_keyword_expands_to_rdf_type(self):
+        text = "@prefix ex: <http://example.org/> .\nex:a a ex:Person ."
+        triple = next(iter(parse_turtle(text)))
+        assert triple.predicate == RDF.type
+
+    def test_object_lists_with_comma(self):
+        text = "@prefix ex: <http://example.org/> .\nex:a ex:p ex:b, ex:c ."
+        assert len(list(parse_turtle(text))) == 2
+
+    def test_predicate_lists_with_semicolon(self):
+        text = "@prefix ex: <http://example.org/> .\nex:a ex:p ex:b ; ex:q ex:c ."
+        triples = list(parse_turtle(text))
+        assert {t.predicate.local_name for t in triples} == {"p", "q"}
+
+    def test_comments_outside_iris_are_stripped(self):
+        text = (
+            "@prefix ex: <http://example.org/> . # namespace\n"
+            "ex:a ex:p ex:b . # a fact\n"
+        )
+        assert len(list(parse_turtle(text))) == 1
+
+    def test_hash_inside_iri_preserved(self):
+        text = "<http://example.org/ns#a> <http://example.org/ns#p> <http://example.org/ns#b> ."
+        triple = next(iter(parse_turtle(text)))
+        assert triple.subject.value.endswith("#a")
+
+    def test_integer_shorthand(self):
+        text = "@prefix ex: <http://example.org/> .\nex:a ex:age 42 ."
+        triple = next(iter(parse_turtle(text)))
+        assert triple.object.to_python() == 42
+
+    def test_decimal_shorthand(self):
+        text = "@prefix ex: <http://example.org/> .\nex:a ex:height 1.85 ."
+        triple = next(iter(parse_turtle(text)))
+        assert triple.object.to_python() == pytest.approx(1.85)
+
+    def test_language_tag(self):
+        text = '@prefix ex: <http://example.org/> .\nex:a ex:label "ciao"@it .'
+        triple = next(iter(parse_turtle(text)))
+        assert triple.object == Literal("ciao", language="it")
+
+    def test_datatyped_literal(self):
+        text = (
+            "@prefix ex: <http://example.org/> .\n"
+            "@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .\n"
+            'ex:a ex:born "1915-12-12"^^xsd:date .'
+        )
+        triple = next(iter(parse_turtle(text)))
+        assert triple.object.datatype.endswith("date")
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            list(parse_turtle("nope:a nope:p nope:b ."))
+
+    def test_unterminated_statement_rejected(self):
+        with pytest.raises(ParseError):
+            list(parse_turtle("@prefix ex: <http://example.org/> .\nex:a ex:p ex:b"))
+
+    def test_blank_node_property_list_unsupported(self):
+        with pytest.raises(ParseError):
+            list(parse_turtle("@prefix ex: <http://example.org/> .\nex:a ex:p [ ex:q ex:b ] ."))
+
+    def test_base_resolution(self):
+        text = "@base <http://example.org/> .\n<a> <p> <b> ."
+        triple = next(iter(parse_turtle(text)))
+        assert triple.subject == IRI("http://example.org/a")

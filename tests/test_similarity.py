@@ -1,0 +1,122 @@
+"""Unit tests for the string similarity functions."""
+
+import pytest
+
+from repro.similarity import (
+    dice_coefficient,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    ngram_similarity,
+    ngrams,
+    normalize_string,
+    token_jaccard,
+    tokenize_words,
+    trigram_similarity,
+)
+
+
+class TestNormalize:
+    def test_lowercases_and_strips_punctuation(self):
+        assert normalize_string("Frank_Sinatra!") == "frank sinatra"
+
+    def test_collapses_whitespace(self):
+        assert normalize_string("  a   b  ") == "a b"
+
+    def test_strips_accents(self):
+        assert normalize_string("Céline") == "celine"
+
+    def test_options_can_be_disabled(self):
+        assert normalize_string("ABC", lowercase=False) == "ABC"
+        assert "!" in normalize_string("a!", remove_punctuation=False)
+
+    def test_tokenize_words(self):
+        assert tokenize_words("Frank_Sinatra sings") == ["frank", "sinatra", "sings"]
+        assert tokenize_words("") == []
+
+
+class TestLevenshtein:
+    def test_identical_strings(self):
+        assert levenshtein_distance("abc", "abc") == 0
+        assert levenshtein_similarity("abc", "abc") == 1.0
+
+    def test_empty_strings(self):
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "") == 3
+        assert levenshtein_similarity("", "") == 1.0
+
+    def test_known_distance(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+
+    def test_symmetry(self):
+        assert levenshtein_distance("flaw", "lawn") == levenshtein_distance("lawn", "flaw")
+
+    def test_similarity_range(self):
+        assert 0.0 <= levenshtein_similarity("abc", "xyz") <= 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+
+class TestJaro:
+    def test_identical(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+        assert jaro_winkler_similarity("martha", "martha") == 1.0
+
+    def test_empty(self):
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("prefixed", "prefixes")
+        boosted = jaro_winkler_similarity("prefixed", "prefixes")
+        assert boosted >= plain
+
+    def test_no_matches(self):
+        assert jaro_similarity("abc", "xyz") == 0.0
+
+    def test_prefix_scale_clamped(self):
+        # Even with an absurd scale the result stays within [0, 1].
+        assert jaro_winkler_similarity("prefix", "prefixx", prefix_scale=5.0) <= 1.0
+
+
+class TestNgrams:
+    def test_ngram_generation_with_padding(self):
+        grams = ngrams("ab", n=3)
+        assert "##a" in grams and "b##" in grams
+
+    def test_ngram_generation_without_padding(self):
+        assert ngrams("abcd", n=2, pad=False) == ["ab", "bc", "cd"]
+
+    def test_empty_string(self):
+        assert ngrams("", n=3, pad=False) == []
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ngrams("abc", n=0)
+
+    def test_trigram_similarity_identical(self):
+        assert trigram_similarity("sinatra", "sinatra") == 1.0
+
+    def test_ngram_similarity_disjoint(self):
+        assert ngram_similarity("aaa", "zzz") == 0.0
+
+    def test_both_empty(self):
+        assert ngram_similarity("", "") == 1.0
+
+
+class TestSetSimilarities:
+    def test_jaccard(self):
+        assert jaccard_similarity({1, 2}, {2, 3}) == pytest.approx(1 / 3)
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity({1}, set()) == 0.0
+
+    def test_dice(self):
+        assert dice_coefficient({1, 2}, {2, 3}) == pytest.approx(0.5)
+        assert dice_coefficient(set(), set()) == 1.0
+
+    def test_token_jaccard(self):
+        assert token_jaccard("Frank Sinatra", "Sinatra, Frank") == 1.0
+        assert token_jaccard("abc", "xyz") == 0.0

@@ -1,0 +1,79 @@
+"""Unit tests for the literal matcher used by entity-literal alignment."""
+
+import pytest
+
+from repro.rdf.terms import Literal
+from repro.similarity.literal_match import SIMILARITY_FUNCTIONS, LiteralMatcher
+
+
+class TestConfiguration:
+    def test_default_configuration_valid(self):
+        matcher = LiteralMatcher()
+        assert matcher.similarity in SIMILARITY_FUNCTIONS
+
+    def test_unknown_similarity_rejected(self):
+        with pytest.raises(ValueError):
+            LiteralMatcher(similarity="nope")
+
+    def test_threshold_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            LiteralMatcher(threshold=1.5)
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            LiteralMatcher(numeric_tolerance=-1)
+
+
+class TestStringMatching:
+    def test_exact_match(self):
+        matcher = LiteralMatcher()
+        assert matcher.matches(Literal("Frank Sinatra"), Literal("Frank Sinatra"))
+
+    def test_formatting_variants_match_after_normalisation(self):
+        matcher = LiteralMatcher()
+        assert matcher.matches(Literal("Frank_Sinatra"), Literal("frank sinatra"))
+        assert matcher.matches(Literal("FRANK SINATRA"), Literal("Frank Sinatra"))
+
+    def test_different_names_do_not_match(self):
+        matcher = LiteralMatcher()
+        assert not matcher.matches(Literal("Frank Sinatra"), Literal("Albert Einstein"))
+
+    def test_score_is_symmetric_enough(self):
+        matcher = LiteralMatcher()
+        left, right = Literal("Marie Curie"), Literal("Maria Curie")
+        assert matcher.score(left, right) == pytest.approx(matcher.score(right, left), abs=0.05)
+
+    def test_each_similarity_function_usable(self):
+        for name in SIMILARITY_FUNCTIONS:
+            matcher = LiteralMatcher(similarity=name, threshold=0.5)
+            assert matcher.matches(Literal("alignment"), Literal("alignment"))
+
+    def test_normalisation_can_be_disabled(self):
+        matcher = LiteralMatcher(normalize=False, threshold=0.99)
+        assert not matcher.matches(Literal("Frank_Sinatra"), Literal("frank sinatra"))
+
+    def test_empty_strings_match(self):
+        assert LiteralMatcher().matches(Literal(""), Literal(""))
+
+
+class TestNumericMatching:
+    def test_equal_numbers(self):
+        matcher = LiteralMatcher()
+        assert matcher.matches(Literal(1915), Literal(1915))
+        assert matcher.score(Literal(1915), Literal(1915)) == 1.0
+
+    def test_nearly_equal_numbers_within_tolerance(self):
+        matcher = LiteralMatcher(numeric_tolerance=0.01)
+        assert matcher.matches(Literal(100.0), Literal(100.5))
+
+    def test_numbers_outside_tolerance(self):
+        matcher = LiteralMatcher(numeric_tolerance=0.001)
+        assert not matcher.matches(Literal(100.0), Literal(150.0))
+
+    def test_zero_values(self):
+        matcher = LiteralMatcher()
+        assert matcher.matches(Literal(0), Literal(0.0))
+
+    def test_number_vs_string_uses_string_path(self):
+        matcher = LiteralMatcher(threshold=0.95)
+        assert matcher.matches(Literal(42), Literal("42"))

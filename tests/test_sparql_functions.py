@@ -1,0 +1,236 @@
+"""Unit tests for SPARQL expression evaluation (FILTER builtins, operators)."""
+
+import pytest
+
+from repro.rdf.terms import IRI, BlankNode, Literal
+from repro.sparql.ast import (
+    BinaryExpression,
+    FunctionCall,
+    InExpression,
+    TermExpression,
+    UnaryExpression,
+    VariableExpression,
+)
+from repro.sparql.bindings import Binding, Variable
+from repro.sparql.functions import (
+    EvalError,
+    ExpressionEvaluator,
+    effective_boolean_value,
+    term_to_value,
+    value_to_term,
+)
+
+X = Variable("x")
+NAME = Variable("name")
+
+
+@pytest.fixture
+def evaluator():
+    return ExpressionEvaluator()
+
+
+@pytest.fixture
+def binding():
+    return Binding({X: Literal(10), NAME: Literal("Frank Sinatra", language="en")})
+
+
+def var(variable):
+    return VariableExpression(variable)
+
+
+def lit(value, **kwargs):
+    return TermExpression(Literal(value, **kwargs))
+
+
+class TestValueConversion:
+    def test_term_to_value_numeric(self):
+        assert term_to_value(Literal(5)) == 5
+        assert term_to_value(Literal(2.5)) == pytest.approx(2.5)
+
+    def test_term_to_value_boolean(self):
+        assert term_to_value(Literal(True)) is True
+
+    def test_term_to_value_string(self):
+        assert term_to_value(Literal("x")) == "x"
+
+    def test_value_to_term_round_trip(self):
+        assert value_to_term(5) == Literal("5", datatype="http://www.w3.org/2001/XMLSchema#integer")
+        assert value_to_term(True).to_python() is True
+        assert value_to_term("x") == Literal("x")
+        assert value_to_term(IRI("http://x.org/")) == IRI("http://x.org/")
+
+    def test_effective_boolean_value(self):
+        assert effective_boolean_value(True)
+        assert not effective_boolean_value(0)
+        assert effective_boolean_value("non-empty")
+        assert not effective_boolean_value("")
+        assert effective_boolean_value(Literal(3))
+        with pytest.raises(EvalError):
+            effective_boolean_value(IRI("http://x.org/"))
+
+
+class TestOperators:
+    def test_variable_lookup(self, evaluator, binding):
+        assert evaluator.evaluate(var(X), binding) == Literal(10)
+
+    def test_unbound_variable_raises(self, evaluator):
+        with pytest.raises(EvalError):
+            evaluator.evaluate(var(Variable("missing")), Binding.EMPTY)
+
+    def test_numeric_comparison(self, evaluator, binding):
+        assert evaluator.evaluate(BinaryExpression(">", var(X), lit(5)), binding) is True
+        assert evaluator.evaluate(BinaryExpression("<=", var(X), lit(5)), binding) is False
+
+    def test_equality_of_iris(self, evaluator):
+        left = TermExpression(IRI("http://x.org/a"))
+        right = TermExpression(IRI("http://x.org/a"))
+        assert evaluator.evaluate(BinaryExpression("=", left, right), Binding.EMPTY) is True
+
+    def test_ordering_of_iris_raises(self, evaluator):
+        left = TermExpression(IRI("http://x.org/a"))
+        with pytest.raises(EvalError):
+            evaluator.evaluate(BinaryExpression("<", left, left), Binding.EMPTY)
+
+    def test_string_comparison(self, evaluator):
+        assert evaluator.evaluate(BinaryExpression("<", lit("abc"), lit("abd")), Binding.EMPTY)
+
+    def test_arithmetic(self, evaluator, binding):
+        assert evaluator.evaluate(BinaryExpression("+", var(X), lit(5)), binding) == 15
+        assert evaluator.evaluate(BinaryExpression("*", var(X), lit(2)), binding) == 20
+        assert evaluator.evaluate(BinaryExpression("-", var(X), lit(3)), binding) == 7
+        assert evaluator.evaluate(BinaryExpression("/", var(X), lit(4)), binding) == pytest.approx(2.5)
+
+    def test_division_by_zero(self, evaluator, binding):
+        with pytest.raises(EvalError):
+            evaluator.evaluate(BinaryExpression("/", var(X), lit(0)), binding)
+
+    def test_logical_and_or(self, evaluator, binding):
+        true_expr = BinaryExpression(">", var(X), lit(5))
+        false_expr = BinaryExpression("<", var(X), lit(5))
+        assert evaluator.evaluate(BinaryExpression("&&", true_expr, false_expr), binding) is False
+        assert evaluator.evaluate(BinaryExpression("||", true_expr, false_expr), binding) is True
+
+    def test_unary_not(self, evaluator, binding):
+        expr = UnaryExpression("!", BinaryExpression(">", var(X), lit(5)))
+        assert evaluator.evaluate(expr, binding) is False
+
+    def test_unary_minus(self, evaluator, binding):
+        assert evaluator.evaluate(UnaryExpression("-", var(X)), binding) == -10
+
+    def test_arithmetic_on_string_raises(self, evaluator, binding):
+        with pytest.raises(EvalError):
+            evaluator.evaluate(BinaryExpression("+", var(NAME), lit(1)), binding)
+
+    def test_in_expression(self, evaluator, binding):
+        expr = InExpression(var(X), (lit(1), lit(10)))
+        assert evaluator.evaluate(expr, binding) is True
+        negated = InExpression(var(X), (lit(1), lit(2)), negated=True)
+        assert evaluator.evaluate(negated, binding) is True
+
+
+class TestBuiltins:
+    def test_str(self, evaluator, binding):
+        assert evaluator.evaluate(FunctionCall("STR", (var(NAME),)), binding) == "Frank Sinatra"
+
+    def test_strlen_lcase_ucase(self, evaluator):
+        assert evaluator.evaluate(FunctionCall("STRLEN", (lit("abc"),)), Binding.EMPTY) == 3
+        assert evaluator.evaluate(FunctionCall("LCASE", (lit("AbC"),)), Binding.EMPTY) == "abc"
+        assert evaluator.evaluate(FunctionCall("UCASE", (lit("AbC"),)), Binding.EMPTY) == "ABC"
+
+    def test_contains_strstarts_strends(self, evaluator, binding):
+        assert evaluator.evaluate(FunctionCall("CONTAINS", (var(NAME), lit("Sinatra"))), binding)
+        assert evaluator.evaluate(FunctionCall("STRSTARTS", (var(NAME), lit("Frank"))), binding)
+        assert evaluator.evaluate(FunctionCall("STRENDS", (var(NAME), lit("Sinatra"))), binding)
+
+    def test_abs(self, evaluator):
+        assert evaluator.evaluate(FunctionCall("ABS", (lit(-4),)), Binding.EMPTY) == 4
+
+    def test_bound(self, evaluator, binding):
+        assert evaluator.evaluate(FunctionCall("BOUND", (var(X),)), binding) is True
+        assert evaluator.evaluate(FunctionCall("BOUND", (var(Variable("zz")),)), binding) is False
+
+    def test_bound_requires_variable(self, evaluator, binding):
+        with pytest.raises(EvalError):
+            evaluator.evaluate(FunctionCall("BOUND", (lit("x"),)), binding)
+
+    def test_is_iri_literal_blank(self, evaluator):
+        iri_expr = TermExpression(IRI("http://x.org/a"))
+        blank_expr = TermExpression(BlankNode("b"))
+        assert evaluator.evaluate(FunctionCall("ISIRI", (iri_expr,)), Binding.EMPTY) is True
+        assert evaluator.evaluate(FunctionCall("ISLITERAL", (lit("x"),)), Binding.EMPTY) is True
+        assert evaluator.evaluate(FunctionCall("ISBLANK", (blank_expr,)), Binding.EMPTY) is True
+        assert evaluator.evaluate(FunctionCall("ISNUMERIC", (lit(3),)), Binding.EMPTY) is True
+        assert evaluator.evaluate(FunctionCall("ISNUMERIC", (lit("x"),)), Binding.EMPTY) is False
+
+    def test_sameterm(self, evaluator):
+        assert evaluator.evaluate(FunctionCall("SAMETERM", (lit("a"), lit("a"))), Binding.EMPTY)
+        assert not evaluator.evaluate(FunctionCall("SAMETERM", (lit("a"), lit("b"))), Binding.EMPTY)
+
+    def test_lang_and_langmatches(self, evaluator, binding):
+        assert evaluator.evaluate(FunctionCall("LANG", (var(NAME),)), binding) == "en"
+        assert evaluator.evaluate(
+            FunctionCall("LANGMATCHES", (FunctionCall("LANG", (var(NAME),)), lit("EN"))), binding
+        )
+        assert evaluator.evaluate(
+            FunctionCall("LANGMATCHES", (FunctionCall("LANG", (var(NAME),)), lit("*"))), binding
+        )
+
+    def test_datatype(self, evaluator):
+        result = evaluator.evaluate(FunctionCall("DATATYPE", (lit(5),)), Binding.EMPTY)
+        assert isinstance(result, IRI)
+        assert result.value.endswith("integer")
+
+    def test_regex_case_insensitive_flag(self, evaluator, binding):
+        assert evaluator.evaluate(
+            FunctionCall("REGEX", (var(NAME), lit("sinatra"), lit("i"))), binding
+        )
+        assert not evaluator.evaluate(
+            FunctionCall("REGEX", (var(NAME), lit("sinatra"))), binding
+        )
+
+    def test_regex_invalid_pattern(self, evaluator, binding):
+        with pytest.raises(EvalError):
+            evaluator.evaluate(FunctionCall("REGEX", (var(NAME), lit("["))), binding)
+
+    def test_if(self, evaluator, binding):
+        expr = FunctionCall("IF", (BinaryExpression(">", var(X), lit(5)), lit("big"), lit("small")))
+        assert evaluator.evaluate(expr, binding) == Literal("big")
+
+    def test_coalesce(self, evaluator, binding):
+        expr = FunctionCall("COALESCE", (var(Variable("missing")), var(X)))
+        assert evaluator.evaluate(expr, binding) == Literal(10)
+
+    def test_coalesce_all_error(self, evaluator):
+        with pytest.raises(EvalError):
+            evaluator.evaluate(FunctionCall("COALESCE", (var(Variable("m")),)), Binding.EMPTY)
+
+    def test_evaluate_boolean_swallows_errors(self, evaluator):
+        assert evaluator.evaluate_boolean(var(Variable("missing")), Binding.EMPTY) is False
+
+
+class TestBindings:
+    def test_extend_conflicting_binding_returns_none(self):
+        binding = Binding({X: Literal(1)})
+        assert binding.extend(X, Literal(2)) is None
+        assert binding.extend(X, Literal(1)) is binding
+
+    def test_extend_new_variable(self):
+        binding = Binding.EMPTY.extend(X, Literal(1))
+        assert binding[X] == Literal(1)
+        assert len(Binding.EMPTY) == 0
+
+    def test_merge(self):
+        left = Binding({X: Literal(1)})
+        right = Binding({NAME: Literal("a")})
+        merged = left.merge(right)
+        assert merged is not None and len(merged) == 2
+        conflicting = Binding({X: Literal(2)})
+        assert left.merge(conflicting) is None
+
+    def test_project(self):
+        binding = Binding({X: Literal(1), NAME: Literal("a")})
+        assert set(binding.project([X])) == {X}
+
+    def test_hash_and_equality(self):
+        assert Binding({X: Literal(1)}) == Binding({X: Literal(1)})
+        assert hash(Binding({X: Literal(1)})) == hash(Binding({X: Literal(1)}))

@@ -1,0 +1,92 @@
+"""Unit tests for the SPARQL tokenizer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sparql.lexer import Token, tokenize
+
+
+def kinds(query: str):
+    return [token.kind for token in tokenize(query) if token.kind != "EOF"]
+
+
+def values(query: str):
+    return [token.value for token in tokenize(query) if token.kind != "EOF"]
+
+
+class TestTokenize:
+    def test_keywords_are_recognised(self):
+        assert kinds("SELECT WHERE") == ["KEYWORD", "KEYWORD"]
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select Where")
+        assert tokens[0].is_keyword("SELECT")
+        assert tokens[1].is_keyword("WHERE")
+
+    def test_variables(self):
+        tokens = tokenize("?x $y")
+        assert [t.kind for t in tokens[:2]] == ["VAR", "VAR"]
+        assert [t.value for t in tokens[:2]] == ["x", "y"]
+
+    def test_iri(self):
+        token = tokenize("<http://example.org/a>")[0]
+        assert token.kind == "IRI"
+        assert token.value == "http://example.org/a"
+
+    def test_prefixed_name(self):
+        token = tokenize("yago:wasBornIn")[0]
+        assert token.kind == "PNAME"
+        assert token.value == "yago:wasBornIn"
+
+    def test_string_with_escapes(self):
+        token = tokenize(r'"say \"hi\"\n"')[0]
+        assert token.kind == "STRING"
+        assert token.value == 'say "hi"\n'
+
+    def test_single_quoted_string(self):
+        token = tokenize("'hello'")[0]
+        assert token.kind == "STRING"
+        assert token.value == "hello"
+
+    def test_language_tag(self):
+        assert kinds('"ciao"@it') == ["STRING", "LANGTAG"]
+
+    def test_datatype_marker(self):
+        assert kinds('"5"^^xsd:integer') == ["STRING", "PUNCT", "PNAME"]
+
+    def test_numbers(self):
+        assert kinds("42 3.14 -7 1e6") == ["NUMBER"] * 4
+
+    def test_builtins(self):
+        tokens = tokenize("REGEX regex Bound")
+        assert all(t.kind == "BUILTIN" for t in tokens[:3])
+        assert tokens[1].value == "REGEX"
+
+    def test_punctuation(self):
+        assert values("{ } ( ) . ; , * && || != <= >=") == [
+            "{", "}", "(", ")", ".", ";", ",", "*", "&&", "||", "!=", "<=", ">=",
+        ]
+
+    def test_comparison_less_than_not_confused_with_iri(self):
+        assert values("?x < 5") == ["x", "<", "5"]
+
+    def test_comments_skipped(self):
+        assert kinds("SELECT # comment with ?var and <iri>\n?x") == ["KEYWORD", "VAR"]
+
+    def test_line_and_column_tracking(self):
+        tokens = tokenize("SELECT ?x\nWHERE { }")
+        where = next(t for t in tokens if t.is_keyword("WHERE"))
+        assert where.line == 2
+        assert where.column == 1
+
+    def test_eof_token_present(self):
+        assert tokenize("SELECT")[-1].kind == "EOF"
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(ParseError):
+            tokenize("SELECT @@@")
+
+    def test_is_punct_helper(self):
+        token = Token("PUNCT", "{", 1, 1)
+        assert token.is_punct("{", "}")
+        assert not token.is_punct("(")

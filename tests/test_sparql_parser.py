@@ -1,0 +1,236 @@
+"""Unit tests for the SPARQL parser."""
+
+import pytest
+
+from repro.errors import ParseError, SparqlError
+from repro.rdf.namespace import RDF, YAGO
+from repro.rdf.terms import IRI, Literal
+from repro.sparql.ast import (
+    AskQuery,
+    BinaryExpression,
+    CountExpression,
+    ExistsExpression,
+    FilterNode,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpression,
+    OptionalNode,
+    SelectQuery,
+    TriplePatternNode,
+    UnionNode,
+    ValuesNode,
+)
+from repro.sparql.bindings import Variable
+from repro.sparql.parser import parse_query
+
+
+class TestSelectClause:
+    def test_select_variables(self):
+        query = parse_query("SELECT ?s ?o WHERE { ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+        assert [item.output_variable.name for item in query.projection] == ["s", "o"]
+        assert not query.distinct
+
+    def test_select_star(self):
+        query = parse_query("SELECT * WHERE { ?s ?p ?o }")
+        assert query.select_all
+
+    def test_select_distinct(self):
+        query = parse_query("SELECT DISTINCT ?s WHERE { ?s ?p ?o }")
+        assert query.distinct
+
+    def test_count_star_alias(self):
+        query = parse_query("SELECT (COUNT(*) AS ?c) WHERE { ?s ?p ?o }")
+        item = query.projection[0]
+        assert isinstance(item.expression, CountExpression)
+        assert item.expression.counts_all
+        assert item.output_variable == Variable("c")
+        assert query.is_aggregate
+
+    def test_count_distinct_variable(self):
+        query = parse_query("SELECT (COUNT(DISTINCT ?s) AS ?n) WHERE { ?s ?p ?o }")
+        expression = query.projection[0].expression
+        assert isinstance(expression, CountExpression)
+        assert expression.distinct
+        assert expression.variable == Variable("s")
+
+    def test_missing_projection_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT WHERE { ?s ?p ?o }")
+
+    def test_where_keyword_optional(self):
+        query = parse_query("SELECT ?s { ?s ?p ?o }")
+        assert isinstance(query, SelectQuery)
+
+    def test_ask_query(self):
+        query = parse_query("ASK { ?s ?p ?o }")
+        assert isinstance(query, AskQuery)
+
+    def test_unknown_query_form_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("CONSTRUCT { ?s ?p ?o } WHERE { ?s ?p ?o }")
+
+    def test_empty_query_rejected(self):
+        with pytest.raises(SparqlError):
+            parse_query("   ")
+
+
+class TestPrologue:
+    def test_prefix_declaration_used(self):
+        query = parse_query(
+            "PREFIX ex: <http://example.org/> SELECT ?s WHERE { ?s ex:p ex:o }"
+        )
+        pattern = query.where.triple_patterns()[0]
+        assert pattern.predicate == IRI("http://example.org/p")
+
+    def test_default_prefixes_available(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:wasBornIn ?o }")
+        assert query.where.triple_patterns()[0].predicate == YAGO.wasBornIn
+
+    def test_unknown_prefix_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?s WHERE { ?s nope:p ?o }")
+
+
+class TestTriplesBlock:
+    def test_object_list(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:knows yago:A, yago:B }")
+        patterns = query.where.triple_patterns()
+        assert len(patterns) == 2
+        assert {p.object for p in patterns} == {YAGO.A, YAGO.B}
+
+    def test_predicate_object_list(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:p yago:A ; yago:q ?x }")
+        predicates = [p.predicate for p in query.where.triple_patterns()]
+        assert predicates == [YAGO.p, YAGO.q]
+
+    def test_a_keyword_is_rdf_type(self):
+        query = parse_query("SELECT ?s WHERE { ?s a yago:Person }")
+        assert query.where.triple_patterns()[0].predicate == RDF.type
+
+    def test_literal_objects(self):
+        query = parse_query('SELECT ?s WHERE { ?s yago:name "Frank" }')
+        assert query.where.triple_patterns()[0].object == Literal("Frank")
+
+    def test_numeric_literal_object(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:age 42 }")
+        obj = query.where.triple_patterns()[0].object
+        assert isinstance(obj, Literal) and obj.to_python() == 42
+
+    def test_boolean_literal_object(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:alive true }")
+        obj = query.where.triple_patterns()[0].object
+        assert obj.to_python() is True
+
+    def test_literal_subject_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query('SELECT ?s WHERE { "x" yago:p ?o }')
+
+    def test_multiple_statements_with_dots(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:p ?o . ?o yago:q ?z . }")
+        assert len(query.where.triple_patterns()) == 2
+
+
+class TestGroupPatterns:
+    def test_optional(self):
+        query = parse_query("SELECT ?s WHERE { ?s yago:p ?o OPTIONAL { ?s yago:q ?z } }")
+        optionals = [e for e in query.where.elements if isinstance(e, OptionalNode)]
+        assert len(optionals) == 1
+        assert len(optionals[0].group.triple_patterns()) == 1
+
+    def test_union(self):
+        query = parse_query(
+            "SELECT ?x WHERE { { ?x yago:p ?o } UNION { ?x yago:q ?o } UNION { ?x yago:r ?o } }"
+        )
+        unions = [e for e in query.where.elements if isinstance(e, UnionNode)]
+        assert len(unions) == 1
+        assert len(unions[0].branches) == 3
+
+    def test_nested_group_without_union(self):
+        query = parse_query("SELECT ?x WHERE { { ?x yago:p ?o } }")
+        assert any(isinstance(e, GroupGraphPattern) for e in query.where.elements)
+
+    def test_filter_with_comparison(self):
+        query = parse_query("SELECT ?x WHERE { ?x yago:age ?a FILTER(?a > 18) }")
+        filters = [e for e in query.where.elements if isinstance(e, FilterNode)]
+        assert len(filters) == 1
+        assert isinstance(filters[0].expression, BinaryExpression)
+
+    def test_filter_builtin_without_parentheses(self):
+        query = parse_query('SELECT ?x WHERE { ?x yago:name ?n FILTER REGEX(?n, "a") }')
+        expression = [e for e in query.where.elements if isinstance(e, FilterNode)][0].expression
+        assert isinstance(expression, FunctionCall)
+        assert expression.name == "REGEX"
+
+    def test_filter_not_exists(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x yago:p ?o FILTER NOT EXISTS { ?x yago:q ?o } }"
+        )
+        expression = [e for e in query.where.elements if isinstance(e, FilterNode)][0].expression
+        assert isinstance(expression, ExistsExpression)
+        assert expression.negated
+
+    def test_filter_in_list(self):
+        query = parse_query("SELECT ?x WHERE { ?x yago:p ?o FILTER(?o IN (yago:A, yago:B)) }")
+        expression = [e for e in query.where.elements if isinstance(e, FilterNode)][0].expression
+        assert isinstance(expression, InExpression)
+        assert len(expression.choices) == 2
+
+    def test_values_single_variable(self):
+        query = parse_query("SELECT ?x WHERE { VALUES ?x { yago:A yago:B } ?x yago:p ?o }")
+        values = [e for e in query.where.elements if isinstance(e, ValuesNode)][0]
+        assert values.variables == (Variable("x"),)
+        assert len(values.rows) == 2
+
+    def test_values_multiple_variables_with_undef(self):
+        query = parse_query(
+            "SELECT ?x WHERE { VALUES (?x ?y) { (yago:A yago:B) (yago:C UNDEF) } ?x yago:p ?y }"
+        )
+        values = [e for e in query.where.elements if isinstance(e, ValuesNode)][0]
+        assert values.rows[1][1] is None
+
+    def test_values_row_arity_mismatch_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?x WHERE { VALUES (?x ?y) { (yago:A) } }")
+
+    def test_unterminated_group_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?x WHERE { ?x yago:p ?o ")
+
+    def test_group_variables_collects_all(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a yago:p ?b OPTIONAL { ?a yago:q ?c } VALUES ?d { yago:X } }"
+        )
+        names = {v.name for v in query.where.variables()}
+        assert names == {"a", "b", "c", "d"}
+
+
+class TestSolutionModifiers:
+    def test_limit_offset(self):
+        query = parse_query("SELECT ?s WHERE { ?s ?p ?o } OFFSET 5 LIMIT 10")
+        assert query.limit == 10
+        assert query.offset == 5
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } LIMIT -3")
+
+    def test_order_by_variable(self):
+        query = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY ?s")
+        assert len(query.order_by) == 1
+        assert not query.order_by[0].descending
+
+    def test_order_by_desc(self):
+        query = parse_query("SELECT ?s WHERE { ?s ?p ?o } ORDER BY DESC(?s) ?p")
+        assert query.order_by[0].descending
+        assert len(query.order_by) == 2
+
+    def test_group_by(self):
+        query = parse_query(
+            "SELECT ?s (COUNT(?o) AS ?n) WHERE { ?s ?p ?o } GROUP BY ?s"
+        )
+        assert query.group_by == (Variable("s"),)
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT ?s WHERE { ?s ?p ?o } nonsense")

@@ -1,0 +1,87 @@
+"""Unit tests for the low-level triple index."""
+
+from repro.rdf.terms import IRI
+from repro.store.index import TripleIndex
+
+A = IRI("http://example.org/a")
+B = IRI("http://example.org/b")
+C = IRI("http://example.org/c")
+D = IRI("http://example.org/d")
+
+
+class TestTripleIndex:
+    def test_add_and_contains(self):
+        index = TripleIndex()
+        assert index.add(A, B, C)
+        assert index.contains(A, B, C)
+        assert not index.contains(A, B, D)
+        assert len(index) == 1
+
+    def test_duplicate_add_is_noop(self):
+        index = TripleIndex()
+        assert index.add(A, B, C)
+        assert not index.add(A, B, C)
+        assert len(index) == 1
+
+    def test_remove(self):
+        index = TripleIndex()
+        index.add(A, B, C)
+        assert index.remove(A, B, C)
+        assert not index.contains(A, B, C)
+        assert len(index) == 0
+
+    def test_remove_absent_returns_false(self):
+        index = TripleIndex()
+        assert not index.remove(A, B, C)
+        index.add(A, B, C)
+        assert not index.remove(A, B, D)
+        assert not index.remove(A, D, C)
+
+    def test_remove_cleans_empty_levels(self):
+        index = TripleIndex()
+        index.add(A, B, C)
+        index.remove(A, B, C)
+        assert not index.has_key(A)
+        assert list(index.keys()) == []
+
+    def test_seconds_and_thirds(self):
+        index = TripleIndex()
+        index.add(A, B, C)
+        index.add(A, B, D)
+        index.add(A, C, D)
+        assert set(index.seconds(A)) == {B, C}
+        assert set(index.thirds(A, B)) == {C, D}
+        assert list(index.thirds(A, D)) == []
+        assert list(index.thirds(D, B)) == []
+
+    def test_pairs(self):
+        index = TripleIndex()
+        index.add(A, B, C)
+        index.add(A, C, D)
+        assert set(index.pairs(A)) == {(B, C), (C, D)}
+        assert set(index.pairs(D)) == set()
+
+    def test_triples_iteration(self):
+        index = TripleIndex()
+        entries = {(A, B, C), (A, B, D), (B, C, D)}
+        for entry in entries:
+            index.add(*entry)
+        assert set(index.triples()) == entries
+
+    def test_counts(self):
+        index = TripleIndex()
+        index.add(A, B, C)
+        index.add(A, B, D)
+        index.add(B, C, D)
+        assert index.key_count() == 2
+        assert index.count_for_key(A) == 2
+        assert index.count_for_key(B) == 1
+        assert index.count_for_key(C) == 0
+        assert index.second_count_for_key(A) == 1
+
+    def test_clear(self):
+        index = TripleIndex()
+        index.add(A, B, C)
+        index.clear()
+        assert len(index) == 0
+        assert not index.has_key(A)

@@ -1,0 +1,78 @@
+"""Unit tests for store statistics helpers."""
+
+import pytest
+
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triple import Triple
+from repro.store.stats import PredicateStatistics, compute_statistics
+from repro.store.bulk import load_ntriples_file, load_triples
+from repro.rdf.ntriples import serialize_ntriples
+
+from tests.conftest import EX
+
+
+class TestPredicateStatistics:
+    def test_functionality_of_functional_relation(self):
+        stats = PredicateStatistics(EX.p, fact_count=10, distinct_subjects=10, distinct_objects=4)
+        assert stats.functionality == pytest.approx(1.0)
+        assert stats.inverse_functionality == pytest.approx(0.4)
+        assert stats.average_objects_per_subject == pytest.approx(1.0)
+
+    def test_functionality_of_multivalued_relation(self):
+        stats = PredicateStatistics(EX.p, fact_count=20, distinct_subjects=5, distinct_objects=20)
+        assert stats.functionality == pytest.approx(0.25)
+        assert stats.average_objects_per_subject == pytest.approx(4.0)
+
+    def test_empty_relation(self):
+        stats = PredicateStatistics(EX.p)
+        assert stats.functionality == 0.0
+        assert stats.inverse_functionality == 0.0
+        assert stats.average_objects_per_subject == 0.0
+        assert not stats.is_literal_valued
+
+    def test_is_literal_valued_majority_rule(self):
+        stats = PredicateStatistics(EX.p, fact_count=4, literal_object_count=3)
+        assert stats.is_literal_valued
+        stats2 = PredicateStatistics(EX.p, fact_count=4, literal_object_count=2)
+        assert not stats2.is_literal_valued
+
+
+class TestComputeStatistics:
+    def test_counts(self, people_store):
+        stats = compute_statistics(iter(people_store))
+        assert stats.triple_count == len(people_store)
+        assert stats.predicates[EX.name].literal_object_count == 3
+        assert stats.predicates[EX.bornIn].distinct_objects == 3
+
+    def test_empty_iterable(self):
+        stats = compute_statistics([])
+        assert stats.triple_count == 0
+        assert stats.predicates == {}
+
+
+class TestBulkLoading:
+    def test_load_triples_into_new_store(self):
+        triples = [Triple(EX.a, EX.p, EX.b), Triple(EX.a, EX.p, Literal("x"))]
+        store = load_triples(triples, name="loaded")
+        assert len(store) == 2
+        assert store.name == "loaded"
+
+    def test_load_triples_into_existing_store(self, people_store):
+        before = len(people_store)
+        load_triples([Triple(EX.zzz, EX.p, EX.b)], store=people_store)
+        assert len(people_store) == before + 1
+
+    def test_load_ntriples_file(self, tmp_path, people_store):
+        path = tmp_path / "dump.nt"
+        path.write_text(serialize_ntriples(iter(people_store)), encoding="utf-8")
+        store = load_ntriples_file(path)
+        assert len(store) == len(people_store)
+        assert store.name == "dump"
+
+    def test_load_turtle_file(self, tmp_path):
+        path = tmp_path / "data.ttl"
+        path.write_text(
+            "@prefix ex: <http://example.org/kb1/> .\nex:a ex:p ex:b .\n", encoding="utf-8"
+        )
+        store = load_ntriples_file(path)
+        assert len(store) == 1

@@ -1,0 +1,184 @@
+"""Unit tests for the triple store."""
+
+import pytest
+
+from repro.errors import StoreError
+from repro.rdf.terms import IRI, Literal
+from repro.rdf.triple import Triple, TriplePattern
+from repro.store.triplestore import TripleStore
+
+from tests.conftest import EX
+
+
+def triple(s: str, p: str, o) -> Triple:
+    obj = o if not isinstance(o, str) else EX[o]
+    return Triple(EX[s], EX[p], obj)
+
+
+class TestMutation:
+    def test_add_and_len(self, empty_store):
+        assert empty_store.add(triple("a", "p", "b"))
+        assert len(empty_store) == 1
+
+    def test_duplicate_add(self, empty_store):
+        empty_store.add(triple("a", "p", "b"))
+        assert not empty_store.add(triple("a", "p", "b"))
+        assert len(empty_store) == 1
+
+    def test_add_all_returns_inserted_count(self, empty_store):
+        inserted = empty_store.add_all([triple("a", "p", "b"), triple("a", "p", "b"), triple("a", "p", "c")])
+        assert inserted == 2
+
+    def test_remove(self, empty_store):
+        empty_store.add(triple("a", "p", "b"))
+        assert empty_store.remove(triple("a", "p", "b"))
+        assert len(empty_store) == 0
+        assert not empty_store.remove(triple("a", "p", "b"))
+
+    def test_remove_keeps_other_triples(self, empty_store):
+        empty_store.add(triple("a", "p", "b"))
+        empty_store.add(triple("a", "p", "c"))
+        empty_store.remove(triple("a", "p", "b"))
+        assert triple("a", "p", "c") in empty_store
+
+    def test_clear(self, people_store):
+        people_store.clear()
+        assert len(people_store) == 0
+
+    def test_add_rejects_non_triple(self, empty_store):
+        with pytest.raises(StoreError):
+            empty_store.add(("a", "b", "c"))  # type: ignore[arg-type]
+
+    def test_contains_non_triple_is_false(self, people_store):
+        assert "not a triple" not in people_store
+
+
+class TestMatch:
+    def test_fully_bound_hit(self, people_store):
+        matches = list(people_store.match(EX["Frank_Sinatra"], EX.bornIn, EX.USA))
+        assert len(matches) == 1
+
+    def test_fully_bound_miss(self, people_store):
+        assert list(people_store.match(EX["Frank_Sinatra"], EX.bornIn, EX.Poland)) == []
+
+    def test_subject_predicate(self, people_store):
+        matches = list(people_store.match(EX["Marie_Curie"], EX.profession, None))
+        assert [m.object for m in matches] == [EX.Physicist]
+
+    def test_subject_object(self, people_store):
+        matches = list(people_store.match(EX["Marie_Curie"], None, EX.Physicist))
+        assert [m.predicate for m in matches] == [EX.profession]
+
+    def test_subject_only(self, people_store):
+        assert len(list(people_store.match(subject=EX["Frank_Sinatra"]))) == 4
+
+    def test_predicate_object(self, people_store):
+        matches = list(people_store.match(None, EX.profession, EX.Physicist))
+        assert {m.subject for m in matches} == {EX["Albert_Einstein"], EX["Marie_Curie"]}
+
+    def test_predicate_only(self, people_store):
+        assert len(list(people_store.match(predicate=EX.bornIn))) == 3
+
+    def test_object_only(self, people_store):
+        matches = list(people_store.match(object=EX.Physicist))
+        assert len(matches) == 2
+
+    def test_full_scan(self, people_store):
+        assert len(list(people_store.match())) == len(people_store)
+
+    def test_match_pattern_object(self, people_store):
+        pattern = TriplePattern(predicate=EX.name)
+        assert len(list(people_store.match_pattern(pattern))) == 3
+
+    def test_iteration_yields_all_triples(self, people_store):
+        assert len(set(people_store)) == len(people_store)
+
+
+class TestCount:
+    def test_count_all(self, people_store):
+        assert people_store.count() == len(people_store)
+
+    def test_count_by_predicate_uses_index(self, people_store):
+        assert people_store.count(predicate=EX.bornIn) == 3
+
+    def test_count_by_subject(self, people_store):
+        assert people_store.count(subject=EX["Marie_Curie"]) == 3
+
+    def test_count_by_object(self, people_store):
+        assert people_store.count(object=EX.Physicist) == 2
+
+    def test_count_mixed_pattern(self, people_store):
+        assert people_store.count(subject=EX["Marie_Curie"], predicate=EX.bornIn) == 1
+
+
+class TestVocabulary:
+    def test_predicates_sorted(self, people_store):
+        predicates = people_store.predicates()
+        assert predicates == sorted(predicates, key=lambda p: p.value)
+        assert EX.bornIn in predicates
+
+    def test_subjects_for_predicate(self, people_store):
+        assert len(list(people_store.subjects(EX.bornIn))) == 3
+
+    def test_subjects_all(self, people_store):
+        assert EX["Marie_Curie"] in set(people_store.subjects())
+
+    def test_objects_for_predicate(self, people_store):
+        assert EX.USA in set(people_store.objects(EX.bornIn))
+
+    def test_objects_of(self, people_store):
+        assert people_store.objects_of(EX["Frank_Sinatra"], EX.bornIn) == [EX.USA]
+
+    def test_subjects_of(self, people_store):
+        assert set(people_store.subjects_of(EX.profession, EX.Physicist)) == {
+            EX["Albert_Einstein"],
+            EX["Marie_Curie"],
+        }
+
+    def test_predicates_of(self, people_store):
+        assert set(people_store.predicates_of(EX["Marie_Curie"])) == {
+            EX.bornIn,
+            EX.name,
+            EX.profession,
+        }
+
+    def test_predicates_between(self, people_store):
+        assert people_store.predicates_between(EX["Frank_Sinatra"], EX.USA) == [EX.bornIn]
+
+    def test_has_subject(self, people_store):
+        assert people_store.has_subject(EX["Frank_Sinatra"])
+        assert not people_store.has_subject(EX["Nobody"])
+
+    def test_entities_excludes_literals(self, people_store):
+        entities = people_store.entities()
+        assert EX.USA in entities
+        assert all(not isinstance(e, Literal) for e in entities)
+
+
+class TestStatisticsAndCopy:
+    def test_predicate_statistics(self, people_store):
+        stats = people_store.predicate_statistics(EX.name)
+        assert stats.fact_count == 3
+        assert stats.distinct_subjects == 3
+        assert stats.is_literal_valued
+        assert stats.functionality == pytest.approx(1.0)
+
+    def test_store_statistics(self, people_store):
+        stats = people_store.statistics()
+        assert stats.triple_count == len(people_store)
+        assert stats.predicate_count == len(people_store.predicates())
+        assert set(stats.predicates) == set(people_store.predicates())
+
+    def test_top_predicates(self, people_store):
+        top = people_store.statistics().top_predicates(2)
+        assert len(top) == 2
+        assert top[0].fact_count >= top[1].fact_count
+
+    def test_copy_is_independent(self, people_store):
+        clone = people_store.copy()
+        assert len(clone) == len(people_store)
+        clone.add(Triple(EX["New"], EX.bornIn, EX.USA))
+        assert len(clone) == len(people_store) + 1
+
+    def test_repr_mentions_name_and_size(self, people_store):
+        assert "people" in repr(people_store)

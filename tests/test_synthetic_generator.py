@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic world generator."""
+
+import pytest
+
+from repro.rdf.namespace import SAME_AS
+from repro.rdf.terms import Literal
+from repro.synthetic.generator import WorldGenerator, generate_world
+from repro.synthetic.presets import movie_world_spec, music_world_spec
+
+from tests.test_synthetic_schema import minimal_spec, A_NS, B_NS
+from repro.synthetic.schema import KBSpec, RelationMapping
+
+
+class TestGeneration:
+    def test_generates_both_kbs(self):
+        world = generate_world(minimal_spec())
+        assert set(world.kbs) == {"a", "b"}
+        assert len(world.kb("a").store) > 0
+        assert len(world.kb("b").store) > 0
+
+    def test_deterministic_for_same_seed(self):
+        first = generate_world(minimal_spec(seed=5))
+        second = generate_world(minimal_spec(seed=5))
+        assert set(first.kb("a").store) == set(second.kb("a").store)
+        assert set(first.kb("b").store) == set(second.kb("b").store)
+
+    def test_different_seeds_differ(self):
+        first = generate_world(minimal_spec(seed=5))
+        second = generate_world(minimal_spec(seed=6))
+        assert set(first.kb("a").store) != set(second.kb("a").store)
+
+    def test_namespaces_respected(self):
+        world = generate_world(minimal_spec())
+        for triple in world.kb("a").store.match(predicate=A_NS.birthPlace):
+            assert triple.subject in A_NS
+
+    def test_full_retention_keeps_all_facts(self):
+        spec = minimal_spec()
+        for kb_spec in spec.kb_specs:
+            kb_spec.fact_retention = 1.0
+        world = generate_world(spec)
+        born_at_facts = len(world.canonical_facts["bornAt"])
+        assert world.kb("a").store.count(predicate=A_NS.birthPlace) == born_at_facts
+
+    def test_subject_level_retention_drops_whole_subjects(self):
+        spec = minimal_spec()
+        spec.kb_specs[0].fact_retention = 0.5
+        spec.kb_specs[0].retention_mode = "subject"
+        spec.canonical_relations[0] = type(spec.canonical_relations[0])(
+            "bornAt", subject_type="person", object_type="place", min_objects=2, max_objects=2,
+        )
+        world = generate_world(spec)
+        # Every retained subject keeps both of its facts.
+        store = world.kb("a").store
+        for subject in store.subjects(A_NS.birthPlace):
+            assert len(store.objects_of(subject, A_NS.birthPlace)) == 2
+
+    def test_links_connect_the_two_kbs(self):
+        world = generate_world(minimal_spec())
+        assert world.links.class_count() > 0
+        for cls in world.links.classes():
+            namespaces = {("a" if term in A_NS else "b") for term in cls}
+            assert namespaces == {"a", "b"}
+
+    def test_links_materialised_as_sameas_triples(self):
+        world = generate_world(minimal_spec())
+        assert any(True for _ in world.kb("a").store.match(predicate=SAME_AS))
+        assert any(True for _ in world.kb("b").store.match(predicate=SAME_AS))
+
+    def test_link_noise_creates_wrong_links(self):
+        clean = generate_world(minimal_spec(seed=3, link_noise=0.0))
+        noisy = generate_world(minimal_spec(seed=3, link_noise=0.5))
+
+        def wrong_links(world):
+            wrong = 0
+            for cls in world.links.classes():
+                locals_a = {t.local_name for t in cls if t in A_NS}
+                locals_b = {t.local_name for t in cls if t in B_NS}
+                if locals_a != locals_b:
+                    wrong += 1
+            return wrong
+
+        assert wrong_links(clean) == 0
+        assert wrong_links(noisy) > 0
+
+    def test_noise_relations_generated(self):
+        spec = minimal_spec(
+            kb_specs=[
+                KBSpec("a", A_NS, mappings=[RelationMapping("noiseRel", (), noise_fact_count=12)]),
+                KBSpec("b", B_NS, mappings=[RelationMapping("residence", ("bornAt",))]),
+            ]
+        )
+        world = generate_world(spec)
+        assert 0 < world.kb("a").store.count(predicate=A_NS.noiseRel) <= 12
+
+    def test_describe_mentions_sizes(self):
+        world = generate_world(minimal_spec())
+        text = world.describe()
+        assert "triples" in text and "gold subsumptions" in text
+
+    def test_kb_pair_and_names(self):
+        world = generate_world(minimal_spec())
+        first, second = world.kb_pair()
+        assert (first.name, second.name) == world.names() == ("a", "b")
+
+    def test_unknown_kb_lookup(self):
+        world = generate_world(minimal_spec())
+        with pytest.raises(Exception):
+            world.kb("nope")
+
+
+class TestPresetWorlds:
+    def test_movie_world_has_expected_relations(self, movie_world):
+        imdb_names = {info.iri.local_name for info in movie_world.kb("imdb").relations()}
+        filmdb_names = {info.iri.local_name for info in movie_world.kb("filmdb").relations()}
+        assert {"hasDirector", "hasProducer", "hasTitle"} <= imdb_names
+        assert {"directedBy", "producedBy", "title"} <= filmdb_names
+
+    def test_movie_world_gold_excludes_the_trap(self, movie_world):
+        truth = movie_world.ground_truth
+        imdb_ns = movie_world.kb("imdb").namespace
+        filmdb_ns = movie_world.kb("filmdb").namespace
+        assert truth.contains("imdb", imdb_ns.hasDirector, "filmdb", filmdb_ns.directedBy)
+        assert not truth.contains("imdb", imdb_ns.hasProducer, "filmdb", filmdb_ns.directedBy)
+
+    def test_movie_world_producer_director_overlap_exists(self, movie_world):
+        # The trap only exists if producers often direct: check the overlap.
+        imdb = movie_world.kb("imdb").store
+        imdb_ns = movie_world.kb("imdb").namespace
+        shared = 0
+        for triple in imdb.match(predicate=imdb_ns.hasProducer):
+            if triple.object in imdb.objects_of(triple.subject, imdb_ns.hasDirector):
+                shared += 1
+        assert shared > 10
+
+    def test_music_world_creator_is_union(self, music_world):
+        worksdb = music_world.kb("worksdb")
+        musicbrainz = music_world.kb("musicbrainz")
+        truth = music_world.ground_truth
+        assert truth.contains(
+            "musicbrainz", musicbrainz.namespace.composerOf, "worksdb", worksdb.namespace.creatorOf
+        )
+        assert truth.contains(
+            "musicbrainz", musicbrainz.namespace.writerOf, "worksdb", worksdb.namespace.creatorOf
+        )
+        assert not truth.contains(
+            "worksdb", worksdb.namespace.creatorOf, "musicbrainz", musicbrainz.namespace.composerOf
+        )
+
+    def test_literal_styles_differ_between_kbs(self, movie_world):
+        imdb = movie_world.kb("imdb")
+        filmdb = movie_world.kb("filmdb")
+        imdb_titles = {
+            t.object.lexical for t in imdb.store.match(predicate=imdb.namespace.hasTitle)
+        }
+        filmdb_titles = {
+            t.object.lexical for t in filmdb.store.match(predicate=filmdb.namespace.title)
+        }
+        assert any(" " in title for title in imdb_titles)
+        assert all("_" in title or " " not in title for title in filmdb_titles)
+
+    def test_generator_reuse_is_safe(self):
+        spec = movie_world_spec(films=20, people=30)
+        generator = WorldGenerator(spec)
+        world = generator.generate()
+        assert len(world.kb("imdb").store) > 0

@@ -1,0 +1,78 @@
+"""Unit tests for the YAGO-like / DBpedia-like preset."""
+
+import pytest
+
+from repro.errors import SyntheticDataError
+from repro.synthetic.generator import generate_world
+from repro.synthetic.presets import FAMILY_PATTERNS, yago_dbpedia_spec
+
+
+class TestSpecShape:
+    def test_relation_counts_match_paper(self):
+        spec = yago_dbpedia_spec(families=10, yago_relation_count=92, dbpedia_relation_count=200)
+        assert len(spec.kb("yago").mappings) == 92
+        assert len(spec.kb("dbpedia").mappings) == 200
+
+    def test_default_counts_are_papers(self):
+        spec = yago_dbpedia_spec()
+        assert len(spec.kb("yago").mappings) == 92
+        assert len(spec.kb("dbpedia").mappings) == 1313
+
+    def test_all_patterns_represented(self):
+        spec = yago_dbpedia_spec(families=len(FAMILY_PATTERNS))
+        names = " ".join(m.name for m in spec.kb("yago").mappings)
+        for pattern in FAMILY_PATTERNS:
+            assert pattern in names
+
+    def test_too_few_families_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            yago_dbpedia_spec(families=2)
+
+    def test_relation_count_below_aligned_count_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            yago_dbpedia_spec(families=20, yago_relation_count=5)
+
+    def test_gold_contains_all_three_kinds(self):
+        spec = yago_dbpedia_spec(families=10, yago_relation_count=40, dbpedia_relation_count=60)
+        truth = spec.ground_truth()
+        pairs = truth.subsumption_pairs("yago", "dbpedia")
+        names = {(p.local_name, c.local_name) for p, c in pairs}
+        assert any("equivalent" in p for p, _ in names)
+        assert any("subsumption" in p for p, _ in names)
+        assert any("trap" in p for p, _ in names)
+
+    def test_trap_relations_not_in_gold(self):
+        spec = yago_dbpedia_spec(families=10, yago_relation_count=40, dbpedia_relation_count=60)
+        truth = spec.ground_truth()
+        pairs = truth.subsumption_pairs("yago", "dbpedia")
+        assert not any(
+            p.local_name.endswith("_corr") and c.local_name.endswith(("_true",))
+            for p, c in pairs
+        ) and not any(
+            p.local_name.endswith("_shadow") for p, _ in pairs
+        )
+
+
+class TestGeneratedPresetWorld:
+    def test_generated_world_statistics(self, small_yago_dbpedia_world):
+        world = small_yago_dbpedia_world
+        yago, dbpedia = world.kb_pair()
+        assert yago.relation_count() == 30
+        assert dbpedia.relation_count() == 60
+        assert len(world.ground_truth) > 10
+        assert world.links.class_count() > 50
+
+    def test_gold_relations_have_facts(self, small_yago_dbpedia_world):
+        world = small_yago_dbpedia_world
+        truth = world.ground_truth
+        yago = world.kb("yago")
+        for premise, _ in truth.subsumption_pairs("yago", "dbpedia"):
+            assert yago.store.count(predicate=premise) > 0
+
+    def test_literal_relations_present(self, small_yago_dbpedia_world):
+        world = small_yago_dbpedia_world
+        yago = world.kb("yago")
+        literal_relations = [
+            info for info in yago.relations() if info.is_literal_valued and "literal" in info.name
+        ]
+        assert literal_relations

@@ -1,0 +1,185 @@
+"""Unit tests for synthetic world specifications and the derived ground truth."""
+
+import pytest
+
+from repro.errors import SyntheticDataError
+from repro.rdf.namespace import Namespace
+from repro.synthetic.schema import (
+    CanonicalEntityType,
+    CanonicalRelation,
+    GroundTruth,
+    KBSpec,
+    RelationMapping,
+    WorldSpec,
+)
+
+A_NS = Namespace("http://schema.test/a/")
+B_NS = Namespace("http://schema.test/b/")
+
+
+def minimal_spec(**overrides) -> WorldSpec:
+    kwargs = dict(
+        entity_types=[CanonicalEntityType("person", 10), CanonicalEntityType("place", 5)],
+        canonical_relations=[
+            CanonicalRelation("bornAt", subject_type="person", object_type="place"),
+            CanonicalRelation("livesAt", subject_type="person", object_type="place"),
+        ],
+        kb_specs=[
+            KBSpec("a", A_NS, mappings=[RelationMapping("birthPlace", ("bornAt",))]),
+            KBSpec(
+                "b",
+                B_NS,
+                mappings=[RelationMapping("residence", ("bornAt", "livesAt"))],
+            ),
+        ],
+    )
+    kwargs.update(overrides)
+    return WorldSpec(**kwargs)
+
+
+class TestValidation:
+    def test_minimal_spec_is_valid(self):
+        spec = minimal_spec()
+        assert spec.kb("a").name == "a"
+        assert spec.canonical("bornAt").subject_type == "person"
+
+    def test_entity_type_requires_positive_count(self):
+        with pytest.raises(SyntheticDataError):
+            CanonicalEntityType("person", 0)
+
+    def test_entity_relation_requires_object_type(self):
+        with pytest.raises(SyntheticDataError):
+            CanonicalRelation("r", subject_type="person")
+
+    def test_invalid_coverage(self):
+        with pytest.raises(SyntheticDataError):
+            CanonicalRelation("r", subject_type="p", object_type="q", subject_coverage=0.0)
+
+    def test_invalid_object_range(self):
+        with pytest.raises(SyntheticDataError):
+            CanonicalRelation("r", subject_type="p", object_type="q", min_objects=2, max_objects=1)
+
+    def test_literal_relation_cannot_be_correlated(self):
+        with pytest.raises(SyntheticDataError):
+            CanonicalRelation(
+                "r", subject_type="p", literal=True, correlated_with="x", correlation=0.5
+            )
+
+    def test_exactly_two_kbs_required(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec(kb_specs=[KBSpec("a", A_NS)])
+
+    def test_unknown_subject_type_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec(
+                canonical_relations=[
+                    CanonicalRelation("r", subject_type="alien", object_type="place")
+                ]
+            )
+
+    def test_unknown_mapping_source_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec(
+                kb_specs=[
+                    KBSpec("a", A_NS, mappings=[RelationMapping("x", ("missing",))]),
+                    KBSpec("b", B_NS),
+                ]
+            )
+
+    def test_correlation_must_reference_earlier_relation(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec(
+                canonical_relations=[
+                    CanonicalRelation(
+                        "r1", subject_type="person", object_type="place",
+                        correlated_with="r2", correlation=0.5,
+                    ),
+                    CanonicalRelation("r2", subject_type="person", object_type="place"),
+                ]
+            )
+
+    def test_duplicate_relation_names_rejected(self):
+        with pytest.raises(SyntheticDataError):
+            KBSpec("a", A_NS, mappings=[RelationMapping("x", ()), RelationMapping("x", ())])
+
+    def test_invalid_retention_mode(self):
+        with pytest.raises(SyntheticDataError):
+            KBSpec("a", A_NS, retention_mode="sometimes")
+
+    def test_invalid_link_rate(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec(link_rate=0.0)
+
+    def test_invalid_link_noise(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec(link_noise=1.0)
+
+    def test_kb_lookup_unknown_name(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec().kb("nope")
+
+    def test_canonical_lookup_unknown_name(self):
+        with pytest.raises(SyntheticDataError):
+            minimal_spec().canonical("nope")
+
+
+class TestRelationMapping:
+    def test_noise_detection(self):
+        assert RelationMapping("n", ()).is_noise
+        assert not RelationMapping("m", ("bornAt",)).is_noise
+
+    def test_source_set(self):
+        assert RelationMapping("m", ("a", "b")).source_set() == frozenset({"a", "b"})
+
+    def test_kbspec_mapping_lookup(self):
+        spec = minimal_spec().kb("a")
+        assert spec.mapping("birthPlace").sources == ("bornAt",)
+        with pytest.raises(SyntheticDataError):
+            spec.mapping("nope")
+
+    def test_relation_names(self):
+        assert minimal_spec().kb("a").relation_names() == ["birthPlace"]
+
+
+class TestGroundTruth:
+    def test_subset_semantics(self):
+        truth = minimal_spec().ground_truth()
+        # a:birthPlace (bornAt) is subsumed by b:residence (bornAt ∪ livesAt)...
+        assert truth.contains("a", A_NS.birthPlace, "b", B_NS.residence)
+        # ...but not the other way around.
+        assert not truth.contains("b", B_NS.residence, "a", A_NS.birthPlace)
+
+    def test_equivalence_pairs(self):
+        spec = minimal_spec(
+            kb_specs=[
+                KBSpec("a", A_NS, mappings=[RelationMapping("birthPlace", ("bornAt",))]),
+                KBSpec("b", B_NS, mappings=[RelationMapping("placeOfBirth", ("bornAt",))]),
+            ]
+        )
+        truth = spec.ground_truth()
+        assert truth.equivalence_pairs("a", "b") == {(A_NS.birthPlace, B_NS.placeOfBirth)}
+
+    def test_noise_relations_never_aligned(self):
+        spec = minimal_spec(
+            kb_specs=[
+                KBSpec("a", A_NS, mappings=[RelationMapping("noise", ())]),
+                KBSpec("b", B_NS, mappings=[RelationMapping("residence", ("bornAt",))]),
+            ]
+        )
+        assert len(spec.ground_truth()) == 0
+
+    def test_direction_specific_accessors(self):
+        truth = minimal_spec().ground_truth()
+        assert truth.subsumption_pairs("a", "b") == {(A_NS.birthPlace, B_NS.residence)}
+        assert truth.subsumption_pairs("b", "a") == set()
+        assert truth.conclusion_relations("a", "b") == {B_NS.residence}
+        assert truth.premise_relations("a", "b") == {A_NS.birthPlace}
+
+    def test_all_pairs_and_len(self):
+        truth = minimal_spec().ground_truth()
+        assert len(truth) == len(truth.all_pairs()) == 1
+
+    def test_manual_construction(self):
+        truth = GroundTruth()
+        truth.add_subsumption("a", A_NS.x, "b", B_NS.y)
+        assert truth.contains("a", A_NS.x, "b", B_NS.y)
