@@ -1,0 +1,139 @@
+"""Record substrate micro-benchmark numbers into a JSON artefact.
+
+Standalone timing runner (no pytest-benchmark) so results can be captured
+for both the seed store and the dictionary-encoded store and diffed in
+``BENCH_substrate.json``.  Usage::
+
+    PYTHONPATH=src python benchmarks/record_substrate.py --label seed --out seed.json
+    PYTHONPATH=src python benchmarks/record_substrate.py --label pr1 --out pr1.json \
+        --baseline seed.json --combined BENCH_substrate.json
+
+Each benchmark reports the best-of-``repeats`` wall time in milliseconds on
+the largest synthetic preset (the paper-scale YAGO-like/DBpedia-like pair).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+_SRC = Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.endpoint.client import EndpointClient  # noqa: E402
+from repro.endpoint.endpoint import SparqlEndpoint  # noqa: E402
+from repro.sparql.evaluate import evaluate_query  # noqa: E402
+from repro.synthetic.generator import generate_world  # noqa: E402
+from repro.synthetic.presets import yago_dbpedia_spec  # noqa: E402
+
+
+def _best_of(fn, repeats: int = 5, inner: int = 1) -> float:
+    """Best wall time of ``fn`` over ``repeats`` runs, in milliseconds."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        elapsed = (time.perf_counter() - start) / inner
+        best = min(best, elapsed)
+    return best * 1000.0
+
+
+def run_benchmarks() -> dict:
+    world = generate_world(yago_dbpedia_spec())
+    yago = world.kb("yago")
+    store = yago.store
+    relation = sorted(yago.relations(), key=lambda info: -info.fact_count)[0].iri
+
+    probes = list(store.match())[:500]
+    client = EndpointClient(SparqlEndpoint(store, name="bench"))
+    subjects = list(store.subjects(relation))[:40]
+
+    join_query = (
+        f"SELECT ?s ?o WHERE {{ ?s <{relation.value}> ?o . "
+        f"?s <http://www.w3.org/2002/07/owl#sameAs> ?x }} LIMIT 100"
+    )
+    count_query = f"SELECT (COUNT(*) AS ?c) WHERE {{ ?s <{relation.value}> ?o }}"
+    ask_query = (
+        f"ASK {{ ?s <{relation.value}> ?o . "
+        f"?s <http://www.w3.org/2002/07/owl#sameAs> ?x }}"
+    )
+
+    results = {
+        "triples": len(store),
+        "pattern_match_by_predicate_ms": _best_of(
+            lambda: sum(1 for _ in store.match(predicate=relation))
+        ),
+        "membership_probe_ms": _best_of(
+            lambda: sum(1 for t in probes if t in store)
+        ),
+        "count_by_predicate_ms": _best_of(
+            lambda: store.count(predicate=relation), inner=10
+        ),
+        "sparql_join_limit100_ms": _best_of(
+            lambda: evaluate_query(store, join_query)
+        ),
+        "sparql_count_ms": _best_of(lambda: evaluate_query(store, count_query)),
+        "sparql_ask_ms": _best_of(lambda: evaluate_query(store, ask_query), inner=5),
+        "endpoint_batched_facts_ms": _best_of(
+            lambda: client.facts_of_subjects(subjects, relation)
+        ),
+        "endpoint_repeat_ask_100_ms": _best_of(
+            lambda: [
+                client.subject_has_relation(subject, relation)
+                for subject in subjects[:20]
+            ]
+        ),
+    }
+    return results
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument("--baseline", default=None, help="baseline JSON to diff against")
+    parser.add_argument("--combined", default=None, help="write combined before/after JSON")
+    parser.add_argument("--smoke", action="store_true", help="tiny run for CI smoke checks")
+    args = parser.parse_args()
+
+    if args.smoke:
+        # One cheap end-to-end pass so CI catches crashes without the cost
+        # of the paper-scale world.
+        world = generate_world(yago_dbpedia_spec(families=5, people=60, works=40, places=20, orgs=15))
+        store = world.kb("yago").store
+        relation = sorted(world.kb("yago").relations(), key=lambda info: -info.fact_count)[0].iri
+        assert sum(1 for _ in store.match(predicate=relation)) > 0
+        count_query = f"SELECT (COUNT(*) AS ?c) WHERE {{ ?s <{relation.value}> ?o }}"
+        assert evaluate_query(store, count_query).scalar_int() > 0
+        print("smoke ok")
+        return
+
+    results = {"label": args.label, "results": run_benchmarks()}
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(results, indent=2))
+
+    if args.baseline and args.combined:
+        baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))
+        speedups = {}
+        for key, after_value in results["results"].items():
+            before_value = baseline["results"].get(key)
+            if key.endswith("_ms") and isinstance(before_value, (int, float)) and after_value:
+                speedups[key.replace("_ms", "_speedup")] = round(before_value / after_value, 2)
+        combined = {
+            "benchmark": "benchmarks/record_substrate.py",
+            "preset": "yago_dbpedia_spec() (paper-scale, largest preset)",
+            "before": baseline,
+            "after": results,
+            "speedup": speedups,
+        }
+        Path(args.combined).write_text(json.dumps(combined, indent=2) + "\n", encoding="utf-8")
+        print(json.dumps(speedups, indent=2))
+
+
+if __name__ == "__main__":
+    main()

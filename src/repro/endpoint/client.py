@@ -25,6 +25,22 @@ def _nt(term: Term) -> str:
     return term_to_ntriples(term)
 
 
+def _paging_clause(limit: Optional[int], offset: int) -> str:
+    """Render LIMIT/OFFSET in the SPARQL grammar's canonical order.
+
+    The LimitOffsetClauses production puts ``LIMIT`` before ``OFFSET``;
+    semantics are order-independent (the offset is always applied first),
+    but emitting the canonical order keeps the generated text valid for
+    strict remote endpoints.
+    """
+    clause = ""
+    if limit is not None:
+        clause += f" LIMIT {int(limit)}"
+    if offset:
+        clause += f" OFFSET {int(offset)}"
+    return clause
+
+
 class EndpointClient:
     """High-level query helpers over one :class:`SparqlEndpoint`."""
 
@@ -69,10 +85,7 @@ class EndpointClient:
     ) -> List[Tuple[Term, Term]]:
         """``(subject, object)`` pairs of ``relation`` with LIMIT/OFFSET paging."""
         query = f"SELECT ?s ?o WHERE {{ ?s {_nt(relation)} ?o }}"
-        if offset:
-            query += f" OFFSET {int(offset)}"
-        if limit is not None:
-            query += f" LIMIT {int(limit)}"
+        query += _paging_clause(limit, offset)
         result = self.endpoint.select(query)
         pairs: List[Tuple[Term, Term]] = []
         for row in result:
@@ -87,10 +100,7 @@ class EndpointClient:
     ) -> List[Term]:
         """Distinct subjects of ``relation`` with LIMIT/OFFSET paging."""
         query = f"SELECT DISTINCT ?s WHERE {{ ?s {_nt(relation)} ?o }}"
-        if offset:
-            query += f" OFFSET {int(offset)}"
-        if limit is not None:
-            query += f" LIMIT {int(limit)}"
+        query += _paging_clause(limit, offset)
         return [t for t in self.endpoint.select(query).distinct_column("s") if t is not None]
 
     # ------------------------------------------------------------------ #
@@ -185,10 +195,7 @@ class EndpointClient:
             "FILTER(?y1 != ?y2) "
             f"FILTER NOT EXISTS {{ ?x {_nt(primary)} ?y2 }} }}"
         )
-        if offset:
-            query += f" OFFSET {int(offset)}"
-        if limit is not None:
-            query += f" LIMIT {int(limit)}"
+        query += _paging_clause(limit, offset)
         result = self.endpoint.select(query)
         samples: List[Tuple[Term, Term, Term]] = []
         for row in result:

@@ -10,6 +10,7 @@ that "no full dump access" is enforced by construction.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Union
 
 from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
@@ -30,6 +31,28 @@ from repro.sparql.results import AskResult, ResultSet
 from repro.store.triplestore import TripleStore
 from repro.endpoint.log import QueryLog, QueryRecord
 from repro.endpoint.policy import AccessPolicy
+
+
+@lru_cache(maxsize=4096)
+def _parse_query_cached(query_text: str) -> Query:
+    """Parse SPARQL text with an LRU cache over the query string.
+
+    The typed :class:`~repro.endpoint.client.EndpointClient` calls re-issue
+    the same query shapes thousands of times per alignment run; the AST is
+    a tree of frozen dataclasses, so sharing one parse across evaluations
+    is safe.  The cache is process-wide (shared by all endpoints).
+    """
+    return parse_query(query_text)
+
+
+def parse_cache_info():
+    """Hit/miss statistics of the shared parsed-query cache."""
+    return _parse_query_cached.cache_info()
+
+
+def clear_parse_cache() -> None:
+    """Drop all cached parsed queries (mainly for tests and benchmarks)."""
+    _parse_query_cached.cache_clear()
 
 
 class SparqlEndpoint:
@@ -87,7 +110,7 @@ class SparqlEndpoint:
             )
 
         query_text = query if isinstance(query, str) else f"<parsed:{type(query).__name__}>"
-        parsed = parse_query(query) if isinstance(query, str) else query
+        parsed = _parse_query_cached(query) if isinstance(query, str) else query
 
         if not self.policy.allow_full_scan and self._is_full_scan(parsed):
             raise EndpointError(

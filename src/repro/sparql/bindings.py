@@ -4,14 +4,24 @@ A :class:`Variable` is a SPARQL query variable (``?x``).  A
 :class:`Binding` is one solution mapping from variables to RDF terms; it is
 immutable so partially evaluated solutions can be shared safely while the
 evaluator explores alternative joins.
+
+:class:`IdBinding` is the evaluator-internal counterpart that maps
+variables to **dictionary IDs** (plain ints) instead of Term objects, so
+joins compare integers.  A value may also be a Term when it came from query
+text (VALUES / constants) and is unknown to the store's dictionary — such a
+value can never join with a store-derived ID, which is exactly right since
+the term does not occur in the store.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterator, Mapping, Optional, Union
 
 from repro.errors import SparqlError
 from repro.rdf.terms import Term
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.dictionary import TermDictionary
 
 
 class Variable:
@@ -122,3 +132,88 @@ class Binding(Mapping[Variable, Term]):
 
 
 Binding.EMPTY = Binding()
+
+
+#: A value inside an :class:`IdBinding`: a dictionary ID (fast path) or an
+#: out-of-dictionary Term.
+IdValue = Union[int, Term]
+
+
+class IdBinding:
+    """An immutable mapping from variables to dictionary IDs (one solution).
+
+    The streaming evaluator's internal solution representation: extending
+    and joining compare plain ints, and Terms are only materialised when a
+    row is decoded for output (or for FILTER expression evaluation).
+    """
+
+    __slots__ = ("_data",)
+
+    EMPTY: "IdBinding"
+
+    def __init__(self, data: Optional[Dict[Variable, IdValue]] = None):
+        object.__setattr__(self, "_data", data if data is not None else {})
+
+    def __setattr__(self, name, value):  # pragma: no cover - defensive
+        raise AttributeError("IdBinding instances are immutable")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._data)
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._data.items()))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IdBinding):
+            return self._data == other._data
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"?{var.name}={value!r}" for var, value in self._data.items())
+        return f"IdBinding({{{inner}}})"
+
+    def get(self, variable: Variable) -> Optional[IdValue]:
+        """The ID (or out-of-dictionary term) bound to ``variable``."""
+        return self._data.get(variable)
+
+    def items(self) -> Iterator[tuple[Variable, IdValue]]:
+        """Iterate over ``(variable, value)`` pairs."""
+        return iter(self._data.items())
+
+    def extend(self, variable: Variable, value: IdValue) -> Optional["IdBinding"]:
+        """Bind ``variable`` to ``value``.
+
+        Returns a new binding (or ``self`` when already equal), or ``None``
+        when ``variable`` is bound to a *different* value (join conflict).
+        """
+        existing = self._data.get(variable)
+        if existing is not None:
+            return self if existing == value else None
+        data = dict(self._data)
+        data[variable] = value
+        return IdBinding(data)
+
+    def decode(self, dictionary: "TermDictionary") -> Binding:
+        """Materialise a Term-space :class:`Binding` for output."""
+        decode = dictionary.decode
+        return Binding(
+            {
+                var: (decode(value) if type(value) is int else value)
+                for var, value in self._data.items()
+            }
+        )
+
+    @classmethod
+    def encode(cls, binding: Binding, dictionary: "TermDictionary") -> "IdBinding":
+        """Translate a Term-space binding, keeping unknown terms verbatim."""
+        data: Dict[Variable, IdValue] = {}
+        for var, term in binding.items():
+            tid = dictionary.id_for(term)
+            data[var] = tid if tid is not None else term
+        return cls(data)
+
+
+IdBinding.EMPTY = IdBinding()

@@ -1,35 +1,48 @@
 """Query evaluation against a :class:`~repro.store.TripleStore`.
 
 The evaluator walks the AST produced by the parser.  Basic graph patterns
-are evaluated by nested-loop joins with a simple selectivity-based pattern
-reordering (most-bound patterns first); this is plenty for the KB sizes the
-reproduction uses while remaining easy to reason about.
+are evaluated **in ID space**: variables bind to dictionary IDs (plain
+ints) straight off the store's :meth:`~repro.store.TripleStore.match_ids`
+index scans, so join equality checks compare integers rather than hashing
+Term objects.  Evaluation is **streaming**: the whole BGP pipeline is a
+chain of generators, so ASK stops at the first solution, LIMIT queries
+without ORDER BY stop as soon as the page is full, and COUNT-only
+aggregates fold solutions into counters without materialising a solution
+list.  Terms are only materialised for FILTER expression evaluation and
+for the rows actually returned.
+
+Pattern reordering is a simple selectivity heuristic (most-bound patterns
+first); this is plenty for the KB sizes the reproduction uses while
+remaining easy to reason about.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from itertools import islice
+from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SparqlError
-from repro.rdf.terms import Term
 from repro.sparql.ast import (
     AskQuery,
     CountExpression,
     FilterNode,
     GroupGraphPattern,
     OptionalNode,
-    ProjectionItem,
     Query,
     SelectQuery,
     TriplePatternNode,
     UnionNode,
     ValuesNode,
 )
-from repro.sparql.bindings import Binding, Variable
+from repro.sparql.bindings import Binding, IdBinding, Variable
 from repro.sparql.functions import EvalError, ExpressionEvaluator, value_to_term
 from repro.sparql.parser import parse_query
 from repro.sparql.results import AskResult, ResultSet
 from repro.store.triplestore import TripleStore
+
+#: Sentinel for "constant term unknown to the store's dictionary": the
+#: pattern can never match, which is distinct from ``None`` (wildcard).
+_MISS = object()
 
 
 class QueryEvaluator:
@@ -37,6 +50,7 @@ class QueryEvaluator:
 
     def __init__(self, store: TripleStore):
         self.store = store
+        self._dict = store.dictionary
         self._expressions = ExpressionEvaluator(exists_callback=self._exists)
 
     # ------------------------------------------------------------------ #
@@ -56,7 +70,12 @@ class QueryEvaluator:
     # SELECT / ASK
     # ------------------------------------------------------------------ #
     def _evaluate_select(self, query: SelectQuery) -> ResultSet:
-        solutions = list(self._evaluate_group(query.where, Binding.EMPTY))
+        if query.is_aggregate:
+            fast = self._try_fast_count(query)
+            if fast is not None:
+                return fast
+
+        solutions = self._evaluate_group(query.where, IdBinding.EMPTY)
 
         if query.is_aggregate:
             return self._evaluate_aggregate(query, solutions)
@@ -66,91 +85,199 @@ class QueryEvaluator:
         else:
             variables = [item.output_variable for item in query.projection]
 
-        rows: List[Binding] = []
-        for solution in solutions:
-            row = self._project(query, solution, variables)
-            rows.append(row)
-
         if query.order_by:
+            # Ordering needs the full solution sequence; decode eagerly.
+            rows = [
+                self._project(query, solution, variables).decode(self._dict)
+                for solution in solutions
+            ]
             rows = self._order_rows(rows, query)
+            if query.distinct:
+                rows = self._distinct_list(rows)
+            rows = self._slice(rows, query.offset, query.limit)
+            return ResultSet(variables, rows)
+
+        # Streaming path: project, deduplicate and page in ID space, then
+        # decode only the rows that survive OFFSET/LIMIT.
+        projected: Iterator[IdBinding] = (
+            self._project(query, solution, variables) for solution in solutions
+        )
         if query.distinct:
-            rows = self._distinct(rows)
-        rows = self._slice(rows, query.offset, query.limit)
-        return ResultSet(variables, rows)
+            projected = self._distinct_stream(projected)
+        if query.offset or query.limit is not None:
+            stop = None if query.limit is None else query.offset + query.limit
+            projected = islice(projected, query.offset, stop)
+        return ResultSet(variables, [row.decode(self._dict) for row in projected])
 
     def _evaluate_ask(self, query: AskQuery) -> AskResult:
-        for _ in self._evaluate_group(query.where, Binding.EMPTY):
+        for _ in self._evaluate_group(query.where, IdBinding.EMPTY):
             return AskResult(True)
         return AskResult(False)
 
-    def _evaluate_aggregate(self, query: SelectQuery, solutions: List[Binding]) -> ResultSet:
-        """Evaluate a COUNT-only aggregate query (optionally GROUP BY)."""
+    def _try_fast_count(self, query: SelectQuery) -> Optional[ResultSet]:
+        """Answer a single-pattern, non-grouped COUNT query from index counts.
+
+        The typed client's ``count_facts`` / ``count_subjects`` shapes —
+        ``SELECT (COUNT(*) AS ?c) WHERE { ?s <p> ?o }`` and the
+        ``COUNT(DISTINCT ?v)`` variant — are issued constantly by the
+        aligner.  Plain counts are O(1) index lookups; distinct counts
+        never materialise solutions but may union per-key ID runs (see
+        :meth:`TripleStore.count_distinct_ids`).  Returns ``None`` when
+        the query does not fit the shape.
+        """
+        if query.group_by:
+            return None
+        elements = query.where.elements
+        if len(elements) != 1 or not isinstance(elements[0], TriplePatternNode):
+            return None
+        if any(
+            not isinstance(item.expression, CountExpression) for item in query.projection
+        ):
+            return None
+        pattern = elements[0]
+
+        position_of = {}
+        resolved = []
+        missing = False
+        for position, term in zip(
+            "spo", (pattern.subject, pattern.predicate, pattern.object)
+        ):
+            if isinstance(term, Variable):
+                if term in position_of:
+                    return None  # repeated variable joins within the pattern
+                position_of[term] = position
+                resolved.append(None)
+            else:
+                tid = self._dict.id_for(term)
+                if tid is None:
+                    missing = True  # constant absent from the store
+                resolved.append(tid)
+        s, p, o = resolved
+
+        data = {}
+        for item in query.projection:
+            expression = item.expression
+            if missing:
+                count = 0
+            elif expression.counts_all or (
+                not expression.distinct and expression.variable in position_of
+            ):
+                count = self.store.count_ids(s, p, o)
+            elif expression.distinct and expression.variable in position_of:
+                count = self.store.count_distinct_ids(
+                    position_of[expression.variable], s, p, o
+                )
+            else:
+                count = 0  # COUNT over a variable the pattern never binds
+            data[item.output_variable] = value_to_term(count)
+
+        variables = [item.output_variable for item in query.projection]
+        rows = self._slice([Binding(data)], query.offset, query.limit)
+        return ResultSet(variables, rows)
+
+    def _evaluate_aggregate(
+        self, query: SelectQuery, solutions: Iterable[IdBinding]
+    ) -> ResultSet:
+        """Fold a COUNT-only aggregate query (optionally GROUP BY) in one pass."""
         non_aggregate = [
             item
             for item in query.projection
             if not isinstance(item.expression, CountExpression)
         ]
+        count_items = [
+            item
+            for item in query.projection
+            if isinstance(item.expression, CountExpression)
+        ]
         group_by = list(query.group_by)
         if not group_by and non_aggregate:
             group_by = [item.output_variable for item in non_aggregate if item.variable]
 
-        groups: dict[Tuple[Optional[Term], ...], List[Binding]] = {}
+        def fresh_accumulators() -> list:
+            return [
+                set() if item.expression.distinct and not item.expression.counts_all else 0
+                for item in count_items
+            ]
+
+        def accumulate(accumulators: list, solution: IdBinding) -> None:
+            for index, item in enumerate(count_items):
+                expression = item.expression
+                if expression.counts_all:
+                    accumulators[index] += 1
+                    continue
+                value = solution.get(expression.variable)
+                if value is None:
+                    continue
+                if expression.distinct:
+                    accumulators[index].add(value)
+                else:
+                    accumulators[index] += 1
+
+        groups: dict[Tuple, list] = {}
         if group_by:
             for solution in solutions:
-                key = tuple(solution.get_term(v) for v in group_by)
-                groups.setdefault(key, []).append(solution)
+                key = tuple(solution.get(v) for v in group_by)
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = groups[key] = fresh_accumulators()
+                accumulate(accumulators, solution)
         else:
             # A COUNT without GROUP BY always yields exactly one row, even
             # over an empty solution sequence (count = 0).
-            groups[()] = list(solutions)
+            accumulators = groups[()] = fresh_accumulators()
+            for solution in solutions:
+                accumulate(accumulators, solution)
 
         variables = [item.output_variable for item in query.projection]
+        decode = self._dict.decode
         rows: List[Binding] = []
-        for key, members in groups.items():
+        for key, accumulators in groups.items():
             data = {}
-            for variable, term in zip(group_by, key):
-                if term is not None:
-                    data[variable] = term
+            for variable, value in zip(group_by, key):
+                if value is not None:
+                    data[variable] = decode(value) if type(value) is int else value
+            counters = iter(accumulators)
             for item in query.projection:
                 if isinstance(item.expression, CountExpression):
-                    count = self._count(item.expression, members)
+                    counter = next(counters)
+                    count = len(counter) if isinstance(counter, set) else counter
                     data[item.output_variable] = value_to_term(count)
-                elif item.variable is not None and item.variable in data:
-                    pass
             rows.append(Binding(data))
 
         rows = self._slice(rows, query.offset, query.limit)
         return ResultSet(variables, rows)
 
-    @staticmethod
-    def _count(expression: CountExpression, solutions: Sequence[Binding]) -> int:
-        if expression.counts_all:
-            return len(solutions)
-        variable = expression.variable
-        assert variable is not None
-        values = [s.get_term(variable) for s in solutions if s.get_term(variable) is not None]
-        if expression.distinct:
-            return len(set(values))
-        return len(values)
-
     def _project(
-        self, query: SelectQuery, solution: Binding, variables: List[Variable]
-    ) -> Binding:
+        self, query: SelectQuery, solution: IdBinding, variables: List[Variable]
+    ) -> IdBinding:
+        """Project a solution onto the output variables, staying in ID space.
+
+        Expression projections are evaluated over a decoded Term binding
+        and their results stored as Terms (IdBinding values may be either).
+        """
         if query.select_all:
-            return solution.project(variables)
+            data = {}
+            for variable in variables:
+                value = solution.get(variable)
+                if value is not None:
+                    data[variable] = value
+            return IdBinding(data)
         data = {}
+        decoded: Optional[Binding] = None
         for item in query.projection:
             if item.expression is not None and not isinstance(item.expression, CountExpression):
+                if decoded is None:
+                    decoded = solution.decode(self._dict)
                 try:
-                    value = self._expressions.evaluate(item.expression, solution)
+                    value = self._expressions.evaluate(item.expression, decoded)
                 except EvalError:
                     continue
                 data[item.output_variable] = value_to_term(value)
             elif item.variable is not None:
-                term = solution.get_term(item.variable)
-                if term is not None:
-                    data[item.output_variable] = term
-        return Binding(data)
+                value = solution.get(item.variable)
+                if value is not None:
+                    data[item.output_variable] = value
+        return IdBinding(data)
 
     def _order_rows(self, rows: List[Binding], query: SelectQuery) -> List[Binding]:
         def key_for(row: Binding) -> Tuple:
@@ -188,7 +315,7 @@ class QueryEvaluator:
         return ordered
 
     @staticmethod
-    def _distinct(rows: List[Binding]) -> List[Binding]:
+    def _distinct_list(rows: List[Binding]) -> List[Binding]:
         seen = set()
         unique: List[Binding] = []
         for row in rows:
@@ -196,6 +323,14 @@ class QueryEvaluator:
                 seen.add(row)
                 unique.append(row)
         return unique
+
+    @staticmethod
+    def _distinct_stream(rows: Iterable[IdBinding]) -> Iterator[IdBinding]:
+        seen = set()
+        for row in rows:
+            if row not in seen:
+                seen.add(row)
+                yield row
 
     @staticmethod
     def _slice(rows: List[Binding], offset: int, limit: Optional[int]) -> List[Binding]:
@@ -206,14 +341,13 @@ class QueryEvaluator:
         return rows
 
     # ------------------------------------------------------------------ #
-    # Graph pattern evaluation
+    # Graph pattern evaluation (streaming, ID space)
     # ------------------------------------------------------------------ #
     def _evaluate_group(
-        self, group: GroupGraphPattern, initial: Binding
-    ) -> Iterator[Binding]:
-        solutions: Iterable[Binding] = [initial]
-        elements = self._reorder_elements(group)
-        for element in elements:
+        self, group: GroupGraphPattern, initial: IdBinding
+    ) -> Iterator[IdBinding]:
+        solutions: Iterable[IdBinding] = (initial,)
+        for element in self._reorder_elements(group):
             if isinstance(element, TriplePatternNode):
                 solutions = self._join_pattern(solutions, element)
             elif isinstance(element, FilterNode):
@@ -228,7 +362,7 @@ class QueryEvaluator:
                 solutions = self._apply_subgroup(solutions, element)
             else:  # pragma: no cover - parser prevents this
                 raise SparqlError(f"Unsupported group element: {element!r}")
-        return iter(list(solutions))
+        return iter(solutions)
 
     @staticmethod
     def _reorder_elements(group: GroupGraphPattern) -> List:
@@ -258,29 +392,37 @@ class QueryEvaluator:
         return values_nodes + ordered_patterns + others
 
     def _join_pattern(
-        self, solutions: Iterable[Binding], pattern: TriplePatternNode
-    ) -> Iterator[Binding]:
+        self, solutions: Iterable[IdBinding], pattern: TriplePatternNode
+    ) -> Iterator[IdBinding]:
         for solution in solutions:
             yield from self._match_pattern(pattern, solution)
 
     def _match_pattern(
-        self, pattern: TriplePatternNode, solution: Binding
-    ) -> Iterator[Binding]:
-        def resolve(term) -> Optional[Term]:
+        self, pattern: TriplePatternNode, solution: IdBinding
+    ) -> Iterator[IdBinding]:
+        def resolve(term):
             if isinstance(term, Variable):
-                return solution.get_term(term)
-            return term
+                value = solution.get(term)
+                if value is None:
+                    return None  # unbound -> wildcard
+                if type(value) is int:
+                    return value
+                return _MISS  # bound to an out-of-dictionary term
+            tid = self._dict.id_for(term)
+            return tid if tid is not None else _MISS
 
         subject = resolve(pattern.subject)
         predicate = resolve(pattern.predicate)
         obj = resolve(pattern.object)
+        if subject is _MISS or predicate is _MISS or obj is _MISS:
+            return
 
-        for triple in self.store.match(subject, predicate, obj):
-            extended: Optional[Binding] = solution
+        for sid, pid, oid in self.store.match_ids(subject, predicate, obj):
+            extended: Optional[IdBinding] = solution
             for position, value in (
-                (pattern.subject, triple.subject),
-                (pattern.predicate, triple.predicate),
-                (pattern.object, triple.object),
+                (pattern.subject, sid),
+                (pattern.predicate, pid),
+                (pattern.object, oid),
             ):
                 if isinstance(position, Variable):
                     extended = extended.extend(position, value)  # type: ignore[union-attr]
@@ -290,15 +432,17 @@ class QueryEvaluator:
                 yield extended
 
     def _apply_filter(
-        self, solutions: Iterable[Binding], node: FilterNode
-    ) -> Iterator[Binding]:
+        self, solutions: Iterable[IdBinding], node: FilterNode
+    ) -> Iterator[IdBinding]:
         for solution in solutions:
-            if self._expressions.evaluate_boolean(node.expression, solution):
+            if self._expressions.evaluate_boolean(
+                node.expression, solution.decode(self._dict)
+            ):
                 yield solution
 
     def _apply_optional(
-        self, solutions: Iterable[Binding], node: OptionalNode
-    ) -> Iterator[Binding]:
+        self, solutions: Iterable[IdBinding], node: OptionalNode
+    ) -> Iterator[IdBinding]:
         for solution in solutions:
             matched = False
             for extended in self._evaluate_group(node.group, solution):
@@ -308,36 +452,41 @@ class QueryEvaluator:
                 yield solution
 
     def _apply_union(
-        self, solutions: Iterable[Binding], node: UnionNode
-    ) -> Iterator[Binding]:
+        self, solutions: Iterable[IdBinding], node: UnionNode
+    ) -> Iterator[IdBinding]:
         for solution in solutions:
             for branch in node.branches:
                 yield from self._evaluate_group(branch, solution)
 
     def _apply_values(
-        self, solutions: Iterable[Binding], node: ValuesNode
-    ) -> Iterator[Binding]:
+        self, solutions: Iterable[IdBinding], node: ValuesNode
+    ) -> Iterator[IdBinding]:
+        id_for = self._dict.id_for
         for solution in solutions:
             for row in node.rows:
-                extended: Optional[Binding] = solution
+                extended: Optional[IdBinding] = solution
                 for variable, term in zip(node.variables, row):
                     if term is None:
                         continue
-                    extended = extended.extend(variable, term)  # type: ignore[union-attr]
+                    tid = id_for(term)
+                    extended = extended.extend(  # type: ignore[union-attr]
+                        variable, tid if tid is not None else term
+                    )
                     if extended is None:
                         break
                 if extended is not None:
                     yield extended
 
     def _apply_subgroup(
-        self, solutions: Iterable[Binding], group: GroupGraphPattern
-    ) -> Iterator[Binding]:
+        self, solutions: Iterable[IdBinding], group: GroupGraphPattern
+    ) -> Iterator[IdBinding]:
         for solution in solutions:
             yield from self._evaluate_group(group, solution)
 
     def _exists(self, group: object, binding: Binding) -> bool:
         assert isinstance(group, GroupGraphPattern)
-        for _ in self._evaluate_group(group, binding):
+        encoded = IdBinding.encode(binding, self._dict)
+        for _ in self._evaluate_group(group, encoded):
             return True
         return False
 

@@ -1,19 +1,53 @@
-"""In-memory indexed triple store.
+"""Dictionary-encoded, fully indexed in-memory triple store.
 
-The store keeps three hash-based permutation indexes (SPO, POS, OSP) so that
-every triple-pattern shape is answered by at most one index lookup followed
-by set intersection.  It also maintains per-predicate statistics used by the
-knowledge-base layer (relation catalogues, functionality estimates) and by
-the synthetic data generator's sanity checks.
+Architecture
+------------
+The storage substrate has three layers, bottom to top:
+
+1. **Term dictionary** (:mod:`repro.store.dictionary`).  A
+   :class:`TermDictionary` interns every RDF term to a dense integer ID
+   (RDF-3X style).  IDs are assigned in interning order and stay stable
+   across ``remove``/``clear``, so upper layers can hold bare ints in
+   caches and statistics.  A per-ID kind byte answers "literal or
+   entity?" without materialising the term.
+
+2. **ID indexes** (:mod:`repro.store.index`).  Three
+   :class:`IdTripleIndex` permutations (SPO, POS, OSP) map
+   ``key -> second -> sorted array of thirds`` over plain ints, giving
+   constant-time dispatch for all eight triple-pattern shapes, bisect
+   membership tests, deterministic sorted iteration, and
+   sort-merge-friendly runs for future join work.  The original
+   Term-keyed :class:`TripleIndex` remains available as a generic
+   utility.
+
+3. **Store facade** (:mod:`repro.store.triplestore`).
+   :class:`TripleStore` keeps the public Term-in/Term-out API unchanged
+   while translating at the boundary.  It additionally exposes an
+   ID-level API (``match_ids`` / ``count_ids`` / ``term_id`` /
+   ``dictionary``) that the SPARQL evaluator uses to join on integers
+   and stream solutions without building Term objects, and that every
+   pattern-shape count is answered from index bookkeeping alone.
+
+What this enables: the SPARQL layer binds variables to integer IDs and
+decodes only the rows it actually returns, endpoints can serve much
+larger simulated KBs at the same latency, and later scaling PRs
+(sharding by ID range, async endpoints, alternative backends) can build
+on a compact integer substrate instead of hashed Term objects.
+
+Statistics (:mod:`repro.store.stats`) are likewise computed in ID space
+from the POS permutation plus dictionary kind bytes.
 """
 
+from repro.store.dictionary import TermDictionary
 from repro.store.triplestore import TripleStore
-from repro.store.index import TripleIndex
+from repro.store.index import IdTripleIndex, TripleIndex
 from repro.store.stats import PredicateStatistics, StoreStatistics
 from repro.store.bulk import load_ntriples_file, load_triples
 
 __all__ = [
     "TripleStore",
+    "TermDictionary",
+    "IdTripleIndex",
     "TripleIndex",
     "PredicateStatistics",
     "StoreStatistics",

@@ -1,0 +1,138 @@
+"""Dictionary encoding of RDF terms.
+
+A :class:`TermDictionary` interns every RDF term to a dense integer ID, the
+way RDF-3X-style engines do: the storage and query layers then operate on
+plain integers (cheap hashing, cheap equality, compact sorted containers)
+and only materialise :class:`~repro.rdf.terms.Term` objects at the API
+boundary.
+
+IDs are assigned densely in interning order and are **stable for the
+lifetime of the dictionary**: removing triples from a store, or clearing
+it, never invalidates or reuses an ID.  This lets query results, caches and
+statistics hold bare integers without worrying about remapping.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.errors import StoreError
+from repro.rdf.terms import BlankNode, IRI, Literal, Term
+from repro.rdf.triple import Triple
+
+#: Term-kind tags stored per ID (one byte each).
+KIND_IRI = 0
+KIND_BLANK = 1
+KIND_LITERAL = 2
+
+
+class TermDictionary:
+    """A bidirectional mapping ``Term <-> dense integer ID``.
+
+    The forward direction (:meth:`encode`) interns: unknown terms are
+    assigned the next free ID.  The reverse direction (:meth:`decode`) is a
+    list lookup.  A per-ID kind byte answers "is this a literal/entity?"
+    without materialising the term — the statistics layer relies on this.
+    """
+
+    __slots__ = ("_ids", "_terms", "_kinds")
+
+    def __init__(self) -> None:
+        self._ids: Dict[Term, int] = {}
+        self._terms: List[Term] = []
+        self._kinds = bytearray()
+
+    def __len__(self) -> int:
+        return len(self._terms)
+
+    def __contains__(self, term: object) -> bool:
+        return term in self._ids
+
+    def __repr__(self) -> str:
+        return f"TermDictionary(size={len(self._terms)})"
+
+    # ------------------------------------------------------------------ #
+    # Encoding
+    # ------------------------------------------------------------------ #
+    def encode(self, term: Term) -> int:
+        """Intern ``term``, returning its (possibly fresh) ID."""
+        tid = self._ids.get(term)
+        if tid is not None:
+            return tid
+        tid = len(self._terms)
+        self._ids[term] = tid
+        self._terms.append(term)
+        if isinstance(term, IRI):
+            kind = KIND_IRI
+        elif isinstance(term, Literal):
+            kind = KIND_LITERAL
+        elif isinstance(term, BlankNode):
+            kind = KIND_BLANK
+        else:
+            raise StoreError(f"Cannot intern non-term value: {term!r}")
+        self._kinds.append(kind)
+        return tid
+
+    def id_for(self, term: Term) -> Optional[int]:
+        """The ID of ``term`` without interning; ``None`` if unknown."""
+        return self._ids.get(term)
+
+    @property
+    def ids_map(self) -> Dict[Term, int]:
+        """The raw ``Term -> ID`` mapping (treat as read-only).
+
+        Exposed so hot paths can do several lookups without a method call
+        per term; callers must not mutate it.
+        """
+        return self._ids
+
+    def encode_triple(self, triple: Triple) -> Tuple[int, int, int]:
+        """Intern all three positions of ``triple``."""
+        return (
+            self.encode(triple.subject),
+            self.encode(triple.predicate),
+            self.encode(triple.object),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Decoding
+    # ------------------------------------------------------------------ #
+    def decode(self, tid: int) -> Term:
+        """The term interned under ``tid``.
+
+        Raises
+        ------
+        StoreError
+            If ``tid`` was never assigned.
+        """
+        try:
+            return self._terms[tid]
+        except IndexError:
+            raise StoreError(f"Unknown term ID: {tid}") from None
+
+    def decode_triple(self, ids: Tuple[int, int, int]) -> Triple:
+        """Rebuild a :class:`Triple` from an ID triple."""
+        terms = self._terms
+        return Triple(terms[ids[0]], terms[ids[1]], terms[ids[2]])  # type: ignore[arg-type]
+
+    def terms(self) -> Iterator[Term]:
+        """All interned terms, in ID order."""
+        return iter(self._terms)
+
+    # ------------------------------------------------------------------ #
+    # Kind queries (no term materialisation)
+    # ------------------------------------------------------------------ #
+    def kind(self, tid: int) -> int:
+        """The kind tag (:data:`KIND_IRI` / `KIND_BLANK` / `KIND_LITERAL`)."""
+        try:
+            return self._kinds[tid]
+        except IndexError:
+            raise StoreError(f"Unknown term ID: {tid}") from None
+
+    def is_literal_id(self, tid: int) -> bool:
+        """Whether ``tid`` denotes a literal."""
+        return self._kinds[tid] == KIND_LITERAL
+
+    def is_entity_id(self, tid: int) -> bool:
+        """Whether ``tid`` denotes an IRI or blank node."""
+        return self._kinds[tid] != KIND_LITERAL

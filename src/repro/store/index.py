@@ -1,9 +1,20 @@
-"""Hash-based permutation index for triples.
+"""Permutation indexes for triples.
 
-A :class:`TripleIndex` maps a *key* term to a nested mapping of the second
-term to a set of third terms.  Three instances with different orderings
-(SPO, POS, OSP) give the store constant-time dispatch for every pattern
-shape.
+Two index families live here:
+
+* :class:`IdTripleIndex` — the store's workhorse since the dictionary
+  encoding refactor: a two-level nested index over **integer term IDs**,
+  ``key -> second -> sorted array of thirds``.  Integer keys hash and
+  compare in a few nanoseconds, and the sorted third-level (a
+  ``sortedcontainers.SortedList`` when available, a bisect-maintained list
+  otherwise) keeps range iteration and future sort-merge joins cheap.
+* :class:`TripleIndex` — the original hash-based index over full
+  :class:`~repro.rdf.terms.Term` objects, kept as a standalone utility (it
+  is generic over any hashable key and still used by external callers and
+  tests).
+
+Three instances with different orderings (SPO, POS, OSP) give the store
+constant-time dispatch for every pattern shape.
 """
 
 from __future__ import annotations
@@ -12,14 +23,208 @@ from typing import Dict, Iterator, Set, Tuple
 
 from repro.rdf.terms import Term
 
+try:  # declared in setup.py; the fallback keeps stripped environments working
+    from sortedcontainers import SortedList
+except ImportError:  # pragma: no cover - exercised only on stripped images
+    import bisect
 
-class TripleIndex:
-    """A two-level nested index: ``key -> second -> {third}``.
+    class SortedList:  # type: ignore[no-redef]
+        """Minimal bisect-backed replacement for ``sortedcontainers.SortedList``."""
+
+        __slots__ = ("_items",)
+
+        def __init__(self, iterable=()):
+            self._items = sorted(iterable)
+
+        def add(self, value):
+            bisect.insort(self._items, value)
+
+        def remove(self, value):
+            index = bisect.bisect_left(self._items, value)
+            if index >= len(self._items) or self._items[index] != value:
+                raise ValueError(f"{value!r} not in list")
+            del self._items[index]
+
+        def __contains__(self, value):
+            index = bisect.bisect_left(self._items, value)
+            return index < len(self._items) and self._items[index] == value
+
+        def __iter__(self):
+            return iter(self._items)
+
+        def __len__(self):
+            return len(self._items)
+
+
+class IdTripleIndex:
+    """A two-level nested index over integer IDs: ``key -> second -> [thirds]``.
 
     The meaning of the three positions is decided by the caller (the store
-    uses subject/predicate/object permutations).  The index stores plain
-    terms, not :class:`~repro.rdf.triple.Triple` objects, so the same class
-    serves all permutations.
+    uses subject/predicate/object permutations).  The third level is a
+    sorted integer sequence, so membership is a bisect and iteration yields
+    IDs in sorted (therefore deterministic) order.
+    """
+
+    __slots__ = ("_index", "_size", "_key_counts")
+
+    def __init__(self) -> None:
+        self._index: Dict[int, Dict[int, SortedList]] = {}
+        self._size = 0
+        self._key_counts: Dict[int, int] = {}
+
+    def __len__(self) -> int:
+        return self._size
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, key: int, second: int, third: int) -> bool:
+        """Insert an entry.  Returns ``True`` if it was not already present."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            by_second = {}
+            self._index[key] = by_second
+        thirds = by_second.get(second)
+        if thirds is None:
+            thirds = SortedList()
+            by_second[second] = thirds
+        elif third in thirds:
+            return False
+        thirds.add(third)
+        self._size += 1
+        self._key_counts[key] = self._key_counts.get(key, 0) + 1
+        return True
+
+    def remove(self, key: int, second: int, third: int) -> bool:
+        """Remove an entry.  Returns ``True`` if it was present."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            return False
+        thirds = by_second.get(second)
+        if thirds is None or third not in thirds:
+            return False
+        thirds.remove(third)
+        self._size -= 1
+        remaining = self._key_counts[key] - 1
+        if remaining:
+            self._key_counts[key] = remaining
+        else:
+            del self._key_counts[key]
+        if not thirds:
+            del by_second[second]
+        if not by_second:
+            del self._index[key]
+        return True
+
+    def clear(self) -> None:
+        """Remove all entries."""
+        self._index.clear()
+        self._key_counts.clear()
+        self._size = 0
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+    def contains(self, key: int, second: int, third: int) -> bool:
+        """Membership test for a fully specified entry."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            return False
+        thirds = by_second.get(second)
+        return thirds is not None and third in thirds
+
+    def keys(self) -> Iterator[int]:
+        """Iterate over all distinct keys."""
+        return iter(self._index)
+
+    def seconds(self, key: int) -> Iterator[int]:
+        """Iterate over the distinct second IDs under ``key``."""
+        by_second = self._index.get(key)
+        return iter(()) if by_second is None else iter(by_second)
+
+    def thirds(self, key: int, second: int) -> Iterator[int]:
+        """Iterate over the third IDs under ``(key, second)`` in sorted order."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            return iter(())
+        thirds = by_second.get(second)
+        return iter(()) if thirds is None else iter(thirds)
+
+    def pairs(self, key: int) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(second, third)`` pairs under ``key``."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            return
+        for second, thirds in by_second.items():
+            for third in thirds:
+                yield second, third
+
+    def items_for_key(self, key: int) -> Iterator[Tuple[int, SortedList]]:
+        """Iterate over ``(second, thirds)`` groups under ``key``.
+
+        Exposes the sorted third-level containers directly so callers can
+        take ``len`` per group without iterating entries (the statistics
+        layer uses this for literal-object counts).
+        """
+        by_second = self._index.get(key)
+        if by_second is None:
+            return iter(())
+        return iter(by_second.items())
+
+    def triples(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over every ``(key, second, third)`` entry."""
+        for key, by_second in self._index.items():
+            for second, thirds in by_second.items():
+                for third in thirds:
+                    yield key, second, third
+
+    # ------------------------------------------------------------------ #
+    # Counting (no materialisation)
+    # ------------------------------------------------------------------ #
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return len(self._index)
+
+    def count_for_key(self, key: int) -> int:
+        """Number of entries under ``key`` — O(1) from maintained counts."""
+        return self._key_counts.get(key, 0)
+
+    def second_count_for_key(self, key: int) -> int:
+        """Number of distinct second IDs under ``key``."""
+        by_second = self._index.get(key)
+        return 0 if by_second is None else len(by_second)
+
+    def third_count(self, key: int, second: int) -> int:
+        """Number of entries under ``(key, second)`` — a pure index lookup."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            return 0
+        thirds = by_second.get(second)
+        return 0 if thirds is None else len(thirds)
+
+    def distinct_third_count(self, key: int) -> int:
+        """Number of distinct third IDs across all seconds under ``key``."""
+        by_second = self._index.get(key)
+        if by_second is None:
+            return 0
+        if len(by_second) == 1:
+            return len(next(iter(by_second.values())))
+        distinct: Set[int] = set()
+        for thirds in by_second.values():
+            distinct.update(thirds)
+        return len(distinct)
+
+    def has_key(self, key: int) -> bool:
+        """Whether any entry exists under ``key``."""
+        return key in self._index
+
+
+class TripleIndex:
+    """A two-level nested hash index: ``key -> second -> {third}``.
+
+    The original Term-keyed index.  It is generic over any hashable value,
+    so it still serves as a general-purpose three-column index; the store
+    itself now runs on :class:`IdTripleIndex` over dictionary IDs.
     """
 
     __slots__ = ("_index", "_size")

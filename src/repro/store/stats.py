@@ -12,10 +12,14 @@ synthetic data generator keep asking:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List
 
 from repro.rdf.terms import IRI, Literal
 from repro.rdf.triple import Triple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.dictionary import TermDictionary
+    from repro.store.index import IdTripleIndex
 
 
 @dataclass
@@ -76,6 +80,32 @@ class StoreStatistics:
         """The ``limit`` predicates with the most facts, descending."""
         ranked = sorted(self.predicates.values(), key=lambda s: s.fact_count, reverse=True)
         return ranked[:limit]
+
+
+def predicate_statistics_from_index(
+    dictionary: "TermDictionary",
+    pos_index: "IdTripleIndex",
+    predicate: IRI,
+    predicate_id: int,
+) -> PredicateStatistics:
+    """Compute one predicate's statistics purely in ID space.
+
+    Works off the POS permutation (``predicate -> object -> subjects``), so
+    fact/object/subject counts come from index bookkeeping and the literal
+    tally from the dictionary's per-ID kind bytes — no
+    :class:`~repro.rdf.terms.Term` is materialised.
+    """
+    literal_objects = 0
+    for object_id, subject_ids in pos_index.items_for_key(predicate_id):
+        if dictionary.is_literal_id(object_id):
+            literal_objects += len(subject_ids)
+    return PredicateStatistics(
+        predicate=predicate,
+        fact_count=pos_index.count_for_key(predicate_id),
+        distinct_subjects=pos_index.distinct_third_count(predicate_id),
+        distinct_objects=pos_index.second_count_for_key(predicate_id),
+        literal_object_count=literal_objects,
+    )
 
 
 def compute_statistics(triples: Iterable[Triple]) -> StoreStatistics:

@@ -1,8 +1,15 @@
 """The in-memory triple store.
 
 :class:`TripleStore` is the storage substrate under every knowledge base in
-this reproduction.  It maintains three permutation indexes so that any of
-the eight triple-pattern shapes is answered efficiently:
+this reproduction.  Since the dictionary-encoding refactor it stores
+**integer ID triples**: every term is interned once in a
+:class:`~repro.store.dictionary.TermDictionary` and the three permutation
+indexes (:class:`~repro.store.index.IdTripleIndex`) key on plain ints.  The
+public API stays Term-in/Term-out; the ID-level API (:meth:`match_ids`,
+:meth:`term_id`, :attr:`dictionary`) is used by the SPARQL evaluator to
+join on integers without round-tripping through Term objects.
+
+Pattern dispatch:
 
 ========= ==========================
 pattern    index used
@@ -16,17 +23,29 @@ pattern    index used
 (?, ?, o)  OSP
 (?, ?, ?)  full scan over SPO
 ========= ==========================
+
+Every one of the eight shapes is also *countable* from index bookkeeping
+alone — :meth:`count` never materialises triples.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Set
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import StoreError
-from repro.rdf.terms import IRI, Literal, Term, is_entity_term
+from repro.rdf.terms import IRI, Term
 from repro.rdf.triple import Triple, TriplePattern
-from repro.store.index import TripleIndex
-from repro.store.stats import PredicateStatistics, StoreStatistics
+from repro.store.dictionary import TermDictionary
+from repro.store.index import IdTripleIndex
+from repro.store.stats import (
+    PredicateStatistics,
+    StoreStatistics,
+    predicate_statistics_from_index,
+)
+
+#: Sentinel distinguishing "constant term unknown to the dictionary" (which
+#: can never match) from a ``None`` wildcard in internal pattern dispatch.
+_MISS = object()
 
 
 class TripleStore:
@@ -42,14 +61,30 @@ class TripleStore:
         Optional human-readable name (used in ``repr`` and logs).
     triples:
         Optional initial triples to load.
+    dictionary:
+        Optional shared :class:`TermDictionary`.  Passing the same
+        dictionary to several stores gives them a common ID space (useful
+        for cross-store joins); by default each store owns a fresh one.
     """
 
-    def __init__(self, name: str = "store", triples: Optional[Iterable[Triple]] = None):
+    def __init__(
+        self,
+        name: str = "store",
+        triples: Optional[Iterable[Triple]] = None,
+        dictionary: Optional[TermDictionary] = None,
+    ):
         self.name = name
-        self._spo = TripleIndex()
-        self._pos = TripleIndex()
-        self._osp = TripleIndex()
-        self._size = 0
+        self._dictionary = dictionary if dictionary is not None else TermDictionary()
+        # Direct reference to the dictionary's Term -> ID dict: membership
+        # probes are hot and a property/method hop per term shows up.
+        self._term_ids = self._dictionary.ids_map
+        self._spo = IdTripleIndex()
+        self._pos = IdTripleIndex()
+        self._osp = IdTripleIndex()
+        # Flat ID-tuple -> Triple map: O(1) membership probes and free
+        # materialisation (match() hands back the instance added, instead
+        # of rebuilding a Triple per matched row).
+        self._triples: Dict[Tuple[int, int, int], Triple] = {}
         if triples is not None:
             self.add_all(triples)
 
@@ -60,12 +95,15 @@ class TripleStore:
         """Add a triple.  Returns ``True`` if the store changed."""
         if not isinstance(triple, Triple):
             raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
-        added = self._spo.add(triple.subject, triple.predicate, triple.object)
-        if not added:
+        encode = self._dictionary.encode
+        s = encode(triple.subject)
+        p = encode(triple.predicate)
+        o = encode(triple.object)
+        if not self._spo.add(s, p, o):
             return False
-        self._pos.add(triple.predicate, triple.object, triple.subject)
-        self._osp.add(triple.object, triple.subject, triple.predicate)
-        self._size += 1
+        self._pos.add(p, o, s)
+        self._osp.add(o, s, p)
+        self._triples[(s, p, o)] = triple
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -77,39 +115,209 @@ class TripleStore:
         return inserted
 
     def remove(self, triple: Triple) -> bool:
-        """Remove a triple.  Returns ``True`` if it was present."""
-        removed = self._spo.remove(triple.subject, triple.predicate, triple.object)
-        if not removed:
+        """Remove a triple.  Returns ``True`` if it was present.
+
+        Dictionary IDs are *not* reclaimed: interned terms keep their IDs
+        for the lifetime of the store.
+        """
+        ids = self._lookup_ids(triple)
+        if ids is None:
             return False
-        self._pos.remove(triple.predicate, triple.object, triple.subject)
-        self._osp.remove(triple.object, triple.subject, triple.predicate)
-        self._size -= 1
+        s, p, o = ids
+        if not self._spo.remove(s, p, o):
+            return False
+        self._pos.remove(p, o, s)
+        self._osp.remove(o, s, p)
+        del self._triples[(s, p, o)]
         return True
 
     def clear(self) -> None:
-        """Remove every triple."""
+        """Remove every triple.
+
+        The term dictionary is kept: IDs remain stable across ``clear`` so
+        external holders of IDs (caches, statistics) stay valid.
+        """
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
-        self._size = 0
+        self._triples.clear()
 
     # ------------------------------------------------------------------ #
-    # Lookup
+    # ID-level API (used by the SPARQL layer)
+    # ------------------------------------------------------------------ #
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The store's term dictionary."""
+        return self._dictionary
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The dictionary ID of ``term``; ``None`` if it never occurred."""
+        return self._dictionary.id_for(term)
+
+    def term_for_id(self, tid: int) -> Term:
+        """The term interned under ``tid``."""
+        return self._dictionary.decode(tid)
+
+    def _lookup_ids(self, triple: Triple) -> Optional[Tuple[int, int, int]]:
+        id_for = self._dictionary.id_for
+        s = id_for(triple.subject)
+        if s is None:
+            return None
+        p = id_for(triple.predicate)
+        if p is None:
+            return None
+        o = id_for(triple.object)
+        if o is None:
+            return None
+        return s, p, o
+
+    def contains_ids(self, s: int, p: int, o: int) -> bool:
+        """Membership test in ID space — one tuple-hash probe."""
+        return (s, p, o) in self._triples
+
+    def match_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield ``(s, p, o)`` ID triples matching the (wildcard) pattern.
+
+        ``None`` in any position means "match anything".  This is the hot
+        path of the SPARQL evaluator: every yielded value is a plain int.
+        """
+        s, p, o = subject, predicate, object
+        if s is not None and p is not None and o is not None:
+            if (s, p, o) in self._triples:
+                yield (s, p, o)
+            return
+        if s is not None and p is not None:
+            for obj in self._spo.thirds(s, p):
+                yield (s, p, obj)
+            return
+        if s is not None and o is not None:
+            for pred in self._osp.thirds(o, s):
+                yield (s, pred, o)
+            return
+        if s is not None:
+            for pred, obj in self._spo.pairs(s):
+                yield (s, pred, obj)
+            return
+        if p is not None and o is not None:
+            for subj in self._pos.thirds(p, o):
+                yield (subj, p, o)
+            return
+        if p is not None:
+            for obj, subj in self._pos.pairs(p):
+                yield (subj, p, obj)
+            return
+        if o is not None:
+            for subj, pred in self._osp.pairs(o):
+                yield (subj, pred, o)
+            return
+        yield from self._spo.triples()
+
+    def count_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> int:
+        """Count matching triples in ID space from index bookkeeping only."""
+        s, p, o = subject, predicate, object
+        if s is not None and p is not None and o is not None:
+            return 1 if self._spo.contains(s, p, o) else 0
+        if s is not None and p is not None:
+            return self._spo.third_count(s, p)
+        if s is not None and o is not None:
+            return self._osp.third_count(o, s)
+        if s is not None:
+            return self._spo.count_for_key(s)
+        if p is not None and o is not None:
+            return self._pos.third_count(p, o)
+        if p is not None:
+            return self._pos.count_for_key(p)
+        if o is not None:
+            return self._osp.count_for_key(o)
+        return len(self._triples)
+
+    def count_distinct_ids(
+        self,
+        position: str,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> int:
+        """Distinct IDs in one triple ``position`` ("s"/"p"/"o") of the
+        triples matching the given (wildcard) ID pattern.
+
+        The ``position`` being counted must itself be a wildcard.  Every
+        combination is answered from the indexes without materialising
+        terms or solutions; most shapes are O(1) key/length lookups, while
+        the shapes that reduce to ``distinct_third_count`` union the
+        per-key ID runs (O(matching facts)).  This backs the SPARQL
+        layer's ``COUNT(DISTINCT ?v)`` fast path.
+        """
+        s, p, o = subject, predicate, object
+        if position == "s":
+            if p is not None and o is not None:
+                return self._pos.third_count(p, o)
+            if p is not None:
+                return self._pos.distinct_third_count(p)
+            if o is not None:
+                return self._osp.second_count_for_key(o)
+            return self._spo.key_count()
+        if position == "p":
+            if s is not None and o is not None:
+                return self._osp.third_count(o, s)
+            if s is not None:
+                return self._spo.second_count_for_key(s)
+            if o is not None:
+                return self._osp.distinct_third_count(o)
+            return self._pos.key_count()
+        if position == "o":
+            if s is not None and p is not None:
+                return self._spo.third_count(s, p)
+            if s is not None:
+                return self._spo.distinct_third_count(s)
+            if p is not None:
+                return self._pos.second_count_for_key(p)
+            return self._osp.key_count()
+        raise StoreError(f"Unknown triple position: {position!r}")
+
+    # ------------------------------------------------------------------ #
+    # Lookup (Term-level public API)
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return self._size
+        return len(self._triples)
 
     def __contains__(self, triple: object) -> bool:
         if not isinstance(triple, Triple):
             return False
-        return self._spo.contains(triple.subject, triple.predicate, triple.object)
+        ids = self._term_ids
+        s = ids.get(triple.subject)
+        if s is None:
+            return False
+        p = ids.get(triple.predicate)
+        if p is None:
+            return False
+        o = ids.get(triple.object)
+        if o is None:
+            return False
+        return (s, p, o) in self._triples
 
     def __iter__(self) -> Iterator[Triple]:
-        for s, p, o in self._spo.triples():
-            yield Triple(s, p, o)  # type: ignore[arg-type]
+        return iter(self._triples.values())
 
     def __repr__(self) -> str:
-        return f"TripleStore(name={self.name!r}, size={self._size})"
+        return f"TripleStore(name={self.name!r}, size={len(self._triples)})"
+
+    def _resolve(self, term: Optional[Term]):
+        """Map a pattern position to an ID, ``None`` (wildcard) or ``_MISS``."""
+        if term is None:
+            return None
+        tid = self._dictionary.id_for(term)
+        return tid if tid is not None else _MISS
 
     def match(
         self,
@@ -121,36 +329,17 @@ class TripleStore:
 
         ``None`` in any position means "match anything".
         """
-        s, p, o = subject, predicate, object
-        if s is not None and p is not None and o is not None:
-            if self._spo.contains(s, p, o):
-                yield Triple(s, p, o)
+        s = self._resolve(subject)
+        p = self._resolve(predicate)
+        o = self._resolve(object)
+        if s is _MISS or p is _MISS or o is _MISS:
             return
-        if s is not None and p is not None:
-            for obj in self._spo.thirds(s, p):
-                yield Triple(s, p, obj)
+        if s is None and p is None and o is None:
+            yield from self._triples.values()
             return
-        if s is not None and o is not None:
-            for pred in self._osp.thirds(o, s):
-                yield Triple(s, pred, o)  # type: ignore[arg-type]
-            return
-        if s is not None:
-            for pred, obj in self._spo.pairs(s):
-                yield Triple(s, pred, obj)  # type: ignore[arg-type]
-            return
-        if p is not None and o is not None:
-            for subj in self._pos.thirds(p, o):
-                yield Triple(subj, p, o)
-            return
-        if p is not None:
-            for obj, subj in self._pos.pairs(p):
-                yield Triple(subj, p, obj)
-            return
-        if o is not None:
-            for subj, pred in self._osp.pairs(o):
-                yield Triple(subj, pred, o)  # type: ignore[arg-type]
-            return
-        yield from iter(self)
+        triples = self._triples
+        for ids in self.match_ids(s, p, o):
+            yield triples[ids]
 
     def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
         """:meth:`match` taking a :class:`~repro.rdf.triple.TriplePattern`."""
@@ -162,103 +351,135 @@ class TripleStore:
         predicate: Optional[IRI] = None,
         object: Optional[Term] = None,
     ) -> int:
-        """Count matching triples without materialising them (when possible)."""
-        if subject is None and predicate is None and object is None:
-            return self._size
-        if subject is None and object is None and predicate is not None:
-            return self._pos.count_for_key(predicate)
-        if predicate is None and object is None and subject is not None:
-            return self._spo.count_for_key(subject)
-        if subject is None and predicate is None and object is not None:
-            return self._osp.count_for_key(object)
-        return sum(1 for _ in self.match(subject, predicate, object))
+        """Count matching triples without materialising any.
+
+        Every pattern shape — including ``(s, p, ?)`` and ``(?, p, o)`` —
+        is answered from index key counts.
+        """
+        s = self._resolve(subject)
+        p = self._resolve(predicate)
+        o = self._resolve(object)
+        if s is _MISS or p is _MISS or o is _MISS:
+            return 0
+        return self.count_ids(s, p, o)
 
     # ------------------------------------------------------------------ #
     # Vocabulary access
     # ------------------------------------------------------------------ #
     def predicates(self) -> List[IRI]:
         """All distinct predicates, sorted by IRI for determinism."""
-        return sorted(self._pos.keys(), key=lambda p: p.value)  # type: ignore[union-attr]
+        decode = self._dictionary.decode
+        return sorted(
+            (decode(pid) for pid in self._pos.keys()),  # type: ignore[misc]
+            key=lambda p: p.value,
+        )
 
     def subjects(self, predicate: Optional[IRI] = None) -> Iterator[Term]:
         """Distinct subjects, optionally restricted to one predicate."""
+        decode = self._dictionary.decode
         if predicate is None:
-            yield from self._spo.keys()
+            for sid in self._spo.keys():
+                yield decode(sid)
             return
-        seen: Set[Term] = set()
-        for obj, subj in self._pos.pairs(predicate):
-            if subj not in seen:
-                seen.add(subj)
-                yield subj
+        pid = self._dictionary.id_for(predicate)
+        if pid is None:
+            return
+        seen: Set[int] = set()
+        for _, sid in self._pos.pairs(pid):
+            if sid not in seen:
+                seen.add(sid)
+                yield decode(sid)
 
     def objects(self, predicate: Optional[IRI] = None) -> Iterator[Term]:
         """Distinct objects, optionally restricted to one predicate."""
+        decode = self._dictionary.decode
         if predicate is None:
-            yield from self._osp.keys()
+            for oid in self._osp.keys():
+                yield decode(oid)
             return
-        yield from self._pos.seconds(predicate)
+        pid = self._dictionary.id_for(predicate)
+        if pid is None:
+            return
+        for oid in self._pos.seconds(pid):
+            yield decode(oid)
 
     def objects_of(self, subject: Term, predicate: IRI) -> List[Term]:
         """All objects ``o`` such that ``(subject, predicate, o)`` is a fact."""
-        return list(self._spo.thirds(subject, predicate))
+        sid = self._dictionary.id_for(subject)
+        pid = self._dictionary.id_for(predicate)
+        if sid is None or pid is None:
+            return []
+        decode = self._dictionary.decode
+        return [decode(oid) for oid in self._spo.thirds(sid, pid)]
 
     def subjects_of(self, predicate: IRI, object: Term) -> List[Term]:
         """All subjects ``s`` such that ``(s, predicate, object)`` is a fact."""
-        return list(self._pos.thirds(predicate, object))
+        pid = self._dictionary.id_for(predicate)
+        oid = self._dictionary.id_for(object)
+        if pid is None or oid is None:
+            return []
+        decode = self._dictionary.decode
+        return [decode(sid) for sid in self._pos.thirds(pid, oid)]
 
     def predicates_of(self, subject: Term) -> List[IRI]:
         """Distinct predicates appearing with ``subject`` as subject."""
-        return list(self._spo.seconds(subject))  # type: ignore[arg-type]
+        sid = self._dictionary.id_for(subject)
+        if sid is None:
+            return []
+        decode = self._dictionary.decode
+        return [decode(pid) for pid in self._spo.seconds(sid)]  # type: ignore[misc]
 
     def predicates_between(self, subject: Term, object: Term) -> List[IRI]:
         """Distinct predicates ``p`` with a fact ``(subject, p, object)``."""
-        return list(self._osp.thirds(object, subject))  # type: ignore[arg-type]
+        sid = self._dictionary.id_for(subject)
+        oid = self._dictionary.id_for(object)
+        if sid is None or oid is None:
+            return []
+        decode = self._dictionary.decode
+        return [decode(pid) for pid in self._osp.thirds(oid, sid)]  # type: ignore[misc]
 
     def has_subject(self, subject: Term) -> bool:
         """Whether any fact has ``subject`` in subject position."""
-        return self._spo.has_key(subject)
+        sid = self._dictionary.id_for(subject)
+        return sid is not None and self._spo.has_key(sid)
 
     def entities(self) -> Set[Term]:
         """All IRIs/blank nodes appearing in subject or object position."""
-        result: Set[Term] = set()
-        for subj in self._spo.keys():
-            if is_entity_term(subj):
-                result.add(subj)
-        for obj in self._osp.keys():
-            if is_entity_term(obj):
-                result.add(obj)
-        return result
+        dictionary = self._dictionary
+        entity_ids: Set[int] = set(self._spo.keys())
+        entity_ids.update(
+            oid for oid in self._osp.keys() if dictionary.is_entity_id(oid)
+        )
+        decode = dictionary.decode
+        return {decode(tid) for tid in entity_ids}
 
     # ------------------------------------------------------------------ #
     # Statistics
     # ------------------------------------------------------------------ #
     def predicate_statistics(self, predicate: IRI) -> PredicateStatistics:
         """Compute statistics for one predicate from the indexes."""
-        fact_count = self._pos.count_for_key(predicate)
-        distinct_objects = self._pos.second_count_for_key(predicate)
-        distinct_subjects = sum(1 for _ in self.subjects(predicate))
-        literal_objects = sum(
-            1 for obj, _ in self._pos.pairs(predicate) if isinstance(obj, Literal)
-        )
-        return PredicateStatistics(
-            predicate=predicate,
-            fact_count=fact_count,
-            distinct_subjects=distinct_subjects,
-            distinct_objects=distinct_objects,
-            literal_object_count=literal_objects,
+        pid = self._dictionary.id_for(predicate)
+        if pid is None:
+            return PredicateStatistics(predicate=predicate)
+        return predicate_statistics_from_index(
+            self._dictionary, self._pos, predicate, pid
         )
 
     def statistics(self) -> StoreStatistics:
         """Compute a full statistics snapshot."""
         stats = StoreStatistics(
-            triple_count=self._size,
+            triple_count=len(self._triples),
             predicate_count=self._pos.key_count(),
             subject_count=self._spo.key_count(),
             object_count=self._osp.key_count(),
         )
+        decode = self._dictionary.decode
         predicate_stats: Dict[IRI, PredicateStatistics] = {}
-        for predicate in self._pos.keys():
-            predicate_stats[predicate] = self.predicate_statistics(predicate)  # type: ignore[index]
+        for pid in self._pos.keys():
+            predicate = decode(pid)
+            predicate_stats[predicate] = predicate_statistics_from_index(  # type: ignore[index]
+                self._dictionary, self._pos, predicate, pid  # type: ignore[arg-type]
+            )
         stats.predicates = predicate_stats
         return stats
 

@@ -39,6 +39,41 @@ class TestRelationQueries:
         page = client.facts(EX.bornIn, limit=2, offset=1)
         assert len(page) == 2
 
+    def test_paged_iteration_covers_all_facts_exactly_once(self, client):
+        """Regression: LIMIT/OFFSET paging must tile the result set.
+
+        The generated SPARQL emits LIMIT before OFFSET (grammar order);
+        the offset always applies first, so consecutive pages concatenate
+        to the unpaged result with no gaps or overlaps.
+        """
+        unpaged = client.facts(EX.bornIn)
+        paged = []
+        offset = 0
+        while True:
+            page = client.facts(EX.bornIn, limit=2, offset=offset)
+            paged.extend(page)
+            if len(page) < 2:
+                break
+            offset += 2
+        assert paged == unpaged
+
+    def test_paged_subject_iteration_covers_all_subjects(self, client):
+        unpaged = client.subjects(EX.profession)
+        paged = []
+        offset = 0
+        while True:
+            page = client.subjects(EX.profession, limit=1, offset=offset)
+            paged.extend(page)
+            if len(page) < 1:
+                break
+            offset += 1
+        assert paged == unpaged
+
+    def test_paging_emits_limit_before_offset(self, client):
+        client.facts(EX.bornIn, limit=2, offset=1)
+        query_text = client.endpoint.log.records[-1].query
+        assert "LIMIT 2 OFFSET 1" in query_text
+
     def test_subjects(self, client):
         subjects = client.subjects(EX.bornIn)
         assert EX["Marie_Curie"] in subjects

@@ -101,3 +101,29 @@ class TestAccounting:
     def test_repr_contains_name(self, people_store):
         endpoint = SparqlEndpoint(people_store, name="yago-endpoint")
         assert "yago-endpoint" in repr(endpoint)
+
+
+class TestParseCache:
+    def test_repeated_query_text_parses_once(self, people_store):
+        from repro.endpoint.endpoint import clear_parse_cache, parse_cache_info
+
+        clear_parse_cache()
+        endpoint = SparqlEndpoint(people_store)
+        query = PREFIX + "SELECT ?s WHERE { ?s ex:bornIn ?c }"
+        first = endpoint.query(query)
+        before = parse_cache_info()
+        second = endpoint.query(query)
+        after = parse_cache_info()
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+        assert [row for row in first] == [row for row in second]
+
+    def test_cache_shared_across_endpoints(self, people_store):
+        from repro.endpoint.endpoint import clear_parse_cache, parse_cache_info
+
+        clear_parse_cache()
+        query = PREFIX + "ASK { ?s ex:bornIn ?c }"
+        SparqlEndpoint(people_store, name="a").query(query)
+        SparqlEndpoint(people_store, name="b").query(query)
+        assert parse_cache_info().hits >= 1
+        assert parse_cache_info().misses == 1

@@ -16,6 +16,7 @@ from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.levenshtein import levenshtein_distance, levenshtein_similarity
 from repro.similarity.ngram import ngram_similarity
 from repro.sparql.bindings import Binding, Variable
+from repro.store.dictionary import TermDictionary
 from repro.store.triplestore import TripleStore
 
 EX = Namespace("http://prop.test/")
@@ -96,6 +97,58 @@ class TestStoreInvariants:
         store = TripleStore(triples=triples)
         stats = store.statistics()
         assert sum(p.fact_count for p in stats.predicates.values()) == len(store)
+
+
+# --------------------------------------------------------------------------- #
+# Term dictionary invariants
+# --------------------------------------------------------------------------- #
+_terms = st.one_of(_iris, _literals)
+
+
+class TestTermDictionaryInvariants:
+    @given(st.lists(_terms, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_intern_lookup_round_trip(self, terms):
+        dictionary = TermDictionary()
+        ids = [dictionary.encode(term) for term in terms]
+        for term, tid in zip(terms, ids):
+            assert dictionary.id_for(term) == tid
+            assert dictionary.decode(tid) == term
+
+    @given(st.lists(_terms, max_size=40))
+    @settings(max_examples=60, deadline=None)
+    def test_ids_are_dense_and_unique(self, terms):
+        dictionary = TermDictionary()
+        ids = {dictionary.encode(term) for term in terms}
+        assert ids == set(range(len(set(terms))))
+        assert len(dictionary) == len(set(terms))
+
+    @given(st.lists(_triples, min_size=1, max_size=30))
+    @settings(max_examples=50, deadline=None)
+    def test_ids_stable_across_remove_and_clear(self, triples):
+        store = TripleStore(triples=triples)
+        snapshot = {
+            term: store.term_id(term)
+            for triple in triples
+            for term in (triple.subject, triple.predicate, triple.object)
+        }
+        assert all(tid is not None for tid in snapshot.values())
+        store.remove(triples[0])
+        for term, tid in snapshot.items():
+            assert store.term_id(term) == tid
+        store.clear()
+        for term, tid in snapshot.items():
+            assert store.term_id(term) == tid
+            assert store.term_for_id(tid) == term
+
+    @given(st.lists(_terms, max_size=40))
+    @settings(max_examples=40, deadline=None)
+    def test_kind_bytes_match_term_types(self, terms):
+        dictionary = TermDictionary()
+        for term in terms:
+            tid = dictionary.encode(term)
+            assert dictionary.is_literal_id(tid) == isinstance(term, Literal)
+            assert dictionary.is_entity_id(tid) != isinstance(term, Literal)
 
 
 # --------------------------------------------------------------------------- #
