@@ -10,6 +10,14 @@ for both the seed store and the dictionary-encoded store and diffed in
 
 Each benchmark reports the best-of-``repeats`` wall time in milliseconds on
 the largest synthetic preset (the paper-scale YAGO-like/DBpedia-like pair).
+
+``--check COMMITTED.json`` turns the run into a regression guard: every
+``*_ms`` metric is compared against the committed artefact's "after"
+numbers and the process exits non-zero if any metric regressed more than
+``--max-regression`` (default 2x).  Combined with ``--smoke`` (a much
+smaller world, so it is strictly *easier* to beat the committed numbers)
+this gives CI a cheap tripwire for catastrophic slowdowns without flaking
+on machine variance.
 """
 
 from __future__ import annotations
@@ -43,8 +51,8 @@ def _best_of(fn, repeats: int = 5, inner: int = 1) -> float:
     return best * 1000.0
 
 
-def run_benchmarks() -> dict:
-    world = generate_world(yago_dbpedia_spec())
+def run_benchmarks(spec=None) -> dict:
+    world = generate_world(spec if spec is not None else yago_dbpedia_spec())
     yago = world.kb("yago")
     store = yago.store
     relation = sorted(yago.relations(), key=lambda info: -info.fact_count)[0].iri
@@ -99,23 +107,58 @@ def main() -> None:
     parser.add_argument("--baseline", default=None, help="baseline JSON to diff against")
     parser.add_argument("--combined", default=None, help="write combined before/after JSON")
     parser.add_argument("--smoke", action="store_true", help="tiny run for CI smoke checks")
+    parser.add_argument(
+        "--check",
+        default=None,
+        metavar="COMMITTED_JSON",
+        help="fail when any *_ms metric regresses versus this artefact's after-numbers",
+    )
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=2.0,
+        help="allowed slowdown factor for --check (default 2.0)",
+    )
+    parser.add_argument(
+        "--noise-floor",
+        type=float,
+        default=0.05,
+        help="absolute slack in ms added to every --check threshold, so "
+        "sub-microsecond O(1) metrics cannot flake on slow runners",
+    )
     args = parser.parse_args()
 
+    spec = None
     if args.smoke:
-        # One cheap end-to-end pass so CI catches crashes without the cost
-        # of the paper-scale world.
-        world = generate_world(yago_dbpedia_spec(families=5, people=60, works=40, places=20, orgs=15))
-        store = world.kb("yago").store
-        relation = sorted(world.kb("yago").relations(), key=lambda info: -info.fact_count)[0].iri
-        assert sum(1 for _ in store.match(predicate=relation)) > 0
-        count_query = f"SELECT (COUNT(*) AS ?c) WHERE {{ ?s <{relation.value}> ?o }}"
-        assert evaluate_query(store, count_query).scalar_int() > 0
-        print("smoke ok")
-        return
+        # A much smaller world: cheap enough for CI, still end-to-end.
+        spec = yago_dbpedia_spec(families=5, people=60, works=40, places=20, orgs=15)
 
-    results = {"label": args.label, "results": run_benchmarks()}
+    results = {"label": args.label, "results": run_benchmarks(spec)}
     Path(args.out).write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
     print(json.dumps(results, indent=2))
+
+    if args.check:
+        committed = json.loads(Path(args.check).read_text(encoding="utf-8"))
+        reference = committed.get("after", committed).get("results", {})
+        failures = []
+        for key, reference_value in reference.items():
+            measured = results["results"].get(key)
+            if (
+                key.endswith("_ms")
+                and isinstance(reference_value, (int, float))
+                and isinstance(measured, (int, float))
+                and measured > reference_value * args.max_regression + args.noise_floor
+            ):
+                failures.append((key, reference_value, measured))
+        if failures:
+            for key, reference_value, measured in failures:
+                print(
+                    f"REGRESSION {key}: {measured:.4f} ms > "
+                    f"{args.max_regression:g}x committed {reference_value:.4f} ms "
+                    f"+ {args.noise_floor:g} ms"
+                )
+            sys.exit(2)
+        print(f"regression check ok ({len(reference)} metrics, {args.max_regression:g}x headroom)")
 
     if args.baseline and args.combined:
         baseline = json.loads(Path(args.baseline).read_text(encoding="utf-8"))

@@ -25,6 +25,44 @@ def _nt(term: Term) -> str:
     return term_to_ntriples(term)
 
 
+def _nt_values(terms: Sequence[Term]) -> str:
+    """Render a VALUES item list, serialising each distinct term once.
+
+    Batched helpers are called with samples that repeat terms (the same
+    subject appears in several pairs, sampling with replacement, ...);
+    memoising per batch keeps the query-text cost proportional to the
+    number of *distinct* terms.
+    """
+    memo: dict = {}
+    parts = []
+    for term in terms:
+        rendered = memo.get(term)
+        if rendered is None:
+            rendered = memo[term] = term_to_ntriples(term)
+        parts.append(rendered)
+    return " ".join(parts)
+
+
+def _nt_value_pairs(pairs: Sequence[Tuple[Term, Term]]) -> str:
+    """Render ``(s o)`` VALUES rows, serialising each distinct term once."""
+    memo: dict = {}
+    parts = []
+    for subject, obj in pairs:
+        left = memo.get(subject)
+        if left is None:
+            left = memo[subject] = term_to_ntriples(subject)
+        right = memo.get(obj)
+        if right is None:
+            right = memo[obj] = term_to_ntriples(obj)
+        parts.append(f"({left} {right})")
+    return " ".join(parts)
+
+
+#: ``owl:sameAs`` rendered once at import time — it appears in every
+#: sameAs-shaped query the aligner issues.
+_SAME_AS_NT = term_to_ntriples(SAME_AS)
+
+
 def _paging_clause(limit: Optional[int], offset: int) -> str:
     """Render LIMIT/OFFSET in the SPARQL grammar's canonical order.
 
@@ -141,7 +179,7 @@ class EndpointClient:
         """
         if not pairs:
             return []
-        values = " ".join(f"({_nt(s)} {_nt(o)})" for s, o in pairs)
+        values = _nt_value_pairs(pairs)
         query = f"SELECT ?s ?p ?o WHERE {{ VALUES (?s ?o) {{ {values} }} ?s ?p ?o }}"
         result = self.endpoint.select(query)
         matches: List[Tuple[Term, IRI, Term]] = []
@@ -164,7 +202,7 @@ class EndpointClient:
         """
         if not subjects:
             return []
-        values = " ".join(_nt(subject) for subject in subjects)
+        values = _nt_values(subjects)
         query = f"SELECT ?s ?p ?o WHERE {{ VALUES ?s {{ {values} }} ?s ?p ?o }}"
         result = self.endpoint.select(query)
         facts: List[Tuple[Term, IRI, Term]] = []
@@ -217,7 +255,7 @@ class EndpointClient:
         """
         if not subjects:
             return []
-        values = " ".join(_nt(subject) for subject in subjects)
+        values = _nt_values(subjects)
         query = (
             f"SELECT ?s ?o WHERE {{ VALUES ?s {{ {values} }} ?s {_nt(relation)} ?o }}"
         )
@@ -235,9 +273,10 @@ class EndpointClient:
     # ------------------------------------------------------------------ #
     def same_as(self, entity: Term) -> List[Term]:
         """Entities linked to ``entity`` by ``owl:sameAs`` (either direction)."""
+        entity_nt = _nt(entity)
         query = (
             "SELECT DISTINCT ?x WHERE { "
-            f"{{ {_nt(entity)} {_nt(SAME_AS)} ?x }} UNION {{ ?x {_nt(SAME_AS)} {_nt(entity)} }}"
+            f"{{ {entity_nt} {_SAME_AS_NT} ?x }} UNION {{ ?x {_SAME_AS_NT} {entity_nt} }}"
             " }"
         )
         return [t for t in self.endpoint.select(query).distinct_column("x") if t is not None]
@@ -246,10 +285,10 @@ class EndpointClient:
         """Batched sameAs lookup for several entities in one query."""
         if not subjects:
             return []
-        values = " ".join(_nt(subject) for subject in subjects)
+        values = _nt_values(subjects)
         query = (
             f"SELECT ?s ?x WHERE {{ VALUES ?s {{ {values} }} "
-            f"{{ ?s {_nt(SAME_AS)} ?x }} UNION {{ ?x {_nt(SAME_AS)} ?s }} }}"
+            f"{{ ?s {_SAME_AS_NT} ?x }} UNION {{ ?x {_SAME_AS_NT} ?s }} }}"
         )
         result = self.endpoint.select(query)
         pairs: List[Tuple[Term, Term]] = []

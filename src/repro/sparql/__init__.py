@@ -11,11 +11,14 @@ interactions need:
 * ``VALUES`` inline data,
 * ``ORDER BY``, ``LIMIT``, ``OFFSET``.
 
-The engine has three stages: the :mod:`lexer <repro.sparql.lexer>` produces
+The engine has four stages: the :mod:`lexer <repro.sparql.lexer>` produces
 tokens, the :mod:`parser <repro.sparql.parser>` builds an AST
-(:mod:`repro.sparql.ast`) and the :mod:`evaluator <repro.sparql.evaluate>`
-runs the AST against a :class:`~repro.store.TripleStore`, producing a
-:class:`~repro.sparql.results.ResultSet`.
+(:mod:`repro.sparql.ast`), the :mod:`planner <repro.sparql.plan>` orders
+each basic graph pattern by estimated cardinality and assigns physical
+join operators (index scan, sort-merge join, hash join, nested lookup),
+and the :mod:`evaluator <repro.sparql.evaluate>` streams the planned
+operator pipeline against a :class:`~repro.store.TripleStore`, producing
+a :class:`~repro.sparql.results.ResultSet`.
 """
 
 from repro.sparql.ast import (
@@ -28,6 +31,7 @@ from repro.sparql.ast import (
 from repro.sparql.bindings import Binding, Variable
 from repro.sparql.evaluate import QueryEvaluator, evaluate_query
 from repro.sparql.parser import parse_query
+from repro.sparql.plan import BGPPlan, CardinalityEstimator, PlanStep, plan_bgp
 from repro.sparql.results import AskResult, ResultSet
 
 __all__ = [
@@ -36,6 +40,10 @@ __all__ = [
     "parse_query",
     "evaluate_query",
     "QueryEvaluator",
+    "BGPPlan",
+    "PlanStep",
+    "plan_bgp",
+    "CardinalityEstimator",
     "ResultSet",
     "AskResult",
     "SelectQuery",

@@ -11,9 +11,30 @@ aggregates fold solutions into counters without materialising a solution
 list.  Terms are only materialised for FILTER expression evaluation and
 for the rows actually returned.
 
-Pattern reordering is a simple selectivity heuristic (most-bound patterns
-first); this is plenty for the KB sizes the reproduction uses while
-remaining easy to reason about.
+Plan → operator pipeline
+------------------------
+Each basic graph pattern goes through :func:`repro.sparql.plan.plan_bgp`:
+a greedy planner estimates per-pattern cardinalities from the store's
+index bookkeeping, orders patterns by estimated output size given the
+variables already bound, and labels every step with a physical operator.
+The evaluator then assembles the generator chain from those labels:
+
+* ``scan`` / ``nested`` — per-solution index lookups
+  (:meth:`_join_pattern`), the cheapest choice for selective patterns;
+* ``merge`` — :meth:`_merge_join`, a sort-merge semi-join that walks the
+  pattern's sorted third-level ID run in lockstep with the (sorted)
+  solution stream;
+* ``hash`` — :meth:`_hash_join`, which builds a hash table over the
+  smaller estimated side once and probes it per streamed solution (also
+  used to avoid rescanning disconnected patterns per solution).
+
+All operators stream left-to-right, so ASK / LIMIT short-circuiting is
+preserved; the hash build side is the only materialised piece and the
+planner only picks it when that side is the smaller one.  Plans are
+cached per (group, bound-variables) and invalidated when the store size
+changes; ``QueryEvaluator(store, use_planner=False)`` keeps the original
+constant-count ordering with nested joins as a reference implementation
+(benchmarks and property tests cross-check the two).
 """
 
 from __future__ import annotations
@@ -37,6 +58,14 @@ from repro.sparql.ast import (
 from repro.sparql.bindings import Binding, IdBinding, Variable
 from repro.sparql.functions import EvalError, ExpressionEvaluator, value_to_term
 from repro.sparql.parser import parse_query
+from repro.sparql.plan import (
+    HASH,
+    MERGE,
+    PLAN_CACHE_LIMIT,
+    BGPPlan,
+    plan_bgp,
+    plan_context,
+)
 from repro.sparql.results import AskResult, ResultSet
 from repro.store.triplestore import TripleStore
 
@@ -46,12 +75,25 @@ _MISS = object()
 
 
 class QueryEvaluator:
-    """Evaluates parsed queries against one triple store."""
+    """Evaluates parsed queries against one triple store.
 
-    def __init__(self, store: TripleStore):
+    Parameters
+    ----------
+    store:
+        The dataset queried.
+    use_planner:
+        When ``True`` (default), basic graph patterns are ordered and
+        joined by the cardinality-driven planner (:mod:`repro.sparql.plan`).
+        ``False`` keeps the original constant-count ordering with nested
+        index-lookup joins — a reference implementation used by property
+        tests and benchmarks to cross-check the planned operators.
+    """
+
+    def __init__(self, store: TripleStore, use_planner: bool = True):
         self.store = store
         self._dict = store.dictionary
         self._expressions = ExpressionEvaluator(exists_callback=self._exists)
+        self._use_planner = use_planner
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -346,41 +388,116 @@ class QueryEvaluator:
     def _evaluate_group(
         self, group: GroupGraphPattern, initial: IdBinding
     ) -> Iterator[IdBinding]:
+        """Evaluate one group: VALUES first, then the planned BGP, then the rest.
+
+        FILTER / OPTIONAL / UNION / subgroups keep their relative position
+        *after* all triple patterns of the group, matching SPARQL's
+        bottom-up semantics for the subset we support.
+        """
+        values_nodes = [e for e in group.elements if isinstance(e, ValuesNode)]
+        patterns = [e for e in group.elements if isinstance(e, TriplePatternNode)]
+        others = [
+            e
+            for e in group.elements
+            if not isinstance(e, (TriplePatternNode, ValuesNode))
+        ]
+
         solutions: Iterable[IdBinding] = (initial,)
-        for element in self._reorder_elements(group):
-            if isinstance(element, TriplePatternNode):
-                solutions = self._join_pattern(solutions, element)
-            elif isinstance(element, FilterNode):
+        for node in values_nodes:
+            solutions = self._apply_values(solutions, node)
+
+        if patterns:
+            if self._use_planner:
+                bound = set(initial)
+                bound |= self._values_bound(values_nodes)
+                plan = self._plan_for(group, patterns, bound, not values_nodes)
+                for step in plan.steps:
+                    if step.operator == MERGE:
+                        solutions = self._merge_join(
+                            solutions, step.pattern, step.merge_variable
+                        )
+                    elif step.operator == HASH:
+                        solutions = self._hash_join(
+                            solutions, step.pattern, step.join_variables
+                        )
+                    else:  # scan / nested: per-solution index lookups
+                        solutions = self._join_pattern(solutions, step.pattern)
+            else:
+                for pattern in self._order_by_constants(patterns):
+                    solutions = self._join_pattern(solutions, pattern)
+
+        for element in others:
+            if isinstance(element, FilterNode):
                 solutions = self._apply_filter(solutions, element)
             elif isinstance(element, OptionalNode):
                 solutions = self._apply_optional(solutions, element)
             elif isinstance(element, UnionNode):
                 solutions = self._apply_union(solutions, element)
-            elif isinstance(element, ValuesNode):
-                solutions = self._apply_values(solutions, element)
             elif isinstance(element, GroupGraphPattern):
                 solutions = self._apply_subgroup(solutions, element)
             else:  # pragma: no cover - parser prevents this
                 raise SparqlError(f"Unsupported group element: {element!r}")
         return iter(solutions)
 
-    @staticmethod
-    def _reorder_elements(group: GroupGraphPattern) -> List:
-        """Order triple patterns before filters applied late, keep others in place.
+    def _plan_for(
+        self,
+        group: GroupGraphPattern,
+        patterns: List[TriplePatternNode],
+        bound: set,
+        single_input: bool,
+    ) -> BGPPlan:
+        """Plan (or fetch the cached plan for) one group's BGP.
 
-        Triple patterns are sorted so that patterns with more constant terms
-        run first (cheap selectivity heuristic), while FILTER / OPTIONAL /
-        UNION keep their relative position *after* all triple patterns of
-        the group, matching SPARQL's bottom-up semantics for the subset we
-        support.
+        Planning state is shared per store (:func:`plan_context`), so even
+        throwaway evaluators hit warm caches; the context is replaced when
+        the store size changes so estimates track the data.  The cache key
+        includes the bound-variable set because EXISTS and OPTIONAL
+        evaluate the same group under different bindings.
         """
-        triple_patterns = [e for e in group.elements if isinstance(e, TriplePatternNode)]
+        context = plan_context(self.store)
+        key = (group, frozenset(bound), single_input)
+        plan = context.plans.get(key)
+        if plan is None:
+            if len(context.plans) >= PLAN_CACHE_LIMIT:
+                context.plans.clear()
+            plan = plan_bgp(self.store, patterns, bound, single_input, context.estimator)
+            context.plans[key] = plan
+        return plan
+
+    def explain(self, query: Union[Query, str]) -> BGPPlan:
+        """The plan for the query's top-level basic graph pattern.
+
+        For tests and diagnostics: the same plan the evaluator would use,
+        including the cache.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        group = query.where
         values_nodes = [e for e in group.elements if isinstance(e, ValuesNode)]
-        others = [
-            e
-            for e in group.elements
-            if not isinstance(e, (TriplePatternNode, ValuesNode))
-        ]
+        patterns = [e for e in group.elements if isinstance(e, TriplePatternNode)]
+        bound = self._values_bound(values_nodes)
+        return self._plan_for(group, patterns, bound, not values_nodes)
+
+    @staticmethod
+    def _values_bound(values_nodes: List[ValuesNode]) -> set:
+        """Variables that VALUES binds in *every* row.
+
+        A variable with an UNDEF row is only bound in some solutions, so
+        the planner must treat it as unbound: claiming it bound would let a
+        hash join use it as a probe key and silently drop the solutions
+        where it is missing (per-solution operators handle the mixed case
+        correctly once the pattern owns the variable).
+        """
+        bound: set = set()
+        for node in values_nodes:
+            for position, variable in enumerate(node.variables):
+                if all(row[position] is not None for row in node.rows):
+                    bound.add(variable)
+        return bound
+
+    @staticmethod
+    def _order_by_constants(patterns: List[TriplePatternNode]) -> List[TriplePatternNode]:
+        """The pre-planner ordering: most constant positions first."""
 
         def constants(pattern: TriplePatternNode) -> int:
             return sum(
@@ -388,8 +505,7 @@ class QueryEvaluator:
                 for t in (pattern.subject, pattern.predicate, pattern.object)
             )
 
-        ordered_patterns = sorted(triple_patterns, key=constants, reverse=True)
-        return values_nodes + ordered_patterns + others
+        return sorted(patterns, key=constants, reverse=True)
 
     def _join_pattern(
         self, solutions: Iterable[IdBinding], pattern: TriplePatternNode
@@ -430,6 +546,133 @@ class QueryEvaluator:
                         break
             if extended is not None:
                 yield extended
+
+    def _merge_join(
+        self,
+        solutions: Iterable[IdBinding],
+        pattern: TriplePatternNode,
+        variable: Variable,
+    ) -> Iterator[IdBinding]:
+        """Sort-merge semi-join against a two-constant pattern's sorted run.
+
+        Precondition (guaranteed by the planner): the solution stream is
+        nondecreasing on ``variable``, and ``pattern`` has exactly two
+        constant positions with ``variable`` in the third.  The pattern
+        binds no new variables, so matching solutions pass through
+        unchanged; both sides are walked once.
+        """
+        consts = self._resolve_constants(pattern)
+        if consts is None:
+            return
+        run = iter(self.store.sorted_run_ids(*consts))
+        current = next(run, None)
+        if current is None:
+            return
+        for solution in solutions:
+            value = solution.get(variable)
+            if type(value) is not int:
+                continue  # out-of-dictionary term can never match
+            while current is not None and current < value:
+                current = next(run, None)
+            if current is None:
+                break  # left keys only grow; nothing further can match
+            if current == value:
+                yield solution
+
+    def _hash_join(
+        self,
+        solutions: Iterable[IdBinding],
+        pattern: TriplePatternNode,
+        join_variables: Tuple[Variable, ...],
+    ) -> Iterator[IdBinding]:
+        """Hash join: build on the pattern side once, probe per solution.
+
+        The build side is the pattern's full match set keyed on the shared
+        variables (the planner picks this operator only when that side is
+        the smaller one, or when there are no shared variables and
+        rescanning per solution would be worse).  Building happens lazily
+        on the first streamed solution, so an empty left side costs
+        nothing.
+        """
+        table: Optional[dict] = None
+        for solution in solutions:
+            if table is None:
+                table = self._build_join_table(pattern, join_variables)
+                if not table:
+                    return
+            if join_variables:
+                key = []
+                valid = True
+                for variable in join_variables:
+                    value = solution.get(variable)
+                    if type(value) is not int:
+                        valid = False  # out-of-dictionary term: no match
+                        break
+                    key.append(value)
+                if not valid:
+                    continue
+                bucket = table.get(tuple(key))
+            else:
+                bucket = table.get(())
+            if not bucket:
+                continue
+            for assignment in bucket:
+                extended: Optional[IdBinding] = solution
+                for variable, value in assignment:
+                    extended = extended.extend(variable, value)  # type: ignore[union-attr]
+                    if extended is None:
+                        break
+                if extended is not None:
+                    yield extended
+
+    def _resolve_constants(
+        self, pattern: TriplePatternNode
+    ) -> Optional[List[Optional[int]]]:
+        """IDs of the pattern's constant positions (``None`` per variable).
+
+        Returns ``None`` when a constant is unknown to the dictionary — the
+        pattern provably matches nothing.
+        """
+        id_for = self._dict.id_for
+        consts: List[Optional[int]] = []
+        for term in (pattern.subject, pattern.predicate, pattern.object):
+            if isinstance(term, Variable):
+                consts.append(None)
+            else:
+                tid = id_for(term)
+                if tid is None:
+                    return None
+                consts.append(tid)
+        return consts
+
+    def _build_join_table(
+        self, pattern: TriplePatternNode, join_variables: Tuple[Variable, ...]
+    ) -> dict:
+        """Scan ``pattern`` once into ``join-key -> [variable assignments]``."""
+        consts = self._resolve_constants(pattern)
+        if consts is None:
+            return {}
+        positions = (pattern.subject, pattern.predicate, pattern.object)
+        table: dict = {}
+        for ids in self.store.match_ids(*consts):
+            assignment: dict = {}
+            consistent = True
+            for term, value in zip(positions, ids):
+                if isinstance(term, Variable):
+                    previous = assignment.get(term)
+                    if previous is None:
+                        assignment[term] = value
+                    elif previous != value:
+                        consistent = False  # repeated variable, unequal values
+                        break
+            if not consistent:
+                continue
+            key = tuple(assignment[v] for v in join_variables)
+            bucket = table.get(key)
+            if bucket is None:
+                bucket = table[key] = []
+            bucket.append(tuple(assignment.items()))
+        return table
 
     def _apply_filter(
         self, solutions: Iterable[IdBinding], node: FilterNode

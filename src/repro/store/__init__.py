@@ -15,18 +15,25 @@ The storage substrate has three layers, bottom to top:
    :class:`IdTripleIndex` permutations (SPO, POS, OSP) map
    ``key -> second -> sorted array of thirds`` over plain ints, giving
    constant-time dispatch for all eight triple-pattern shapes, bisect
-   membership tests, deterministic sorted iteration, and
-   sort-merge-friendly runs for future join work.  The original
-   Term-keyed :class:`TripleIndex` remains available as a generic
-   utility.
+   membership tests, deterministic sorted iteration, and the sorted runs
+   the SPARQL planner's merge joins stream (``sorted_thirds``).  Each
+   index can also be **bulk-built from presorted runs**
+   (``bulk_extend`` / ``bulk_extend_grouped``) instead of one insertion
+   per entry.  The original Term-keyed :class:`TripleIndex` remains
+   available as a generic utility.
 
 3. **Store facade** (:mod:`repro.store.triplestore`).
    :class:`TripleStore` keeps the public Term-in/Term-out API unchanged
    while translating at the boundary.  It additionally exposes an
    ID-level API (``match_ids`` / ``count_ids`` / ``term_id`` /
-   ``dictionary``) that the SPARQL evaluator uses to join on integers
-   and stream solutions without building Term objects, and that every
-   pattern-shape count is answered from index bookkeeping alone.
+   ``sorted_run_ids`` / ``dictionary``) that the SPARQL evaluator uses
+   to join on integers and stream solutions without building Term
+   objects, and that every pattern-shape count is answered from index
+   bookkeeping alone.  :meth:`TripleStore.bulk_load` is the columnar
+   construction fast path (:mod:`repro.store.bulk`): batch-intern,
+   accumulate ``array('q')`` ID columns, sort once per index order
+   (numpy-accelerated when available) and build the indexes from the
+   sorted runs.
 
 What this enables: the SPARQL layer binds variables to integer IDs and
 decodes only the rows it actually returns, endpoints can serve much

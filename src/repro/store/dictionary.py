@@ -26,6 +26,38 @@ KIND_BLANK = 1
 KIND_LITERAL = 2
 
 
+class _InternMap(dict):
+    """A ``Term -> ID`` dict that interns unknown terms on subscript miss.
+
+    Lookups of already-interned terms — the overwhelming majority during
+    bulk loads — stay entirely in C (`dict.__getitem__`); only a genuine
+    miss drops into :meth:`__missing__` to assign the next dense ID and
+    record the term and its kind byte.
+    """
+
+    __slots__ = ("_terms", "_kinds")
+
+    def __init__(self, terms: List[Term], kinds: bytearray):
+        super().__init__()
+        self._terms = terms
+        self._kinds = kinds
+
+    def __missing__(self, term: Term) -> int:
+        if isinstance(term, IRI):
+            kind = KIND_IRI
+        elif isinstance(term, Literal):
+            kind = KIND_LITERAL
+        elif isinstance(term, BlankNode):
+            kind = KIND_BLANK
+        else:
+            raise StoreError(f"Cannot intern non-term value: {term!r}")
+        tid = len(self._terms)
+        self[term] = tid
+        self._terms.append(term)
+        self._kinds.append(kind)
+        return tid
+
+
 class TermDictionary:
     """A bidirectional mapping ``Term <-> dense integer ID``.
 
@@ -38,9 +70,9 @@ class TermDictionary:
     __slots__ = ("_ids", "_terms", "_kinds")
 
     def __init__(self) -> None:
-        self._ids: Dict[Term, int] = {}
         self._terms: List[Term] = []
         self._kinds = bytearray()
+        self._ids: _InternMap = _InternMap(self._terms, self._kinds)
 
     def __len__(self) -> int:
         return len(self._terms)
@@ -56,22 +88,7 @@ class TermDictionary:
     # ------------------------------------------------------------------ #
     def encode(self, term: Term) -> int:
         """Intern ``term``, returning its (possibly fresh) ID."""
-        tid = self._ids.get(term)
-        if tid is not None:
-            return tid
-        tid = len(self._terms)
-        self._ids[term] = tid
-        self._terms.append(term)
-        if isinstance(term, IRI):
-            kind = KIND_IRI
-        elif isinstance(term, Literal):
-            kind = KIND_LITERAL
-        elif isinstance(term, BlankNode):
-            kind = KIND_BLANK
-        else:
-            raise StoreError(f"Cannot intern non-term value: {term!r}")
-        self._kinds.append(kind)
-        return tid
+        return self._ids[term]
 
     def id_for(self, term: Term) -> Optional[int]:
         """The ID of ``term`` without interning; ``None`` if unknown."""
@@ -79,10 +96,11 @@ class TermDictionary:
 
     @property
     def ids_map(self) -> Dict[Term, int]:
-        """The raw ``Term -> ID`` mapping (treat as read-only).
+        """The raw interning ``Term -> ID`` mapping.
 
-        Exposed so hot paths can do several lookups without a method call
-        per term; callers must not mutate it.
+        Exposed so hot paths can intern (subscript) or probe (``.get``)
+        without a method call per term.  Subscripting interns on miss;
+        callers must not mutate it any other way.
         """
         return self._ids
 

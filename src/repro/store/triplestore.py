@@ -30,6 +30,7 @@ alone — :meth:`count` never materialises triples.
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from repro.errors import StoreError
@@ -42,6 +43,14 @@ from repro.store.stats import (
     StoreStatistics,
     predicate_statistics_from_index,
 )
+
+try:  # optional accelerator for the bulk-load column sort (not a hard dep)
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised only without numpy
+    _np = None
+
+#: Below this batch size the pure-Python sort path wins (numpy call overhead).
+_BULK_NUMPY_MIN = 2048
 
 #: Sentinel distinguishing "constant term unknown to the dictionary" (which
 #: can never match) from a ``None`` wildcard in internal pattern dispatch.
@@ -75,18 +84,18 @@ class TripleStore:
     ):
         self.name = name
         self._dictionary = dictionary if dictionary is not None else TermDictionary()
-        # Direct reference to the dictionary's Term -> ID dict: membership
-        # probes are hot and a property/method hop per term shows up.
-        self._term_ids = self._dictionary.ids_map
         self._spo = IdTripleIndex()
         self._pos = IdTripleIndex()
         self._osp = IdTripleIndex()
-        # Flat ID-tuple -> Triple map: O(1) membership probes and free
-        # materialisation (match() hands back the instance added, instead
-        # of rebuilding a Triple per matched row).
+        # Flat ID-tuple -> Triple map: free materialisation (match() hands
+        # back the instance added, instead of rebuilding a Triple per
+        # matched row), plus its inverse for one-probe membership tests:
+        # Triple hashes are cached on the instance, so `t in store` costs a
+        # single dict lookup instead of three term->ID translations.
         self._triples: Dict[Tuple[int, int, int], Triple] = {}
+        self._triple_ids: Dict[Triple, Tuple[int, int, int]] = {}
         if triples is not None:
-            self.add_all(triples)
+            self.bulk_load(triples)
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -104,15 +113,107 @@ class TripleStore:
         self._pos.add(p, o, s)
         self._osp.add(o, s, p)
         self._triples[(s, p, o)] = triple
+        self._triple_ids[triple] = (s, p, o)
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
-        """Add many triples; returns the number actually inserted."""
+        """Add many triples one by one; returns the number actually inserted.
+
+        Prefer :meth:`bulk_load` for large batches — it sorts once per
+        index order instead of bisect-inserting per triple.
+        """
         inserted = 0
         for triple in triples:
             if self.add(triple):
                 inserted += 1
         return inserted
+
+    def bulk_load(self, triples: Iterable[Triple]) -> int:
+        """Columnar bulk insert; returns the number of new triples.
+
+        The fast path for store construction: terms are interned through
+        the dictionary in one pass while the ID triples accumulate in flat
+        ``array('q')`` columns, then each permutation index is built by
+        sorting the columns once in that index's order and handing the
+        presorted, deduplicated runs to
+        :meth:`IdTripleIndex.bulk_extend` — no per-triple bisect
+        insertions.  Equivalent to :meth:`add_all` (duplicates within the
+        batch and against existing content are skipped, first instance
+        wins) but several times faster on large batches.
+        """
+        # Subscripting the interning map interns on miss entirely in C for
+        # already-seen terms (the overwhelming case in a batch).
+        intern = self._dictionary.ids_map
+        triples_map = self._triples
+        # Stage the batch before touching any store structure: if the input
+        # iterable (or a non-Triple element) raises mid-batch, the store is
+        # left exactly as it was — interned terms aside, which is the same
+        # guarantee `add` gives.  First instance wins within the batch.
+        pending: Dict[Tuple[int, int, int], Triple] = {}
+        for triple in triples:
+            if not isinstance(triple, Triple):
+                raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
+            ids = (
+                intern[triple.subject],
+                intern[triple.predicate],
+                intern[triple.object],
+            )
+            if ids in triples_map or ids in pending:
+                continue
+            pending[ids] = triple
+        count = len(pending)
+        if not count:
+            return 0
+        triple_ids = self._triple_ids
+        s_col = array("q")
+        p_col = array("q")
+        o_col = array("q")
+        append_s, append_p, append_o = s_col.append, p_col.append, o_col.append
+        for ids, triple in pending.items():
+            triple_ids[triple] = ids
+            append_s(ids[0])
+            append_p(ids[1])
+            append_o(ids[2])
+        triples_map.update(pending)
+        if _np is not None and count >= _BULK_NUMPY_MIN:
+            s_arr = _np.frombuffer(s_col, dtype=_np.int64)
+            p_arr = _np.frombuffer(p_col, dtype=_np.int64)
+            o_arr = _np.frombuffer(o_col, dtype=_np.int64)
+            self._bulk_extend_np(self._spo, s_arr, p_arr, o_arr)
+            self._bulk_extend_np(self._pos, p_arr, o_arr, s_arr)
+            self._bulk_extend_np(self._osp, o_arr, s_arr, p_arr)
+        else:
+            self._spo.bulk_extend(sorted(zip(s_col, p_col, o_col)))
+            self._pos.bulk_extend(sorted(zip(p_col, o_col, s_col)))
+            self._osp.bulk_extend(sorted(zip(o_col, s_col, p_col)))
+        return count
+
+    @staticmethod
+    def _bulk_extend_np(index: IdTripleIndex, keys, seconds, thirds) -> None:
+        """Sort one permutation's columns in C and feed the index grouped runs.
+
+        ``lexsort`` orders by ``(key, second, third)``; group boundaries
+        (where key or second changes) come from vectorised comparisons, so
+        Python-level work is proportional to the number of groups, not
+        entries.
+        """
+        order = _np.lexsort((thirds, seconds, keys))
+        keys = keys[order]
+        seconds = seconds[order]
+        thirds = thirds[order]
+        change = _np.empty(len(keys), dtype=bool)
+        change[0] = True
+        _np.not_equal(keys[1:], keys[:-1], out=change[1:])
+        change[1:] |= seconds[1:] != seconds[:-1]
+        starts = _np.flatnonzero(change)
+        bounds = starts.tolist()
+        bounds.append(len(keys))
+        index.bulk_extend_grouped(
+            keys[starts].tolist(),
+            seconds[starts].tolist(),
+            bounds,
+            thirds.tolist(),
+        )
 
     def remove(self, triple: Triple) -> bool:
         """Remove a triple.  Returns ``True`` if it was present.
@@ -120,7 +221,7 @@ class TripleStore:
         Dictionary IDs are *not* reclaimed: interned terms keep their IDs
         for the lifetime of the store.
         """
-        ids = self._lookup_ids(triple)
+        ids = self._triple_ids.get(triple)
         if ids is None:
             return False
         s, p, o = ids
@@ -129,6 +230,7 @@ class TripleStore:
         self._pos.remove(p, o, s)
         self._osp.remove(o, s, p)
         del self._triples[(s, p, o)]
+        del self._triple_ids[triple]
         return True
 
     def clear(self) -> None:
@@ -141,6 +243,7 @@ class TripleStore:
         self._pos.clear()
         self._osp.clear()
         self._triples.clear()
+        self._triple_ids.clear()
 
     # ------------------------------------------------------------------ #
     # ID-level API (used by the SPARQL layer)
@@ -157,19 +260,6 @@ class TripleStore:
     def term_for_id(self, tid: int) -> Term:
         """The term interned under ``tid``."""
         return self._dictionary.decode(tid)
-
-    def _lookup_ids(self, triple: Triple) -> Optional[Tuple[int, int, int]]:
-        id_for = self._dictionary.id_for
-        s = id_for(triple.subject)
-        if s is None:
-            return None
-        p = id_for(triple.predicate)
-        if p is None:
-            return None
-        o = id_for(triple.object)
-        if o is None:
-            return None
-        return s, p, o
 
     def contains_ids(self, s: int, p: int, o: int) -> bool:
         """Membership test in ID space — one tuple-hash probe."""
@@ -216,6 +306,27 @@ class TripleStore:
                 yield (subj, pred, o)
             return
         yield from self._spo.triples()
+
+    def sorted_run_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ):
+        """The sorted ID run of the single wildcard position of a pattern.
+
+        Exactly two positions must be constant IDs; the returned sequence
+        is the matching index's third-level container (IDs in ascending
+        order) and must not be mutated.  This is what merge joins stream.
+        """
+        s, p, o = subject, predicate, object
+        if s is not None and p is not None and o is None:
+            return self._spo.sorted_thirds(s, p)
+        if p is not None and o is not None and s is None:
+            return self._pos.sorted_thirds(p, o)
+        if s is not None and o is not None and p is None:
+            return self._osp.sorted_thirds(o, s)
+        raise StoreError("sorted_run_ids requires exactly two constant positions")
 
     def count_ids(
         self,
@@ -292,19 +403,12 @@ class TripleStore:
         return len(self._triples)
 
     def __contains__(self, triple: object) -> bool:
+        # One flat-map probe: Triple caches its hash at construction, so
+        # this skips the three per-term ID translations and tuple build
+        # the previous implementation paid on every call.
         if not isinstance(triple, Triple):
             return False
-        ids = self._term_ids
-        s = ids.get(triple.subject)
-        if s is None:
-            return False
-        p = ids.get(triple.predicate)
-        if p is None:
-            return False
-        o = ids.get(triple.object)
-        if o is None:
-            return False
-        return (s, p, o) in self._triples
+        return triple in self._triple_ids
 
     def __iter__(self) -> Iterator[Triple]:
         return iter(self._triples.values())

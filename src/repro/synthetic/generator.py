@@ -10,6 +10,7 @@ from repro.errors import SyntheticDataError
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.sameas import SameAsIndex
 from repro.rdf.terms import IRI, Literal, Term
+from repro.rdf.triple import Triple
 from repro.synthetic.schema import (
     CanonicalRelation,
     GroundTruth,
@@ -220,11 +221,17 @@ class WorldGenerator:
     ) -> Tuple[KnowledgeBase, set]:
         kb = KnowledgeBase(name=kb_spec.name, namespace=kb_spec.namespace)
         used_entities: set = set()
+        # Facts are accumulated and bulk-loaded in one batch at the end so
+        # the store takes its columnar sort-once construction path instead
+        # of three index insertions per fact.
+        pending: List[Triple] = []
 
         for mapping in kb_spec.mappings:
             relation_iri = kb_spec.namespace.term(mapping.name)
             if mapping.is_noise:
-                self._add_noise_facts(kb, kb_spec, mapping, relation_iri, entities, used_entities)
+                self._add_noise_facts(
+                    pending, kb_spec, mapping, relation_iri, entities, used_entities
+                )
                 continue
 
             retention = (
@@ -264,16 +271,17 @@ class WorldGenerator:
                 else:
                     obj_term = self._entity_iri(kb_spec, str(obj))
                     used_entities.add(str(obj))
-                kb.add_fact(subject_iri, relation_iri, obj_term)
+                pending.append(Triple(subject_iri, relation_iri, obj_term))
                 if kb_spec.add_inverse_relations and not is_literal:
                     inverse_iri = kb_spec.namespace.term(f"inverseOf_{mapping.name}")
-                    kb.add_fact(obj_term, inverse_iri, subject_iri)  # type: ignore[arg-type]
+                    pending.append(Triple(obj_term, inverse_iri, subject_iri))  # type: ignore[arg-type]
 
+        kb.add_triples(pending)
         return kb, used_entities
 
     def _add_noise_facts(
         self,
-        kb: KnowledgeBase,
+        pending: List[Triple],
         kb_spec: KBSpec,
         mapping: RelationMapping,
         relation_iri: IRI,
@@ -296,7 +304,7 @@ class WorldGenerator:
                 object_id = self._rng.choice(objects)
                 obj_term = self._entity_iri(kb_spec, object_id)
                 used_entities.add(object_id)
-            kb.add_fact(subject_iri, relation_iri, obj_term)
+            pending.append(Triple(subject_iri, relation_iri, obj_term))
 
     # ------------------------------------------------------------------ #
     # Rendering helpers

@@ -1,6 +1,7 @@
 """Property-based tests (hypothesis) for core data structures and invariants."""
 
 import string
+from collections import Counter
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -15,7 +16,14 @@ from repro.rdf.triple import Triple
 from repro.similarity.jaro import jaro_winkler_similarity
 from repro.similarity.levenshtein import levenshtein_distance, levenshtein_similarity
 from repro.similarity.ngram import ngram_similarity
+from repro.sparql.ast import (
+    GroupGraphPattern,
+    SelectQuery,
+    TriplePatternNode,
+    ValuesNode,
+)
 from repro.sparql.bindings import Binding, Variable
+from repro.sparql.evaluate import QueryEvaluator
 from repro.store.dictionary import TermDictionary
 from repro.store.triplestore import TripleStore
 
@@ -97,6 +105,121 @@ class TestStoreInvariants:
         store = TripleStore(triples=triples)
         stats = store.statistics()
         assert sum(p.fact_count for p in stats.predicates.values()) == len(store)
+
+
+# --------------------------------------------------------------------------- #
+# Planner / join-operator equivalence
+# --------------------------------------------------------------------------- #
+# A deliberately tiny vocabulary so random BGPs actually join: few IRIs,
+# few variables, dense random stores.
+_plan_iris = st.sampled_from([EX[f"n{index}"] for index in range(6)])
+_plan_variables = st.sampled_from([Variable(name) for name in "abc"])
+_plan_subjects = st.one_of(_plan_variables, _plan_iris)
+_plan_predicates = st.one_of(_plan_variables, _plan_iris)
+_plan_objects = st.one_of(_plan_variables, _plan_iris)
+_plan_patterns = st.builds(
+    TriplePatternNode, _plan_subjects, _plan_predicates, _plan_objects
+)
+_plan_triples = st.lists(
+    st.builds(Triple, _plan_iris, _plan_iris, _plan_iris), max_size=50
+)
+# VALUES rows may contain None (UNDEF), so some solutions leave a variable
+# unbound — the planner must not treat such variables as bound.
+_values_nodes = st.lists(
+    st.tuples(st.one_of(st.none(), _plan_iris), st.one_of(st.none(), _plan_iris)),
+    min_size=1,
+    max_size=3,
+).map(
+    lambda rows: ValuesNode(
+        variables=(Variable("a"), Variable("b")), rows=tuple(rows)
+    )
+)
+
+
+def _solution_multiset(result) -> Counter:
+    return Counter(frozenset(row.items()) for row in result)
+
+
+class TestPlannerEquivalence:
+    """Merge/hash/nested plans must reproduce the naive nested-loop answers."""
+
+    @given(_plan_triples, st.lists(_plan_patterns, min_size=1, max_size=4))
+    @settings(max_examples=120, deadline=None)
+    def test_planned_bgp_matches_naive_nested_loop(self, triples, patterns):
+        store = TripleStore(triples=triples)
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern(tuple(patterns)),
+            select_all=True,
+        )
+        planned = QueryEvaluator(store).evaluate(query)
+        naive = QueryEvaluator(store, use_planner=False).evaluate(query)
+        assert _solution_multiset(planned) == _solution_multiset(naive)
+
+    @given(
+        _plan_triples,
+        _values_nodes,
+        st.lists(_plan_patterns, min_size=1, max_size=3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_planned_bgp_with_values_matches_naive(self, triples, values, patterns):
+        store = TripleStore(triples=triples)
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern((values,) + tuple(patterns)),
+            select_all=True,
+        )
+        planned = QueryEvaluator(store).evaluate(query)
+        naive = QueryEvaluator(store, use_planner=False).evaluate(query)
+        assert _solution_multiset(planned) == _solution_multiset(naive)
+
+    @given(_plan_triples, st.lists(_plan_patterns, min_size=2, max_size=3))
+    @settings(max_examples=60, deadline=None)
+    def test_planned_distinct_matches_naive(self, triples, patterns):
+        store = TripleStore(triples=triples)
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern(tuple(patterns)),
+            select_all=True,
+            distinct=True,
+        )
+        planned = QueryEvaluator(store).evaluate(query)
+        naive = QueryEvaluator(store, use_planner=False).evaluate(query)
+        assert _solution_multiset(planned) == _solution_multiset(naive)
+
+
+# --------------------------------------------------------------------------- #
+# Bulk loading invariants
+# --------------------------------------------------------------------------- #
+class TestBulkLoadInvariants:
+    @given(st.lists(_triples, max_size=40), st.lists(_triples, max_size=15))
+    @settings(max_examples=50, deadline=None)
+    def test_bulk_and_incremental_stores_agree(self, first, second):
+        incremental = TripleStore()
+        incremental.add_all(first)
+        incremental.add_all(second)
+        bulk = TripleStore()
+        bulk.bulk_load(first)
+        bulk.bulk_load(second)
+        assert len(bulk) == len(incremental)
+        assert set(bulk) == set(incremental)
+        for predicate in incremental.predicates():
+            assert bulk.count(predicate=predicate) == incremental.count(
+                predicate=predicate
+            )
+            assert set(bulk.match(predicate=predicate)) == set(
+                incremental.match(predicate=predicate)
+            )
+
+    @given(st.lists(_triples, min_size=1, max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_bulk_loaded_membership_and_removal(self, triples):
+        store = TripleStore()
+        store.bulk_load(triples)
+        for triple in triples:
+            assert triple in store
+        assert store.remove(triples[0])
+        assert triples[0] not in store
 
 
 # --------------------------------------------------------------------------- #
