@@ -16,6 +16,7 @@ returns an :class:`~repro.align.result.AlignmentResult`.
 
 from __future__ import annotations
 
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
@@ -193,6 +194,54 @@ class SofyaAligner:
                 result.add(self.align_relation(relation))
             except (QueryBudgetExceeded, EndpointError):
                 break
+        result.query_statistics = self.query_statistics()
+        return result
+
+    def align_relations_batched(
+        self,
+        relations: Optional[Iterable[IRI]] = None,
+        max_workers: int = 4,
+    ) -> AlignmentResult:
+        """Align several query relations as concurrent query batches.
+
+        The batched counterpart of :meth:`align_relations`: each relation
+        is aligned on a worker thread, so the alignment queries of
+        different relations are in flight simultaneously — against a
+        :class:`~repro.endpoint.simulation.SimulatedSparqlEndpoint` the
+        per-query latencies overlap instead of serialising.  The
+        endpoints' budget accounting is thread-safe, so the query quota
+        is enforced exactly; a relation whose queries exhaust it is
+        dropped from the result (the algorithm is any-time), and the
+        remaining relations keep whatever answers their already-issued
+        queries bought.
+
+        Unlike the sequential path, the *pseudo-random sample offsets* of
+        concurrent relations interleave nondeterministically — results
+        for any single relation remain valid samples, but run-to-run
+        reproducibility holds only at ``max_workers=1``.
+        """
+        if max_workers < 1:
+            raise AlignmentError("max_workers must be >= 1")
+        if relations is None:
+            relations = self.source.client.relations()
+        relation_list = list(relations)
+        result = AlignmentResult(
+            source_kb=self.source.name,
+            target_kb=self.target.name,
+            config=self.config,
+        )
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="align-batch"
+        ) as executor:
+            futures = [
+                executor.submit(self.align_relation, relation)
+                for relation in relation_list
+            ]
+            for future in futures:
+                try:
+                    result.add(future.result())
+                except (QueryBudgetExceeded, EndpointError):
+                    continue
         result.query_statistics = self.query_statistics()
         return result
 

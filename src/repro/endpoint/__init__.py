@@ -15,12 +15,24 @@ models exactly that interface:
 * :class:`~repro.endpoint.client.EndpointClient` — typed convenience
   wrappers for the query shapes SOFYA issues (facts of a relation, sameAs
   lookups, relation lists, counts).
+* :mod:`repro.endpoint.simulation` — the asynchronous simulation layer:
+  :class:`~repro.endpoint.simulation.SimulatedSparqlEndpoint` charges
+  wall-clock latency per query (and serves sharded stores through the
+  scatter/gather evaluator), and
+  :class:`~repro.endpoint.simulation.WaveScheduler` issues batched query
+  waves concurrently under the endpoint's thread-safe budget accounting.
 """
 
 from repro.endpoint.policy import AccessPolicy
 from repro.endpoint.endpoint import SparqlEndpoint
 from repro.endpoint.log import QueryLog, QueryRecord
 from repro.endpoint.client import EndpointClient
+from repro.endpoint.simulation import (
+    SimulatedSparqlEndpoint,
+    WaveResult,
+    WaveScheduler,
+    sharded_endpoint,
+)
 
 __all__ = [
     "AccessPolicy",
@@ -28,4 +40,8 @@ __all__ = [
     "QueryLog",
     "QueryRecord",
     "EndpointClient",
+    "SimulatedSparqlEndpoint",
+    "WaveScheduler",
+    "WaveResult",
+    "sharded_endpoint",
 ]

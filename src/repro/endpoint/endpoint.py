@@ -10,8 +10,9 @@ that "no full dump access" is enforced by construction.
 
 from __future__ import annotations
 
+import threading
 from functools import lru_cache
-from typing import Union
+from typing import Callable, Optional, Union
 
 from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
 from repro.sparql.ast import (
@@ -66,6 +67,14 @@ class SparqlEndpoint:
         Endpoint name used in logs and error messages.
     policy:
         Access limits; defaults to :meth:`AccessPolicy.unlimited`.
+    evaluator_factory:
+        Callable building the query evaluator from the store; defaults to
+        :class:`QueryEvaluator`.  The endpoint-simulation layer passes the
+        scatter/gather evaluator here for sharded stores.
+
+    Budget accounting is thread-safe: concurrent query waves reserve a
+    slot under a lock before evaluating, so a quota of *n* admits exactly
+    *n* queries no matter how many threads race for them.
     """
 
     def __init__(
@@ -73,13 +82,15 @@ class SparqlEndpoint:
         store: TripleStore,
         name: str = "endpoint",
         policy: AccessPolicy | None = None,
+        evaluator_factory: Optional[Callable[[TripleStore], QueryEvaluator]] = None,
     ):
         self._store = store
         self.name = name
         self.policy = policy or AccessPolicy.unlimited()
         self.log = QueryLog()
-        self._evaluator = QueryEvaluator(store)
+        self._evaluator = (evaluator_factory or QueryEvaluator)(store)
         self._queries_issued = 0
+        self._budget_lock = threading.Lock()
 
     def __repr__(self) -> str:
         return f"SparqlEndpoint(name={self.name!r}, queries={self.log.query_count})"
@@ -104,21 +115,37 @@ class SparqlEndpoint:
         ResultTruncated
             When truncation occurs and the policy is configured to fail.
         """
-        if self.queries_remaining == 0:
-            raise QueryBudgetExceeded(
-                f"Endpoint {self.name!r}: query budget of {self.policy.max_queries} exhausted"
+        # Reserve a budget slot atomically (check + increment under the
+        # lock), so N racing threads can never admit more than the quota.
+        # The slot is refunded if the query fails before producing a
+        # result — rejected full scans and evaluation errors never
+        # consumed budget on the sequential path either.
+        with self._budget_lock:
+            if (
+                self.policy.max_queries is not None
+                and self._queries_issued >= self.policy.max_queries
+            ):
+                raise QueryBudgetExceeded(
+                    f"Endpoint {self.name!r}: query budget of {self.policy.max_queries} exhausted"
+                )
+            self._queries_issued += 1
+
+        try:
+            query_text = (
+                query if isinstance(query, str) else f"<parsed:{type(query).__name__}>"
             )
+            parsed = _parse_query_cached(query) if isinstance(query, str) else query
 
-        query_text = query if isinstance(query, str) else f"<parsed:{type(query).__name__}>"
-        parsed = _parse_query_cached(query) if isinstance(query, str) else query
+            if not self.policy.allow_full_scan and self._is_full_scan(parsed):
+                raise EndpointError(
+                    f"Endpoint {self.name!r}: dump-style full scans are not allowed by policy"
+                )
 
-        if not self.policy.allow_full_scan and self._is_full_scan(parsed):
-            raise EndpointError(
-                f"Endpoint {self.name!r}: dump-style full scans are not allowed by policy"
-            )
-
-        result = self._evaluator.evaluate(parsed)
-        self._queries_issued += 1
+            result = self._evaluator.evaluate(parsed)
+        except BaseException:
+            with self._budget_lock:
+                self._queries_issued -= 1
+            raise
 
         truncated = False
         row_count = 0
@@ -205,6 +232,16 @@ class SparqlEndpoint:
     def dataset_size(self) -> int:
         """Number of triples served — public endpoints expose this as metadata."""
         return len(self._store)
+
+    @property
+    def shard_count(self) -> int:
+        """Partitions of the served store (1 for unsharded stores).
+
+        Metadata, like :meth:`dataset_size` — the store itself stays
+        unreachable.  The wave scheduler sizes its default concurrency
+        from this.
+        """
+        return getattr(self._store, "num_shards", 1)
 
     def reset_accounting(self) -> None:
         """Clear the query log (does not restore an exhausted quota)."""

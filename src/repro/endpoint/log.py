@@ -1,7 +1,13 @@
-"""Query accounting for endpoint simulators."""
+"""Query accounting for endpoint simulators.
+
+The log is shared by every thread issuing queries against one endpoint,
+so mutation and snapshotting are guarded by a lock: concurrent waves can
+append records while another thread reads a consistent summary.
+"""
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Iterator, List
 
@@ -27,16 +33,22 @@ class QueryLog:
     """
 
     records: List[QueryRecord] = field(default_factory=list)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, init=False, repr=False, compare=False
+    )
 
     def record(self, record: QueryRecord) -> None:
-        """Append one record."""
-        self.records.append(record)
+        """Append one record (safe to call from concurrent query waves)."""
+        with self._lock:
+            self.records.append(record)
 
     def __len__(self) -> int:
         return len(self.records)
 
     def __iter__(self) -> Iterator[QueryRecord]:
-        return iter(self.records)
+        # Iterate a snapshot so concurrent appends cannot skew readers.
+        with self._lock:
+            return iter(list(self.records))
 
     @property
     def query_count(self) -> int:
@@ -67,13 +79,18 @@ class QueryLog:
 
     def reset(self) -> None:
         """Forget all records."""
-        self.records.clear()
+        with self._lock:
+            self.records.clear()
 
     def snapshot(self) -> dict[str, float]:
-        """A flat summary dictionary (used by benchmark reports)."""
+        """A flat, consistent summary dictionary (used by benchmark reports)."""
+        with self._lock:
+            records = list(self.records)
         return {
-            "queries": float(self.query_count),
-            "rows": float(self.total_rows),
-            "virtual_seconds": round(self.total_virtual_seconds, 6),
-            "truncated": float(self.truncated_count),
+            "queries": float(len(records)),
+            "rows": float(sum(record.row_count for record in records)),
+            "virtual_seconds": round(
+                sum(record.virtual_seconds for record in records), 6
+            ),
+            "truncated": float(sum(1 for record in records if record.truncated)),
         }

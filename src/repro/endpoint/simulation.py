@@ -1,0 +1,261 @@
+"""Asynchronous endpoint simulation: batched query waves over shards.
+
+The paper's experiments are bounded by endpoint *throughput*: a live
+SPARQL endpoint charges real latency per request, so the number of KB
+pairs and relation candidates an experiment can cover under its query
+budget depends on how many requests can be in flight at once.  This
+module models exactly that:
+
+* :class:`SimulatedSparqlEndpoint` — a :class:`SparqlEndpoint` that
+  optionally *sleeps* its policy's virtual per-query cost (scaled), so
+  wall-clock behaviour matches a remote endpoint instead of an in-memory
+  store, and that accepts an evaluator factory so a
+  :class:`~repro.shard.ShardedTripleStore` is served through the
+  scatter/gather evaluator.
+* :class:`WaveScheduler` — issues *waves* (batches) of queries
+  concurrently on a thread pool, in order, collecting per-query results
+  and errors.  Latency sleeps release the GIL, so a wave of w workers
+  overlaps w request latencies the way an async client overlaps network
+  round-trips.  An :meth:`asyncio front-end <WaveScheduler.run_wave_async>`
+  lets event-loop code await a wave without blocking.
+
+Budget consistency: the endpoint reserves budget slots atomically (see
+:class:`SparqlEndpoint`), so a wave racing an almost-exhausted quota
+admits exactly the remaining queries — the rest fail with
+:class:`~repro.errors.QueryBudgetExceeded` and are reported per query in
+the :class:`WaveResult`, never silently dropped, and the shared
+:class:`~repro.endpoint.log.QueryLog` records exactly the admitted ones.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.endpoint.endpoint import SparqlEndpoint
+from repro.endpoint.policy import AccessPolicy
+from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.sparql.ast import Query
+from repro.sparql.results import AskResult, ResultSet
+from repro.sparql.scatter import ShardedQueryEvaluator
+from repro.store.triplestore import TripleStore
+
+#: Exception types reported per query instead of aborting a whole wave.
+_QUERY_ERRORS = (QueryBudgetExceeded, EndpointError, ResultTruncated)
+
+
+class SimulatedSparqlEndpoint(SparqlEndpoint):
+    """An endpoint that charges wall-clock latency for each query.
+
+    Parameters
+    ----------
+    store:
+        The served dataset; a :class:`ShardedTripleStore` is evaluated
+        through the scatter/gather evaluator unless an explicit
+        ``evaluator_factory`` overrides it.
+    latency_scale:
+        Multiplier from the policy's *virtual* per-query cost to real
+        seconds slept after each successful query.  ``0`` (default)
+        disables sleeping — accounting still records virtual seconds.
+        The sleep happens outside any lock and releases the GIL, which is
+        what makes concurrent waves overlap like real network requests.
+    """
+
+    def __init__(
+        self,
+        store: TripleStore,
+        name: str = "endpoint",
+        policy: AccessPolicy | None = None,
+        latency_scale: float = 0.0,
+        evaluator_factory=None,
+    ):
+        if latency_scale < 0:
+            raise EndpointError("latency_scale must be non-negative")
+        if evaluator_factory is None and isinstance(store, ShardedTripleStore):
+            evaluator_factory = ShardedQueryEvaluator
+        super().__init__(
+            store, name=name, policy=policy, evaluator_factory=evaluator_factory
+        )
+        self.latency_scale = latency_scale
+
+    def query(self, query: Union[str, Query]) -> Union[ResultSet, AskResult]:
+        result = super().query(query)
+        if self.latency_scale:
+            rows = len(result) if isinstance(result, ResultSet) else 0
+            time.sleep(self.policy.estimated_cost(rows) * self.latency_scale)
+        return result
+
+
+def sharded_endpoint(
+    store: ShardedTripleStore,
+    name: str = "endpoint",
+    policy: AccessPolicy | None = None,
+    latency_scale: float = 0.0,
+) -> SimulatedSparqlEndpoint:
+    """A simulated endpoint serving a sharded store via scatter/gather."""
+    return SimulatedSparqlEndpoint(
+        store, name=name, policy=policy, latency_scale=latency_scale
+    )
+
+
+@dataclass
+class WaveResult:
+    """The outcome of one query wave, in submission order.
+
+    ``results[i]`` is the i-th query's result, or ``None`` when that
+    query failed; ``errors`` pairs each failed index with its exception.
+    """
+
+    results: List[Optional[Union[ResultSet, AskResult]]]
+    errors: List[Tuple[int, Exception]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def succeeded(self) -> int:
+        """Number of queries that completed."""
+        return sum(1 for result in self.results if result is not None)
+
+    @property
+    def failed(self) -> int:
+        """Number of queries that raised."""
+        return len(self.errors)
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per wall-clock second."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.succeeded / self.wall_seconds
+
+    def raise_first_error(self) -> None:
+        """Re-raise the first per-query error, if any (for strict callers)."""
+        if self.errors:
+            raise self.errors[0][1]
+
+
+class WaveScheduler:
+    """Issues batched query waves concurrently against one endpoint.
+
+    A *wave* is a batch of queries submitted together; the scheduler
+    fans each wave out over a thread pool and gathers results in
+    submission order.  Query-level failures (budget exhaustion, policy
+    rejections, truncation) are captured per query so an exhausted
+    budget mid-wave yields a partial wave, matching the any-time design
+    of the alignment algorithm.  Unexpected exceptions propagate.
+
+    Parameters
+    ----------
+    endpoint:
+        The (thread-safe) endpoint queried.
+    max_workers:
+        Concurrent in-flight queries; defaults to the store's shard
+        count when the endpoint serves a sharded store, else 4.
+
+    Use as a context manager (or call :meth:`close`) to release the pool.
+    """
+
+    def __init__(self, endpoint: SparqlEndpoint, max_workers: Optional[int] = None):
+        if max_workers is None:
+            shard_count = endpoint.shard_count
+            max_workers = shard_count if shard_count > 1 else 4
+        if max_workers < 1:
+            raise EndpointError("max_workers must be >= 1")
+        self.endpoint = endpoint
+        self.max_workers = max_workers
+        self._executor = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="query-wave"
+        )
+
+    def __enter__(self) -> "WaveScheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        self._executor.shutdown(wait=True)
+
+    # ------------------------------------------------------------------ #
+    def submit(self, query: Union[str, Query]) -> "Future":
+        """Submit one query; returns its :class:`concurrent.futures.Future`."""
+        return self._executor.submit(self.endpoint.query, query)
+
+    def run_wave(self, queries: Sequence[Union[str, Query]]) -> WaveResult:
+        """Issue one wave of queries concurrently; gather in order."""
+        start = time.perf_counter()
+        futures = [self.submit(query) for query in queries]
+        results: List[Optional[Union[ResultSet, AskResult]]] = []
+        errors: List[Tuple[int, Exception]] = []
+        for index, future in enumerate(futures):
+            try:
+                results.append(future.result())
+            except _QUERY_ERRORS as error:
+                results.append(None)
+                errors.append((index, error))
+        return WaveResult(
+            results=results,
+            errors=errors,
+            wall_seconds=time.perf_counter() - start,
+        )
+
+    def run_waves(
+        self, waves: Sequence[Sequence[Union[str, Query]]]
+    ) -> List[WaveResult]:
+        """Run several waves back to back (each wave fully gathers first)."""
+        return [self.run_wave(wave) for wave in waves]
+
+    def map(
+        self,
+        build_query: Callable[[object], Union[str, Query]],
+        items: Sequence[object],
+        wave_size: Optional[int] = None,
+    ) -> List[WaveResult]:
+        """Build one query per item and run them in waves of ``wave_size``.
+
+        The convenience shape for alignment workloads: a sample of
+        subjects or candidate relations maps to one probe query each,
+        issued ``wave_size`` at a time (defaults to the worker count).
+        """
+        size = wave_size or self.max_workers
+        queries = [build_query(item) for item in items]
+        return self.run_waves(
+            [queries[start : start + size] for start in range(0, len(queries), size)]
+        )
+
+    # ------------------------------------------------------------------ #
+    async def run_wave_async(
+        self, queries: Sequence[Union[str, Query]]
+    ) -> WaveResult:
+        """Await one wave from an asyncio event loop.
+
+        Each query runs on the scheduler's thread pool via the running
+        loop's executor bridge, so event-loop code can interleave other
+        work while a wave is in flight.
+        """
+        loop = asyncio.get_running_loop()
+        start = time.perf_counter()
+        tasks = [
+            loop.run_in_executor(self._executor, self.endpoint.query, query)
+            for query in queries
+        ]
+        gathered = await asyncio.gather(*tasks, return_exceptions=True)
+        results: List[Optional[Union[ResultSet, AskResult]]] = []
+        errors: List[Tuple[int, Exception]] = []
+        for index, outcome in enumerate(gathered):
+            if isinstance(outcome, _QUERY_ERRORS):
+                results.append(None)
+                errors.append((index, outcome))
+            elif isinstance(outcome, BaseException):
+                raise outcome
+            else:
+                results.append(outcome)
+        return WaveResult(
+            results=results,
+            errors=errors,
+            wall_seconds=time.perf_counter() - start,
+        )

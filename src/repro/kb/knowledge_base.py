@@ -12,6 +12,8 @@ from repro.rdf.namespace import Namespace, SAME_AS
 from repro.rdf.terms import IRI, Term
 from repro.rdf.triple import Triple
 from repro.kb.relation import RelationInfo, RelationKind
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.sparql.scatter import ShardedQueryEvaluator
 from repro.store.triplestore import TripleStore
 
 
@@ -156,9 +158,21 @@ class KnowledgeBase:
     def endpoint(
         self, policy: Optional[AccessPolicy] = None, name: Optional[str] = None
     ) -> SparqlEndpoint:
-        """Expose the KB as a SPARQL endpoint with the given access policy."""
+        """Expose the KB as a SPARQL endpoint with the given access policy.
+
+        A KB backed by a :class:`~repro.shard.ShardedTripleStore` is
+        served through the scatter/gather evaluator automatically.
+        """
+        factory = (
+            ShardedQueryEvaluator
+            if isinstance(self.store, ShardedTripleStore)
+            else None
+        )
         return SparqlEndpoint(
-            self.store, name=name or f"{self.name}-endpoint", policy=policy
+            self.store,
+            name=name or f"{self.name}-endpoint",
+            policy=policy,
+            evaluator_factory=factory,
         )
 
     def client(

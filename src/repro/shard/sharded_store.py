@@ -1,0 +1,632 @@
+"""A triple store partitioned by subject-ID range into independent shards.
+
+:class:`ShardedTripleStore` presents the same Term-level and ID-level API
+as :class:`~repro.store.triplestore.TripleStore` while splitting the data
+across ``num_shards`` plain stores that share one
+:class:`~repro.store.dictionary.TermDictionary`.  The shared dictionary
+gives every shard the same ID space, so solutions, plans and caches built
+over one shard's IDs are valid over all of them.
+
+Partitioning invariants (everything above relies on these):
+
+* **Routing is total and deterministic.**  Every subject ID maps to
+  exactly one shard via a bisect over the frozen range boundaries;
+  a triple lives in the shard that owns its subject ID.
+* **Ranges are contiguous and increasing.**  Shard 0 owns the smallest
+  subject IDs, the last shard owns an open-ended top range.  Chaining
+  per-shard subject runs in shard order therefore yields a globally
+  sorted run — the gather side of a merge join never needs a heap.
+* **Subjects are disjoint across shards.**  Distinct-subject counts and
+  per-shard statistics sum exactly; only predicate/object distinct
+  counts need cross-shard set unions.
+
+Boundaries are fixed by the first non-empty :meth:`bulk_load` (the
+canonical build path): the batch's distinct subject IDs are split into
+near-equal chunks, and triples added earlier through :meth:`add` are
+re-homed so the invariants hold from then on.  Because dictionary IDs
+grow monotonically, subjects interned later fall into the last shard's
+open range — balanced enough for the build-once/query-many workloads the
+endpoint simulation runs, and a ``rebalance`` pass remains a follow-on.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.errors import StoreError
+from repro.rdf.terms import IRI, Term
+from repro.rdf.triple import Triple, TriplePattern
+from repro.store.dictionary import TermDictionary
+from repro.store.stats import PredicateStatistics, StoreStatistics
+from repro.store.triplestore import TripleStore
+
+#: Sentinel for "constant term unknown to the dictionary" in Term-level
+#: pattern dispatch (mirrors TripleStore's internal convention).
+_MISS = object()
+
+
+class ShardedTripleStore:
+    """A set of RDF triples partitioned by subject-ID range.
+
+    Drop-in compatible with :class:`TripleStore` for the SPARQL evaluator,
+    the endpoint layer and :class:`~repro.kb.knowledge_base.KnowledgeBase`:
+    every ID-level call either routes to the single shard that can hold
+    the answer (subject bound) or scatters over all shards and gathers —
+    summing counts, chaining ordered runs, or unioning distinct sets,
+    whichever the operation's semantics require.
+
+    Parameters
+    ----------
+    num_shards:
+        Number of subject-range partitions (``>= 1``).
+    name:
+        Human-readable name; shard stores are named ``{name}/s{i}``.
+    dictionary:
+        Optional shared :class:`TermDictionary` (a fresh one by default).
+        All shards always share one dictionary.
+    triples:
+        Optional initial triples, bulk-loaded shard-parallel.
+    """
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        name: str = "sharded",
+        dictionary: Optional[TermDictionary] = None,
+        triples: Optional[Iterable[Triple]] = None,
+    ):
+        if num_shards < 1:
+            raise StoreError(f"num_shards must be >= 1, got {num_shards}")
+        self.name = name
+        self._dictionary = dictionary if dictionary is not None else TermDictionary()
+        self._shards: Tuple[TripleStore, ...] = tuple(
+            TripleStore(name=f"{name}/s{index}", dictionary=self._dictionary)
+            for index in range(num_shards)
+        )
+        # Subject-ID cut points; len == num_shards - 1 once fixed.  Until
+        # the first bulk load everything routes to shard 0 (bisect over []).
+        self._boundaries: List[int] = []
+        self._bounded = num_shards == 1
+        if triples is not None:
+            self.bulk_load(triples)
+
+    @classmethod
+    def from_store(
+        cls,
+        store: TripleStore,
+        num_shards: int,
+        name: Optional[str] = None,
+        parallel: Optional[bool] = None,
+    ) -> "ShardedTripleStore":
+        """Partition an existing store's triples into a fresh sharded store.
+
+        The shards get their own dictionary (IDs are re-interned in
+        iteration order) so the source store stays fully independent.
+        """
+        sharded = cls(num_shards=num_shards, name=name or f"{store.name}-sharded")
+        sharded.bulk_load(iter(store), parallel=parallel)
+        return sharded
+
+    # ------------------------------------------------------------------ #
+    # Shard topology
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> Tuple[TripleStore, ...]:
+        """The underlying per-range stores, in subject-ID order."""
+        return self._shards
+
+    @property
+    def num_shards(self) -> int:
+        """Number of shards."""
+        return len(self._shards)
+
+    @property
+    def boundaries(self) -> Tuple[int, ...]:
+        """The frozen subject-ID cut points (empty until the first bulk load)."""
+        return tuple(self._boundaries)
+
+    def shard_index_for_subject(self, subject_id: int) -> int:
+        """The index of the shard owning ``subject_id`` — one bisect."""
+        return bisect_right(self._boundaries, subject_id)
+
+    def shard_for_subject(self, subject_id: int) -> TripleStore:
+        """The shard store owning ``subject_id``."""
+        return self._shards[bisect_right(self._boundaries, subject_id)]
+
+    def shard_sizes(self) -> List[int]:
+        """Triples per shard, in shard order (balance diagnostic)."""
+        return [len(shard) for shard in self._shards]
+
+    def _fix_boundaries(self, subject_ids: Iterable[int]) -> None:
+        """Freeze range boundaries from the first batch's subject IDs.
+
+        Splits the sorted distinct subject IDs into ``num_shards``
+        near-equal chunks; any triples routed to shard 0 before the fix
+        (via :meth:`add`) are re-homed so the range invariants hold.
+        """
+        distinct = sorted(set(subject_ids))
+        shard0 = self._shards[0]
+        if shard0:
+            distinct = sorted(set(distinct).union(
+                sid for sid, _, _ in shard0.match_ids()
+            ))
+        count = len(self._shards)
+        if distinct and count > 1:
+            # Clamp the cut index: with fewer distinct subjects than
+            # shards the trailing cuts repeat the last ID, leaving the
+            # surplus shards empty (routing stays total either way).
+            chunk = len(distinct) / count
+            last = len(distinct) - 1
+            self._boundaries = [
+                distinct[min(last, int(round(index * chunk)))]
+                for index in range(1, count)
+            ]
+        self._bounded = True
+        if shard0:
+            id_for = self._dictionary.id_for
+            misplaced = [
+                triple
+                for triple in shard0
+                if bisect_right(self._boundaries, id_for(triple.subject)) != 0
+            ]
+            for triple in misplaced:
+                shard0.remove(triple)
+            for triple in misplaced:
+                self.add(triple)
+
+    # ------------------------------------------------------------------ #
+    # Mutation
+    # ------------------------------------------------------------------ #
+    def add(self, triple: Triple) -> bool:
+        """Add a triple to the shard owning its subject ID."""
+        if not isinstance(triple, Triple):
+            raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
+        sid = self._dictionary.encode(triple.subject)
+        return self.shard_for_subject(sid).add(triple)
+
+    def add_all(self, triples: Iterable[Triple]) -> int:
+        """Add many triples one by one; returns the number inserted."""
+        inserted = 0
+        for triple in triples:
+            if self.add(triple):
+                inserted += 1
+        return inserted
+
+    def bulk_load(
+        self, triples: Iterable[Triple], parallel: Optional[bool] = None
+    ) -> int:
+        """Columnar bulk insert, building the shards in parallel.
+
+        Terms are interned once through the shared dictionary (serially —
+        interning mutates the dictionary), the batch is partitioned by
+        routed subject ID, and each shard then runs its own
+        :meth:`TripleStore.bulk_load` — the per-range
+        ``bulk_extend_grouped`` sort-once path — on an independent
+        partition.  With ``parallel`` (default when there is more than one
+        non-empty partition) the per-shard loads run on a thread pool; the
+        numpy column sort releases the GIL, so shard builds genuinely
+        overlap.  Returns the number of new triples.
+        """
+        intern = self._dictionary.ids_map
+        staged: List[Tuple[Tuple[int, int, int], Triple]] = []
+        for triple in triples:
+            if not isinstance(triple, Triple):
+                raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
+            ids = (
+                intern[triple.subject],
+                intern[triple.predicate],
+                intern[triple.object],
+            )
+            staged.append((ids, triple))
+        if not staged:
+            return 0
+        if not self._bounded:
+            self._fix_boundaries(ids[0] for ids, _ in staged)
+
+        # Partition into per-shard pre-staged batches, deduplicating
+        # against the owning shard (subjects are disjoint, so a duplicate
+        # can only collide with its own shard's content or partition).
+        shards = self._shards
+        partitions: List[Dict[Tuple[int, int, int], Triple]] = [{} for _ in shards]
+        existing = [shard.id_triples for shard in shards]
+        boundaries = self._boundaries
+        for ids, triple in staged:
+            index = bisect_right(boundaries, ids[0])
+            partition = partitions[index]
+            if ids in existing[index] or ids in partition:
+                continue
+            partition[ids] = triple
+
+        busy = sum(1 for partition in partitions if partition)
+        if parallel is None:
+            parallel = busy > 1
+        if parallel and busy > 1:
+            # Every term is interned and deduplicated above, so the shard
+            # loads only *read* the shared dictionary and mutate their own
+            # indexes — no cross-thread writes to shared state, and the
+            # numpy column sort releases the GIL.
+            with ThreadPoolExecutor(max_workers=busy) as executor:
+                counts = list(
+                    executor.map(
+                        lambda pair: pair[0].bulk_load_pending(pair[1]),
+                        zip(shards, partitions),
+                    )
+                )
+            return sum(counts)
+        return sum(
+            shard.bulk_load_pending(partition)
+            for shard, partition in zip(shards, partitions)
+            if partition
+        )
+
+    def remove(self, triple: Triple) -> bool:
+        """Remove a triple from its owning shard."""
+        sid = self._dictionary.id_for(triple.subject)
+        if sid is None:
+            return False
+        return self.shard_for_subject(sid).remove(triple)
+
+    def clear(self) -> None:
+        """Remove every triple; boundaries unfreeze so the next bulk load
+        rebalances.  The shared dictionary (and thus all IDs) is kept."""
+        for shard in self._shards:
+            shard.clear()
+        self._boundaries = []
+        self._bounded = len(self._shards) == 1
+
+    # ------------------------------------------------------------------ #
+    # ID-level API (used by the SPARQL layer)
+    # ------------------------------------------------------------------ #
+    @property
+    def dictionary(self) -> TermDictionary:
+        """The shared term dictionary."""
+        return self._dictionary
+
+    @property
+    def data_version(self) -> int:
+        """Monotonic mutation stamp: the sum of the shard stamps."""
+        return sum(shard.data_version for shard in self._shards)
+
+    def term_id(self, term: Term) -> Optional[int]:
+        """The dictionary ID of ``term``; ``None`` if it never occurred."""
+        return self._dictionary.id_for(term)
+
+    def term_for_id(self, tid: int) -> Term:
+        """The term interned under ``tid``."""
+        return self._dictionary.decode(tid)
+
+    def contains_ids(self, s: int, p: int, o: int) -> bool:
+        """Membership test in ID space — routed to one shard."""
+        return self.shard_for_subject(s).contains_ids(s, p, o)
+
+    def match_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> Iterator[Tuple[int, int, int]]:
+        """Yield matching ID triples, routing by subject when bound.
+
+        With an unbound subject the shards are chained in range order, so
+        shapes whose iteration order is a sorted subject run on a single
+        store — ``(?, p, o)`` most importantly — stay globally sorted
+        across shards, which the merge-join gather relies on.
+        """
+        if subject is not None:
+            return self.shard_for_subject(subject).match_ids(
+                subject, predicate, object
+            )
+        return self._chain_match_ids(predicate, object)
+
+    def _chain_match_ids(
+        self, predicate: Optional[int], object: Optional[int]
+    ) -> Iterator[Tuple[int, int, int]]:
+        for shard in self._shards:
+            yield from shard.match_ids(None, predicate, object)
+
+    def sorted_run_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ):
+        """The globally sorted ID run of a two-constant pattern.
+
+        Subject-bound shapes live entirely in one shard; the subject-run
+        shape ``(?, p, o)`` concatenates the per-shard sorted runs, which
+        is already globally sorted because shard subject ranges are
+        contiguous and increasing.  Returned lazily so merge joins that
+        short-circuit never touch the trailing shards.
+        """
+        if subject is not None:
+            return self.shard_for_subject(subject).sorted_run_ids(
+                subject, predicate, object
+            )
+        if predicate is not None and object is not None:
+            return self._chain_subject_runs(predicate, object)
+        raise StoreError("sorted_run_ids requires exactly two constant positions")
+
+    def _chain_subject_runs(self, predicate: int, object: int) -> Iterator[int]:
+        for shard in self._shards:
+            yield from shard.sorted_run_ids(None, predicate, object)
+
+    def count_ids(
+        self,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> int:
+        """Count matching triples: routed when subject-bound, summed otherwise.
+
+        Sums are exact because the shards partition the triple set.
+        """
+        if subject is not None:
+            return self.shard_for_subject(subject).count_ids(
+                subject, predicate, object
+            )
+        return sum(
+            shard.count_ids(None, predicate, object) for shard in self._shards
+        )
+
+    def count_distinct_ids(
+        self,
+        position: str,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> int:
+        """Distinct IDs in one position of the matching triples.
+
+        Subject-bound patterns route to one shard.  Distinct *subjects*
+        sum across shards (subjects are disjoint by partitioning);
+        distinct predicates/objects may repeat across shards, so those
+        shapes union the per-shard ID streams into one set.
+        """
+        if subject is not None:
+            return self.shard_for_subject(subject).count_distinct_ids(
+                position, subject, predicate, object
+            )
+        if position == "s" or len(self._shards) == 1:
+            return sum(
+                shard.count_distinct_ids(position, None, predicate, object)
+                for shard in self._shards
+            )
+        distinct: Set[int] = set()
+        for shard in self._shards:
+            distinct.update(shard.position_ids(position, None, predicate, object))
+        return len(distinct)
+
+    def position_ids(
+        self,
+        position: str,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> Iterator[int]:
+        """IDs in one position of the matching triples (may repeat)."""
+        if subject is not None:
+            return self.shard_for_subject(subject).position_ids(
+                position, subject, predicate, object
+            )
+        return self._chain_position_ids(position, predicate, object)
+
+    def _chain_position_ids(
+        self, position: str, predicate: Optional[int], object: Optional[int]
+    ) -> Iterator[int]:
+        for shard in self._shards:
+            yield from shard.position_ids(position, None, predicate, object)
+
+    # ------------------------------------------------------------------ #
+    # Lookup (Term-level public API)
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def __contains__(self, triple: object) -> bool:
+        if not isinstance(triple, Triple):
+            return False
+        sid = self._dictionary.id_for(triple.subject)
+        if sid is None:
+            return False
+        return triple in self.shard_for_subject(sid)
+
+    def __iter__(self) -> Iterator[Triple]:
+        for shard in self._shards:
+            yield from shard
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedTripleStore(name={self.name!r}, shards={len(self._shards)}, "
+            f"size={len(self)})"
+        )
+
+    def _resolve(self, term: Optional[Term]):
+        if term is None:
+            return None
+        tid = self._dictionary.id_for(term)
+        return tid if tid is not None else _MISS
+
+    def match(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> Iterator[Triple]:
+        """Yield triples matching the pattern, routing by subject when bound."""
+        s = self._resolve(subject)
+        p = self._resolve(predicate)
+        o = self._resolve(object)
+        if s is _MISS or p is _MISS or o is _MISS:
+            return iter(())
+        if s is not None:
+            return self._shards[self.shard_index_for_subject(s)].match(
+                subject, predicate, object
+            )
+        return self._chain_match(predicate, object)
+
+    def _chain_match(
+        self, predicate: Optional[IRI], object: Optional[Term]
+    ) -> Iterator[Triple]:
+        for shard in self._shards:
+            yield from shard.match(None, predicate, object)
+
+    def match_pattern(self, pattern: TriplePattern) -> Iterator[Triple]:
+        """:meth:`match` taking a :class:`~repro.rdf.triple.TriplePattern`."""
+        return self.match(pattern.subject, pattern.predicate, pattern.object)
+
+    def count(
+        self,
+        subject: Optional[Term] = None,
+        predicate: Optional[IRI] = None,
+        object: Optional[Term] = None,
+    ) -> int:
+        """Count matching triples without materialising any."""
+        s = self._resolve(subject)
+        p = self._resolve(predicate)
+        o = self._resolve(object)
+        if s is _MISS or p is _MISS or o is _MISS:
+            return 0
+        return self.count_ids(s, p, o)
+
+    # ------------------------------------------------------------------ #
+    # Vocabulary access
+    # ------------------------------------------------------------------ #
+    def predicates(self) -> List[IRI]:
+        """All distinct predicates, sorted by IRI for determinism."""
+        distinct: Set[int] = set()
+        for shard in self._shards:
+            distinct.update(shard.position_ids("p"))
+        decode = self._dictionary.decode
+        return sorted(
+            (decode(pid) for pid in distinct),  # type: ignore[misc]
+            key=lambda p: p.value,
+        )
+
+    def subjects(self, predicate: Optional[IRI] = None) -> Iterator[Term]:
+        """Distinct subjects (disjoint across shards, so a plain chain)."""
+        for shard in self._shards:
+            yield from shard.subjects(predicate)
+
+    def objects(self, predicate: Optional[IRI] = None) -> Iterator[Term]:
+        """Distinct objects, deduplicated across shards."""
+        seen: Set[Term] = set()
+        for shard in self._shards:
+            for term in shard.objects(predicate):
+                if term not in seen:
+                    seen.add(term)
+                    yield term
+
+    def objects_of(self, subject: Term, predicate: IRI) -> List[Term]:
+        """All objects ``o`` with ``(subject, predicate, o)`` — one shard."""
+        sid = self._dictionary.id_for(subject)
+        if sid is None:
+            return []
+        return self.shard_for_subject(sid).objects_of(subject, predicate)
+
+    def subjects_of(self, predicate: IRI, object: Term) -> List[Term]:
+        """All subjects of ``(?, predicate, object)`` across shards."""
+        result: List[Term] = []
+        for shard in self._shards:
+            result.extend(shard.subjects_of(predicate, object))
+        return result
+
+    def predicates_of(self, subject: Term) -> List[IRI]:
+        """Distinct predicates appearing with ``subject`` — one shard."""
+        sid = self._dictionary.id_for(subject)
+        if sid is None:
+            return []
+        return self.shard_for_subject(sid).predicates_of(subject)
+
+    def predicates_between(self, subject: Term, object: Term) -> List[IRI]:
+        """Distinct predicates linking ``subject`` to ``object`` — one shard."""
+        sid = self._dictionary.id_for(subject)
+        if sid is None:
+            return []
+        return self.shard_for_subject(sid).predicates_between(subject, object)
+
+    def has_subject(self, subject: Term) -> bool:
+        """Whether any fact has ``subject`` in subject position."""
+        sid = self._dictionary.id_for(subject)
+        return sid is not None and self.shard_for_subject(sid).has_subject(subject)
+
+    def entities(self) -> Set[Term]:
+        """All IRIs/blank nodes in subject or object position, across shards."""
+        entities: Set[Term] = set()
+        for shard in self._shards:
+            entities.update(shard.entities())
+        return entities
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+    def predicate_statistics(self, predicate: IRI) -> PredicateStatistics:
+        """Statistics for one predicate, merged across shards."""
+        pid = self._dictionary.id_for(predicate)
+        if pid is None:
+            return PredicateStatistics(predicate=predicate)
+        return self._merge_predicate_statistics(predicate, pid)
+
+    def _merge_predicate_statistics(
+        self, predicate: IRI, pid: int
+    ) -> PredicateStatistics:
+        """Merge per-shard counts: facts and distinct subjects sum exactly
+        (triples/subjects are partitioned); distinct objects and the
+        literal-object tally take one pass over the predicate's facts."""
+        is_literal = self._dictionary.is_literal_id
+        distinct_objects: Set[int] = set()
+        literal_objects = 0
+        for shard in self._shards:
+            # One pass over the predicate's facts: the literal tally is
+            # per *fact* (a literal object shared by k subjects counts k
+            # times), while the object set dedupes across shards.
+            for _, _, oid in shard.match_ids(None, pid, None):
+                distinct_objects.add(oid)
+                literal_objects += is_literal(oid)
+        return PredicateStatistics(
+            predicate=predicate,
+            fact_count=self.count_ids(None, pid, None),
+            distinct_subjects=sum(
+                shard.count_distinct_ids("s", None, pid, None)
+                for shard in self._shards
+            ),
+            distinct_objects=len(distinct_objects),
+            literal_object_count=literal_objects,
+        )
+
+    def statistics(self) -> StoreStatistics:
+        """A full statistics snapshot, merged across shards."""
+        predicate_ids: Set[int] = set()
+        object_ids: Set[int] = set()
+        for shard in self._shards:
+            predicate_ids.update(shard.position_ids("p"))
+            object_ids.update(shard.position_ids("o"))
+        stats = StoreStatistics(
+            triple_count=len(self),
+            predicate_count=len(predicate_ids),
+            subject_count=sum(
+                shard.count_distinct_ids("s") for shard in self._shards
+            ),
+            object_count=len(object_ids),
+        )
+        decode = self._dictionary.decode
+        predicate_stats: Dict[IRI, PredicateStatistics] = {}
+        for pid in predicate_ids:
+            predicate = decode(pid)
+            predicate_stats[predicate] = self._merge_predicate_statistics(  # type: ignore[index]
+                predicate, pid  # type: ignore[arg-type]
+            )
+        stats.predicates = predicate_stats
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors
+    # ------------------------------------------------------------------ #
+    def copy(self, name: Optional[str] = None) -> "ShardedTripleStore":
+        """A copy with the same shard count (terms shared, indexes rebuilt)."""
+        return ShardedTripleStore(
+            num_shards=len(self._shards),
+            name=name or f"{self.name}-copy",
+            triples=iter(self),
+        )

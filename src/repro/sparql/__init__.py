@@ -33,6 +33,11 @@ from repro.sparql.evaluate import QueryEvaluator, evaluate_query
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import BGPPlan, CardinalityEstimator, PlanStep, plan_bgp
 from repro.sparql.results import AskResult, ResultSet
+from repro.sparql.scatter import (
+    ShardedBGPPlan,
+    ShardedQueryEvaluator,
+    evaluate_sharded,
+)
 
 __all__ = [
     "Variable",

@@ -31,10 +31,13 @@ The evaluator then assembles the generator chain from those labels:
 All operators stream left-to-right, so ASK / LIMIT short-circuiting is
 preserved; the hash build side is the only materialised piece and the
 planner only picks it when that side is the smaller one.  Plans are
-cached per (group, bound-variables) and invalidated when the store size
-changes; ``QueryEvaluator(store, use_planner=False)`` keeps the original
-constant-count ordering with nested joins as a reference implementation
-(benchmarks and property tests cross-check the two).
+cached per (group, bound-variables) and invalidated whenever the store's
+``data_version`` mutation stamp changes (every ``add`` / ``remove`` /
+``bulk_load`` bumps it, so plans cannot go stale after mutations that
+leave the size unchanged); ``QueryEvaluator(store, use_planner=False)``
+keeps the original constant-count ordering with nested joins as a
+reference implementation (benchmarks and property tests cross-check the
+two).
 """
 
 from __future__ import annotations
@@ -450,7 +453,8 @@ class QueryEvaluator:
 
         Planning state is shared per store (:func:`plan_context`), so even
         throwaway evaluators hit warm caches; the context is replaced when
-        the store size changes so estimates track the data.  The cache key
+        the store's mutation stamp changes so estimates track the data
+        through any sequence of mutations.  The cache key
         includes the bound-variable set because EXISTS and OPTIONAL
         evaluate the same group under different bindings.
         """

@@ -67,15 +67,18 @@ class PlanContext:
     Keyed weakly by store (see :func:`plan_context`) so every evaluator —
     including the throwaway instances :func:`evaluate_query` creates per
     call — reuses the same cached estimates and plans.  The context is
-    replaced whenever the store size changes; plans depend on the data
-    only through estimates, so a stale context can cost time, never
-    answers.
+    replaced whenever the store's ``data_version`` stamp changes — the
+    stamp is bumped by *every* mutation, so an add+remove pair that
+    leaves the size unchanged still drops stale plans.  Plans depend on
+    the data only through estimates, so a stale context could only ever
+    cost time, never answers — but fresh estimates keep the operator
+    choices honest as the store evolves.
     """
 
-    __slots__ = ("size", "estimator", "plans")
+    __slots__ = ("version", "estimator", "plans")
 
     def __init__(self, store: TripleStore):
-        self.size = len(store)
+        self.version = store.data_version
         # The estimator must not keep the store alive: this context lives
         # in a WeakKeyDictionary keyed by the store, and a strong reference
         # from the value back to the key would pin the entry forever.
@@ -89,9 +92,9 @@ _CONTEXTS: "weakref.WeakKeyDictionary[TripleStore, PlanContext]" = (
 
 
 def plan_context(store: TripleStore) -> PlanContext:
-    """The shared :class:`PlanContext` for ``store`` (fresh if size changed)."""
+    """The shared :class:`PlanContext` for ``store`` (fresh after mutation)."""
     context = _CONTEXTS.get(store)
-    if context is None or context.size != len(store):
+    if context is None or context.version != store.data_version:
         context = PlanContext(store)
         _CONTEXTS[store] = context
     return context
@@ -102,8 +105,9 @@ class CardinalityEstimator:
 
     All estimates come from O(1) index counts except the distinct-value
     counts used for bound variables, which may union per-key ID runs; those
-    are cached for the lifetime of the estimator (the evaluator drops its
-    estimator whenever the store size changes).
+    are cached for the lifetime of the estimator (the shared plan context
+    drops its estimator whenever the store's ``data_version`` mutation
+    stamp changes).
     """
 
     __slots__ = ("_store", "_distinct_cache")

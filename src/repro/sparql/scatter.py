@@ -1,0 +1,385 @@
+"""Scatter/gather query evaluation over a sharded triple store.
+
+:class:`ShardedQueryEvaluator` extends :class:`QueryEvaluator` with two
+execution strategies and picks per group, by *structure alone* (so the
+choice can cost time, never answers):
+
+**Scatter** — for *co-partitioned* groups: every triple pattern,
+recursively through OPTIONAL / UNION / nested groups / FILTER EXISTS,
+has the same variable in subject position (the star shape of the
+aligner's batched ``VALUES ?s {...} ?s ?p ?o`` probes).  Any solution
+then binds that variable to one subject ID, and subject-range
+partitioning puts *all* triples of that subject in one shard — so the
+whole planned merge/hash/nested pipeline runs per shard against that
+shard's local evaluator and the per-shard streams are chained lazily.
+ASK and LIMIT short-circuit across shards: trailing shards are never
+evaluated once the consumer stops.  The :class:`ShardRouter` prunes
+shards first — by the owning shard when the subject is bound (initial
+binding or all-constant VALUES rows) and by per-shard pattern counts
+(a shard where any required pattern matches zero triples contributes
+nothing).
+
+**Global gather** — everything else runs the inherited evaluator against
+the :class:`ShardedTripleStore` itself, whose ID-level API merges the
+shards: subject-bound lookups route, counts sum, and two-constant
+sorted runs concatenate into globally sorted runs the existing
+merge-join operators stream directly.  This path is correct for
+arbitrary queries (cross-subject chains, FILTER NOT EXISTS, ...).
+
+:meth:`ShardedQueryEvaluator.explain` returns a :class:`ShardedBGPPlan`
+wrapping the ordinary :class:`BGPPlan` with the chosen mode and, per
+planned pattern, the shards probed vs pruned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.shard.router import PatternRoute, ShardRouter
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.sparql.ast import (
+    BinaryExpression,
+    ExistsExpression,
+    Expression,
+    FilterNode,
+    FunctionCall,
+    GroupGraphPattern,
+    InExpression,
+    OptionalNode,
+    Query,
+    TriplePatternNode,
+    UnaryExpression,
+    UnionNode,
+    ValuesNode,
+)
+from repro.sparql.bindings import IdBinding, Variable
+from repro.sparql.evaluate import QueryEvaluator
+from repro.sparql.parser import parse_query
+from repro.sparql.plan import BGPPlan, PLAN_CACHE_LIMIT
+
+#: Cache sentinel: the group was analysed and is not co-partitioned.
+_NOT_CO_PARTITIONED = object()
+
+
+def co_partition_subject(group: GroupGraphPattern) -> Optional[Variable]:
+    """The single subject variable shared by every pattern of ``group``.
+
+    Returns ``None`` unless the group can be scattered: it must contain
+    at least one top-level triple pattern (so every emitted solution is
+    pinned to a shard) and every pattern — recursively through OPTIONAL,
+    UNION, nested groups and EXISTS filters — must have the same
+    :class:`Variable` in subject position.
+    """
+    if not any(isinstance(e, TriplePatternNode) for e in group.elements):
+        return None
+    subject, ok = _group_subject(group, None)
+    return subject if ok else None
+
+
+def _group_subject(
+    group: GroupGraphPattern, subject: Optional[Variable]
+) -> Tuple[Optional[Variable], bool]:
+    for element in group.elements:
+        if isinstance(element, TriplePatternNode):
+            s = element.subject
+            if not isinstance(s, Variable):
+                return None, False
+            if subject is None:
+                subject = s
+            elif s != subject:
+                return None, False
+        elif isinstance(element, ValuesNode):
+            continue
+        elif isinstance(element, FilterNode):
+            subject, ok = _expression_subject(element.expression, subject)
+            if not ok:
+                return None, False
+        elif isinstance(element, OptionalNode):
+            subject, ok = _group_subject(element.group, subject)
+            if not ok:
+                return None, False
+        elif isinstance(element, UnionNode):
+            for branch in element.branches:
+                subject, ok = _group_subject(branch, subject)
+                if not ok:
+                    return None, False
+        elif isinstance(element, GroupGraphPattern):
+            subject, ok = _group_subject(element, subject)
+            if not ok:
+                return None, False
+        else:  # pragma: no cover - parser prevents this
+            return None, False
+    return subject, True
+
+
+def _expression_subject(
+    expression: Expression, subject: Optional[Variable]
+) -> Tuple[Optional[Variable], bool]:
+    """Check EXISTS groups nested inside a filter expression."""
+    if isinstance(expression, ExistsExpression):
+        return _group_subject(expression.group, subject)
+    if isinstance(expression, UnaryExpression):
+        return _expression_subject(expression.operand, subject)
+    if isinstance(expression, BinaryExpression):
+        subject, ok = _expression_subject(expression.left, subject)
+        if not ok:
+            return None, False
+        return _expression_subject(expression.right, subject)
+    if isinstance(expression, FunctionCall):
+        for argument in expression.arguments:
+            subject, ok = _expression_subject(argument, subject)
+            if not ok:
+                return None, False
+        return subject, True
+    if isinstance(expression, InExpression):
+        subject, ok = _expression_subject(expression.operand, subject)
+        if not ok:
+            return None, False
+        for choice in expression.choices:
+            subject, ok = _expression_subject(choice, subject)
+            if not ok:
+                return None, False
+        return subject, True
+    return subject, True
+
+
+@dataclass(frozen=True)
+class ShardedBGPPlan:
+    """A :class:`BGPPlan` plus shard routing for one basic graph pattern.
+
+    Attributes
+    ----------
+    plan:
+        The underlying single-store plan (operator order unchanged — the
+        same plan runs per shard on the scatter path, or once against the
+        merged view on the global path).
+    mode:
+        ``"scatter"`` (co-partitioned, pipeline runs per shard) or
+        ``"global"`` (merged-view evaluation).
+    subject_variable:
+        The common subject variable when scattering, else ``None``.
+    shards:
+        The shards that must run the group (probed by every pattern).
+    routing:
+        Per plan step, the shards probed vs pruned for that pattern.
+    """
+
+    plan: BGPPlan
+    mode: str
+    shard_count: int
+    subject_variable: Optional[Variable]
+    shards: Tuple[int, ...]
+    routing: Tuple[PatternRoute, ...]
+
+    @property
+    def steps(self):
+        """The underlying plan steps, in execution order."""
+        return self.plan.steps
+
+    def operators(self) -> List[str]:
+        """The operator labels in execution order."""
+        return self.plan.operators()
+
+    def patterns(self) -> List[TriplePatternNode]:
+        """The triple patterns in execution order."""
+        return self.plan.patterns()
+
+    def describe(self) -> str:
+        """Multi-line rendering: header plus one line per planned pattern."""
+        subject = (
+            f" on ?{self.subject_variable.name}"
+            if self.subject_variable is not None
+            else ""
+        )
+        shards = ",".join(map(str, self.shards)) or "-"
+        lines = [
+            f"{self.mode}{subject} over {self.shard_count} shards"
+            f" (evaluating: [{shards}])"
+        ]
+        for step, route in zip(self.plan.steps, self.routing):
+            lines.append(f"{step.describe()}  {route.describe()}")
+        return "\n".join(lines)
+
+
+class ShardedQueryEvaluator(QueryEvaluator):
+    """Evaluates queries against a :class:`ShardedTripleStore`.
+
+    Inherits the full planned-operator machinery from
+    :class:`QueryEvaluator` (running it against the merged shard view)
+    and adds the per-shard scatter path for co-partitioned groups.
+
+    Parameters
+    ----------
+    store:
+        The sharded dataset.
+    use_planner:
+        Forwarded to the per-shard and merged-view evaluators.
+    """
+
+    def __init__(self, store: ShardedTripleStore, use_planner: bool = True):
+        if not isinstance(store, ShardedTripleStore):
+            raise TypeError(
+                "ShardedQueryEvaluator requires a ShardedTripleStore; "
+                "use QueryEvaluator for plain stores"
+            )
+        super().__init__(store, use_planner=use_planner)
+        self._router = ShardRouter(store)
+        self._locals = tuple(
+            QueryEvaluator(shard, use_planner=use_planner) for shard in store.shards
+        )
+        self._scatter_cache: Dict[GroupGraphPattern, object] = {}
+
+    # ------------------------------------------------------------------ #
+    # Scatter dispatch
+    # ------------------------------------------------------------------ #
+    def _evaluate_group(
+        self, group: GroupGraphPattern, initial: IdBinding
+    ) -> Iterator[IdBinding]:
+        subject = self._scatter_subject(group)
+        if subject is None:
+            return super()._evaluate_group(group, initial)
+        shards = self._route(group, subject, initial)
+        if not shards:
+            return iter(())
+        if len(shards) == 1:
+            return self._locals[shards[0]]._evaluate_group(group, initial)
+        return self._gather(group, initial, shards)
+
+    def _gather(
+        self,
+        group: GroupGraphPattern,
+        initial: IdBinding,
+        shards: Tuple[int, ...],
+    ) -> Iterator[IdBinding]:
+        """Chain per-shard streams lazily: a satisfied ASK/LIMIT consumer
+        stops before the trailing shards are ever planned or scanned."""
+        for index in shards:
+            yield from self._locals[index]._evaluate_group(group, initial)
+
+    def _scatter_subject(self, group: GroupGraphPattern) -> Optional[Variable]:
+        cached = self._scatter_cache.get(group)
+        if cached is None:
+            if len(self._scatter_cache) >= PLAN_CACHE_LIMIT:
+                self._scatter_cache.clear()
+            subject = co_partition_subject(group)
+            self._scatter_cache[group] = (
+                subject if subject is not None else _NOT_CO_PARTITIONED
+            )
+            return subject
+        return None if cached is _NOT_CO_PARTITIONED else cached  # type: ignore[return-value]
+
+    def _route(
+        self,
+        group: GroupGraphPattern,
+        subject: Variable,
+        initial: IdBinding,
+    ) -> Tuple[int, ...]:
+        """The shards that must evaluate ``group`` (may be empty)."""
+        shards, _ = self._route_with_details(group, subject, initial)
+        return shards
+
+    def _route_with_details(
+        self,
+        group: GroupGraphPattern,
+        subject: Variable,
+        initial: IdBinding,
+    ) -> Tuple[Tuple[int, ...], Tuple[PatternRoute, ...]]:
+        candidates = self._candidate_shards(group, subject, initial)
+        if candidates is not None and not candidates:
+            return (), ()
+        patterns = [e for e in group.elements if isinstance(e, TriplePatternNode)]
+        id_patterns = []
+        for pattern in patterns:
+            consts = self._resolve_constants(pattern)
+            if consts is None:  # a constant unknown to the dictionary
+                return (), ()
+            id_patterns.append(tuple(consts))
+        return self._router.route_group(id_patterns, candidates)
+
+    def _candidate_shards(
+        self,
+        group: GroupGraphPattern,
+        subject: Variable,
+        initial: IdBinding,
+    ) -> Optional[List[int]]:
+        """Shards the subject variable can land in, or ``None`` for all.
+
+        An initial binding pins one shard; VALUES nodes binding the
+        subject in *every* row restrict to the rows' owning shards (rows
+        whose term is unknown to the dictionary can never join a
+        pattern, so they restrict too).
+        """
+        bound = initial.get(subject)
+        if bound is not None:
+            if type(bound) is not int:
+                return []  # out-of-dictionary term: no pattern can match
+            return [self.store.shard_index_for_subject(bound)]
+        candidates: Optional[set] = None
+        id_for = self._dict.id_for
+        for node in group.elements:
+            if not isinstance(node, ValuesNode) or subject not in node.variables:
+                continue
+            position = node.variables.index(subject)
+            if any(row[position] is None for row in node.rows):
+                continue  # an UNDEF row leaves the subject open: all shards
+            owners = set()
+            for row in node.rows:
+                tid = id_for(row[position])
+                if tid is not None:
+                    owners.add(self.store.shard_index_for_subject(tid))
+            candidates = owners if candidates is None else candidates & owners
+        return sorted(candidates) if candidates is not None else None
+
+    # ------------------------------------------------------------------ #
+    # Explain
+    # ------------------------------------------------------------------ #
+    def explain(self, query: Union[Query, str]) -> ShardedBGPPlan:
+        """The sharded plan for the query's top-level basic graph pattern.
+
+        Extends :meth:`QueryEvaluator.explain`: the underlying
+        :class:`BGPPlan` is wrapped with the execution mode and, per
+        planned pattern, the shards probed vs pruned by the router.
+        """
+        if isinstance(query, str):
+            query = parse_query(query)
+        base = super().explain(query)
+        group = query.where
+        subject = self._scatter_subject(group)
+        if subject is not None:
+            candidates = self._candidate_shards(group, subject, IdBinding.EMPTY)
+            mode = "scatter"
+        else:
+            candidates = None
+            mode = "global"
+        routing: List[PatternRoute] = []
+        surviving = (
+            set(candidates) if candidates is not None else set(self._router.all_shards())
+        )
+        for step in base.steps:
+            consts = self._resolve_constants(step.pattern)
+            if consts is None:
+                route = PatternRoute(
+                    pattern=(None, None, None),
+                    probed=(),
+                    pruned=self._router.all_shards(),
+                )
+            else:
+                route = self._router.route_pattern(tuple(consts), candidates)
+            routing.append(route)
+            surviving &= set(route.probed)
+        return ShardedBGPPlan(
+            plan=base,
+            mode=mode,
+            shard_count=self.store.num_shards,
+            subject_variable=subject,
+            shards=tuple(sorted(surviving)),
+            routing=tuple(routing),
+        )
+
+
+def evaluate_sharded(
+    store: ShardedTripleStore, query: Union[Query, str]
+):
+    """Convenience wrapper: evaluate ``query`` with scatter/gather."""
+    return ShardedQueryEvaluator(store).evaluate(query)

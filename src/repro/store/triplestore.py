@@ -87,6 +87,11 @@ class TripleStore:
         self._spo = IdTripleIndex()
         self._pos = IdTripleIndex()
         self._osp = IdTripleIndex()
+        # Monotonic mutation stamp: bumped by every mutation that changes
+        # the triple set.  Consumers (the SPARQL plan cache) compare stamps
+        # instead of sizes, so an add+remove pair cannot masquerade as "no
+        # change" and leave stale cached plans behind.
+        self._version = 0
         # Flat ID-tuple -> Triple map: free materialisation (match() hands
         # back the instance added, instead of rebuilding a Triple per
         # matched row), plus its inverse for one-probe membership tests:
@@ -114,6 +119,7 @@ class TripleStore:
         self._osp.add(o, s, p)
         self._triples[(s, p, o)] = triple
         self._triple_ids[triple] = (s, p, o)
+        self._version += 1
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -161,9 +167,25 @@ class TripleStore:
             if ids in triples_map or ids in pending:
                 continue
             pending[ids] = triple
+        return self.bulk_load_pending(pending)
+
+    def bulk_load_pending(
+        self, pending: Dict[Tuple[int, int, int], Triple]
+    ) -> int:
+        """The load phase of :meth:`bulk_load`, for pre-staged batches.
+
+        ``pending`` maps ID triples (encoded through *this store's*
+        dictionary) to their Triple instances; entries must be new to the
+        store and internally deduplicated — exactly what the staging loop
+        of :meth:`bulk_load` produces.  The sharded store stages a batch
+        once (intern, route, dedupe per shard) and hands each shard its
+        partition here, so building N shards costs one staging pass, not
+        N+1.
+        """
         count = len(pending)
         if not count:
             return 0
+        self._version += 1
         triple_ids = self._triple_ids
         s_col = array("q")
         p_col = array("q")
@@ -174,7 +196,7 @@ class TripleStore:
             append_s(ids[0])
             append_p(ids[1])
             append_o(ids[2])
-        triples_map.update(pending)
+        self._triples.update(pending)
         if _np is not None and count >= _BULK_NUMPY_MIN:
             s_arr = _np.frombuffer(s_col, dtype=_np.int64)
             p_arr = _np.frombuffer(p_col, dtype=_np.int64)
@@ -231,6 +253,7 @@ class TripleStore:
         self._osp.remove(o, s, p)
         del self._triples[(s, p, o)]
         del self._triple_ids[triple]
+        self._version += 1
         return True
 
     def clear(self) -> None:
@@ -239,6 +262,8 @@ class TripleStore:
         The term dictionary is kept: IDs remain stable across ``clear`` so
         external holders of IDs (caches, statistics) stay valid.
         """
+        if self._triples:
+            self._version += 1
         self._spo.clear()
         self._pos.clear()
         self._osp.clear()
@@ -253,6 +278,17 @@ class TripleStore:
         """The store's term dictionary."""
         return self._dictionary
 
+    @property
+    def data_version(self) -> int:
+        """Monotonic stamp changed by every mutation of the triple set.
+
+        ``add``/``remove``/``bulk_load``/``clear`` bump it whenever they
+        actually change the store, so two equal stamps guarantee identical
+        content.  The SPARQL plan cache keys on this instead of the store
+        size, which an add+remove pair leaves unchanged.
+        """
+        return self._version
+
     def term_id(self, term: Term) -> Optional[int]:
         """The dictionary ID of ``term``; ``None`` if it never occurred."""
         return self._dictionary.id_for(term)
@@ -264,6 +300,16 @@ class TripleStore:
     def contains_ids(self, s: int, p: int, o: int) -> bool:
         """Membership test in ID space — one tuple-hash probe."""
         return (s, p, o) in self._triples
+
+    @property
+    def id_triples(self) -> Dict[Tuple[int, int, int], Triple]:
+        """The raw ``ID-triple -> Triple`` map (do not mutate).
+
+        Exposed, like :attr:`TermDictionary.ids_map`, so hot batch paths
+        (the sharded store's staging loop) can dedupe with a plain dict
+        probe instead of a method call per triple.
+        """
+        return self._triples
 
     def match_ids(
         self,
@@ -351,6 +397,49 @@ class TripleStore:
         if o is not None:
             return self._osp.count_for_key(o)
         return len(self._triples)
+
+    def position_ids(
+        self,
+        position: str,
+        subject: Optional[int] = None,
+        predicate: Optional[int] = None,
+        object: Optional[int] = None,
+    ) -> Iterator[int]:
+        """IDs occurring in one triple ``position`` of the matching triples.
+
+        The ``position`` being enumerated must itself be a wildcard.  Most
+        shapes stream an index level directly; the shapes whose distinct
+        values span several index keys may yield **duplicates** — callers
+        wanting distinct IDs must deduplicate (the sharded store unions
+        these streams across shards into a set, so it pays that cost only
+        once).  Order is unspecified.
+        """
+        s, p, o = subject, predicate, object
+        if position == "s":
+            if p is not None and o is not None:
+                return self._pos.thirds(p, o)
+            if p is not None:
+                return (sid for _, sid in self._pos.pairs(p))
+            if o is not None:
+                return self._osp.seconds(o)
+            return self._spo.keys()
+        if position == "p":
+            if s is not None and o is not None:
+                return self._osp.thirds(o, s)
+            if s is not None:
+                return self._spo.seconds(s)
+            if o is not None:
+                return (pid for _, pid in self._osp.pairs(o))
+            return self._pos.keys()
+        if position == "o":
+            if s is not None and p is not None:
+                return self._spo.thirds(s, p)
+            if s is not None:
+                return (oid for _, oid in self._spo.pairs(s))
+            if p is not None:
+                return self._pos.seconds(p)
+            return self._osp.keys()
+        raise StoreError(f"Unknown triple position: {position!r}")
 
     def count_distinct_ids(
         self,

@@ -9,6 +9,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 from repro.errors import SyntheticDataError
 from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.sameas import SameAsIndex
+from repro.shard.sharded_store import ShardedTripleStore
 from repro.rdf.terms import IRI, Literal, Term
 from repro.rdf.triple import Triple
 from repro.synthetic.schema import (
@@ -91,10 +92,25 @@ class WorldGenerator:
 
     Generation is deterministic: the sequence of random draws depends only
     on the spec contents and its ``seed``.
+
+    Parameters
+    ----------
+    spec:
+        The world specification.
+    shard_count:
+        When set, each generated KB is backed by a
+        :class:`~repro.shard.ShardedTripleStore` with that many
+        subject-range shards (built shard-parallel through the columnar
+        bulk loader) instead of a single :class:`TripleStore`.  The
+        generated data, links and gold standard are identical either way
+        — only the storage layout changes.
     """
 
-    def __init__(self, spec: WorldSpec):
+    def __init__(self, spec: WorldSpec, shard_count: Optional[int] = None):
+        if shard_count is not None and shard_count < 1:
+            raise SyntheticDataError(f"shard_count must be >= 1, got {shard_count}")
         self.spec = spec
+        self.shard_count = shard_count
         self._rng = random.Random(spec.seed)
         self._display_names: Dict[str, str] = {}
 
@@ -219,7 +235,12 @@ class WorldGenerator:
         canonical_facts: Dict[str, List[CanonicalFact]],
         entities: Dict[str, List[str]],
     ) -> Tuple[KnowledgeBase, set]:
-        kb = KnowledgeBase(name=kb_spec.name, namespace=kb_spec.namespace)
+        store = (
+            ShardedTripleStore(num_shards=self.shard_count, name=kb_spec.name)
+            if self.shard_count is not None
+            else None
+        )
+        kb = KnowledgeBase(name=kb_spec.name, namespace=kb_spec.namespace, store=store)
         used_entities: set = set()
         # Facts are accumulated and bulk-loaded in one batch at the end so
         # the store takes its columnar sort-once construction path instead
@@ -370,6 +391,13 @@ class WorldGenerator:
         return links
 
 
-def generate_world(spec: WorldSpec) -> GeneratedWorld:
-    """Convenience wrapper: ``WorldGenerator(spec).generate()``."""
-    return WorldGenerator(spec).generate()
+def generate_world(
+    spec: WorldSpec, shard_count: Optional[int] = None
+) -> GeneratedWorld:
+    """Convenience wrapper: ``WorldGenerator(spec, shard_count).generate()``.
+
+    ``shard_count`` backs every generated KB with a sharded store (same
+    data, subject-range-partitioned storage) — the preset build path of
+    the endpoint-simulation benchmarks.
+    """
+    return WorldGenerator(spec, shard_count=shard_count).generate()

@@ -1,0 +1,214 @@
+"""Concurrency tests: budget accounting, query waves, batched alignment."""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.align.aligner import RemoteDataset, SofyaAligner
+from repro.endpoint import (
+    AccessPolicy,
+    SimulatedSparqlEndpoint,
+    SparqlEndpoint,
+    WaveScheduler,
+    sharded_endpoint,
+)
+from repro.errors import EndpointError, QueryBudgetExceeded
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard import ShardedTripleStore
+from repro.sparql.scatter import ShardedQueryEvaluator
+from repro.store import TripleStore
+from repro.synthetic import generate_world, movie_world_spec
+
+EX = Namespace("http://conc.test/")
+
+
+def small_store():
+    return TripleStore(
+        triples=[Triple(EX[f"s{i}"], EX.p, EX[f"o{i % 7}"]) for i in range(40)]
+    )
+
+
+ASK = "ASK { ?s <http://conc.test/p> ?o }"
+SELECT = "SELECT ?s ?o WHERE { ?s <http://conc.test/p> ?o }"
+
+
+class TestBudgetThreadSafety:
+    @pytest.mark.parametrize("threads", [4, 8])
+    def test_hammered_budget_admits_exactly_the_quota(self, threads):
+        budget = 50
+        endpoint = SparqlEndpoint(
+            small_store(), policy=AccessPolicy(max_queries=budget, max_result_rows=None)
+        )
+        admitted = []
+        rejected = []
+        barrier = threading.Barrier(threads)
+
+        def worker():
+            barrier.wait()  # maximise contention on the reservation path
+            for _ in range(20):
+                try:
+                    endpoint.query(ASK)
+                    admitted.append(1)
+                except QueryBudgetExceeded:
+                    rejected.append(1)
+
+        pool = [threading.Thread(target=worker) for _ in range(threads)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        assert sum(admitted) == budget
+        assert sum(admitted) + len(rejected) == threads * 20
+        assert endpoint.log.query_count == budget
+        assert endpoint.queries_remaining == 0
+
+    def test_rejected_full_scan_refunds_budget(self):
+        endpoint = SparqlEndpoint(
+            small_store(),
+            policy=AccessPolicy(max_queries=5, allow_full_scan=False,
+                                max_result_rows=None),
+        )
+        with pytest.raises(EndpointError):
+            endpoint.query("SELECT ?s WHERE { ?s ?p ?o }")
+        assert endpoint.queries_remaining == 5
+        endpoint.query(ASK)
+        assert endpoint.queries_remaining == 4
+
+    def test_evaluation_error_refunds_budget(self):
+        endpoint = SparqlEndpoint(
+            small_store(), policy=AccessPolicy(max_queries=5, max_result_rows=None)
+        )
+        with pytest.raises(Exception):
+            endpoint.query("SELECT ?s WHERE { broken !! }")
+        assert endpoint.queries_remaining == 5
+
+    def test_log_snapshot_consistent_under_concurrent_recording(self):
+        endpoint = SparqlEndpoint(small_store())
+
+        def worker():
+            for _ in range(25):
+                endpoint.query(ASK)
+
+        pool = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in pool:
+            thread.start()
+        for thread in pool:
+            thread.join()
+        snapshot = endpoint.log.snapshot()
+        assert snapshot["queries"] == 100.0
+        assert endpoint.log.query_count == 100
+
+
+class TestWaveScheduler:
+    def test_wave_results_in_submission_order(self):
+        store = small_store()
+        endpoint = SimulatedSparqlEndpoint(store)
+        with WaveScheduler(endpoint, max_workers=4) as scheduler:
+            wave = scheduler.run_wave([SELECT, ASK, SELECT])
+        assert wave.succeeded == 3 and not wave.errors
+        assert len(wave.results[0]) == 40
+        assert bool(wave.results[1]) is True
+        assert len(wave.results[2]) == 40
+        assert wave.throughput > 0
+
+    def test_budget_exhaustion_mid_wave_is_partial_not_fatal(self):
+        endpoint = SimulatedSparqlEndpoint(
+            small_store(), policy=AccessPolicy(max_queries=3, max_result_rows=None)
+        )
+        with WaveScheduler(endpoint, max_workers=4) as scheduler:
+            wave = scheduler.run_wave([ASK] * 10)
+        assert wave.succeeded == 3
+        assert wave.failed == 7
+        assert all(isinstance(error, QueryBudgetExceeded) for _, error in wave.errors)
+        assert endpoint.log.query_count == 3
+        with pytest.raises(QueryBudgetExceeded):
+            wave.raise_first_error()
+
+    def test_map_batches_items_into_waves(self):
+        endpoint = SimulatedSparqlEndpoint(small_store())
+        with WaveScheduler(endpoint, max_workers=2) as scheduler:
+            waves = scheduler.map(
+                lambda i: f"ASK {{ <http://conc.test/s{i}> <http://conc.test/p> ?o }}",
+                list(range(5)),
+                wave_size=2,
+            )
+        assert [wave.succeeded for wave in waves] == [2, 2, 1]
+        assert all(bool(r) for wave in waves for r in wave.results)
+
+    def test_async_wave(self):
+        endpoint = SimulatedSparqlEndpoint(small_store())
+        with WaveScheduler(endpoint, max_workers=4) as scheduler:
+            wave = asyncio.run(scheduler.run_wave_async([ASK, SELECT]))
+        assert wave.succeeded == 2
+        assert bool(wave.results[0]) is True
+        assert len(wave.results[1]) == 40
+
+    def test_default_workers_follow_shard_count(self):
+        sharded = ShardedTripleStore(
+            num_shards=3,
+            triples=[Triple(EX[f"s{i}"], EX.p, EX.o) for i in range(30)],
+        )
+        endpoint = sharded_endpoint(sharded)
+        assert isinstance(endpoint._evaluator, ShardedQueryEvaluator)
+        with WaveScheduler(endpoint) as scheduler:
+            assert scheduler.max_workers == 3
+            wave = scheduler.run_wave([ASK] * 6)
+        assert wave.succeeded == 6
+
+    def test_latency_scale_sleeps(self):
+        endpoint = SimulatedSparqlEndpoint(
+            small_store(),
+            policy=AccessPolicy(latency_per_query=1.0, latency_per_row=0.0,
+                                max_result_rows=None),
+            latency_scale=0.001,
+        )
+        with WaveScheduler(endpoint, max_workers=8) as scheduler:
+            wave = scheduler.run_wave([ASK] * 8)
+        # 8 concurrent 1 ms sleeps must not take 8 ms sequentially.
+        assert wave.wall_seconds >= 0.001
+        assert endpoint.log.total_virtual_seconds == pytest.approx(8.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(EndpointError):
+            SimulatedSparqlEndpoint(small_store(), latency_scale=-1)
+
+
+class TestBatchedAligner:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return generate_world(movie_world_spec(), shard_count=2)
+
+    def _aligner(self, world):
+        imdb, filmdb = world.kb_pair()
+        return SofyaAligner(
+            RemoteDataset.from_kb(imdb), RemoteDataset.from_kb(filmdb), world.links
+        )
+
+    def test_single_worker_matches_sequential(self, world):
+        sequential = self._aligner(world).align_relations()
+        batched = self._aligner(world).align_relations_batched(max_workers=1)
+        assert set(sequential.alignments) == set(batched.alignments)
+
+    def test_concurrent_workers_align_everything(self, world):
+        sequential = self._aligner(world).align_relations()
+        batched = self._aligner(world).align_relations_batched(max_workers=4)
+        assert set(batched.alignments) == set(sequential.alignments)
+        # Every relation that found candidates sequentially also does
+        # concurrently (samples differ, candidate discovery should not).
+        for relation, alignment in sequential.alignments.items():
+            if alignment.candidates:
+                assert batched.alignments[relation].candidates
+
+    def test_budget_exhaustion_keeps_partial_result(self, world):
+        imdb, filmdb = world.kb_pair()
+        aligner = SofyaAligner(
+            RemoteDataset.from_kb(imdb, policy=AccessPolicy(max_queries=8,
+                                                            max_result_rows=None)),
+            RemoteDataset.from_kb(filmdb),
+            world.links,
+        )
+        result = aligner.align_relations_batched(max_workers=2)
+        assert len(result.alignments) < 4  # some relations dropped mid-run
+        assert result.query_statistics["imdb"]["queries"] <= 8
