@@ -42,6 +42,28 @@ class StoreError(ReproError):
     """Triple store misuse (e.g. adding malformed triples)."""
 
 
+class SnapshotCorruptError(StoreError):
+    """An on-disk snapshot failed validation and cannot be opened.
+
+    Raised by :mod:`repro.store.persist` when a snapshot file is
+    truncated, has a bad magic/version, or any section's checksum does not
+    match its header entry.  Every corruption failure mode maps to this
+    one exception so callers can fall back to a full rebuild with a single
+    ``except`` clause.
+    """
+
+
+class ShardSkewWarning(UserWarning):
+    """A sharded store's last shard has grown far beyond its siblings.
+
+    Subject-range boundaries are frozen by the first bulk load, so terms
+    interned afterwards always route to the last shard's open-ended range.
+    Long-lived mutable stores therefore pile new subjects into that shard;
+    once it exceeds the configured skew threshold this warning fires (once
+    per store) to point at ``rebalance()``-style re-partitioning.
+    """
+
+
 class EndpointError(ReproError):
     """Base class for endpoint access failures."""
 

@@ -2,12 +2,14 @@
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Union
 
 from repro.endpoint.client import EndpointClient
 from repro.endpoint.endpoint import SparqlEndpoint
 from repro.endpoint.policy import AccessPolicy
-from repro.errors import StoreError
+from repro.errors import SnapshotCorruptError, StoreError
 from repro.rdf.namespace import Namespace, SAME_AS
 from repro.rdf.terms import IRI, Term
 from repro.rdf.triple import Triple
@@ -53,6 +55,79 @@ class KnowledgeBase:
 
     def __len__(self) -> int:
         return len(self.store)
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory: Union[str, Path]) -> None:
+        """Persist the KB as a snapshot directory.
+
+        Writes ``kb.json`` (name + namespace + store layout) next to the
+        store snapshot: a single ``store.snap`` file for a plain
+        :class:`TripleStore`, or a ``store/`` sharded snapshot directory
+        for a :class:`~repro.shard.ShardedTripleStore`.  Reopen with
+        :meth:`KnowledgeBase.open`.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        sharded = isinstance(self.store, ShardedTripleStore)
+        if sharded:
+            self.store.save(directory / "store")
+        else:
+            self.store.save(directory / "store.snap")
+        meta = {
+            "format": "repro-kb",
+            "version": 1,
+            "name": self.name,
+            "namespace": self.namespace.base,
+            "sharded": sharded,
+            "store": "store" if sharded else "store.snap",
+        }
+        (directory / "kb.json").write_text(
+            json.dumps(meta, sort_keys=True, indent=2) + "\n", encoding="utf-8"
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: Union[str, Path],
+        mmap: bool = True,
+        verify: bool = True,
+    ) -> "KnowledgeBase":
+        """Reopen a KB snapshot written by :meth:`save`.
+
+        The store comes back cold (mmap-backed by default): queries,
+        endpoints and the relation catalogue work immediately without a
+        rebuild, and the first mutation promotes the store transparently.
+        """
+        directory = Path(directory)
+        try:
+            meta = json.loads((directory / "kb.json").read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+            raise SnapshotCorruptError(f"KB metadata unparsable: {error}") from None
+        if not isinstance(meta, dict) or meta.get("format") != "repro-kb":
+            raise SnapshotCorruptError("Not a KB snapshot directory")
+        if meta.get("version") != 1:
+            raise SnapshotCorruptError(
+                f"Unsupported KB snapshot version: {meta.get('version')!r}"
+            )
+        namespace = meta.get("namespace")
+        if not isinstance(namespace, str) or not namespace:
+            raise SnapshotCorruptError("KB metadata has no namespace")
+        store_path = directory / meta.get("store", "store.snap")
+        if meta.get("sharded"):
+            store: TripleStore = ShardedTripleStore.open(
+                store_path, mmap=mmap, verify=verify
+            )
+        else:
+            store = TripleStore.open(store_path, mmap=mmap, verify=verify)
+        return cls(
+            name=meta.get("name", "kb"),
+            namespace=Namespace(namespace),
+            store=store,
+        )
 
     # ------------------------------------------------------------------ #
     # Construction helpers

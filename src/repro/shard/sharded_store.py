@@ -31,11 +31,12 @@ endpoint simulation runs, and a ``rebalance`` pass remains a follow-on.
 
 from __future__ import annotations
 
+import warnings
 from bisect import bisect_right
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.errors import StoreError
+from repro.errors import ShardSkewWarning, StoreError
 from repro.rdf.terms import IRI, Term
 from repro.rdf.triple import Triple, TriplePattern
 from repro.store.dictionary import TermDictionary
@@ -45,6 +46,15 @@ from repro.store.triplestore import TripleStore
 #: Sentinel for "constant term unknown to the dictionary" in Term-level
 #: pattern dispatch (mirrors TripleStore's internal convention).
 _MISS = object()
+
+#: Below this many triples in the last shard the skew check never fires —
+#: tiny stores are legitimately lopsided and a warning would be noise.
+_SKEW_MIN_LAST_SHARD = 64
+
+#: Floor for the never-frozen case (add()-only stores route *everything*
+#: to shard 0): higher than the frozen floor so a small add() prelude
+#: before the first boundary-fixing bulk load stays quiet.
+_SKEW_MIN_UNBOUNDED = 256
 
 
 class ShardedTripleStore:
@@ -68,6 +78,13 @@ class ShardedTripleStore:
         All shards always share one dictionary.
     triples:
         Optional initial triples, bulk-loaded shard-parallel.
+    skew_threshold:
+        Factor by which the last shard may outgrow the mean of its
+        siblings before a :class:`~repro.errors.ShardSkewWarning` is
+        emitted (once per store).  Boundaries freeze at the first bulk
+        load, so subjects interned later always land in the last shard's
+        open range; this is the tripwire for that pile-up until a
+        ``rebalance()`` pass exists.
     """
 
     def __init__(
@@ -76,10 +93,15 @@ class ShardedTripleStore:
         name: str = "sharded",
         dictionary: Optional[TermDictionary] = None,
         triples: Optional[Iterable[Triple]] = None,
+        skew_threshold: float = 4.0,
     ):
         if num_shards < 1:
             raise StoreError(f"num_shards must be >= 1, got {num_shards}")
+        if skew_threshold <= 1.0:
+            raise StoreError(f"skew_threshold must be > 1, got {skew_threshold}")
         self.name = name
+        self.skew_threshold = skew_threshold
+        self._skew_warned = False
         self._dictionary = dictionary if dictionary is not None else TermDictionary()
         self._shards: Tuple[TripleStore, ...] = tuple(
             TripleStore(name=f"{name}/s{index}", dictionary=self._dictionary)
@@ -89,8 +111,115 @@ class ShardedTripleStore:
         # the first bulk load everything routes to shard 0 (bisect over []).
         self._boundaries: List[int] = []
         self._bounded = num_shards == 1
+        self._snapshot_retained = None
         if triples is not None:
             self.bulk_load(triples)
+
+    @classmethod
+    def _from_snapshot(
+        cls,
+        name: str,
+        dictionary: TermDictionary,
+        shards: Tuple[TripleStore, ...],
+        boundaries: List[int],
+        bounded: bool,
+        skew_threshold: float = 4.0,
+        retained=None,
+    ) -> "ShardedTripleStore":
+        """Assemble a cold sharded store over reopened shards (persist layer)."""
+        store = cls.__new__(cls)
+        store.name = name
+        store.skew_threshold = skew_threshold
+        store._skew_warned = False
+        store._dictionary = dictionary
+        store._shards = shards
+        store._boundaries = boundaries
+        store._bounded = bounded
+        store._snapshot_retained = retained
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence
+    # ------------------------------------------------------------------ #
+    def save(self, directory) -> None:
+        """Write the sharded store as a snapshot directory.
+
+        Layout: ``manifest.json`` (topology + checksum), one shared
+        ``dictionary.snap`` and one ``shard{i}.snap`` columns file per
+        shard — see :mod:`repro.store.persist`.
+        """
+        from repro.store.persist import save_sharded_store
+
+        save_sharded_store(self, directory)
+
+    @classmethod
+    def open(
+        cls, directory, mmap: bool = True, verify: bool = True
+    ) -> "ShardedTripleStore":
+        """Reopen a snapshot directory written by :meth:`save`.
+
+        All shards share one :class:`LazyTermDictionary` over the
+        dictionary file, so the reopened store has exactly the saved ID
+        space; boundaries and the bounded flag are restored from the
+        manifest, making routing decisions identical to the saved store.
+        """
+        from repro.store.persist import open_sharded_store
+
+        return open_sharded_store(directory, mmap=mmap, verify=verify)
+
+    # ------------------------------------------------------------------ #
+    # Skew monitoring
+    # ------------------------------------------------------------------ #
+    def _check_skew(self) -> None:
+        """Warn (once per freeze regime) when one shard has piled up.
+
+        Two pathologies, one tripwire:
+
+        * **Frozen boundaries** — subjects interned after the freeze
+          route to the last shard by construction; when it holds more
+          than ``skew_threshold`` times the mean of its siblings (and at
+          least ``_SKEW_MIN_LAST_SHARD`` triples), scatter waves lose
+          their balance and a rebalance is due.
+        * **Never frozen** — a multi-shard store populated only through
+          :meth:`add` routes *every* triple to shard 0 (bisect over empty
+          boundaries) and gets zero scatter parallelism; past
+          ``_SKEW_MIN_UNBOUNDED`` triples that cannot be a staging
+          prelude any more, so the warning points at :meth:`bulk_load`.
+        """
+        if self._skew_warned or len(self._shards) < 2:
+            return
+        if not self._bounded:
+            pending = len(self._shards[0])
+            if pending >= _SKEW_MIN_UNBOUNDED:
+                self._skew_warned = True
+                warnings.warn(
+                    f"Sharded store {self.name!r}: {pending} triples added "
+                    "but boundaries were never frozen, so every triple "
+                    "routes to shard 0 and scatter parallelism is zero. "
+                    "Load through bulk_load() (it fixes balanced range "
+                    "boundaries and re-homes earlier adds).",
+                    ShardSkewWarning,
+                    stacklevel=3,
+                )
+            return
+        last = len(self._shards[-1])
+        if last < _SKEW_MIN_LAST_SHARD:
+            return
+        rest = len(self) - last
+        mean_rest = rest / (len(self._shards) - 1)
+        if last > self.skew_threshold * max(mean_rest, 1.0):
+            self._skew_warned = True
+            warnings.warn(
+                f"Sharded store {self.name!r}: last shard holds {last} triples "
+                f"vs a mean of {mean_rest:.1f} across the other "
+                f"{len(self._shards) - 1} shards (threshold "
+                f"{self.skew_threshold:g}x). Subjects interned after the "
+                "boundary freeze always route to the last shard's open "
+                "range; rebuild or rebalance the store to restore scatter "
+                "balance.",
+                ShardSkewWarning,
+                stacklevel=3,
+            )
 
     @classmethod
     def from_store(
@@ -164,6 +293,9 @@ class ShardedTripleStore:
                 for index in range(1, count)
             ]
         self._bounded = True
+        # New regime: the one-shot warning is re-armed for the frozen-era
+        # pile-up check (an unbounded-era warning may already have fired).
+        self._skew_warned = False
         if shard0:
             id_for = self._dictionary.id_for
             misplaced = [
@@ -184,7 +316,11 @@ class ShardedTripleStore:
         if not isinstance(triple, Triple):
             raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
         sid = self._dictionary.encode(triple.subject)
-        return self.shard_for_subject(sid).add(triple)
+        index = self.shard_index_for_subject(sid)
+        changed = self._shards[index].add(triple)
+        if changed and (not self._bounded or index == len(self._shards) - 1):
+            self._check_skew()
+        return changed
 
     def add_all(self, triples: Iterable[Triple]) -> int:
         """Add many triples one by one; returns the number inserted."""
@@ -222,20 +358,30 @@ class ShardedTripleStore:
             staged.append((ids, triple))
         if not staged:
             return 0
+        boundaries_were_frozen = self._bounded
         if not self._bounded:
             self._fix_boundaries(ids[0] for ids, _ in staged)
 
         # Partition into per-shard pre-staged batches, deduplicating
         # against the owning shard (subjects are disjoint, so a duplicate
         # can only collide with its own shard's content or partition).
+        # The shard's flat ID-triple map is fetched lazily on the first
+        # triple routed there: on a cold-opened snapshot, id_triples
+        # materialises the shard's Triple maps, and shards the batch
+        # never touches must stay frozen views.
         shards = self._shards
         partitions: List[Dict[Tuple[int, int, int], Triple]] = [{} for _ in shards]
-        existing = [shard.id_triples for shard in shards]
+        existing: List[Optional[Dict[Tuple[int, int, int], Triple]]] = [
+            None for _ in shards
+        ]
         boundaries = self._boundaries
         for ids, triple in staged:
             index = bisect_right(boundaries, ids[0])
+            shard_existing = existing[index]
+            if shard_existing is None:
+                shard_existing = existing[index] = shards[index].id_triples
             partition = partitions[index]
-            if ids in existing[index] or ids in partition:
+            if ids in shard_existing or ids in partition:
                 continue
             partition[ids] = triple
 
@@ -254,12 +400,18 @@ class ShardedTripleStore:
                         zip(shards, partitions),
                     )
                 )
-            return sum(counts)
-        return sum(
-            shard.bulk_load_pending(partition)
-            for shard, partition in zip(shards, partitions)
-            if partition
-        )
+            inserted = sum(counts)
+        else:
+            inserted = sum(
+                shard.bulk_load_pending(partition)
+                for shard, partition in zip(shards, partitions)
+                if partition
+            )
+        if boundaries_were_frozen and inserted:
+            # Only loads *after* the freeze can pile into the last shard's
+            # open range; the balancing first load never warns.
+            self._check_skew()
+        return inserted
 
     def remove(self, triple: Triple) -> bool:
         """Remove a triple from its owning shard."""
@@ -275,6 +427,7 @@ class ShardedTripleStore:
             shard.clear()
         self._boundaries = []
         self._bounded = len(self._shards) == 1
+        self._skew_warned = False
 
     # ------------------------------------------------------------------ #
     # ID-level API (used by the SPARQL layer)
@@ -629,4 +782,5 @@ class ShardedTripleStore:
             num_shards=len(self._shards),
             name=name or f"{self.name}-copy",
             triples=iter(self),
+            skew_threshold=self.skew_threshold,
         )

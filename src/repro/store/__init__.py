@@ -43,18 +43,30 @@ on a compact integer substrate instead of hashed Term objects.
 
 Statistics (:mod:`repro.store.stats`) are likewise computed in ID space
 from the POS permutation plus dictionary kind bytes.
+
+Persistence (:mod:`repro.store.persist`) adds a second, on-disk
+representation of layers 1 and 2: a versioned, checksummed snapshot that
+``TripleStore.save`` writes and ``TripleStore.open`` maps back in
+read-only — the dictionary becomes a lazily decoding
+:class:`LazyTermDictionary` over the string heap and each index order a
+:class:`FrozenIdIndex` over mmap'd CSR columns, so reopening skips the
+re-intern/re-sort rebuild entirely and the first mutation promotes the
+store back to the writable form.
 """
 
-from repro.store.dictionary import TermDictionary
+from repro.store.dictionary import LazyTermDictionary, TermDictionary
 from repro.store.triplestore import TripleStore
-from repro.store.index import IdTripleIndex, TripleIndex
+from repro.store.index import ColumnView, FrozenIdIndex, IdTripleIndex, TripleIndex
 from repro.store.stats import PredicateStatistics, StoreStatistics
 from repro.store.bulk import load_ntriples_file, load_triples
 
 __all__ = [
     "TripleStore",
     "TermDictionary",
+    "LazyTermDictionary",
     "IdTripleIndex",
+    "FrozenIdIndex",
+    "ColumnView",
     "TripleIndex",
     "PredicateStatistics",
     "StoreStatistics",

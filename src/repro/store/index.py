@@ -1,13 +1,21 @@
 """Permutation indexes for triples.
 
-Two index families live here:
+Three index families live here:
 
-* :class:`IdTripleIndex` — the store's workhorse since the dictionary
-  encoding refactor: a two-level nested index over **integer term IDs**,
-  ``key -> second -> sorted array of thirds``.  Integer keys hash and
-  compare in a few nanoseconds, and the sorted third-level
+* :class:`IdTripleIndex` — the store's writable workhorse since the
+  dictionary encoding refactor: a two-level nested index over **integer
+  term IDs**, ``key -> second -> sorted array of thirds``.  Integer keys
+  hash and compare in a few nanoseconds, and the sorted third-level
   (:class:`SortedList`, a bisect-maintained ``list`` subclass) keeps
   bisect membership, range iteration and sort-merge joins cheap.
+* :class:`FrozenIdIndex` — the read-only columnar twin used by cold-opened
+  snapshots (:mod:`repro.store.persist`): the same logical mapping laid
+  out as five sorted int64 columns in CSR form, viewed through
+  :class:`ColumnView` windows over either in-memory bytes or an ``mmap``.
+  It answers the exact bookkeeping API of :class:`IdTripleIndex`
+  (``count_for_key`` / ``third_count`` / ``sorted_thirds`` / ...) without
+  materialising any Python container, so the planner and the join
+  operators run unchanged on a store that was never rebuilt in memory.
 * :class:`TripleIndex` — the original hash-based index over full
   :class:`~repro.rdf.terms.Term` objects, kept as a standalone utility (it
   is generic over any hashable key and still used by external callers and
@@ -236,6 +244,33 @@ class IdTripleIndex:
         self._key_counts.clear()
         self._size = 0
 
+    def csr_columns(self):
+        """The index content as the five sorted CSR snapshot columns.
+
+        Returns ``(keys, key_groups, seconds, group_starts, thirds)`` as
+        ``array('q')`` values in the exact layout :class:`FrozenIdIndex`
+        consumes (keys ascending, seconds ascending per key, thirds
+        already sorted per group) — the snapshot writer serialises these
+        verbatim.
+        """
+        from array import array
+
+        keys = array("q")
+        key_groups = array("q", [0])
+        seconds = array("q")
+        group_starts = array("q", [0])
+        thirds = array("q")
+        index = self._index
+        for key in sorted(index):
+            by_second = index[key]
+            for second in sorted(by_second):
+                seconds.append(second)
+                thirds.extend(by_second[second])
+                group_starts.append(len(thirds))
+            keys.append(key)
+            key_groups.append(len(seconds))
+        return keys, key_groups, seconds, group_starts, thirds
+
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
@@ -342,6 +377,306 @@ class IdTripleIndex:
     def has_key(self, key: int) -> bool:
         """Whether any entry exists under ``key``."""
         return key in self._index
+
+
+class ColumnView:
+    """A read-only window onto a run of little-endian int64 IDs.
+
+    The snapshot layer hands these out wherever the writable store would
+    hand out a :class:`SortedList`: the underlying storage is a
+    ``memoryview`` cast to ``'q'`` — over a ``bytes`` buffer or an
+    ``mmap`` — so iteration and indexing run at C speed and slicing never
+    copies.  Views returned from :meth:`FrozenIdIndex.sorted_thirds` are
+    sorted ascending; ``in`` relies on that (bisect probe, like
+    :class:`SortedList`).
+    """
+
+    __slots__ = ("mv",)
+
+    def __init__(self, mv: memoryview):
+        #: The backing int64 memoryview (exposed so hot paths — bisect,
+        #: iteration — can work on the raw view without a method call).
+        self.mv = mv
+
+    def __len__(self) -> int:
+        return len(self.mv)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return ColumnView(self.mv[item])
+        return self.mv[item]
+
+    def __iter__(self):
+        return iter(self.mv)
+
+    def __contains__(self, value) -> bool:
+        mv = self.mv
+        index = bisect_left(mv, value)
+        return index < len(mv) and mv[index] == value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ColumnView):
+            return self.mv == other.mv
+        if isinstance(other, (list, tuple)):
+            return len(other) == len(self.mv) and all(
+                a == b for a, b in zip(self.mv, other)
+            )
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        preview = ", ".join(map(str, self.mv[:6]))
+        suffix = ", ..." if len(self.mv) > 6 else ""
+        return f"ColumnView([{preview}{suffix}], len={len(self.mv)})"
+
+    def tolist(self) -> "list[int]":
+        """Materialise the window as a plain list (promotion paths only)."""
+        return self.mv.tolist()
+
+
+class FrozenIdIndex:
+    """A read-only :class:`IdTripleIndex` over CSR-laid-out ID columns.
+
+    The five columns describe one permutation's entries sorted by
+    ``(key, second, third)``:
+
+    * ``keys[i]`` — the i-th distinct key, ascending;
+    * ``key_groups[i] : key_groups[i + 1]`` — that key's group range;
+    * ``seconds[g]`` — group ``g``'s second ID (ascending per key);
+    * ``group_starts[g] : group_starts[g + 1]`` — group ``g``'s run
+      bounds in ``thirds``;
+    * ``thirds`` — all third IDs, ascending within each group.
+
+    Every lookup is a bisect over a raw int64 ``memoryview`` (C-level
+    ``__getitem__``), so probes cost O(log n) with tiny constants and the
+    structure needs no Python dicts or lists at all — opening a snapshot
+    builds exactly five views, independent of the KB size.  The writable
+    store promotes ("thaws") one of these into an :class:`IdTripleIndex`
+    via :meth:`groups` + :meth:`IdTripleIndex.bulk_extend_grouped` the
+    first time a mutation touches it.
+    """
+
+    __slots__ = ("_keys", "_key_groups", "_seconds", "_group_starts", "_thirds")
+
+    def __init__(
+        self,
+        keys: memoryview,
+        key_groups: memoryview,
+        seconds: memoryview,
+        group_starts: memoryview,
+        thirds: memoryview,
+    ):
+        self._keys = keys
+        self._key_groups = key_groups
+        self._seconds = seconds
+        self._group_starts = group_starts
+        self._thirds = thirds
+
+    def __len__(self) -> int:
+        return len(self._thirds)
+
+    # ------------------------------------------------------------------ #
+    # Internal slot lookups
+    # ------------------------------------------------------------------ #
+    def _key_slot(self, key: int) -> int:
+        """Position of ``key`` in the keys column, or ``-1``."""
+        keys = self._keys
+        slot = bisect_left(keys, key)
+        if slot < len(keys) and keys[slot] == key:
+            return slot
+        return -1
+
+    def _group_slot(self, key: int, second: int) -> int:
+        """Group index of ``(key, second)``, or ``-1``."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return -1
+        seconds = self._seconds
+        start = self._key_groups[slot]
+        end = self._key_groups[slot + 1]
+        group = bisect_left(seconds, second, start, end)
+        if group < end and seconds[group] == second:
+            return group
+        return -1
+
+    # ------------------------------------------------------------------ #
+    # Lookup (mirrors IdTripleIndex)
+    # ------------------------------------------------------------------ #
+    def contains(self, key: int, second: int, third: int) -> bool:
+        """Membership test for a fully specified entry."""
+        group = self._group_slot(key, second)
+        if group < 0:
+            return False
+        thirds = self._thirds
+        start = self._group_starts[group]
+        end = self._group_starts[group + 1]
+        slot = bisect_left(thirds, third, start, end)
+        return slot < end and thirds[slot] == third
+
+    def keys(self) -> Iterator[int]:
+        """Iterate over all distinct keys (ascending)."""
+        return iter(self._keys)
+
+    def seconds(self, key: int) -> Iterator[int]:
+        """Iterate over the distinct second IDs under ``key`` (ascending)."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return iter(())
+        return iter(self._seconds[self._key_groups[slot] : self._key_groups[slot + 1]])
+
+    def thirds(self, key: int, second: int) -> Iterator[int]:
+        """Iterate over the third IDs under ``(key, second)`` in sorted order."""
+        group = self._group_slot(key, second)
+        if group < 0:
+            return iter(())
+        return iter(
+            self._thirds[self._group_starts[group] : self._group_starts[group + 1]]
+        )
+
+    def sorted_thirds(self, key: int, second: int):
+        """The sorted third-level run under ``(key, second)`` (no copy)."""
+        group = self._group_slot(key, second)
+        if group < 0:
+            return ()
+        return ColumnView(
+            self._thirds[self._group_starts[group] : self._group_starts[group + 1]]
+        )
+
+    def pairs(self, key: int) -> Iterator[Tuple[int, int]]:
+        """Iterate over ``(second, third)`` pairs under ``key``."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return
+        seconds = self._seconds
+        group_starts = self._group_starts
+        thirds = self._thirds
+        for group in range(self._key_groups[slot], self._key_groups[slot + 1]):
+            second = seconds[group]
+            for third in thirds[group_starts[group] : group_starts[group + 1]]:
+                yield second, third
+
+    def items_for_key(self, key: int) -> Iterator[Tuple[int, ColumnView]]:
+        """Iterate over ``(second, sorted thirds view)`` groups under ``key``."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return iter(())
+        return self._iter_items(slot)
+
+    def _iter_items(self, slot: int) -> Iterator[Tuple[int, ColumnView]]:
+        seconds = self._seconds
+        group_starts = self._group_starts
+        thirds = self._thirds
+        for group in range(self._key_groups[slot], self._key_groups[slot + 1]):
+            yield seconds[group], ColumnView(
+                thirds[group_starts[group] : group_starts[group + 1]]
+            )
+
+    def triples(self) -> Iterator[Tuple[int, int, int]]:
+        """Iterate over every ``(key, second, third)`` entry (sorted)."""
+        keys = self._keys
+        key_groups = self._key_groups
+        seconds = self._seconds
+        group_starts = self._group_starts
+        thirds = self._thirds
+        for slot in range(len(keys)):
+            key = keys[slot]
+            for group in range(key_groups[slot], key_groups[slot + 1]):
+                second = seconds[group]
+                for third in thirds[group_starts[group] : group_starts[group + 1]]:
+                    yield key, second, third
+
+    # ------------------------------------------------------------------ #
+    # Counting (no materialisation)
+    # ------------------------------------------------------------------ #
+    def key_count(self) -> int:
+        """Number of distinct keys."""
+        return len(self._keys)
+
+    def count_for_key(self, key: int) -> int:
+        """Number of entries under ``key`` — two bisects and a subtraction."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return 0
+        group_starts = self._group_starts
+        return (
+            group_starts[self._key_groups[slot + 1]]
+            - group_starts[self._key_groups[slot]]
+        )
+
+    def second_count_for_key(self, key: int) -> int:
+        """Number of distinct second IDs under ``key``."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return 0
+        return self._key_groups[slot + 1] - self._key_groups[slot]
+
+    def third_count(self, key: int, second: int) -> int:
+        """Number of entries under ``(key, second)``."""
+        group = self._group_slot(key, second)
+        if group < 0:
+            return 0
+        return self._group_starts[group + 1] - self._group_starts[group]
+
+    def distinct_third_count(self, key: int) -> int:
+        """Number of distinct third IDs across all seconds under ``key``."""
+        slot = self._key_slot(key)
+        if slot < 0:
+            return 0
+        start = self._key_groups[slot]
+        end = self._key_groups[slot + 1]
+        group_starts = self._group_starts
+        thirds = self._thirds
+        if end - start == 1:
+            return group_starts[start + 1] - group_starts[start]
+        distinct: Set[int] = set()
+        for group in range(start, end):
+            distinct.update(thirds[group_starts[group] : group_starts[group + 1]])
+        return len(distinct)
+
+    def has_key(self, key: int) -> bool:
+        """Whether any entry exists under ``key``."""
+        return self._key_slot(key) >= 0
+
+    # ------------------------------------------------------------------ #
+    # Promotion / serialisation support
+    # ------------------------------------------------------------------ #
+    def columns(self) -> Tuple[memoryview, memoryview, memoryview, memoryview, memoryview]:
+        """The five raw CSR columns (keys, key_groups, seconds,
+        group_starts, thirds) — the snapshot writer copies these verbatim,
+        which is what makes save→open→save byte-identical."""
+        return (
+            self._keys,
+            self._key_groups,
+            self._seconds,
+            self._group_starts,
+            self._thirds,
+        )
+
+    def groups(self) -> Tuple["list[int]", "list[int]", "list[int]", "list[int]"]:
+        """Group-level runs in :meth:`IdTripleIndex.bulk_extend_grouped` form.
+
+        Returns ``(keys, seconds, bounds, thirds)`` where ``keys[g]`` /
+        ``seconds[g]`` identify group ``g`` and its thirds are
+        ``thirds[bounds[g]:bounds[g + 1]]`` — the store's thaw path feeds
+        this straight into a fresh writable index.
+        """
+        group_keys: "list[int]" = []
+        keys = self._keys
+        key_groups = self._key_groups
+        for slot in range(len(keys)):
+            group_keys.extend([keys[slot]] * (key_groups[slot + 1] - key_groups[slot]))
+        return (
+            group_keys,
+            self._seconds.tolist(),
+            self._group_starts.tolist(),
+            self._thirds.tolist(),
+        )
+
+    def thaw(self) -> IdTripleIndex:
+        """A writable :class:`IdTripleIndex` with identical content."""
+        index = IdTripleIndex()
+        group_keys, seconds, bounds, thirds = self.groups()
+        index.bulk_extend_grouped(group_keys, seconds, bounds, thirds)
+        return index
 
 
 class TripleIndex:

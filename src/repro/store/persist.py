@@ -1,0 +1,552 @@
+"""Disk-backed columnar snapshots with mmap reopen.
+
+This module gives the storage engine a second, *persistent* representation:
+a versioned binary snapshot that serialises the term dictionary (string
+heap + offset table) and each index order's sorted ID columns, and that
+reopens without re-sorting or re-interning anything — the cold store's
+indexes are :class:`~repro.store.index.FrozenIdIndex` views straight over
+the mapped file, and its dictionary is a
+:class:`~repro.store.dictionary.LazyTermDictionary` that decodes strings on
+demand.  The planner, merge/hash joins, scatter router and O(1) COUNT
+paths all read the same ``count_for_key`` / ``third_count`` /
+``sorted_run_ids`` bookkeeping they read on a warm store.
+
+Container layout (single file, all integers little-endian)::
+
+    offset  size  field
+    ------  ----  -----------------------------------------------------
+    0       8     magic ``b"RPROSNAP"``
+    8       4     u32: header length in bytes
+    12      4     u32: CRC-32 of the header bytes
+    16      n     header — canonical JSON (sorted keys, no whitespace)
+    ...     -     zero padding to the next 8-byte boundary
+    ...     -     section payloads, each zero-padded to 8 bytes
+
+The header records ``{"kind", "version", "name", "triples", "terms",
+"sections"}`` where ``sections`` maps each tag to ``[relative offset,
+length, crc32]`` (offsets relative to the padded end of the header, so the
+header's own size never feeds back into it).  Three container *kinds*
+share the layout:
+
+* ``"store"``      — dictionary sections + three index orders
+  (``TripleStore.save`` / ``TripleStore.open``);
+* ``"dictionary"`` — dictionary sections only (the shared per-directory
+  file of a sharded snapshot);
+* ``"columns"``    — index sections only (one per shard).
+
+Dictionary sections: ``dict/heap`` (concatenated
+:func:`~repro.store.dictionary.encode_term_record` records in ID order),
+``dict/offsets`` (``terms + 1`` int64 record boundaries), ``dict/kinds``
+(one kind byte per ID), ``dict/lookup`` (the ID permutation sorted by
+record bytes, binary-searched by lazy ``id_for``).  Index sections, for
+each order ``spo`` / ``pos`` / ``osp``: the five CSR columns ``keys``,
+``key_groups``, ``seconds``, ``group_starts``, ``thirds`` described on
+:class:`FrozenIdIndex`.
+
+A sharded snapshot is a directory: ``manifest.json`` (shard topology +
+self-CRC), one shared dictionary container and one columns container per
+shard — every shard reopens over the same :class:`LazyTermDictionary`,
+so the ID space survives exactly.  Payload files carry a **generation
+suffix** (``dictionary-g3.snap``, ``shard0-g3.snap``, ...) and the
+manifest — which names its generation's files — is replaced *last* and
+atomically: a crash anywhere mid-save leaves the previous manifest
+pointing at the previous generation's untouched files, so the last good
+snapshot always survives and mixed-generation opens are impossible.
+Stale generations are swept after a successful save.
+
+Every integrity failure — bad magic, bad version, truncation, any
+section or header CRC mismatch, inconsistent column lengths — raises
+:class:`~repro.errors.SnapshotCorruptError`; writers emit canonical bytes
+(sorted dict iteration, deterministic term records), so ``save → open →
+save`` is byte-identical.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap as _mmap
+import os
+import re
+import sys
+import zlib
+from array import array
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SnapshotCorruptError
+from repro.store.dictionary import LazyTermDictionary, TermDictionary
+from repro.store.index import FrozenIdIndex, IdTripleIndex
+
+MAGIC = b"RPROSNAP"
+VERSION = 1
+
+KIND_STORE = "store"
+KIND_DICTIONARY = "dictionary"
+KIND_COLUMNS = "columns"
+
+#: Index orders and the CSR columns serialised per order.
+INDEX_ORDERS = ("spo", "pos", "osp")
+INDEX_COLUMNS = ("keys", "key_groups", "seconds", "group_starts", "thirds")
+DICT_SECTIONS = ("dict/heap", "dict/offsets", "dict/kinds", "dict/lookup")
+
+MANIFEST_NAME = "manifest.json"
+
+#: Generation-tagged payload file names of a sharded snapshot directory.
+_GENERATION_PATTERN = re.compile(r"-g(\d+)\.snap$")
+
+_PREFIX_LEN = 16  # magic + header length + header crc
+
+
+def _pad8(length: int) -> int:
+    return (-length) % 8
+
+
+def _canonical_json(value) -> str:
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+def _int64_bytes(column) -> bytes:
+    """Little-endian int64 bytes of a column (array / memoryview / list)."""
+    if isinstance(column, memoryview) and sys.byteorder == "little":
+        return column.tobytes()
+    values = column if isinstance(column, array) else array("q", column)
+    if sys.byteorder == "big":  # pragma: no cover - big-endian hosts only
+        values = array("q", values)
+        values.byteswap()
+    return values.tobytes()
+
+
+def _int64_view(section: memoryview, tag: str) -> memoryview:
+    """An int64 view over one little-endian section payload."""
+    if len(section) % 8:
+        raise SnapshotCorruptError(
+            f"Section {tag!r}: length {len(section)} is not a multiple of 8"
+        )
+    if sys.byteorder == "little":
+        return section.cast("q")
+    values = array("q")  # pragma: no cover - big-endian hosts only
+    values.frombytes(section.tobytes())
+    values.byteswap()
+    return memoryview(values)
+
+
+# --------------------------------------------------------------------- #
+# Container writer / reader
+# --------------------------------------------------------------------- #
+def _atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` via a same-directory temp file + ``os.replace``.
+
+    A crash mid-save can therefore never destroy the previous snapshot,
+    and a sibling process that already mmap'd the old file keeps reading
+    its (still-valid) inode instead of seeing a truncation window.
+    """
+    temp = path.with_name(path.name + ".tmp")
+    temp.write_bytes(data)
+    os.replace(temp, path)
+
+
+def write_container(
+    path: Union[str, Path],
+    kind: str,
+    name: str,
+    sections: List[Tuple[str, bytes]],
+    triples: int,
+    terms: int,
+) -> None:
+    """Serialise one snapshot container to ``path`` (canonical bytes,
+    atomically replaced)."""
+    table: Dict[str, List[int]] = {}
+    offset = 0
+    payloads = []
+    for tag, payload in sections:
+        table[tag] = [offset, len(payload), zlib.crc32(payload)]
+        payloads.append(payload)
+        offset += len(payload) + _pad8(len(payload))
+    header = _canonical_json(
+        {
+            "kind": kind,
+            "version": VERSION,
+            "name": name,
+            "triples": triples,
+            "terms": terms,
+            "sections": table,
+        }
+    ).encode("utf-8")
+    parts = [MAGIC, len(header).to_bytes(4, "little"),
+             zlib.crc32(header).to_bytes(4, "little"), header,
+             b"\0" * _pad8(_PREFIX_LEN + len(header))]
+    for payload in payloads:
+        parts.append(payload)
+        parts.append(b"\0" * _pad8(len(payload)))
+    _atomic_write_bytes(Path(path), b"".join(parts))
+
+
+def read_container(
+    buffer, kind: str, verify: bool = True
+) -> Tuple[dict, Dict[str, memoryview]]:
+    """Parse and validate one container; returns (header, section views).
+
+    ``buffer`` is the raw file content (``bytes`` or ``mmap``).  With
+    ``verify`` every section's CRC-32 is checked against the header (one
+    sequential pass over the file — still far cheaper than a rebuild);
+    the header's own CRC, the magic, the version and all structural
+    bounds are checked unconditionally.
+    """
+    view = memoryview(buffer)
+    if len(view) < _PREFIX_LEN:
+        raise SnapshotCorruptError(f"Snapshot truncated: {len(view)} bytes")
+    if bytes(view[:8]) != MAGIC:
+        raise SnapshotCorruptError("Bad snapshot magic (not a repro snapshot)")
+    header_len = int.from_bytes(view[8:12], "little")
+    header_crc = int.from_bytes(view[12:16], "little")
+    if _PREFIX_LEN + header_len > len(view):
+        raise SnapshotCorruptError("Snapshot truncated inside the header")
+    header_bytes = bytes(view[_PREFIX_LEN : _PREFIX_LEN + header_len])
+    if zlib.crc32(header_bytes) != header_crc:
+        raise SnapshotCorruptError("Snapshot header checksum mismatch")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as error:
+        raise SnapshotCorruptError(f"Snapshot header unparsable: {error}") from None
+    if header.get("version") != VERSION:
+        raise SnapshotCorruptError(
+            f"Unsupported snapshot version: {header.get('version')!r}"
+        )
+    if header.get("kind") != kind:
+        raise SnapshotCorruptError(
+            f"Expected a {kind!r} snapshot, found {header.get('kind')!r}"
+        )
+    base = _PREFIX_LEN + header_len
+    base += _pad8(base)
+    table = header.get("sections")
+    if not isinstance(table, dict):
+        raise SnapshotCorruptError("Snapshot header has no section table")
+    views: Dict[str, memoryview] = {}
+    for tag, entry in table.items():
+        if not (isinstance(entry, list) and len(entry) == 3):
+            raise SnapshotCorruptError(f"Malformed section entry for {tag!r}")
+        offset, length, crc = entry
+        start = base + offset
+        if offset < 0 or length < 0 or start + length > len(view):
+            raise SnapshotCorruptError(f"Section {tag!r} exceeds the snapshot file")
+        section = view[start : start + length]
+        if verify and zlib.crc32(section) != crc:
+            raise SnapshotCorruptError(f"Section {tag!r} checksum mismatch")
+        views[tag] = section
+    return header, views
+
+
+def _load_buffer(path: Union[str, Path], use_mmap: bool):
+    """The file's content as an mmap (default) or an in-memory bytes copy."""
+    path = Path(path)
+    try:
+        if use_mmap:
+            with open(path, "rb") as handle:
+                return _mmap.mmap(handle.fileno(), 0, access=_mmap.ACCESS_READ)
+        return path.read_bytes()
+    except FileNotFoundError:
+        raise
+    except (ValueError, OSError) as error:
+        raise SnapshotCorruptError(f"Cannot map snapshot {path}: {error}") from None
+
+
+# --------------------------------------------------------------------- #
+# Section builders
+# --------------------------------------------------------------------- #
+def dictionary_sections(dictionary: TermDictionary) -> List[Tuple[str, bytes]]:
+    """The four dictionary sections (raw pass-through for unpromoted
+    lazy dictionaries, deterministic rebuild otherwise)."""
+    heap, offsets, kinds, lookup = dictionary.snapshot_columns()
+    return [
+        ("dict/heap", bytes(heap)),
+        ("dict/offsets", _int64_bytes(offsets)),
+        ("dict/kinds", bytes(kinds)),
+        ("dict/lookup", _int64_bytes(lookup)),
+    ]
+
+
+def index_sections(order: str, index) -> List[Tuple[str, bytes]]:
+    """The five CSR sections of one index order (writable or frozen)."""
+    if isinstance(index, FrozenIdIndex):
+        columns = index.columns()
+    else:
+        columns = index.csr_columns()
+    return [
+        (f"{order}/{column_name}", _int64_bytes(column))
+        for column_name, column in zip(INDEX_COLUMNS, columns)
+    ]
+
+
+def _build_dictionary(
+    header: dict, sections: Dict[str, memoryview]
+) -> LazyTermDictionary:
+    for tag in DICT_SECTIONS:
+        if tag not in sections:
+            raise SnapshotCorruptError(f"Snapshot missing section {tag!r}")
+    offsets = _int64_view(sections["dict/offsets"], "dict/offsets")
+    terms = header.get("terms")
+    if len(offsets) != (terms or 0) + 1:
+        raise SnapshotCorruptError(
+            f"Dictionary offset table has {len(offsets)} entries for {terms} terms"
+        )
+    heap = sections["dict/heap"]
+    if len(offsets) and (offsets[0] != 0 or offsets[len(offsets) - 1] != len(heap)):
+        raise SnapshotCorruptError("Dictionary offsets do not span the string heap")
+    try:
+        return LazyTermDictionary(
+            heap=heap,
+            offsets=offsets,
+            kinds=sections["dict/kinds"],
+            lookup=_int64_view(sections["dict/lookup"], "dict/lookup"),
+        )
+    except Exception as error:
+        raise SnapshotCorruptError(f"Dictionary sections inconsistent: {error}") from None
+
+
+def _build_index(
+    order: str, header: dict, sections: Dict[str, memoryview]
+) -> FrozenIdIndex:
+    views = []
+    for column_name in INDEX_COLUMNS:
+        tag = f"{order}/{column_name}"
+        if tag not in sections:
+            raise SnapshotCorruptError(f"Snapshot missing section {tag!r}")
+        views.append(_int64_view(sections[tag], tag))
+    keys, key_groups, seconds, group_starts, thirds = views
+    triples = header.get("triples")
+    if (
+        len(key_groups) != len(keys) + 1
+        or len(group_starts) != len(seconds) + 1
+        or (len(key_groups) and key_groups[len(key_groups) - 1] != len(seconds))
+        or (len(group_starts) and group_starts[len(group_starts) - 1] != len(thirds))
+        or len(thirds) != triples
+    ):
+        raise SnapshotCorruptError(f"Index order {order!r} columns are inconsistent")
+    return FrozenIdIndex(keys, key_groups, seconds, group_starts, thirds)
+
+
+# --------------------------------------------------------------------- #
+# Single-store snapshots
+# --------------------------------------------------------------------- #
+def save_store(store, path: Union[str, Path]) -> None:
+    """Write ``store`` (and its dictionary) as one snapshot file."""
+    sections = dictionary_sections(store.dictionary)
+    for order in INDEX_ORDERS:
+        sections.extend(index_sections(order, getattr(store, f"_{order}")))
+    write_container(
+        path,
+        kind=KIND_STORE,
+        name=store.name,
+        sections=sections,
+        triples=len(store),
+        terms=len(store.dictionary),
+    )
+
+
+def open_store(
+    path: Union[str, Path],
+    mmap: bool = True,
+    verify: bool = True,
+    _kind: str = KIND_STORE,
+    _dictionary: Optional[TermDictionary] = None,
+):
+    """Reopen a snapshot written by :func:`save_store`.
+
+    With ``mmap`` (the default) the file is mapped read-only and every
+    column is a zero-copy view over it — open time is O(header +
+    checksums), independent of how many triples the store holds, and
+    resident memory grows only with the pages a workload actually
+    touches.  ``mmap=False`` reads the file into one bytes object instead
+    (same structures, no page-cache dependence).  ``verify=False`` skips
+    the per-section CRC pass (structural checks still run).
+    """
+    from repro.store.triplestore import TripleStore
+
+    buffer = _load_buffer(path, use_mmap=mmap)
+    header, sections = read_container(buffer, kind=_kind, verify=verify)
+    if _dictionary is None:
+        dictionary = _build_dictionary(header, sections)
+    else:
+        dictionary = _dictionary
+        if header.get("terms") != len(dictionary):
+            raise SnapshotCorruptError(
+                f"Shard snapshot was written against {header.get('terms')} terms, "
+                f"shared dictionary holds {len(dictionary)}"
+            )
+    indexes = {
+        order: _build_index(order, header, sections) for order in INDEX_ORDERS
+    }
+    name = header.get("name")
+    return TripleStore._from_snapshot(
+        name=name if isinstance(name, str) else "store",
+        dictionary=dictionary,
+        spo=indexes["spo"],
+        pos=indexes["pos"],
+        osp=indexes["osp"],
+        retained=buffer,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Sharded snapshots (directory: manifest + shared dictionary + shards)
+# --------------------------------------------------------------------- #
+def _next_generation(directory: Path) -> int:
+    """One past the highest generation suffix present in ``directory``.
+
+    Scans file names rather than trusting the manifest, so a corrupt
+    manifest can never cause a new save to overwrite the files an old
+    manifest might still (partially) describe.
+    """
+    highest = 0
+    for entry in directory.iterdir():
+        match = _GENERATION_PATTERN.search(entry.name)
+        if match:
+            highest = max(highest, int(match.group(1)))
+    return highest + 1
+
+
+def save_sharded_store(store, directory: Union[str, Path]) -> None:
+    """Write a sharded store as a snapshot directory (crash-safe).
+
+    The shared dictionary is serialised exactly once; each shard's index
+    columns go to their own per-shard file so a future process-based
+    deployment can open shards independently.  All payload files carry a
+    fresh generation suffix and the manifest — which names exactly its
+    generation's files — is atomically replaced *last*: until that
+    instant any reader (or a post-crash reopen) resolves the previous
+    manifest to the previous generation's intact files, and afterwards
+    the stale generation is swept.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    generation = _next_generation(directory)
+    terms = len(store.dictionary)
+    dictionary_name = f"dictionary-g{generation}.snap"
+    write_container(
+        directory / dictionary_name,
+        kind=KIND_DICTIONARY,
+        name=store.name,
+        sections=dictionary_sections(store.dictionary),
+        triples=len(store),
+        terms=terms,
+    )
+    shard_files = []
+    for position, shard in enumerate(store.shards):
+        file_name = f"shard{position}-g{generation}.snap"
+        shard_files.append(file_name)
+        sections = []
+        for order in INDEX_ORDERS:
+            sections.extend(index_sections(order, getattr(shard, f"_{order}")))
+        write_container(
+            directory / file_name,
+            kind=KIND_COLUMNS,
+            name=shard.name,
+            sections=sections,
+            triples=len(shard),
+            terms=terms,
+        )
+    body = {
+        "format": "repro-sharded-snapshot",
+        "version": VERSION,
+        "generation": generation,
+        "name": store.name,
+        "num_shards": store.num_shards,
+        "boundaries": list(store.boundaries),
+        "bounded": store._bounded,
+        "skew_threshold": store.skew_threshold,
+        "terms": terms,
+        "triples": len(store),
+        "dictionary": dictionary_name,
+        "shards": shard_files,
+    }
+    body["crc32"] = zlib.crc32(_canonical_json(body).encode("utf-8"))
+    _atomic_write_bytes(
+        directory / MANIFEST_NAME,
+        (json.dumps(body, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+    )
+    # The new manifest is durable; sweep payload files it does not name
+    # (previous generations, leftovers of crashed saves).
+    keep = {MANIFEST_NAME, dictionary_name, *shard_files}
+    for entry in directory.iterdir():
+        if entry.name not in keep and (
+            _GENERATION_PATTERN.search(entry.name) or entry.name.endswith(".tmp")
+        ):
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - concurrent sweep
+                pass
+
+
+def _read_manifest(directory: Path) -> dict:
+    path = directory / MANIFEST_NAME
+    try:
+        body = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        raise
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        raise SnapshotCorruptError(f"Sharded manifest unparsable: {error}") from None
+    if not isinstance(body, dict) or "crc32" not in body:
+        raise SnapshotCorruptError("Sharded manifest has no checksum")
+    recorded = body.pop("crc32")
+    if zlib.crc32(_canonical_json(body).encode("utf-8")) != recorded:
+        raise SnapshotCorruptError("Sharded manifest checksum mismatch")
+    if body.get("version") != VERSION or body.get("format") != "repro-sharded-snapshot":
+        raise SnapshotCorruptError(
+            f"Unsupported sharded snapshot: format={body.get('format')!r} "
+            f"version={body.get('version')!r}"
+        )
+    num_shards = body.get("num_shards")
+    shards = body.get("shards")
+    boundaries = body.get("boundaries")
+    if (
+        not isinstance(num_shards, int)
+        or num_shards < 1
+        or not isinstance(shards, list)
+        or len(shards) != num_shards
+        or not isinstance(boundaries, list)
+        or len(boundaries) > max(0, num_shards - 1)
+    ):
+        raise SnapshotCorruptError("Sharded manifest topology is inconsistent")
+    return body
+
+
+def open_sharded_store(
+    directory: Union[str, Path], mmap: bool = True, verify: bool = True
+):
+    """Reopen a directory written by :func:`save_sharded_store`."""
+    from repro.shard.sharded_store import ShardedTripleStore
+
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    dict_buffer = _load_buffer(directory / manifest["dictionary"], use_mmap=mmap)
+    dict_header, dict_sections = read_container(
+        dict_buffer, kind=KIND_DICTIONARY, verify=verify
+    )
+    if dict_header.get("terms") != manifest["terms"]:
+        raise SnapshotCorruptError(
+            "Sharded manifest and dictionary snapshot disagree on term count"
+        )
+    dictionary = _build_dictionary(dict_header, dict_sections)
+    shards = tuple(
+        open_store(
+            directory / file_name,
+            mmap=mmap,
+            verify=verify,
+            _kind=KIND_COLUMNS,
+            _dictionary=dictionary,
+        )
+        for file_name in manifest["shards"]
+    )
+    if sum(len(shard) for shard in shards) != manifest["triples"]:
+        raise SnapshotCorruptError(
+            "Sharded manifest triple count does not match the shard snapshots"
+        )
+    return ShardedTripleStore._from_snapshot(
+        name=manifest["name"],
+        dictionary=dictionary,
+        shards=shards,
+        boundaries=list(manifest["boundaries"]),
+        bounded=bool(manifest["bounded"]),
+        skew_threshold=float(manifest.get("skew_threshold", 4.0)),
+        retained=dict_buffer,
+    )

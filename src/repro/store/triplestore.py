@@ -26,6 +26,13 @@ pattern    index used
 
 Every one of the eight shapes is also *countable* from index bookkeeping
 alone — :meth:`count` never materialises triples.
+
+Since the persistence PR a store has **two interchangeable index
+representations**: the writable :class:`IdTripleIndex` nests (warm
+stores) and read-only :class:`~repro.store.index.FrozenIdIndex` column
+views over an mmap'd snapshot (:meth:`TripleStore.open`).  Every read
+path is generic over both; the first mutation of a cold store promotes
+the frozen columns to the writable form (see :meth:`_ensure_writable`).
 """
 
 from __future__ import annotations
@@ -37,7 +44,7 @@ from repro.errors import StoreError
 from repro.rdf.terms import IRI, Term
 from repro.rdf.triple import Triple, TriplePattern
 from repro.store.dictionary import TermDictionary
-from repro.store.index import IdTripleIndex
+from repro.store.index import FrozenIdIndex, IdTripleIndex
 from repro.store.stats import (
     PredicateStatistics,
     StoreStatistics,
@@ -99,8 +106,106 @@ class TripleStore:
         # single dict lookup instead of three term->ID translations.
         self._triples: Dict[Tuple[int, int, int], Triple] = {}
         self._triple_ids: Dict[Triple, Tuple[int, int, int]] = {}
+        # Cold-opened stores (TripleStore.open) start with frozen columnar
+        # indexes, a lazy dictionary and *no* materialised Triple maps;
+        # these two flags track that state.  Warm stores never flip them.
+        self._lazy_triples = False
+        self._snapshot_retained = None  # keeps the mmap buffer alive
         if triples is not None:
             self.bulk_load(triples)
+
+    @classmethod
+    def _from_snapshot(
+        cls,
+        name: str,
+        dictionary: TermDictionary,
+        spo: FrozenIdIndex,
+        pos: FrozenIdIndex,
+        osp: FrozenIdIndex,
+        retained=None,
+    ) -> "TripleStore":
+        """Assemble a cold store over frozen snapshot views (persist layer)."""
+        store = cls.__new__(cls)
+        store.name = name
+        store._dictionary = dictionary
+        store._spo = spo
+        store._pos = pos
+        store._osp = osp
+        store._version = 0
+        store._triples = {}
+        store._triple_ids = {}
+        store._lazy_triples = True
+        store._snapshot_retained = retained
+        return store
+
+    # ------------------------------------------------------------------ #
+    # Snapshot persistence
+    # ------------------------------------------------------------------ #
+    def save(self, path) -> None:
+        """Write the store (triples + dictionary) as one snapshot file.
+
+        The format is documented in :mod:`repro.store.persist`; reopening
+        with :meth:`open` restores an equivalent store without re-sorting
+        or re-interning.  Saving is deterministic: saving an unmutated
+        reopened snapshot reproduces the file byte for byte.
+        """
+        from repro.store.persist import save_store
+
+        save_store(self, path)
+
+    @classmethod
+    def open(cls, path, mmap: bool = True, verify: bool = True) -> "TripleStore":
+        """Reopen a snapshot written by :meth:`save`.
+
+        With ``mmap`` (default) the index columns and the string heap stay
+        on disk behind read-only views, so opening costs header parsing
+        plus one checksum pass regardless of store size; terms decode
+        lazily as queries touch them.  ``mmap=False`` loads the file into
+        memory instead.  The first mutation transparently promotes the
+        frozen columns to the writable in-memory form.
+
+        Raises
+        ------
+        SnapshotCorruptError
+            If the file is truncated, has a bad magic/version, or any
+            checksum does not match.
+        """
+        from repro.store.persist import open_store
+
+        return open_store(path, mmap=mmap, verify=verify)
+
+    @property
+    def is_frozen(self) -> bool:
+        """Whether the indexes are still read-only snapshot views."""
+        return isinstance(self._spo, FrozenIdIndex)
+
+    def _ensure_triples(self) -> None:
+        """Materialise the ID-triple <-> Triple maps of a cold store."""
+        if not self._lazy_triples:
+            return
+        decode = self._dictionary.decode_triple
+        triples = self._triples
+        triple_ids = self._triple_ids
+        for ids in self._spo.triples():
+            triple = decode(ids)
+            triples[ids] = triple
+            triple_ids[triple] = ids
+        self._lazy_triples = False
+
+    def _ensure_writable(self) -> None:
+        """Promote frozen snapshot columns to writable indexes (mutations).
+
+        Copy-on-write at index-order granularity: each frozen
+        :class:`FrozenIdIndex` thaws into an independent
+        :class:`IdTripleIndex`; the mmap'd columns themselves are never
+        written.  Reads never trigger this.
+        """
+        if not isinstance(self._spo, FrozenIdIndex):
+            return
+        self._ensure_triples()
+        self._spo = self._spo.thaw()
+        self._pos = self._pos.thaw()
+        self._osp = self._osp.thaw()
 
     # ------------------------------------------------------------------ #
     # Mutation
@@ -109,6 +214,12 @@ class TripleStore:
         """Add a triple.  Returns ``True`` if the store changed."""
         if not isinstance(triple, Triple):
             raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
+        # Idempotent-upsert fast path on a cold store: a duplicate add is
+        # a no-op, so answer it from the frozen columns instead of paying
+        # the full thaw.
+        if self._lazy_triples and triple in self:
+            return False
+        self._ensure_writable()
         encode = self._dictionary.encode
         s = encode(triple.subject)
         p = encode(triple.predicate)
@@ -148,7 +259,11 @@ class TripleStore:
         wins) but several times faster on large batches.
         """
         # Subscripting the interning map interns on miss entirely in C for
-        # already-seen terms (the overwhelming case in a batch).
+        # already-seen terms (the overwhelming case in a batch).  Staging
+        # only needs the Triple maps (dedupe) and the interning map; the
+        # index thaw is left to bulk_load_pending, which skips it when
+        # the whole batch turns out to be duplicates.
+        self._ensure_triples()
         intern = self._dictionary.ids_map
         triples_map = self._triples
         # Stage the batch before touching any store structure: if the input
@@ -185,6 +300,7 @@ class TripleStore:
         count = len(pending)
         if not count:
             return 0
+        self._ensure_writable()
         self._version += 1
         triple_ids = self._triple_ids
         s_col = array("q")
@@ -243,6 +359,11 @@ class TripleStore:
         Dictionary IDs are *not* reclaimed: interned terms keep their IDs
         for the lifetime of the store.
         """
+        # Mirror of the add() fast path: removing an absent triple from a
+        # cold store is a no-op answered from the frozen columns.
+        if self._lazy_triples and triple not in self:
+            return False
+        self._ensure_writable()
         ids = self._triple_ids.get(triple)
         if ids is None:
             return False
@@ -262,11 +383,19 @@ class TripleStore:
         The term dictionary is kept: IDs remain stable across ``clear`` so
         external holders of IDs (caches, statistics) stay valid.
         """
-        if self._triples:
+        if len(self._spo):
             self._version += 1
-        self._spo.clear()
-        self._pos.clear()
-        self._osp.clear()
+        if isinstance(self._spo, FrozenIdIndex):
+            # No point thawing columns just to empty them: swap in fresh
+            # writable indexes and drop the frozen views.
+            self._spo = IdTripleIndex()
+            self._pos = IdTripleIndex()
+            self._osp = IdTripleIndex()
+            self._lazy_triples = False
+        else:
+            self._spo.clear()
+            self._pos.clear()
+            self._osp.clear()
         self._triples.clear()
         self._triple_ids.clear()
 
@@ -298,7 +427,10 @@ class TripleStore:
         return self._dictionary.decode(tid)
 
     def contains_ids(self, s: int, p: int, o: int) -> bool:
-        """Membership test in ID space — one tuple-hash probe."""
+        """Membership test in ID space — one tuple-hash probe (a bisect
+        probe on a cold-opened store)."""
+        if self._lazy_triples:
+            return self._spo.contains(s, p, o)
         return (s, p, o) in self._triples
 
     @property
@@ -307,8 +439,11 @@ class TripleStore:
 
         Exposed, like :attr:`TermDictionary.ids_map`, so hot batch paths
         (the sharded store's staging loop) can dedupe with a plain dict
-        probe instead of a method call per triple.
+        probe instead of a method call per triple.  On a cold-opened
+        store this materialises the map first (callers on this path are
+        about to mutate anyway).
         """
+        self._ensure_triples()
         return self._triples
 
     def match_ids(
@@ -324,7 +459,7 @@ class TripleStore:
         """
         s, p, o = subject, predicate, object
         if s is not None and p is not None and o is not None:
-            if (s, p, o) in self._triples:
+            if self.contains_ids(s, p, o):
                 yield (s, p, o)
             return
         if s is not None and p is not None:
@@ -396,7 +531,7 @@ class TripleStore:
             return self._pos.count_for_key(p)
         if o is not None:
             return self._osp.count_for_key(o)
-        return len(self._triples)
+        return len(self._spo)
 
     def position_ids(
         self,
@@ -489,7 +624,7 @@ class TripleStore:
     # Lookup (Term-level public API)
     # ------------------------------------------------------------------ #
     def __len__(self) -> int:
-        return len(self._triples)
+        return len(self._spo)
 
     def __contains__(self, triple: object) -> bool:
         # One flat-map probe: Triple caches its hash at construction, so
@@ -497,13 +632,26 @@ class TripleStore:
         # the previous implementation paid on every call.
         if not isinstance(triple, Triple):
             return False
+        if self._lazy_triples:
+            # Cold store: three lazy ID lookups + one index bisect, so a
+            # membership probe never materialises the Triple maps.
+            id_for = self._dictionary.id_for
+            s = id_for(triple.subject)
+            p = id_for(triple.predicate)
+            o = id_for(triple.object)
+            if s is None or p is None or o is None:
+                return False
+            return self._spo.contains(s, p, o)
         return triple in self._triple_ids
 
     def __iter__(self) -> Iterator[Triple]:
+        if self._lazy_triples:
+            decode = self._dictionary.decode_triple
+            return (decode(ids) for ids in self._spo.triples())
         return iter(self._triples.values())
 
     def __repr__(self) -> str:
-        return f"TripleStore(name={self.name!r}, size={len(self._triples)})"
+        return f"TripleStore(name={self.name!r}, size={len(self)})"
 
     def _resolve(self, term: Optional[Term]):
         """Map a pattern position to an ID, ``None`` (wildcard) or ``_MISS``."""
@@ -528,7 +676,12 @@ class TripleStore:
         if s is _MISS or p is _MISS or o is _MISS:
             return
         if s is None and p is None and o is None:
-            yield from self._triples.values()
+            yield from iter(self)
+            return
+        if self._lazy_triples:
+            decode = self._dictionary.decode_triple
+            for ids in self.match_ids(s, p, o):
+                yield decode(ids)
             return
         triples = self._triples
         for ids in self.match_ids(s, p, o):
@@ -661,7 +814,7 @@ class TripleStore:
     def statistics(self) -> StoreStatistics:
         """Compute a full statistics snapshot."""
         stats = StoreStatistics(
-            triple_count=len(self._triples),
+            triple_count=len(self),
             predicate_count=self._pos.key_count(),
             subject_count=self._spo.key_count(),
             object_count=self._osp.key_count(),

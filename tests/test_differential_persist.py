@@ -1,0 +1,218 @@
+"""Differential fuzzing: warm vs mmap-reopened vs sharded-reopened stores.
+
+For hypothesis-generated stores and query workloads, the same data must
+answer every query identically (as solution multisets) no matter which
+representation serves it:
+
+* the warm in-memory store (planned evaluator — the reference, itself
+  cross-checked against the naive nested-loop path elsewhere);
+* the store saved to a snapshot and reopened cold via ``mmap``;
+* sharded stores at 1, 2 and 8 shards, saved and reopened cold through
+  the scatter/gather evaluator.
+
+The workload covers BGP joins, OPTIONAL, UNION, ASK, LIMIT, COUNT /
+COUNT DISTINCT and VALUES (with UNDEF rows).  LIMIT pages may differ
+*which* rows they pick between representations (iteration order is not
+part of the contract), so those assert valid-subset-of-the-full-result
+semantics instead of row identity.
+"""
+
+import tempfile
+from collections import Counter
+from pathlib import Path
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.sparql.ast import (
+    AskQuery,
+    CountExpression,
+    GroupGraphPattern,
+    OptionalNode,
+    ProjectionItem,
+    SelectQuery,
+    TriplePatternNode,
+    UnionNode,
+    ValuesNode,
+)
+from repro.sparql.bindings import Variable
+from repro.sparql.evaluate import QueryEvaluator
+from repro.sparql.scatter import ShardedQueryEvaluator
+from repro.store.triplestore import TripleStore
+
+EX = Namespace("http://diffpersist.test/")
+
+SHARD_COUNTS = (1, 2, 8)
+
+# Deliberately tiny vocabulary so random BGPs actually join (mirrors
+# test_shard_property.py), plus literals so the lazy dictionary's decode
+# path sees every term kind.
+_iris = st.sampled_from([EX[f"n{index}"] for index in range(6)])
+_literals = st.sampled_from(
+    [Literal("v0"), Literal("v1", language="en"), Literal(7)]
+)
+_objects = st.one_of(_iris, _literals)
+_variables = st.sampled_from([Variable(name) for name in "abc"])
+_subject_terms = st.one_of(_variables, _iris)
+_object_terms = st.one_of(_variables, _iris)
+_patterns = st.builds(
+    TriplePatternNode, _subject_terms, _subject_terms, _object_terms
+)
+_triples = st.lists(st.builds(Triple, _iris, _iris, _objects), max_size=40)
+_values_nodes = st.lists(
+    st.tuples(st.one_of(st.none(), _iris), st.one_of(st.none(), _iris)),
+    min_size=1,
+    max_size=3,
+).map(
+    lambda rows: ValuesNode(variables=(Variable("a"), Variable("b")), rows=tuple(rows))
+)
+
+
+def _multiset(result) -> Counter:
+    return Counter(frozenset(row.items()) for row in result)
+
+
+def _reopened_evaluators(triples):
+    """(reference, [evaluator per representation]) over one dataset.
+
+    Every reopened store lives in a fresh temporary directory; the mmap
+    stays valid for the evaluators' lifetime because the store retains
+    the mapped buffer.
+    """
+    warm = TripleStore(triples=triples)
+    evaluators = [("warm", QueryEvaluator(warm))]
+    tmp = Path(tempfile.mkdtemp(prefix="diffpersist-"))
+    warm.save(tmp / "single.snap")
+    evaluators.append(
+        ("cold-mmap", QueryEvaluator(TripleStore.open(tmp / "single.snap")))
+    )
+    for count in SHARD_COUNTS:
+        sharded = ShardedTripleStore(num_shards=count, triples=triples)
+        directory = tmp / f"shards{count}"
+        sharded.save(directory)
+        evaluators.append(
+            (
+                f"cold-shards{count}",
+                ShardedQueryEvaluator(ShardedTripleStore.open(directory)),
+            )
+        )
+    return evaluators
+
+
+def _assert_identical(query, triples):
+    evaluators = _reopened_evaluators(triples)
+    _, reference = evaluators[0]
+    expected = _multiset(reference.evaluate(query))
+    for label, evaluator in evaluators[1:]:
+        assert _multiset(evaluator.evaluate(query)) == expected, label
+
+
+class TestDifferentialSelect:
+    @given(_triples, st.lists(_patterns, min_size=1, max_size=4))
+    @settings(max_examples=30, deadline=None)
+    def test_bgp_join(self, triples, patterns):
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern(tuple(patterns)),
+            select_all=True,
+        )
+        _assert_identical(query, triples)
+
+    @given(_triples, _patterns, st.lists(_patterns, min_size=1, max_size=2))
+    @settings(max_examples=20, deadline=None)
+    def test_optional(self, triples, required, optionals):
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern(
+                (required, OptionalNode(GroupGraphPattern(tuple(optionals))))
+            ),
+            select_all=True,
+        )
+        _assert_identical(query, triples)
+
+    @given(
+        _triples,
+        st.lists(_patterns, min_size=1, max_size=2),
+        st.lists(_patterns, min_size=1, max_size=2),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_union(self, triples, left, right):
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern(
+                (
+                    UnionNode(
+                        branches=(
+                            GroupGraphPattern(tuple(left)),
+                            GroupGraphPattern(tuple(right)),
+                        )
+                    ),
+                )
+            ),
+            select_all=True,
+        )
+        _assert_identical(query, triples)
+
+    @given(_triples, _values_nodes, st.lists(_patterns, min_size=1, max_size=2))
+    @settings(max_examples=20, deadline=None)
+    def test_values_with_undef(self, triples, values, patterns):
+        query = SelectQuery(
+            projection=(),
+            where=GroupGraphPattern((values,) + tuple(patterns)),
+            select_all=True,
+        )
+        _assert_identical(query, triples)
+
+
+class TestDifferentialAskLimitCount:
+    @given(_triples, st.lists(_patterns, min_size=1, max_size=3))
+    @settings(max_examples=30, deadline=None)
+    def test_ask(self, triples, patterns):
+        query = AskQuery(where=GroupGraphPattern(tuple(patterns)))
+        evaluators = _reopened_evaluators(triples)
+        _, reference = evaluators[0]
+        expected = bool(reference.evaluate(query))
+        for label, evaluator in evaluators[1:]:
+            assert bool(evaluator.evaluate(query)) == expected, label
+
+    @given(
+        _triples,
+        st.lists(_patterns, min_size=1, max_size=3),
+        st.integers(min_value=0, max_value=7),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_limit_pages_are_valid_subsets(self, triples, patterns, limit):
+        where = GroupGraphPattern(tuple(patterns))
+        full = SelectQuery(projection=(), where=where, select_all=True)
+        paged = SelectQuery(
+            projection=(), where=where, select_all=True, limit=limit
+        )
+        evaluators = _reopened_evaluators(triples)
+        _, reference = evaluators[0]
+        universe = _multiset(reference.evaluate(full))
+        expected_size = min(limit, sum(universe.values()))
+        for label, evaluator in evaluators[1:]:
+            page = _multiset(evaluator.evaluate(paged))
+            assert sum(page.values()) == expected_size, label
+            for row, count in page.items():
+                assert universe[row] >= count, label
+
+    @given(_triples, st.lists(_patterns, min_size=1, max_size=3))
+    @settings(max_examples=25, deadline=None)
+    def test_count_and_count_distinct(self, triples, patterns):
+        projection = (
+            ProjectionItem(expression=CountExpression(), alias=Variable("c")),
+            ProjectionItem(
+                expression=CountExpression(variable=Variable("a"), distinct=True),
+                alias=Variable("d"),
+            ),
+        )
+        query = SelectQuery(
+            projection=projection,
+            where=GroupGraphPattern(tuple(patterns)),
+        )
+        _assert_identical(query, triples)

@@ -1,0 +1,205 @@
+"""Negative-path coverage for the endpoint simulation layer.
+
+Targets the wave-error machinery in :mod:`repro.endpoint.simulation` that
+previously had no dedicated tests: per-query exception capture inside
+waves (sync and asyncio), the budget refund on queries that fail before
+producing a result, propagation of unexpected exceptions, and the
+:class:`WaveResult` accounting helpers.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.endpoint.policy import AccessPolicy
+from repro.endpoint.simulation import (
+    SimulatedSparqlEndpoint,
+    WaveResult,
+    WaveScheduler,
+    sharded_endpoint,
+)
+from repro.errors import (
+    EndpointError,
+    ParseError,
+    QueryBudgetExceeded,
+    ResultTruncated,
+)
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.store.triplestore import TripleStore
+
+EX = Namespace("http://simerr.test/")
+
+GOOD_QUERY = "SELECT ?o WHERE { <http://simerr.test/s0> <http://simerr.test/p0> ?o }"
+FULL_SCAN = "SELECT ?s ?p ?o WHERE { ?s ?p ?o }"
+
+
+@pytest.fixture()
+def store():
+    return TripleStore(
+        triples=[
+            Triple(EX[f"s{i % 10}"], EX[f"p{i % 3}"], EX[f"o{i % 7}"])
+            for i in range(60)
+        ]
+    )
+
+
+def _endpoint(store, **policy_kwargs):
+    policy_kwargs.setdefault("max_result_rows", None)
+    return SimulatedSparqlEndpoint(store, policy=AccessPolicy(**policy_kwargs))
+
+
+class TestBudgetRefund:
+    def test_rejected_full_scan_refunds_the_slot(self, store):
+        endpoint = _endpoint(store, max_queries=2, allow_full_scan=False)
+        with pytest.raises(EndpointError):
+            endpoint.query(FULL_SCAN)
+        assert endpoint.queries_remaining == 2
+        # The refunded slots still admit the full quota of good queries.
+        endpoint.query(GOOD_QUERY)
+        endpoint.query(GOOD_QUERY)
+        assert endpoint.queries_remaining == 0
+        assert endpoint.log.query_count == 2
+
+    def test_parse_error_refunds_the_slot(self, store):
+        endpoint = _endpoint(store, max_queries=1)
+        with pytest.raises(ParseError):
+            endpoint.query("SELECT WHERE {{{")
+        assert endpoint.queries_remaining == 1
+        endpoint.query(GOOD_QUERY)
+        assert endpoint.queries_remaining == 0
+
+    def test_truncation_failure_consumes_the_slot(self, store):
+        # A truncated result *was* produced and served rows on a real
+        # endpoint, so it legitimately spends budget — unlike failures
+        # that never evaluated.
+        endpoint = _endpoint(
+            store,
+            max_queries=5,
+            max_result_rows=1,
+            fail_on_truncation=True,
+        )
+        with pytest.raises(ResultTruncated):
+            endpoint.query("SELECT ?s WHERE { ?s <http://simerr.test/p0> ?o }")
+        assert endpoint.queries_remaining == 4
+
+    def test_failed_queries_never_reach_the_log(self, store):
+        endpoint = _endpoint(store, max_queries=None, allow_full_scan=False)
+        for _ in range(3):
+            with pytest.raises(EndpointError):
+                endpoint.query(FULL_SCAN)
+        assert endpoint.log.query_count == 0
+
+
+class TestWaveErrorCapture:
+    def test_budget_exhaustion_mid_wave_is_partial_not_fatal(self, store):
+        endpoint = _endpoint(store, max_queries=3)
+        with WaveScheduler(endpoint, max_workers=4) as scheduler:
+            wave = scheduler.run_wave([GOOD_QUERY] * 8)
+        assert wave.succeeded == 3
+        assert wave.failed == 5
+        assert len(wave.results) == 8
+        for index, error in wave.errors:
+            assert isinstance(error, QueryBudgetExceeded)
+            assert wave.results[index] is None
+        # Exactly the admitted queries were logged.
+        assert endpoint.log.query_count == 3
+        assert endpoint.queries_remaining == 0
+
+    def test_policy_rejections_are_captured_per_query(self, store):
+        endpoint = _endpoint(store, allow_full_scan=False)
+        queries = [GOOD_QUERY, FULL_SCAN, GOOD_QUERY, FULL_SCAN]
+        with WaveScheduler(endpoint, max_workers=2) as scheduler:
+            wave = scheduler.run_wave(queries)
+        assert wave.succeeded == 2
+        assert [index for index, _ in wave.errors] == [1, 3]
+        assert all(isinstance(error, EndpointError) for _, error in wave.errors)
+        assert wave.results[0] is not None and wave.results[2] is not None
+
+    def test_unexpected_errors_propagate_out_of_the_wave(self, store):
+        endpoint = _endpoint(store)
+        with WaveScheduler(endpoint, max_workers=2) as scheduler:
+            with pytest.raises(ParseError):
+                scheduler.run_wave([GOOD_QUERY, "SELECT WHERE {{{"])
+
+    def test_raise_first_error_rethrows_in_submission_order(self, store):
+        endpoint = _endpoint(store, allow_full_scan=False)
+        with WaveScheduler(endpoint, max_workers=2) as scheduler:
+            wave = scheduler.run_wave([GOOD_QUERY, FULL_SCAN])
+        with pytest.raises(EndpointError):
+            wave.raise_first_error()
+        # A clean wave's raise_first_error is a no-op.
+        clean = WaveResult(results=[None])
+        clean.raise_first_error()
+
+    def test_wave_result_accounting(self):
+        empty = WaveResult(results=[], wall_seconds=0.0)
+        assert empty.succeeded == 0
+        assert empty.failed == 0
+        assert empty.throughput == 0.0
+
+    def test_map_keeps_wave_errors_isolated(self, store):
+        endpoint = _endpoint(store, max_queries=4)
+        with WaveScheduler(endpoint, max_workers=2) as scheduler:
+            waves = scheduler.map(lambda _: GOOD_QUERY, list(range(6)), wave_size=2)
+        assert [wave.succeeded for wave in waves] == [2, 2, 0]
+        assert [wave.failed for wave in waves] == [0, 0, 2]
+
+
+class TestAsyncWaveErrors:
+    def test_async_wave_captures_query_errors(self, store):
+        endpoint = _endpoint(store, max_queries=2)
+
+        async def run():
+            with WaveScheduler(endpoint, max_workers=4) as scheduler:
+                return await scheduler.run_wave_async([GOOD_QUERY] * 5)
+
+        wave = asyncio.run(run())
+        assert wave.succeeded == 2
+        assert wave.failed == 3
+        assert all(
+            isinstance(error, QueryBudgetExceeded) for _, error in wave.errors
+        )
+        assert endpoint.log.query_count == 2
+
+    def test_async_wave_propagates_unexpected_errors(self, store):
+        endpoint = _endpoint(store)
+
+        async def run():
+            with WaveScheduler(endpoint, max_workers=2) as scheduler:
+                return await scheduler.run_wave_async(
+                    [GOOD_QUERY, "ASK { broken", GOOD_QUERY]
+                )
+
+        with pytest.raises(ParseError):
+            asyncio.run(run())
+
+
+class TestConstructionValidation:
+    def test_negative_latency_scale_rejected(self, store):
+        with pytest.raises(EndpointError):
+            SimulatedSparqlEndpoint(store, latency_scale=-0.1)
+
+    def test_worker_count_validated(self, store):
+        endpoint = _endpoint(store)
+        with pytest.raises(EndpointError):
+            WaveScheduler(endpoint, max_workers=0)
+
+    def test_default_workers_follow_shard_count(self):
+        sharded = ShardedTripleStore(
+            num_shards=4,
+            triples=[Triple(EX[f"s{i}"], EX.p0, EX.o0) for i in range(16)],
+        )
+        endpoint = sharded_endpoint(sharded, policy=AccessPolicy(max_result_rows=None))
+        with WaveScheduler(endpoint) as scheduler:
+            assert scheduler.max_workers == 4
+
+    def test_latency_sleep_records_virtual_cost(self, store):
+        endpoint = SimulatedSparqlEndpoint(
+            store,
+            policy=AccessPolicy(max_result_rows=None),
+            latency_scale=1e-6,
+        )
+        endpoint.query(GOOD_QUERY)
+        assert endpoint.log.query_count == 1

@@ -1,0 +1,134 @@
+"""Regression tests for the last-shard pile-up tripwire.
+
+Subject-range boundaries freeze at the first bulk load, so subjects
+interned afterwards always route to the last shard's open-ended range
+(the hazard flagged in the ROADMAP).  The store now emits a
+:class:`~repro.errors.ShardSkewWarning` — once — when that shard outgrows
+its siblings beyond the configured threshold.
+"""
+
+import warnings
+
+import pytest
+
+from repro.errors import ShardSkewWarning, StoreError
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+
+EX = Namespace("http://skew.test/")
+
+
+def _seed_triples(subjects=8, predicates=2):
+    return [
+        Triple(EX[f"seed{s}"], EX[f"p{p}"], EX[f"o{s}"])
+        for s in range(subjects)
+        for p in range(predicates)
+    ]
+
+
+def _late_triples(count, start=0):
+    """Triples whose subjects are new terms (interned after the freeze)."""
+    return [Triple(EX[f"late{start + i}"], EX.p0, EX.o0) for i in range(count)]
+
+
+class TestShardSkewWarning:
+    def test_late_bulk_load_pileup_warns(self):
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        store.bulk_load(_seed_triples())  # freezes balanced boundaries
+        with pytest.warns(ShardSkewWarning, match="last shard"):
+            store.bulk_load(_late_triples(120))
+        # The pile-up really is in the last shard.
+        sizes = store.shard_sizes()
+        assert sizes[-1] > 2.0 * sizes[0]
+
+    def test_late_adds_pileup_warns(self):
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        store.bulk_load(_seed_triples())
+        with pytest.warns(ShardSkewWarning):
+            for triple in _late_triples(120):
+                store.add(triple)
+
+    def test_warning_fires_only_once(self):
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        store.bulk_load(_seed_triples())
+        with pytest.warns(ShardSkewWarning):
+            store.bulk_load(_late_triples(120))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.bulk_load(_late_triples(120, start=1000))
+            store.add(Triple(EX.one_more, EX.p0, EX.o0))
+        assert [w for w in caught if issubclass(w.category, ShardSkewWarning)] == []
+
+    def test_balanced_first_load_never_warns(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store = ShardedTripleStore(num_shards=4, skew_threshold=2.0)
+            store.bulk_load(
+                [
+                    Triple(EX[f"s{i}"], EX.p0, EX[f"o{i % 5}"])
+                    for i in range(400)
+                ]
+            )
+        assert [w for w in caught if issubclass(w.category, ShardSkewWarning)] == []
+
+    def test_small_pileups_stay_silent(self):
+        # Below the absolute floor (64 triples in the last shard) even a
+        # badly skewed store stays quiet — tiny datasets are noise.
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        store.bulk_load(_seed_triples(subjects=2, predicates=1))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.bulk_load(_late_triples(40))
+        assert [w for w in caught if issubclass(w.category, ShardSkewWarning)] == []
+
+    def test_single_shard_never_warns(self):
+        store = ShardedTripleStore(num_shards=1, skew_threshold=2.0)
+        store.bulk_load(_seed_triples())
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            store.bulk_load(_late_triples(200))
+        assert [w for w in caught if issubclass(w.category, ShardSkewWarning)] == []
+
+    def test_never_frozen_add_only_store_warns(self):
+        # add()-only stores never fix boundaries: everything routes to
+        # shard 0 and scatter parallelism is zero — that must warn too.
+        store = ShardedTripleStore(num_shards=4, skew_threshold=2.0)
+        with pytest.warns(ShardSkewWarning, match="never frozen"):
+            for triple in _late_triples(300):
+                store.add(triple)
+        assert store.shard_sizes() == [300, 0, 0, 0]
+
+    def test_small_add_prelude_before_bulk_load_stays_silent(self):
+        # The common build pattern — a handful of add()s and then the
+        # boundary-fixing bulk load — must not trip the unbounded check.
+        store = ShardedTripleStore(num_shards=4, skew_threshold=2.0)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for triple in _late_triples(100):
+                store.add(triple)
+            store.bulk_load(_late_triples(400, start=100))
+        assert [w for w in caught if issubclass(w.category, ShardSkewWarning)] == []
+        # The bulk load balanced the store, re-homing the earlier adds.
+        sizes = store.shard_sizes()
+        assert min(sizes) > 0
+
+    def test_freeze_rearms_the_warning(self):
+        # An unbounded-era warning must not mask a later frozen-era
+        # pile-up: fixing boundaries re-arms the one-shot.
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        with pytest.warns(ShardSkewWarning, match="never frozen"):
+            for triple in _late_triples(300):
+                store.add(triple)
+        store.bulk_load(_seed_triples())  # freezes + re-homes
+        with pytest.warns(ShardSkewWarning, match="last shard"):
+            store.bulk_load(_late_triples(2000, start=1000))
+
+    def test_threshold_validation(self):
+        with pytest.raises(StoreError):
+            ShardedTripleStore(num_shards=2, skew_threshold=1.0)
+
+    def test_copy_preserves_threshold(self):
+        store = ShardedTripleStore(num_shards=2, skew_threshold=3.5)
+        store.bulk_load(_seed_triples())
+        assert store.copy().skew_threshold == 3.5
