@@ -30,6 +30,8 @@ the :class:`WaveResult`, never silently dropped, and the shared
 from __future__ import annotations
 
 import asyncio
+import shutil
+import tempfile
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
@@ -63,6 +65,28 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
         disables sleeping — accounting still records virtual seconds.
         The sleep happens outside any lock and releases the GIL, which is
         what makes concurrent waves overlap like real network requests.
+    backend:
+        Scatter execution backend for sharded stores: ``"thread"``
+        (default, in-process per-shard evaluation — waves overlap on the
+        scheduler's thread pool) or ``"process"`` — the store is served
+        by one worker process per shard
+        (:class:`~repro.shard.workers.ProcessShardExecutor` over a
+        snapshot directory), lifting CPU-bound waves past the GIL.  A
+        worker killed mid-wave surfaces as a per-query
+        :class:`~repro.errors.WorkerCrashError` in the
+        :class:`WaveResult` — the failed query's budget slot is refunded
+        like every pre-result failure — and the pool respawns the worker
+        for the next wave.
+    snapshot_dir:
+        Where the ``backend="process"`` snapshot lives; defaults to a
+        fresh temporary directory.  An up-to-date snapshot already there
+        is reused (see
+        :meth:`~repro.shard.sharded_store.ShardedTripleStore.serve`).
+    start_method, pool_size:
+        Forwarded to the process executor.
+
+    Process-backed endpoints own worker processes: use the endpoint as a
+    context manager or call :meth:`close`.
     """
 
     def __init__(
@@ -72,15 +96,83 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
         policy: AccessPolicy | None = None,
         latency_scale: float = 0.0,
         evaluator_factory=None,
+        backend: Optional[str] = None,
+        snapshot_dir=None,
+        start_method: Optional[str] = None,
+        pool_size: Optional[int] = None,
     ):
         if latency_scale < 0:
             raise EndpointError("latency_scale must be non-negative")
-        if evaluator_factory is None and isinstance(store, ShardedTripleStore):
+        if backend not in (None, "thread", "process"):
+            raise EndpointError(
+                f"backend must be 'thread' or 'process', got {backend!r}"
+            )
+        self._executor = None
+        self._owned_snapshot_dir = None
+        if backend == "process":
+            if not isinstance(store, ShardedTripleStore):
+                raise EndpointError(
+                    "backend='process' requires a ShardedTripleStore"
+                )
+            if evaluator_factory is not None:
+                raise EndpointError(
+                    "backend='process' builds its own scatter evaluator; "
+                    "passing evaluator_factory too is contradictory"
+                )
+            if snapshot_dir is None:
+                # Auto-created directory: the endpoint owns it and
+                # removes it (snapshot included) on close().
+                snapshot_dir = tempfile.mkdtemp(prefix="repro-serve-")
+                self._owned_snapshot_dir = snapshot_dir
+            try:
+                executor = store.serve(
+                    snapshot_dir, start_method=start_method, pool_size=pool_size
+                )
+                self._executor = executor
+            except BaseException:
+                # serve() failed (unwritable disk, corrupt manifest, ...):
+                # an owned tempdir must not outlive the constructor.
+                self.close()
+                raise
+            evaluator_factory = lambda s: ShardedQueryEvaluator(  # noqa: E731
+                s, backend="process", executor=executor
+            )
+        elif evaluator_factory is None and isinstance(store, ShardedTripleStore):
             evaluator_factory = ShardedQueryEvaluator
-        super().__init__(
-            store, name=name, policy=policy, evaluator_factory=evaluator_factory
-        )
+        try:
+            super().__init__(
+                store, name=name, policy=policy, evaluator_factory=evaluator_factory
+            )
+        except BaseException:
+            # A booted worker pool must not leak when construction fails.
+            self.close()
+            raise
         self.latency_scale = latency_scale
+        self.backend = backend or "thread"
+
+    @property
+    def executor(self):
+        """The process executor serving this endpoint (``None`` on thread)."""
+        return self._executor
+
+    def close(self) -> None:
+        """Stop the worker pool of a process-backed endpoint (idempotent).
+
+        A snapshot directory the endpoint created itself (no explicit
+        ``snapshot_dir``) is deleted with the pool; a caller-provided
+        directory is left alone.
+        """
+        if self._executor is not None:
+            self._executor.close()
+        if self._owned_snapshot_dir is not None:
+            shutil.rmtree(self._owned_snapshot_dir, ignore_errors=True)
+            self._owned_snapshot_dir = None
+
+    def __enter__(self) -> "SimulatedSparqlEndpoint":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def query(self, query: Union[str, Query]) -> Union[ResultSet, AskResult]:
         result = super().query(query)
@@ -95,10 +187,26 @@ def sharded_endpoint(
     name: str = "endpoint",
     policy: AccessPolicy | None = None,
     latency_scale: float = 0.0,
+    backend: Optional[str] = None,
+    snapshot_dir=None,
+    start_method: Optional[str] = None,
+    pool_size: Optional[int] = None,
 ) -> SimulatedSparqlEndpoint:
-    """A simulated endpoint serving a sharded store via scatter/gather."""
+    """A simulated endpoint serving a sharded store via scatter/gather.
+
+    With ``backend="process"`` the shards are served by worker processes
+    over a snapshot directory (written on demand); close the endpoint to
+    stop them.
+    """
     return SimulatedSparqlEndpoint(
-        store, name=name, policy=policy, latency_scale=latency_scale
+        store,
+        name=name,
+        policy=policy,
+        latency_scale=latency_scale,
+        backend=backend,
+        snapshot_dir=snapshot_dir,
+        start_method=start_method,
+        pool_size=pool_size,
     )
 
 

@@ -72,6 +72,18 @@ class QueryBudgetExceeded(EndpointError):
     """The access policy's query quota has been exhausted."""
 
 
+class WorkerCrashError(EndpointError):
+    """A shard worker process died while serving a scattered task.
+
+    Raised by :class:`repro.shard.workers.ProcessShardExecutor` when a
+    worker exits (or is killed) before completing a dispatched task.  It
+    derives from :class:`EndpointError` so the endpoint simulation's wave
+    machinery captures it per query — the failed query's budget slot is
+    refunded and the rest of the wave proceeds — while the executor
+    respawns the dead worker for subsequent waves.
+    """
+
+
 class ResultTruncated(EndpointError):
     """A query produced more rows than the endpoint policy allows.
 

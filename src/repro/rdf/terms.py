@@ -67,6 +67,12 @@ class IRI:
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("IRI instances are immutable")
 
+    def __reduce__(self):
+        # The default slots pickling applies state via setattr, which the
+        # immutability guard rejects; rebuild through the constructor so
+        # terms can cross process boundaries (shard worker protocol).
+        return (IRI, (self.value,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, IRI) and other.value == self.value
 
@@ -129,6 +135,9 @@ class BlankNode:
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("BlankNode instances are immutable")
+
+    def __reduce__(self):
+        return (BlankNode, (self.label,))
 
     def __eq__(self, other: object) -> bool:
         return isinstance(other, BlankNode) and other.label == self.label
@@ -204,6 +213,11 @@ class Literal:
 
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Literal instances are immutable")
+
+    def __reduce__(self):
+        # lexical is already normalised to a string, language excludes a
+        # datatype and vice versa, so positional reconstruction is exact.
+        return (Literal, (self.lexical, self.language, self.datatype))
 
     def __eq__(self, other: object) -> bool:
         return (

@@ -57,14 +57,24 @@ The gather merge in one picture::
 On top of this, :mod:`repro.endpoint.simulation` schedules concurrent
 query *waves* against a sharded endpoint under the globally consistent
 (thread-safe) query-budget accounting.
+
+Since the process-workers PR, piece 3 has a second execution backend:
+:mod:`repro.shard.workers` serves the per-shard snapshot files from one
+worker **process** per shard (``ShardedTripleStore.serve`` snapshots
+when dirty and boots the pool), so CPU-bound query waves scale past the
+GIL; ``ShardedQueryEvaluator(store, backend="process", executor=...)``
+ships co-partitioned groups to the workers as serialized binding
+batches.
 """
 
 from repro.shard.sharded_store import ShardedTripleStore
 from repro.shard.router import IdPattern, PatternRoute, ShardRouter
+from repro.shard.workers import ProcessShardExecutor
 
 __all__ = [
     "ShardedTripleStore",
     "ShardRouter",
     "PatternRoute",
     "IdPattern",
+    "ProcessShardExecutor",
 ]

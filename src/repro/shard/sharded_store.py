@@ -112,6 +112,10 @@ class ShardedTripleStore:
         self._boundaries: List[int] = []
         self._bounded = num_shards == 1
         self._snapshot_retained = None
+        # Where (and at which mutation stamp) this store was last saved or
+        # opened — lets serve() skip the snapshot write when clean.
+        self._snapshot_dir = None
+        self._snapshot_version = -1
         if triples is not None:
             self.bulk_load(triples)
 
@@ -124,18 +128,25 @@ class ShardedTripleStore:
         boundaries: List[int],
         bounded: bool,
         skew_threshold: float = 4.0,
+        skew_warned: bool = False,
         retained=None,
     ) -> "ShardedTripleStore":
         """Assemble a cold sharded store over reopened shards (persist layer)."""
         store = cls.__new__(cls)
         store.name = name
         store.skew_threshold = skew_threshold
-        store._skew_warned = False
+        # The one-shot latch is restored from the manifest: a dataset that
+        # warned before it was saved stays warned in every process that
+        # reopens the snapshot (worker respawns, serve() restarts), so the
+        # same pile-up is reported once per dataset, not once per reopen.
+        store._skew_warned = skew_warned
         store._dictionary = dictionary
         store._shards = shards
         store._boundaries = boundaries
         store._bounded = bounded
         store._snapshot_retained = retained
+        store._snapshot_dir = None
+        store._snapshot_version = -1
         return store
 
     # ------------------------------------------------------------------ #
@@ -148,9 +159,13 @@ class ShardedTripleStore:
         ``dictionary.snap`` and one ``shard{i}.snap`` columns file per
         shard — see :mod:`repro.store.persist`.
         """
+        from pathlib import Path
+
         from repro.store.persist import save_sharded_store
 
         save_sharded_store(self, directory)
+        self._snapshot_dir = Path(directory)
+        self._snapshot_version = self.data_version
 
     @classmethod
     def open(
@@ -163,9 +178,62 @@ class ShardedTripleStore:
         space; boundaries and the bounded flag are restored from the
         manifest, making routing decisions identical to the saved store.
         """
+        from pathlib import Path
+
         from repro.store.persist import open_sharded_store
 
-        return open_sharded_store(directory, mmap=mmap, verify=verify)
+        store = open_sharded_store(directory, mmap=mmap, verify=verify)
+        store._snapshot_dir = Path(directory)
+        store._snapshot_version = store.data_version
+        return store
+
+    def serve(
+        self,
+        directory,
+        start_method: Optional[str] = None,
+        pool_size: Optional[int] = None,
+        verify: bool = True,
+        **executor_kwargs,
+    ):
+        """Snapshot (if dirty) and boot process shard workers over it.
+
+        The entry point of the process-parallel evaluation path: the
+        store is written to ``directory`` unless an up-to-date snapshot
+        of it is already there (``directory`` matches the last
+        :meth:`save`/:meth:`open` location and ``data_version`` has not
+        moved since), and a
+        :class:`~repro.shard.workers.ProcessShardExecutor` is started
+        with one worker process per shard (``pool_size`` caps the worker
+        count; workers then serve several shards each).  Each worker
+        mmap-opens its shard's columns and the shared dictionary from the
+        snapshot — nothing is pickled, nothing re-interned.
+
+        The returned executor should be closed (it is a context manager);
+        wiring it into evaluation is
+        ``ShardedQueryEvaluator(store, backend="process", executor=...)``
+        or, one level up, ``SimulatedSparqlEndpoint(store,
+        backend="process", ...)``.
+        """
+        from pathlib import Path
+
+        from repro.shard.workers import ProcessShardExecutor
+        from repro.store.persist import MANIFEST_NAME
+
+        directory = Path(directory)
+        clean = (
+            self._snapshot_dir == directory
+            and self._snapshot_version == self.data_version
+            and (directory / MANIFEST_NAME).exists()
+        )
+        if not clean:
+            self.save(directory)
+        return ProcessShardExecutor(
+            directory,
+            start_method=start_method,
+            pool_size=pool_size,
+            verify=verify,
+            **executor_kwargs,
+        )
 
     # ------------------------------------------------------------------ #
     # Skew monitoring

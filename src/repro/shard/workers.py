@@ -1,0 +1,732 @@
+"""Process-parallel shard workers over per-shard snapshot files.
+
+The thread-pool query waves of :mod:`repro.endpoint.simulation` hit the
+GIL ceiling: latency sleeps overlap, but the CPU-bound per-shard join
+pipelines serialise on one core.  This module lifts evaluation out of a
+single interpreter.  A :class:`ProcessShardExecutor` spawns one worker
+process per shard (a smaller ``pool_size`` makes workers serve several
+shards each); every worker **mmap-opens** its shard's snapshot columns
+plus the shared lazy dictionary straight from the snapshot directory —
+no store is pickled across the process boundary and nothing is
+re-interned, so worker-side dictionary IDs are byte-for-byte the
+parent's and binding batches can travel as plain integers.
+
+Protocol (one task queue and one result queue per worker, plus a cancel
+queue):
+
+* parent → worker: ``("eval", task_id, shard_index, group_ast,
+  initial_binding)`` — run the planned BGP pipeline of ``group_ast``
+  against the shard's local evaluator, streaming solutions back in
+  serialized batches; ``("ping", task_id)`` — health/diagnostics probe;
+  ``("stall", task_id, seconds)`` — hold the worker busy (fault-injection
+  and cancellation tests); ``("stop",)`` — exit.
+* parent → worker (cancel queue): bare task IDs.  The worker drains the
+  cancel queue between batches, so an ASK or LIMIT consumer that stops
+  early aborts the in-flight shard scans instead of letting them run dry.
+* worker → parent: ``(task_id, "rows", batch)`` (a batch is a list of
+  serialized bindings: tuples of ``(variable_name, id_or_term)`` pairs),
+  ``(task_id, "done", row_count, cancelled)``, ``(task_id, "error",
+  type_name, message, traceback)``, ``(task_id, "pong", info)``.
+
+Crash handling: a per-worker collector thread in the parent routes result
+messages to per-task buffers and watches the worker process.  When a
+worker dies mid-task (crash, OOM kill, SIGKILL) every in-flight task on
+it fails with :class:`~repro.errors.WorkerCrashError` — an
+:class:`~repro.errors.EndpointError`, so the endpoint simulation captures
+it per query and refunds the budget slot — and the executor respawns the
+worker (fresh process, fresh queues) so the next wave runs at full
+strength.
+
+Start methods: the executor accepts ``start_method="fork" | "spawn" |
+"forkserver"`` (default: the platform's multiprocessing default).  All
+task payloads are picklable by construction — query ASTs are trees of
+frozen dataclasses over :class:`~repro.rdf.terms.Term` and
+:class:`~repro.sparql.bindings.Variable`, which define ``__reduce__`` —
+and respawned workers always get fresh queues, so the executor is safe
+under every start method.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import queue
+import threading
+import time
+import traceback
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import repro.errors as _errors
+from repro.errors import ReproError, StoreError, WorkerCrashError
+from repro.sparql.bindings import IdBinding, Variable
+
+#: Rows per result batch: large enough to amortise one queue round-trip
+#: over many solutions, small enough to keep cancellation responsive.
+DEFAULT_BATCH_ROWS = 256
+
+#: How often collector threads wake to check worker liveness (seconds).
+_POLL_INTERVAL = 0.05
+
+#: Task ID used by workers for task-independent fatal reports.
+_FATAL_ID = -1
+
+#: Worker-side cache of unpickled group ASTs, keyed by payload bytes —
+#: wave workloads re-issue the same query shapes, and the local plan
+#: cache already hits on structurally equal groups.
+_GROUP_CACHE_LIMIT = 512
+
+#: Consecutive boot failures (a worker that reports a fatal error while
+#: opening its snapshot and dies) after which a pool slot stops being
+#: respawned.  Deterministic boot failures — a corrupt shard file, an
+#: unreadable directory — would otherwise fork doomed processes forever.
+_MAX_BOOT_FAILURES = 3
+
+#: Terminal result-message kinds (the task is finished after them).
+_TERMINAL = ("done", "error", "pong")
+
+
+# --------------------------------------------------------------------- #
+# Binding serialisation
+# --------------------------------------------------------------------- #
+def encode_binding(binding: IdBinding) -> Tuple[Tuple[str, object], ...]:
+    """Serialize an :class:`IdBinding` for the worker protocol.
+
+    Values are dictionary IDs (plain ints — valid in every process
+    because all workers open the same dictionary file) or, for constants
+    unknown to the dictionary (VALUES rows), the Term itself.
+    """
+    return tuple((var.name, value) for var, value in binding.items())
+
+
+def decode_binding(
+    payload: Sequence[Tuple[str, object]], memo: Dict[str, Variable]
+) -> IdBinding:
+    """Rebuild an :class:`IdBinding`; ``memo`` shares Variable instances."""
+    data = {}
+    for name, value in payload:
+        var = memo.get(name)
+        if var is None:
+            var = memo[name] = Variable(name)
+        data[var] = value
+    return IdBinding(data)
+
+
+# --------------------------------------------------------------------- #
+# Worker process main
+# --------------------------------------------------------------------- #
+def _drain_cancels(cancel_queue, cancelled: set) -> None:
+    while True:
+        try:
+            cancelled.add(cancel_queue.get_nowait())
+        except queue.Empty:
+            return
+
+
+def _worker_diagnostics(worker_index, stores, dictionary, tasks_served) -> dict:
+    """The payload of a ``pong`` reply: liveness plus the invariants the
+    no-re-intern property tests assert (lazy dictionary never promoted,
+    shard indexes never thawed copy-on-write)."""
+    return {
+        "pid": os.getpid(),
+        "worker": worker_index,
+        "shards": sorted(stores),
+        "triples": {index: len(store) for index, store in stores.items()},
+        "promoted": bool(getattr(dictionary, "is_promoted", True)),
+        "frozen": {index: store.is_frozen for index, store in stores.items()},
+        "tasks_served": tasks_served,
+    }
+
+
+def shard_worker_main(
+    worker_index: int,
+    shard_indices: Sequence[int],
+    directory: str,
+    task_queue,
+    result_queue,
+    cancel_queue,
+    verify: bool,
+    batch_rows: int,
+) -> None:
+    """Entry point of one shard worker process.
+
+    Module-level (not a closure) so it is importable under the ``spawn``
+    and ``forkserver`` start methods.
+    """
+    from repro.sparql.evaluate import QueryEvaluator
+    from repro.store.persist import open_shard_stores
+
+    try:
+        stores, dictionary, _ = open_shard_stores(
+            directory, shard_indices, mmap=True, verify=verify
+        )
+        evaluators = {
+            index: QueryEvaluator(store) for index, store in stores.items()
+        }
+    except BaseException as error:  # report, then die: parent raises crash
+        result_queue.put(
+            (_FATAL_ID, "error", type(error).__name__, str(error),
+             traceback.format_exc())
+        )
+        return
+
+    cancelled: set = set()
+    group_cache: Dict[bytes, object] = {}
+    tasks_served = 0
+    while True:
+        message = task_queue.get()
+        kind = message[0]
+        if kind == "stop":
+            return
+        task_id = message[1]
+        tasks_served += 1
+        _drain_cancels(cancel_queue, cancelled)
+        # Task IDs reach a worker in increasing order, so cancel marks
+        # below the current task can never match again — prune them.
+        cancelled = {tid for tid in cancelled if tid >= task_id}
+        if kind == "ping":
+            result_queue.put(
+                (task_id, "pong",
+                 _worker_diagnostics(worker_index, stores, dictionary,
+                                     tasks_served))
+            )
+            continue
+        if kind == "stall":
+            deadline = time.monotonic() + message[2]
+            was_cancelled = False
+            while time.monotonic() < deadline:
+                time.sleep(0.01)
+                _drain_cancels(cancel_queue, cancelled)
+                if task_id in cancelled:
+                    was_cancelled = True
+                    break
+            result_queue.put((task_id, "done", 0, was_cancelled))
+            continue
+        if kind != "eval":
+            result_queue.put(
+                (task_id, "error", "WorkerCrashError",
+                 f"unknown task kind {kind!r}", "")
+            )
+            continue
+        _, _, shard_index, group_bytes, initial_payload = message
+        if task_id in cancelled:
+            result_queue.put((task_id, "done", 0, True))
+            continue
+        try:
+            group = group_cache.get(group_bytes)
+            if group is None:
+                if len(group_cache) >= _GROUP_CACHE_LIMIT:
+                    group_cache.clear()
+                group = group_cache[group_bytes] = pickle.loads(group_bytes)
+            evaluator = evaluators[shard_index]
+            memo: Dict[str, Variable] = {}
+            initial = decode_binding(initial_payload, memo)
+            batch: List[Tuple[Tuple[str, object], ...]] = []
+            count = 0
+            was_cancelled = False
+            for binding in evaluator._evaluate_group(group, initial):
+                batch.append(encode_binding(binding))
+                count += 1
+                if len(batch) >= batch_rows:
+                    result_queue.put((task_id, "rows", batch))
+                    batch = []
+                    _drain_cancels(cancel_queue, cancelled)
+                    if task_id in cancelled:
+                        was_cancelled = True
+                        break
+            if batch and not was_cancelled:
+                result_queue.put((task_id, "rows", batch))
+            result_queue.put((task_id, "done", count, was_cancelled))
+        except BaseException as error:
+            result_queue.put(
+                (task_id, "error", type(error).__name__, str(error),
+                 traceback.format_exc())
+            )
+
+
+# --------------------------------------------------------------------- #
+# Parent-side plumbing
+# --------------------------------------------------------------------- #
+class _TaskStream:
+    """Parent-side buffer for one in-flight task's result messages."""
+
+    __slots__ = ("task_id", "handle", "finished", "_buffer")
+
+    def __init__(self, task_id: int, handle: "_WorkerHandle"):
+        self.task_id = task_id
+        self.handle = handle
+        self.finished = False
+        self._buffer: "queue.SimpleQueue" = queue.SimpleQueue()
+
+    def push(self, item) -> None:
+        self._buffer.put(item)
+
+    def next_message(self, timeout: Optional[float]):
+        return self._buffer.get(timeout=timeout)
+
+
+class _WorkerHandle:
+    """One worker process plus its queues, collector and in-flight tasks."""
+
+    __slots__ = (
+        "index", "shard_indices", "process", "task_queue", "result_queue",
+        "cancel_queue", "inflight", "lock", "dead", "fatal_info", "collector",
+        "next_task_id",
+    )
+
+    def __init__(self, index, shard_indices, process, task_queue,
+                 result_queue, cancel_queue):
+        self.index = index
+        self.shard_indices = shard_indices
+        self.process = process
+        self.task_queue = task_queue
+        self.result_queue = result_queue
+        self.cancel_queue = cancel_queue
+        self.inflight: Dict[int, _TaskStream] = {}
+        self.lock = threading.Lock()
+        self.dead = False
+        self.fatal_info: Optional[Tuple[str, str, str]] = None
+        self.collector: Optional[threading.Thread] = None
+        # Task IDs are per worker, and allocation + registration + the
+        # queue put happen under one lock so the IDs a worker receives
+        # are strictly increasing — the invariant its cancel-mark prune
+        # relies on.
+        self.next_task_id = 0
+
+    def close_queues(self) -> None:
+        for q in (self.task_queue, self.result_queue, self.cancel_queue):
+            try:
+                q.close()
+            except (OSError, ValueError):  # pragma: no cover - teardown race
+                pass
+
+
+class ProcessShardExecutor:
+    """Serves a sharded snapshot directory from a pool of shard workers.
+
+    Parameters
+    ----------
+    directory:
+        A snapshot directory written by
+        :meth:`~repro.shard.sharded_store.ShardedTripleStore.save` (the
+        usual entry point is
+        :meth:`~repro.shard.sharded_store.ShardedTripleStore.serve`,
+        which snapshots first when the store is dirty).
+    start_method:
+        ``"fork"`` / ``"spawn"`` / ``"forkserver"``; ``None`` uses the
+        platform default.
+    pool_size:
+        Worker processes to spawn; defaults to one per shard.  With
+        fewer workers than shards, shard ``i`` is served by worker
+        ``i % pool_size``.
+    verify:
+        Forwarded to the snapshot open in each worker (per-section CRC
+        pass).
+    batch_rows:
+        Solutions per result batch (protocol granularity: throughput vs
+        cancellation latency).
+
+    The executor is a context manager; :meth:`close` stops the workers.
+    """
+
+    def __init__(
+        self,
+        directory,
+        start_method: Optional[str] = None,
+        pool_size: Optional[int] = None,
+        verify: bool = True,
+        batch_rows: int = DEFAULT_BATCH_ROWS,
+    ):
+        from repro.store.persist import _read_manifest
+
+        self._directory = Path(directory)
+        manifest = _read_manifest(self._directory)
+        self._num_shards: int = manifest["num_shards"]
+        if pool_size is None:
+            pool_size = self._num_shards
+        if pool_size < 1:
+            raise StoreError(f"pool_size must be >= 1, got {pool_size}")
+        self._num_workers = min(pool_size, self._num_shards)
+        self._ctx = multiprocessing.get_context(start_method)
+        self._verify = verify
+        self._batch_rows = batch_rows
+        self._lock = threading.Lock()
+        self._closed = False
+        # Consecutive fatal boot failures per pool slot; at
+        # _MAX_BOOT_FAILURES the slot is abandoned (dispatch fails fast
+        # with the worker's reported error instead of respawn-looping).
+        self._boot_failures: List[int] = [0] * self._num_workers
+        self._abandoned: List[Optional[str]] = [None] * self._num_workers
+        self._handles: List[_WorkerHandle] = [
+            self._spawn_handle(index) for index in range(self._num_workers)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Topology
+    # ------------------------------------------------------------------ #
+    @property
+    def directory(self) -> Path:
+        """The served snapshot directory."""
+        return self._directory
+
+    @property
+    def num_shards(self) -> int:
+        """Shards in the served snapshot."""
+        return self._num_shards
+
+    @property
+    def num_workers(self) -> int:
+        """Worker processes in the pool."""
+        return self._num_workers
+
+    def worker_for_shard(self, shard_index: int) -> int:
+        """The pool slot serving ``shard_index``."""
+        if not 0 <= shard_index < self._num_shards:
+            raise StoreError(
+                f"shard index {shard_index} out of range for "
+                f"{self._num_shards} shards"
+            )
+        return shard_index % self._num_workers
+
+    def worker_pids(self) -> List[Optional[int]]:
+        """Current worker PIDs, by pool slot."""
+        with self._lock:
+            return [handle.process.pid for handle in self._handles]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def __enter__(self) -> "ProcessShardExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop all workers and release their queues (idempotent)."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            handles = list(self._handles)
+        for handle in handles:
+            try:
+                handle.task_queue.put(("stop",))
+            except (OSError, ValueError):  # pragma: no cover - dead queue
+                pass
+        deadline = time.monotonic() + timeout
+        for handle in handles:
+            handle.process.join(timeout=max(0.0, deadline - time.monotonic()))
+            if handle.process.is_alive():  # pragma: no cover - stuck worker
+                handle.process.terminate()
+                handle.process.join(timeout=1.0)
+        for handle in handles:
+            if handle.collector is not None:
+                handle.collector.join(timeout=1.0)
+            handle.close_queues()
+
+    # ------------------------------------------------------------------ #
+    # Spawning / crash handling
+    # ------------------------------------------------------------------ #
+    def _shards_of(self, worker_index: int) -> Tuple[int, ...]:
+        return tuple(
+            range(worker_index, self._num_shards, self._num_workers)
+        )
+
+    def _spawn_handle(self, worker_index: int) -> _WorkerHandle:
+        ctx = self._ctx
+        task_queue = ctx.Queue()
+        result_queue = ctx.Queue()
+        cancel_queue = ctx.Queue()
+        process = ctx.Process(
+            target=shard_worker_main,
+            args=(
+                worker_index,
+                self._shards_of(worker_index),
+                str(self._directory),
+                task_queue,
+                result_queue,
+                cancel_queue,
+                self._verify,
+                self._batch_rows,
+            ),
+            name=f"repro-shard-worker-{worker_index}",
+            daemon=True,
+        )
+        process.start()
+        handle = _WorkerHandle(
+            worker_index, self._shards_of(worker_index), process,
+            task_queue, result_queue, cancel_queue,
+        )
+        collector = threading.Thread(
+            target=self._collect,
+            args=(handle,),
+            name=f"repro-shard-collector-{worker_index}",
+            daemon=True,
+        )
+        handle.collector = collector
+        collector.start()
+        return handle
+
+    def _collect(self, handle: _WorkerHandle) -> None:
+        """Route one worker's result messages; detect death; respawn."""
+        while True:
+            try:
+                message = handle.result_queue.get(timeout=_POLL_INTERVAL)
+            except queue.Empty:
+                if handle.process.is_alive():
+                    continue
+                self._reap(handle)
+                return
+            except (EOFError, OSError):  # pragma: no cover - teardown race
+                self._reap(handle)
+                return
+            self._route(handle, message)
+
+    def _route(self, handle: _WorkerHandle, message) -> None:
+        task_id = message[0]
+        if task_id == _FATAL_ID:
+            handle.fatal_info = message[2:5]
+            return
+        kind = message[1]
+        with handle.lock:
+            stream = handle.inflight.get(task_id)
+            if stream is None:  # cancelled and forgotten
+                return
+            if kind in _TERMINAL:
+                del handle.inflight[task_id]
+        stream.push(message[1:])
+
+    def _reap(self, handle: _WorkerHandle) -> None:
+        """The worker died: drain, fail its in-flight tasks, respawn."""
+        while True:  # messages already in the pipe still count
+            try:
+                self._route(handle, handle.result_queue.get_nowait())
+            except (queue.Empty, EOFError, OSError):
+                break
+        with handle.lock:
+            handle.dead = True
+            streams = list(handle.inflight.values())
+            handle.inflight.clear()
+        detail = ""
+        if handle.fatal_info is not None:
+            name, text, _ = handle.fatal_info
+            detail = f" (worker reported {name}: {text})"
+        error = WorkerCrashError(
+            f"shard worker {handle.index} (pid {handle.process.pid}) died "
+            f"with {len(streams)} task(s) in flight{detail}"
+        )
+        for stream in streams:
+            stream.push(("crashed", error))
+        handle.close_queues()
+        with self._lock:
+            if handle.fatal_info is not None:
+                self._boot_failures[handle.index] += 1
+                if self._boot_failures[handle.index] >= _MAX_BOOT_FAILURES:
+                    # Deterministically doomed (corrupt snapshot, ...):
+                    # abandon the slot instead of fork-looping forever.
+                    self._abandoned[handle.index] = detail.strip() or str(error)
+            else:
+                self._boot_failures[handle.index] = 0
+            respawn = (
+                not self._closed
+                and self._abandoned[handle.index] is None
+                and self._handles[handle.index] is handle
+            )
+        if respawn:
+            replacement = self._spawn_handle(handle.index)
+            with self._lock:
+                if self._closed:  # pragma: no cover - close raced the respawn
+                    respawn = False
+                else:
+                    self._handles[handle.index] = replacement
+            if not respawn:  # pragma: no cover - close raced the respawn
+                replacement.process.terminate()
+
+    # ------------------------------------------------------------------ #
+    # Dispatch / gather
+    # ------------------------------------------------------------------ #
+    def _dispatch(self, shard_index: int, kind: str, *extra) -> _TaskStream:
+        worker_index = self.worker_for_shard(shard_index)
+        deadline = time.monotonic() + 2.0
+        while True:
+            with self._lock:
+                if self._closed:
+                    raise StoreError("ProcessShardExecutor is closed")
+                abandoned = self._abandoned[worker_index]
+                handle = self._handles[worker_index]
+            if abandoned is not None:
+                raise WorkerCrashError(
+                    f"shard worker {worker_index} gave up respawning after "
+                    f"{_MAX_BOOT_FAILURES} consecutive boot failures "
+                    f"{abandoned}"
+                )
+            stream = None
+            with handle.lock:
+                if not handle.dead:
+                    # ID allocation, registration and the queue put share
+                    # the handle lock: the worker therefore sees strictly
+                    # increasing task IDs (its cancel-mark prune depends
+                    # on that ordering).
+                    task_id = handle.next_task_id
+                    handle.next_task_id += 1
+                    stream = _TaskStream(task_id, handle)
+                    handle.inflight[task_id] = stream
+                    if kind == "eval":
+                        message = ("eval", task_id, shard_index) + extra
+                    else:
+                        message = (kind, task_id) + extra
+                    try:
+                        handle.task_queue.put(message)
+                    except (OSError, ValueError):  # pragma: no cover - race
+                        handle.inflight.pop(task_id, None)
+                        stream.push(("crashed", WorkerCrashError(
+                            f"shard worker {worker_index} queue closed "
+                            "mid-dispatch"
+                        )))
+            if stream is not None:
+                return stream
+            # The handle died and is being respawned; wait briefly for the
+            # replacement instead of failing a query the fresh worker
+            # could serve.
+            if time.monotonic() > deadline:
+                raise WorkerCrashError(
+                    f"shard worker {worker_index} did not respawn in time"
+                )
+            time.sleep(_POLL_INTERVAL)
+
+    def _cancel(self, stream: _TaskStream) -> None:
+        handle = stream.handle
+        with handle.lock:
+            forgotten = handle.inflight.pop(stream.task_id, None)
+        if forgotten is None:
+            return
+        try:
+            handle.cancel_queue.put(stream.task_id)
+        except (OSError, ValueError):  # pragma: no cover - dead queue
+            pass
+
+    def _rebuild_error(self, type_name: str, message: str, tb: str):
+        cls = getattr(_errors, type_name, None)
+        if isinstance(cls, type) and issubclass(cls, ReproError):
+            return cls(message)
+        return WorkerCrashError(
+            f"worker task failed: {type_name}: {message}\n{tb}"
+        )
+
+    def run_group(
+        self,
+        shard_indices: Sequence[int],
+        group,
+        initial: Optional[IdBinding] = None,
+    ) -> Iterator[IdBinding]:
+        """Scatter one co-partitioned group over its shards' workers.
+
+        All per-shard tasks are dispatched up front (a single query fans
+        out over the pool and the per-shard pipelines run genuinely in
+        parallel), then gathered lazily in shard order.  Closing the
+        returned iterator early — ASK's first solution, a filled LIMIT
+        page — sends cancel messages for every unfinished task.
+
+        Memory note: eager dispatch trades parent memory for wall-clock
+        parallelism — while shard 0's stream is being drained, trailing
+        shards keep producing into their (unbounded) parent-side
+        buffers, so a slow consumer of a huge scattered SELECT can hold
+        up to the full result set in the parent.  The thread backend's
+        lazy chaining has the opposite trade.  A flow-controlled ack
+        protocol is a ROADMAP item; workloads at the current scale are
+        bounded by the endpoint's row caps.
+        """
+        payload = encode_binding(initial if initial is not None else IdBinding.EMPTY)
+        # Pickle the group once per query, not once per shard task: the
+        # bytes fan out to every routed worker, and workers memoise the
+        # unpickled AST per payload.
+        group_bytes = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
+        streams: List[_TaskStream] = []
+        try:
+            for shard_index in shard_indices:
+                streams.append(
+                    self._dispatch(shard_index, "eval", group_bytes, payload)
+                )
+        except BaseException:
+            for stream in streams:
+                self._cancel(stream)
+            raise
+        return self._gather(streams)
+
+    def _gather(self, streams: List[_TaskStream]) -> Iterator[IdBinding]:
+        memo: Dict[str, Variable] = {}
+        try:
+            for stream in streams:
+                while True:
+                    try:
+                        item = stream.next_message(timeout=1.0)
+                    except queue.Empty:
+                        # Defensive: the collector pushes a crash sentinel
+                        # on worker death, so a silent stall here means
+                        # the task is genuinely still running.
+                        continue
+                    kind = item[0]
+                    if kind == "rows":
+                        for row in item[1]:
+                            yield decode_binding(row, memo)
+                    elif kind == "done":
+                        stream.finished = True
+                        break
+                    elif kind == "crashed":
+                        stream.finished = True
+                        raise item[1]
+                    elif kind == "error":
+                        stream.finished = True
+                        raise self._rebuild_error(item[1], item[2], item[3])
+        finally:
+            for stream in streams:
+                if not stream.finished:
+                    self._cancel(stream)
+
+    # ------------------------------------------------------------------ #
+    # Diagnostics / fault injection
+    # ------------------------------------------------------------------ #
+    def ping(self, shard_index: int = 0, timeout: float = 10.0) -> dict:
+        """Round-trip a health probe through the worker owning a shard.
+
+        Returns the worker's diagnostics: pid, served shards, per-shard
+        triple counts, whether its lazy dictionary was ever promoted and
+        whether any shard index thawed copy-on-write (both must stay
+        ``False`` on a healthy read-only worker).
+        """
+        stream = self._dispatch(shard_index, "ping")
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                item = stream.next_message(
+                    timeout=max(0.01, deadline - time.monotonic())
+                )
+            except queue.Empty:
+                self._cancel(stream)
+                raise WorkerCrashError(
+                    f"ping to shard {shard_index}'s worker timed out"
+                ) from None
+            if item[0] == "pong":
+                return item[1]
+            if item[0] == "crashed":
+                raise item[1]
+            if item[0] == "error":
+                raise self._rebuild_error(item[1], item[2], item[3])
+
+    def ping_all(self, timeout: float = 10.0) -> List[dict]:
+        """:meth:`ping` every pool slot (by its lowest-numbered shard)."""
+        return [
+            self.ping(worker_index, timeout=timeout)
+            for worker_index in range(self._num_workers)
+        ]
+
+    def stall(self, shard_index: int, seconds: float) -> _TaskStream:
+        """Occupy a worker with a cancellable busy-wait task.
+
+        A fault-injection aid for tests: it pins the worker in a known
+        in-task state so a SIGKILL lands deterministically mid-task.
+        Returns the task's stream; completion can be awaited through it.
+        """
+        return self._dispatch(shard_index, "stall", seconds)

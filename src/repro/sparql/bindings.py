@@ -42,6 +42,12 @@ class Variable:
     def __setattr__(self, name, value):  # pragma: no cover - defensive
         raise AttributeError("Variable instances are immutable")
 
+    def __reduce__(self):
+        # Slots + the immutability guard break default pickling; rebuild
+        # via the constructor so query ASTs can be shipped to shard
+        # worker processes.
+        return (Variable, (self.name,))
+
     def __eq__(self, other: object) -> bool:
         return isinstance(other, Variable) and other.name == self.name
 

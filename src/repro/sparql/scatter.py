@@ -36,6 +36,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
+from repro.errors import StoreError
 from repro.shard.router import PatternRoute, ShardRouter
 from repro.shard.sharded_store import ShardedTripleStore
 from repro.sparql.ast import (
@@ -215,15 +216,68 @@ class ShardedQueryEvaluator(QueryEvaluator):
         The sharded dataset.
     use_planner:
         Forwarded to the per-shard and merged-view evaluators.
+    backend:
+        ``"thread"`` (default) evaluates scattered groups in-process
+        against per-shard local evaluators, lazily chained — waves get
+        their concurrency from the scheduler's thread pool.
+        ``"process"`` ships each scattered group to the shard's worker
+        process through ``executor`` and streams the serialized binding
+        batches back, lifting the per-shard pipelines out of this
+        interpreter's GIL; the global fallback path (non-co-partitioned
+        groups) still runs in-process against the merged view.
+    executor:
+        A :class:`~repro.shard.workers.ProcessShardExecutor` serving a
+        snapshot of ``store`` (see
+        :meth:`~repro.shard.sharded_store.ShardedTripleStore.serve`).
+        Required — and only meaningful — when ``backend="process"``.
     """
 
-    def __init__(self, store: ShardedTripleStore, use_planner: bool = True):
+    def __init__(
+        self,
+        store: ShardedTripleStore,
+        use_planner: bool = True,
+        backend: str = "thread",
+        executor=None,
+    ):
         if not isinstance(store, ShardedTripleStore):
             raise TypeError(
                 "ShardedQueryEvaluator requires a ShardedTripleStore; "
                 "use QueryEvaluator for plain stores"
             )
+        if backend not in ("thread", "process"):
+            raise ValueError(f"backend must be 'thread' or 'process', got {backend!r}")
+        if backend == "process":
+            if executor is None:
+                raise ValueError(
+                    "backend='process' requires a ProcessShardExecutor "
+                    "(see ShardedTripleStore.serve)"
+                )
+            if executor.num_shards != store.num_shards:
+                raise ValueError(
+                    f"executor serves {executor.num_shards} shards but the "
+                    f"store has {store.num_shards}"
+                )
+            # The workers serve the snapshot on disk, so the store must
+            # (a) be the store that snapshot was taken of — its tracked
+            # snapshot directory is the executor's — and (b) still be at
+            # the snapshotted mutation stamp.  Anything else would
+            # silently answer from two diverging datasets.
+            if (
+                store._snapshot_dir is None
+                or store._snapshot_dir.resolve() != executor.directory.resolve()
+            ):
+                raise ValueError(
+                    "executor serves a snapshot the store was never "
+                    "saved to / opened from; create it via store.serve()"
+                )
+            if store.data_version != store._snapshot_version:
+                raise StoreError(
+                    "ShardedTripleStore was mutated after its snapshot "
+                    "was written; call serve() again to refresh it"
+                )
         super().__init__(store, use_planner=use_planner)
+        self.backend = backend
+        self._executor = executor
         self._router = ShardRouter(store)
         self._locals = tuple(
             QueryEvaluator(shard, use_planner=use_planner) for shard in store.shards
@@ -236,12 +290,27 @@ class ShardedQueryEvaluator(QueryEvaluator):
     def _evaluate_group(
         self, group: GroupGraphPattern, initial: IdBinding
     ) -> Iterator[IdBinding]:
+        if (
+            self.backend == "process"
+            and self.store.data_version != self.store._snapshot_version
+        ):
+            # Checked before any routing or fallback: a mutated store
+            # must never answer — not even with an empty routing result
+            # or through the in-process global path — while the workers
+            # still serve the pre-mutation snapshot.
+            raise StoreError(
+                "ShardedTripleStore was mutated after its process "
+                "executor booted; call serve() again to refresh the "
+                "workers' snapshot"
+            )
         subject = self._scatter_subject(group)
         if subject is None:
             return super()._evaluate_group(group, initial)
         shards = self._route(group, subject, initial)
         if not shards:
             return iter(())
+        if self.backend == "process":
+            return self._executor.run_group(shards, group, initial)
         if len(shards) == 1:
             return self._locals[shards[0]]._evaluate_group(group, initial)
         return self._gather(group, initial, shards)

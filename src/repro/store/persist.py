@@ -454,6 +454,10 @@ def save_sharded_store(store, directory: Union[str, Path]) -> None:
         "boundaries": list(store.boundaries),
         "bounded": store._bounded,
         "skew_threshold": store.skew_threshold,
+        # The one-shot skew latch travels with the snapshot: a dataset
+        # that already warned must not re-warn every time it is reopened
+        # (worker respawns and serve() restarts reopen constantly).
+        "skew_warned": bool(store._skew_warned),
         "terms": terms,
         "triples": len(store),
         "dictionary": dictionary_name,
@@ -510,14 +514,18 @@ def _read_manifest(directory: Path) -> dict:
     return body
 
 
-def open_sharded_store(
-    directory: Union[str, Path], mmap: bool = True, verify: bool = True
-):
-    """Reopen a directory written by :func:`save_sharded_store`."""
-    from repro.shard.sharded_store import ShardedTripleStore
+def _open_shared_dictionary(
+    directory: Path, manifest: dict, mmap: bool, verify: bool
+) -> Tuple[LazyTermDictionary, object]:
+    """Open a sharded snapshot's shared dictionary file.
 
-    directory = Path(directory)
-    manifest = _read_manifest(directory)
+    The one prologue both the parent-side :func:`open_sharded_store` and
+    the worker-side :func:`open_shard_stores` run — shared so the two
+    paths can never diverge on dictionary validation, which is what the
+    byte-identical worker ID space rests on.  Returns ``(dictionary,
+    buffer)``; the buffer must stay referenced while the dictionary's
+    views are alive.
+    """
     dict_buffer = _load_buffer(directory / manifest["dictionary"], use_mmap=mmap)
     dict_header, dict_sections = read_container(
         dict_buffer, kind=KIND_DICTIONARY, verify=verify
@@ -526,7 +534,20 @@ def open_sharded_store(
         raise SnapshotCorruptError(
             "Sharded manifest and dictionary snapshot disagree on term count"
         )
-    dictionary = _build_dictionary(dict_header, dict_sections)
+    return _build_dictionary(dict_header, dict_sections), dict_buffer
+
+
+def open_sharded_store(
+    directory: Union[str, Path], mmap: bool = True, verify: bool = True
+):
+    """Reopen a directory written by :func:`save_sharded_store`."""
+    from repro.shard.sharded_store import ShardedTripleStore
+
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    dictionary, dict_buffer = _open_shared_dictionary(
+        directory, manifest, mmap, verify
+    )
     shards = tuple(
         open_store(
             directory / file_name,
@@ -548,5 +569,50 @@ def open_sharded_store(
         boundaries=list(manifest["boundaries"]),
         bounded=bool(manifest["bounded"]),
         skew_threshold=float(manifest.get("skew_threshold", 4.0)),
+        skew_warned=bool(manifest.get("skew_warned", False)),
         retained=dict_buffer,
     )
+
+
+def open_shard_stores(
+    directory: Union[str, Path],
+    shard_indices,
+    mmap: bool = True,
+    verify: bool = True,
+):
+    """Open a subset of a sharded snapshot's shards over one shared
+    lazy dictionary.
+
+    This is the worker-process entry point of the process-parallel
+    executor (:mod:`repro.shard.workers`): each worker mmap-opens *its*
+    shard's columns file plus the shared dictionary file — nothing is
+    pickled across the process boundary and nothing is re-interned, so
+    the worker's ID space is byte-for-byte the parent's.
+
+    Returns ``(stores, dictionary, manifest)`` where ``stores`` maps each
+    requested shard index to its cold :class:`TripleStore`.
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory)
+    dictionary, dict_buffer = _open_shared_dictionary(
+        directory, manifest, mmap, verify
+    )
+    stores = {}
+    for index in shard_indices:
+        if not 0 <= index < manifest["num_shards"]:
+            raise SnapshotCorruptError(
+                f"Shard index {index} out of range for "
+                f"{manifest['num_shards']}-shard snapshot"
+            )
+        store = open_store(
+            directory / manifest["shards"][index],
+            mmap=mmap,
+            verify=verify,
+            _kind=KIND_COLUMNS,
+            _dictionary=dictionary,
+        )
+        # The dictionary's heap/lookup views alias dict_buffer; retain it
+        # alongside the shard's own buffer for the store's lifetime.
+        store._snapshot_retained = (store._snapshot_retained, dict_buffer)
+        stores[index] = store
+    return stores, dictionary, manifest

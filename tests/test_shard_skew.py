@@ -132,3 +132,64 @@ class TestShardSkewWarning:
         store = ShardedTripleStore(num_shards=2, skew_threshold=3.5)
         store.bulk_load(_seed_triples())
         assert store.copy().skew_threshold == 3.5
+
+
+class TestSkewLatchPersistence:
+    """The one-shot latch is a *dataset* property, not a process one.
+
+    Before the fix the latch lived only on the in-memory instance, so
+    every snapshot reopen — which the process-worker deployment performs
+    on every serve() restart and worker respawn — re-armed it and the
+    same pile-up warned again in every process.  The latch now travels
+    through the sharded manifest.
+    """
+
+    def _skewed_saved_store(self, tmp_path):
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        store.bulk_load(_seed_triples())
+        with pytest.warns(ShardSkewWarning):
+            store.bulk_load(_late_triples(120))
+        store.save(tmp_path / "snap")
+        return tmp_path / "snap"
+
+    def test_reopened_snapshot_does_not_rewarn(self, tmp_path):
+        directory = self._skewed_saved_store(tmp_path)
+        reopened = ShardedTripleStore.open(directory)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            # Even more pile-up on the reopened store: still latched.
+            reopened.bulk_load(_late_triples(300, start=5000))
+            for triple in _late_triples(50, start=9000):
+                reopened.add(triple)
+        assert [
+            w for w in caught if issubclass(w.category, ShardSkewWarning)
+        ] == []
+
+    def test_latch_survives_a_second_round_trip(self, tmp_path):
+        directory = self._skewed_saved_store(tmp_path)
+        middle = ShardedTripleStore.open(directory)
+        middle.save(tmp_path / "resaved")
+        final = ShardedTripleStore.open(tmp_path / "resaved")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            final.bulk_load(_late_triples(300, start=5000))
+        assert [
+            w for w in caught if issubclass(w.category, ShardSkewWarning)
+        ] == []
+
+    def test_unwarned_snapshot_still_warns_once_after_reopen(self, tmp_path):
+        # The fix must not swallow first warnings: a store saved *before*
+        # any skew developed warns (once) when the pile-up happens on the
+        # reopened side.
+        store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
+        store.bulk_load(_seed_triples())
+        store.save(tmp_path / "snap")
+        reopened = ShardedTripleStore.open(tmp_path / "snap")
+        with pytest.warns(ShardSkewWarning, match="last shard"):
+            reopened.bulk_load(_late_triples(120))
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            reopened.bulk_load(_late_triples(120, start=1000))
+        assert [
+            w for w in caught if issubclass(w.category, ShardSkewWarning)
+        ] == []
