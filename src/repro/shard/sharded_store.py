@@ -306,6 +306,119 @@ class ShardedTripleStore:
         sharded.bulk_load(iter(store), parallel=parallel)
         return sharded
 
+    @classmethod
+    def from_id_columns(
+        cls,
+        dictionary: TermDictionary,
+        subjects,
+        predicates,
+        objects,
+        num_shards: int = 4,
+        name: str = "sharded",
+        processes: Optional[int] = None,
+        start_method: Optional[str] = None,
+    ) -> "ShardedTripleStore":
+        """Build a sharded store straight from parallel dictionary-ID columns.
+
+        The sharded face of :meth:`TripleStore.from_id_columns`: boundaries
+        are cut from the batch's distinct subject IDs exactly like
+        :meth:`bulk_load` would, the columns partition per shard with one
+        vectorised route pass, and every shard assembles as frozen CSR
+        columns — no per-fact :class:`Triple` objects anywhere.  With
+        ``processes > 1`` the per-shard permutation sorts run in worker
+        processes (columns ship as flat int64 bytes); otherwise they run
+        inline.  ``start_method`` picks the multiprocessing context, like
+        :meth:`serve`.
+        """
+        from repro.store.triplestore import _numpy, csr_permutation_sections
+
+        store = cls(num_shards=num_shards, name=name, dictionary=dictionary)
+        np = _numpy()
+        if np is not None:
+            from repro.store.triplestore import _ids_array_np
+
+            s = _ids_array_np(np, subjects)
+            p = _ids_array_np(np, predicates)
+            o = _ids_array_np(np, objects)
+            distinct = np.unique(s)
+            if distinct.size and num_shards > 1:
+                store._boundaries = cls._cut_points(distinct, num_shards)
+            store._bounded = True
+            if num_shards == 1:
+                partitions = [(s, p, o)]
+            else:
+                cuts = np.asarray(store._boundaries, dtype=np.int64)
+                # side="right" == bisect_right: boundary IDs stay in the
+                # lower shard, matching shard_index_for_subject exactly.
+                routed = np.searchsorted(cuts, s, side="right")
+                partitions = []
+                for index in range(num_shards):
+                    mask = routed == index
+                    partitions.append((s[mask], p[mask], o[mask]))
+        else:
+            rows = list(zip(subjects, predicates, objects))
+            distinct_list = sorted({row[0] for row in rows})
+            if distinct_list and num_shards > 1:
+                store._boundaries = cls._cut_points(distinct_list, num_shards)
+            store._bounded = True
+            boundaries = store._boundaries
+            grouped: List[List[Tuple[int, int, int]]] = [[] for _ in range(num_shards)]
+            for row in rows:
+                grouped[bisect_right(boundaries, row[0])].append(row)
+            partitions = [
+                (
+                    [row[0] for row in part],
+                    [row[1] for row in part],
+                    [row[2] for row in part],
+                )
+                for part in grouped
+            ]
+
+        worker_count = min(processes or 1, sum(1 for part in partitions if len(part[0])))
+        if worker_count > 1 and np is not None:
+            from repro.shard.workers import map_in_processes
+
+            payloads = [
+                (
+                    part[0].tobytes(),
+                    part[1].tobytes(),
+                    part[2].tobytes(),
+                )
+                for part in partitions
+            ]
+            results = map_in_processes(
+                csr_permutation_sections,
+                payloads,
+                processes=worker_count,
+                start_method=start_method,
+            )
+            shards = tuple(
+                cls._shard_from_sections(f"{name}/s{index}", dictionary, sections)
+                for index, (_, sections) in enumerate(results)
+            )
+        else:
+            shards = tuple(
+                TripleStore.from_id_columns(
+                    f"{name}/s{index}", dictionary, part[0], part[1], part[2]
+                )
+                for index, part in enumerate(partitions)
+            )
+        store._shards = shards
+        return store
+
+    @staticmethod
+    def _shard_from_sections(
+        name: str, dictionary: TermDictionary, sections
+    ) -> TripleStore:
+        """One shard store over the 15 CSR column payloads a worker built."""
+        from repro.store.index import FrozenIdIndex
+
+        indexes = [
+            FrozenIdIndex(*[memoryview(payload).cast("q") for payload in columns])
+            for columns in sections
+        ]
+        return TripleStore._from_snapshot(name, dictionary, *indexes)
+
     # ------------------------------------------------------------------ #
     # Shard topology
     # ------------------------------------------------------------------ #
@@ -336,6 +449,19 @@ class ShardedTripleStore:
         """Triples per shard, in shard order (balance diagnostic)."""
         return [len(shard) for shard in self._shards]
 
+    @staticmethod
+    def _cut_points(distinct, count: int) -> List[int]:
+        """Range cut points splitting sorted distinct subject IDs into
+        ``count`` near-equal chunks.  Clamped: with fewer distinct
+        subjects than shards the trailing cuts repeat the last ID, leaving
+        the surplus shards empty (routing stays total either way)."""
+        chunk = len(distinct) / count
+        last = len(distinct) - 1
+        return [
+            int(distinct[min(last, int(round(index * chunk)))])
+            for index in range(1, count)
+        ]
+
     def _fix_boundaries(self, subject_ids: Iterable[int]) -> None:
         """Freeze range boundaries from the first batch's subject IDs.
 
@@ -351,15 +477,7 @@ class ShardedTripleStore:
             ))
         count = len(self._shards)
         if distinct and count > 1:
-            # Clamp the cut index: with fewer distinct subjects than
-            # shards the trailing cuts repeat the last ID, leaving the
-            # surplus shards empty (routing stays total either way).
-            chunk = len(distinct) / count
-            last = len(distinct) - 1
-            self._boundaries = [
-                distinct[min(last, int(round(index * chunk)))]
-                for index in range(1, count)
-            ]
+            self._boundaries = self._cut_points(distinct, count)
         self._bounded = True
         # New regime: the one-shot warning is re-armed for the frozen-era
         # pile-up check (an unbounded-era warning may already have fired).

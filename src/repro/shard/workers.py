@@ -114,6 +114,34 @@ def decode_binding(
 
 
 # --------------------------------------------------------------------- #
+# Process-parallel batch helper (shard builds)
+# --------------------------------------------------------------------- #
+def map_in_processes(
+    function,
+    payloads,
+    processes: int,
+    start_method: Optional[str] = None,
+):
+    """``[function(*payload) for payload in payloads]`` on a process pool.
+
+    The build-time sibling of :class:`ProcessShardExecutor`: the sharded
+    store's :meth:`~repro.shard.sharded_store.ShardedTripleStore.from_id_columns`
+    runs the per-shard partition sorts through this so shard CSR builds
+    overlap on multi-core hosts.  ``function`` must be a module-level
+    callable and payloads tuples of picklable arguments (flat column
+    bytes, in the shard-build case).  Falls back to an inline loop when
+    only one process is requested.
+    """
+    items = list(payloads)
+    processes = min(processes, len(items))
+    if processes <= 1:
+        return [function(*payload) for payload in items]
+    ctx = multiprocessing.get_context(start_method)
+    with ctx.Pool(processes=processes) as pool:
+        return pool.starmap(function, items)
+
+
+# --------------------------------------------------------------------- #
 # Worker process main
 # --------------------------------------------------------------------- #
 def _drain_cancels(cancel_queue, cancelled: set) -> None:

@@ -42,6 +42,7 @@ two).
 
 from __future__ import annotations
 
+import heapq
 from itertools import islice
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -58,6 +59,7 @@ from repro.sparql.ast import (
     UnionNode,
     ValuesNode,
 )
+from repro.sparql import kernels
 from repro.sparql.bindings import Binding, IdBinding, Variable
 from repro.sparql.functions import EvalError, ExpressionEvaluator, value_to_term
 from repro.sparql.parser import parse_query
@@ -77,6 +79,31 @@ from repro.store.triplestore import TripleStore
 _MISS = object()
 
 
+class _Descending:
+    """Wraps one ORDER BY sort-key component with inverted comparisons.
+
+    Tuple comparison probes ``==`` to skip the equal prefix and ``<`` to
+    decide; inverting both makes a DESC condition sort descending inside a
+    single lexicographic key while staying stable (equal keys still compare
+    equal), matching the per-condition ``reverse=True`` stable sorts of
+    :meth:`QueryEvaluator._order_rows`.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def __lt__(self, other: "_Descending") -> bool:
+        return other.value < self.value
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, _Descending) and other.value == self.value
+
+    def __hash__(self) -> int:  # pragma: no cover - keys are never hashed
+        return hash(self.value)
+
+
 class QueryEvaluator:
     """Evaluates parsed queries against one triple store.
 
@@ -90,13 +117,29 @@ class QueryEvaluator:
         ``False`` keeps the original constant-count ordering with nested
         index-lookup joins — a reference implementation used by property
         tests and benchmarks to cross-check the planned operators.
+    use_vectorized:
+        ``None`` (default) runs planned BGPs through the numpy block
+        kernels (:mod:`repro.sparql.kernels`) whenever they are available;
+        ``False`` keeps the scalar per-row operators as the differential
+        reference.  ``True`` still degrades silently to the scalar path
+        when numpy is missing or ``REPRO_NO_NUMPY`` is set, so callers
+        never need to guard on the environment.
     """
 
-    def __init__(self, store: TripleStore, use_planner: bool = True):
+    def __init__(
+        self,
+        store: TripleStore,
+        use_planner: bool = True,
+        use_vectorized: Optional[bool] = None,
+    ):
         self.store = store
         self._dict = store.dictionary
         self._expressions = ExpressionEvaluator(exists_callback=self._exists)
         self._use_planner = use_planner
+        if use_vectorized is None:
+            self._use_vectorized = kernels.kernels_available()
+        else:
+            self._use_vectorized = bool(use_vectorized) and kernels.kernels_available()
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -132,11 +175,16 @@ class QueryEvaluator:
 
         if query.order_by:
             # Ordering needs the full solution sequence; decode eagerly.
-            rows = [
+            decoded = (
                 self._project(query, solution, variables).decode(self._dict)
                 for solution in solutions
-            ]
-            rows = self._order_rows(rows, query)
+            )
+            if query.limit is not None:
+                # ORDER BY ... LIMIT k: a bounded heap selects the top
+                # offset+k rows in one pass instead of materialising and
+                # fully sorting every solution.
+                return ResultSet(variables, self._top_rows(decoded, query))
+            rows = self._order_rows(list(decoded), query)
             if query.distinct:
                 rows = self._distinct_list(rows)
             rows = self._slice(rows, query.offset, query.limit)
@@ -324,7 +372,9 @@ class QueryEvaluator:
                     data[item.output_variable] = value
         return IdBinding(data)
 
-    def _order_rows(self, rows: List[Binding], query: SelectQuery) -> List[Binding]:
+    def _condition_keys(self, query: SelectQuery):
+        """``row -> (key per ORDER BY condition)`` for sorting decoded rows."""
+
         def key_for(row: Binding) -> Tuple:
             keys: List = []
             for condition in query.order_by:
@@ -347,6 +397,10 @@ class QueryEvaluator:
                     keys.append((1, 0.0, str(value)))
             return tuple(keys)
 
+        return key_for
+
+    def _order_rows(self, rows: List[Binding], query: SelectQuery) -> List[Binding]:
+        key_for = self._condition_keys(query)
         ordered = rows
         # Apply conditions right-to-left so earlier conditions dominate
         # (stable sort); descending handled per condition.
@@ -358,6 +412,35 @@ class QueryEvaluator:
 
             ordered = sorted(ordered, key=single_key, reverse=condition.descending)
         return ordered
+
+    def _top_rows(self, rows: Iterable[Binding], query: SelectQuery) -> List[Binding]:
+        """The ``ORDER BY ... [OFFSET] LIMIT k`` page via a bounded heap.
+
+        Equivalent to :meth:`_order_rows` + distinct + slice: the heap keeps
+        only ``offset + limit`` rows alive, descending conditions compare
+        through :class:`_Descending` (stable, like ``reverse=True`` sorts),
+        and ``heapq.nsmallest`` preserves first-occurrence order between
+        equal keys exactly as the stable full sort would.
+        """
+        if query.distinct:
+            rows = self._distinct_stream(rows)
+        keep = query.offset + query.limit
+        if keep <= 0:
+            return []
+        key_for = self._condition_keys(query)
+        descending = [condition.descending for condition in query.order_by]
+        if any(descending):
+
+            def sort_key(row: Binding) -> Tuple:
+                return tuple(
+                    _Descending(key) if desc else key
+                    for key, desc in zip(key_for(row), descending)
+                )
+
+        else:
+            sort_key = key_for
+        top = heapq.nsmallest(keep, rows, key=sort_key)
+        return top[query.offset :]
 
     @staticmethod
     def _distinct_list(rows: List[Binding]) -> List[Binding]:
@@ -414,17 +497,27 @@ class QueryEvaluator:
                 bound = set(initial)
                 bound |= self._values_bound(values_nodes)
                 plan = self._plan_for(group, patterns, bound, not values_nodes)
-                for step in plan.steps:
-                    if step.operator == MERGE:
-                        solutions = self._merge_join(
-                            solutions, step.pattern, step.merge_variable
-                        )
-                    elif step.operator == HASH:
-                        solutions = self._hash_join(
-                            solutions, step.pattern, step.join_variables
-                        )
-                    else:  # scan / nested: per-solution index lookups
-                        solutions = self._join_pattern(solutions, step.pattern)
+                vectorized = None
+                if self._use_vectorized and not values_nodes and not len(initial):
+                    # Kernels compute complete solutions from the store
+                    # alone, so they only replace the single-empty-input
+                    # case (the top-level group); OPTIONAL / EXISTS inner
+                    # groups carry bindings and stay scalar.
+                    vectorized = kernels.execute(self, plan)
+                if vectorized is not None:
+                    solutions = vectorized
+                else:
+                    for step in plan.steps:
+                        if step.operator == MERGE:
+                            solutions = self._merge_join(
+                                solutions, step.pattern, step.merge_variable
+                            )
+                        elif step.operator == HASH:
+                            solutions = self._hash_join(
+                                solutions, step.pattern, step.join_variables
+                            )
+                        else:  # scan / nested: per-solution index lookups
+                            solutions = self._join_pattern(solutions, step.pattern)
             else:
                 for pattern in self._order_by_constants(patterns):
                     solutions = self._join_pattern(solutions, pattern)

@@ -170,6 +170,11 @@ class PlanStep:
     estimate: float
     join_variables: Tuple[Variable, ...] = ()
     merge_variable: Optional[Variable] = None
+    #: The pattern's standalone match estimate (no bound variables) — what a
+    #: hash/scan build of this pattern alone would materialise.  The
+    #: vectorized kernels use it to decide whether upgrading a ``nested``
+    #: step to a block probe-join is worth the build cost.
+    build_estimate: float = 0.0
 
     def describe(self) -> str:
         """One-line human-readable rendering (used by ``BGPPlan.describe``)."""
@@ -256,6 +261,7 @@ def plan_bgp(
         shared = tuple(sorted(pattern_vars & bound_now, key=lambda v: v.name))
         two_consts = _constant_count(pattern) == 2
         merge_variable: Optional[Variable] = None
+        build_estimate = estimator.pattern_estimate(pattern, set())
 
         if not steps:
             operator = SCAN
@@ -267,7 +273,6 @@ def plan_bgp(
             operator = MERGE
             merge_variable = sorted_by
         elif shared:
-            build_estimate = estimator.pattern_estimate(pattern, set())
             operator = HASH if build_estimate < cardinality else NESTED
         else:
             # Disconnected pattern: materialise it once and cross, instead
@@ -282,6 +287,7 @@ def plan_bgp(
                 estimate=cardinality,
                 join_variables=shared,
                 merge_variable=merge_variable,
+                build_estimate=build_estimate,
             )
         )
         bound_now |= pattern_vars

@@ -230,6 +230,10 @@ class ShardedQueryEvaluator(QueryEvaluator):
         snapshot of ``store`` (see
         :meth:`~repro.shard.sharded_store.ShardedTripleStore.serve`).
         Required — and only meaningful — when ``backend="process"``.
+    use_vectorized:
+        Forwarded to the per-shard and merged-view evaluators: the block
+        join kernels run both on the global-gather path (per-shard columns
+        concatenate) and inside each shard-local evaluator.
     """
 
     def __init__(
@@ -238,6 +242,7 @@ class ShardedQueryEvaluator(QueryEvaluator):
         use_planner: bool = True,
         backend: str = "thread",
         executor=None,
+        use_vectorized=None,
     ):
         if not isinstance(store, ShardedTripleStore):
             raise TypeError(
@@ -275,12 +280,13 @@ class ShardedQueryEvaluator(QueryEvaluator):
                     "ShardedTripleStore was mutated after its snapshot "
                     "was written; call serve() again to refresh it"
                 )
-        super().__init__(store, use_planner=use_planner)
+        super().__init__(store, use_planner=use_planner, use_vectorized=use_vectorized)
         self.backend = backend
         self._executor = executor
         self._router = ShardRouter(store)
         self._locals = tuple(
-            QueryEvaluator(shard, use_planner=use_planner) for shard in store.shards
+            QueryEvaluator(shard, use_planner=use_planner, use_vectorized=use_vectorized)
+            for shard in store.shards
         )
         self._scatter_cache: Dict[GroupGraphPattern, object] = {}
 

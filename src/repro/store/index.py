@@ -271,6 +271,30 @@ class IdTripleIndex:
             key_groups.append(len(seconds))
         return keys, key_groups, seconds, group_starts, thirds
 
+    def key_columns(self, key: int):
+        """One key's entries as CSR run columns: ``(seconds, bounds, thirds)``.
+
+        ``seconds[g]`` is group ``g``'s second ID (ascending); its sorted
+        thirds are ``thirds[bounds[g] - bounds[0] : bounds[g + 1] - bounds[0]]``
+        (``bounds`` has ``len(seconds) + 1`` entries and may be rebased —
+        the frozen twin hands out absolute snapshot offsets).  The block
+        join kernels consume these as numpy views; for the writable index
+        the columns are assembled per call with C-level extends, so the
+        cost is O(groups) Python plus O(entries) C.
+        """
+        from array import array
+
+        seconds = array("q")
+        bounds = array("q", [0])
+        thirds = array("q")
+        by_second = self._index.get(key)
+        if by_second is not None:
+            for second in sorted(by_second):
+                seconds.append(second)
+                thirds.extend(by_second[second])
+                bounds.append(len(thirds))
+        return seconds, bounds, thirds
+
     # ------------------------------------------------------------------ #
     # Lookup
     # ------------------------------------------------------------------ #
@@ -539,6 +563,28 @@ class FrozenIdIndex:
             return ()
         return ColumnView(
             self._thirds[self._group_starts[group] : self._group_starts[group + 1]]
+        )
+
+    def key_columns(self, key: int):
+        """One key's entries as CSR run columns: ``(seconds, bounds, thirds)``.
+
+        Same contract as :meth:`IdTripleIndex.key_columns`, but answered
+        with zero-copy windows over the snapshot columns; ``bounds`` keeps
+        its absolute offsets (callers rebase against ``bounds[0]``).
+        """
+        slot = self._key_slot(key)
+        if slot < 0:
+            from array import array
+
+            return array("q"), array("q", [0]), array("q")
+        group_start = self._key_groups[slot]
+        group_end = self._key_groups[slot + 1]
+        run_start = self._group_starts[group_start]
+        run_end = self._group_starts[group_end]
+        return (
+            self._seconds[group_start:group_end],
+            self._group_starts[group_start : group_end + 1],
+            self._thirds[run_start:run_end],
         )
 
     def pairs(self, key: int) -> Iterator[Tuple[int, int]]:

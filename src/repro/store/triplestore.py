@@ -56,6 +56,114 @@ try:  # optional accelerator for the bulk-load column sort (not a hard dep)
 except ImportError:  # pragma: no cover - exercised only without numpy
     _np = None
 
+
+def _numpy():
+    """The numpy module, or ``None`` when missing or disabled.
+
+    The ``REPRO_NO_NUMPY`` environment variable force-disables every numpy
+    fast path in the library (CI exercises the pure-Python fallbacks with
+    it); checking per call keeps the switch effective for tests that set
+    the variable after import.
+    """
+    import os
+
+    if _np is None or os.environ.get("REPRO_NO_NUMPY"):
+        return None
+    return _np
+
+
+def _ids_array_np(np, column):
+    """``column`` as an int64 ndarray, zero-copy for buffer-backed inputs."""
+    if isinstance(column, np.ndarray):
+        return np.ascontiguousarray(column, dtype=np.int64)
+    if isinstance(column, (array, memoryview, bytes, bytearray)):
+        return np.frombuffer(column, dtype=np.int64)
+    return np.fromiter(column, dtype=np.int64, count=len(column))
+
+
+def _csr_from_sorted_np(np, keys_col, seconds_col, thirds_col):
+    """One permutation's five CSR columns from presorted, deduped columns.
+
+    ``(keys_col, seconds_col, thirds_col)`` must already be sorted
+    lexicographically; boundary detection is two vectorised comparisons,
+    so the Python cost is O(1) regardless of row count.
+    """
+    n = int(keys_col.size)
+    if not n:
+        empty = np.empty(0, dtype=np.int64)
+        zero = np.zeros(1, dtype=np.int64)
+        return empty, zero, empty, zero, empty
+    group_change = np.empty(n, dtype=bool)
+    group_change[0] = True
+    np.not_equal(keys_col[1:], keys_col[:-1], out=group_change[1:])
+    group_change[1:] |= seconds_col[1:] != seconds_col[:-1]
+    group_rows = np.flatnonzero(group_change)
+    group_keys = keys_col[group_rows]
+    seconds = seconds_col[group_rows]
+    group_starts = np.empty(group_rows.size + 1, dtype=np.int64)
+    group_starts[:-1] = group_rows
+    group_starts[-1] = n
+    key_change = np.empty(group_keys.size, dtype=bool)
+    key_change[0] = True
+    np.not_equal(group_keys[1:], group_keys[:-1], out=key_change[1:])
+    key_slots = np.flatnonzero(key_change)
+    keys = group_keys[key_slots]
+    key_groups = np.empty(key_slots.size + 1, dtype=np.int64)
+    key_groups[:-1] = key_slots
+    key_groups[-1] = group_keys.size
+    return keys, key_groups, seconds, group_starts, np.ascontiguousarray(thirds_col)
+
+
+def _csr_from_sorted_rows(rows):
+    """Pure-Python twin of :func:`_csr_from_sorted_np` over sorted tuples."""
+    from itertools import groupby
+
+    keys = array("q")
+    key_groups = array("q", [0])
+    seconds = array("q")
+    group_starts = array("q", [0])
+    thirds = array("q")
+    for key, key_rows in groupby(rows, key=lambda row: row[0]):
+        for second, group_rows in groupby(key_rows, key=lambda row: row[1]):
+            seconds.append(second)
+            thirds.extend(row[2] for row in group_rows)
+            group_starts.append(len(thirds))
+        keys.append(key)
+        key_groups.append(len(seconds))
+    return keys, key_groups, seconds, group_starts, thirds
+
+
+def csr_permutation_sections(subjects: bytes, predicates: bytes, objects: bytes):
+    """:meth:`TripleStore._csr_permutations` over raw int64 column bytes.
+
+    The process-parallel sharded builder ships each shard's partition to a
+    worker as three bytes payloads and gets the fifteen CSR column
+    payloads back — bytes pickle as flat buffers, so nothing is
+    re-interned or converted per row on either side.
+    """
+    count, permutations = TripleStore._csr_permutations(
+        _column_from_bytes(subjects),
+        _column_from_bytes(predicates),
+        _column_from_bytes(objects),
+    )
+    return count, [
+        tuple(_column_bytes(column) for column in columns)
+        for columns in permutations
+    ]
+
+
+def _column_from_bytes(payload: bytes):
+    np = _numpy()
+    if np is not None:
+        return np.frombuffer(payload, dtype=np.int64)
+    column = array("q")
+    column.frombytes(payload)
+    return column
+
+
+def _column_bytes(column) -> bytes:
+    return column.tobytes()
+
 #: Below this batch size the pure-Python sort path wins (numpy call overhead).
 _BULK_NUMPY_MIN = 2048
 
@@ -137,6 +245,74 @@ class TripleStore:
         store._lazy_triples = True
         store._snapshot_retained = retained
         return store
+
+    @classmethod
+    def from_id_columns(
+        cls,
+        name: str,
+        dictionary: TermDictionary,
+        subjects,
+        predicates,
+        objects,
+    ) -> "TripleStore":
+        """Assemble a store straight from parallel dictionary-ID columns.
+
+        The streaming construction path for generated worlds: rows are
+        sorted and deduplicated columnwise (numpy when available, a pure-
+        Python fallback otherwise) and the three permutation indexes are
+        built as *frozen* CSR columns — no per-fact :class:`Triple`
+        objects, no Python containers proportional to the row count.  The
+        store starts in the same lazy state a cold-opened snapshot does
+        (``is_frozen``), so saving it writes the columns verbatim and the
+        first mutation thaws them exactly like a reopened snapshot.  All
+        IDs must have been interned through ``dictionary``.
+        """
+        _, permutations = cls._csr_permutations(subjects, predicates, objects)
+        indexes = [
+            FrozenIdIndex(*[memoryview(column) for column in columns])
+            for columns in permutations
+        ]
+        return cls._from_snapshot(name, dictionary, *indexes)
+
+    @staticmethod
+    def _csr_permutations(subjects, predicates, objects):
+        """Sorted, deduplicated CSR columns for all three permutations.
+
+        Returns ``(row_count, [spo, pos, osp])`` where each permutation is
+        the five buffer-backed columns (keys, key_groups, seconds,
+        group_starts, thirds) in :class:`FrozenIdIndex` layout.  This is
+        the sort kernel behind :meth:`from_id_columns`; the sharded
+        builder also runs it inside worker processes via
+        :func:`csr_permutation_sections`.
+        """
+        np = _numpy()
+        if np is not None and len(subjects) >= _BULK_NUMPY_MIN:
+            s = _ids_array_np(np, subjects)
+            p = _ids_array_np(np, predicates)
+            o = _ids_array_np(np, objects)
+            order = np.lexsort((o, p, s))
+            s, p, o = s[order], p[order], o[order]
+            if s.size:
+                keep = np.empty(s.size, dtype=bool)
+                keep[0] = True
+                np.not_equal(s[1:], s[:-1], out=keep[1:])
+                keep[1:] |= p[1:] != p[:-1]
+                keep[1:] |= o[1:] != o[:-1]
+                if not keep.all():
+                    s, p, o = s[keep], p[keep], o[keep]
+            pos_order = np.lexsort((s, o, p))
+            osp_order = np.lexsort((p, s, o))
+            return int(s.size), [
+                _csr_from_sorted_np(np, s, p, o),
+                _csr_from_sorted_np(np, p[pos_order], o[pos_order], s[pos_order]),
+                _csr_from_sorted_np(np, o[osp_order], s[osp_order], p[osp_order]),
+            ]
+        rows = sorted(set(zip(subjects, predicates, objects)))
+        return len(rows), [
+            _csr_from_sorted_rows(rows),
+            _csr_from_sorted_rows(sorted((p, o, s) for s, p, o in rows)),
+            _csr_from_sorted_rows(sorted((o, s, p) for s, p, o in rows)),
+        ]
 
     # ------------------------------------------------------------------ #
     # Snapshot persistence
@@ -313,7 +489,7 @@ class TripleStore:
             append_p(ids[1])
             append_o(ids[2])
         self._triples.update(pending)
-        if _np is not None and count >= _BULK_NUMPY_MIN:
+        if _numpy() is not None and count >= _BULK_NUMPY_MIN:
             s_arr = _np.frombuffer(s_col, dtype=_np.int64)
             p_arr = _np.frombuffer(p_col, dtype=_np.int64)
             o_arr = _np.frombuffer(o_col, dtype=_np.int64)

@@ -34,6 +34,14 @@ from repro.synthetic.presets import (
     music_world_spec,
     yago_dbpedia_spec,
 )
+from repro.synthetic.stream import (
+    SCALE_PRESETS,
+    ScaleWorld,
+    ScaleWorldSpec,
+    generate_scale_world,
+    scale_world_spec,
+)
+from repro.synthetic.cache import CachedWorld, load_or_generate
 
 __all__ = [
     "CanonicalEntityType",
@@ -48,4 +56,11 @@ __all__ = [
     "movie_world_spec",
     "music_world_spec",
     "yago_dbpedia_spec",
+    "SCALE_PRESETS",
+    "ScaleWorld",
+    "ScaleWorldSpec",
+    "scale_world_spec",
+    "generate_scale_world",
+    "CachedWorld",
+    "load_or_generate",
 ]

@@ -241,3 +241,73 @@ class TestRouter:
         p1 = sharded.term_id(EX.p1)
         surviving, routes = router.route_group([(None, label, None), (None, p1, None)])
         assert set(surviving) == set(routes[0].probed) & set(routes[1].probed)
+
+
+class TestShardedFromIdColumns:
+    """The sharded ID-column loader must match the single-store loader."""
+
+    @staticmethod
+    def _columns(count: int = 300):
+        from repro.store.dictionary import TermDictionary
+
+        rng = random.Random(5)
+        dictionary = TermDictionary()
+        subjects, predicates, objects = [], [], []
+        for _ in range(count):
+            triple = Triple(
+                EX[f"e{rng.randrange(40)}"],
+                EX[f"p{rng.randrange(4)}"],
+                EX[f"e{rng.randrange(40)}"],
+            )
+            s, p, o = dictionary.encode_triple(triple)
+            subjects.append(s)
+            predicates.append(p)
+            objects.append(o)
+        return dictionary, subjects, predicates, objects
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    def test_matches_single_store(self, shards):
+        dictionary, subjects, predicates, objects = self._columns()
+        single = TripleStore.from_id_columns("one", dictionary, subjects, predicates, objects)
+        sharded = ShardedTripleStore.from_id_columns(
+            dictionary, subjects, predicates, objects, num_shards=shards
+        )
+        shard_ids = sorted(
+            triple for shard in sharded.shards for triple in shard.match_ids()
+        )
+        assert shard_ids == sorted(single.match_ids())
+        assert len(sharded) == len(single)
+
+    def test_routing_matches_subject_ranges(self):
+        dictionary, subjects, predicates, objects = self._columns()
+        sharded = ShardedTripleStore.from_id_columns(
+            dictionary, subjects, predicates, objects, num_shards=4
+        )
+        for index, shard in enumerate(sharded.shards):
+            for subject, _, _ in shard.match_ids():
+                assert sharded.shard_index_for_subject(subject) == index
+
+    def test_process_parallel_build_matches_inline(self):
+        dictionary, subjects, predicates, objects = self._columns()
+        inline = ShardedTripleStore.from_id_columns(
+            dictionary, subjects, predicates, objects, num_shards=4
+        )
+        parallel = ShardedTripleStore.from_id_columns(
+            dictionary, subjects, predicates, objects, num_shards=4, processes=2
+        )
+        assert sorted(
+            triple for shard in inline.shards for triple in shard.match_ids()
+        ) == sorted(triple for shard in parallel.shards for triple in shard.match_ids())
+
+    def test_pure_python_fallback_matches(self, monkeypatch):
+        dictionary, subjects, predicates, objects = self._columns()
+        fast = ShardedTripleStore.from_id_columns(
+            dictionary, subjects, predicates, objects, num_shards=3
+        )
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        slow = ShardedTripleStore.from_id_columns(
+            dictionary, subjects, predicates, objects, num_shards=3
+        )
+        assert sorted(
+            triple for shard in fast.shards for triple in shard.match_ids()
+        ) == sorted(triple for shard in slow.shards for triple in shard.match_ids())

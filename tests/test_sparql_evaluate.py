@@ -214,3 +214,61 @@ class TestResultSetHelpers:
         parsed = parse_query(PREFIX + "SELECT ?s WHERE { ?s ex:bornIn ex:USA }")
         result = evaluator.evaluate(parsed)
         assert isinstance(result, ResultSet) and len(result) == 1
+
+
+class TestOrderByLimitTopK:
+    """ORDER BY ... LIMIT takes the heap-based top-k path; its pages must
+    be indistinguishable from slicing the fully sorted result."""
+
+    @staticmethod
+    def _numbers_store(count: int = 400) -> TripleStore:
+        store = TripleStore()
+        for index in range(count):
+            entity = IRI(f"http://example.org/kb1/n{index}")
+            store.add(Triple(entity, IRI("http://example.org/kb1/rank"), Literal((index * 37) % count)))
+            store.add(Triple(entity, IRI("http://example.org/kb1/group"), Literal((index * 37) % 7)))
+        return store
+
+    @pytest.mark.parametrize(
+        "order", ["?r", "DESC(?r)", "?g DESC(?r)", "DESC(?g) ?r"]
+    )
+    @pytest.mark.parametrize("offset,limit", [(0, 5), (3, 10), (0, 0), (395, 50)])
+    def test_page_equals_full_sort_slice(self, order, offset, limit):
+        store = self._numbers_store()
+        base = (
+            "SELECT ?s ?r ?g WHERE { ?s ex:rank ?r . ?s ex:group ?g } "
+            f"ORDER BY {order}"
+        )
+        full = run(store, base)
+        page = run(store, f"{base} OFFSET {offset} LIMIT {limit}")
+        assert page.rows == full.rows[offset : offset + limit]
+
+    def test_distinct_page_equals_full_sort_slice(self):
+        store = self._numbers_store()
+        base = "SELECT DISTINCT ?g WHERE { ?s ex:group ?g } ORDER BY DESC(?g)"
+        full = run(store, base)
+        page = run(store, f"{base} LIMIT 3")
+        assert page.rows == full.rows[:3]
+
+    def test_offset_past_result_is_empty(self):
+        store = self._numbers_store(50)
+        page = run(store, "SELECT ?r WHERE { ?s ex:rank ?r } ORDER BY ?r OFFSET 500 LIMIT 5")
+        assert len(page) == 0
+
+    def test_large_world_pages(self):
+        from repro.synthetic.stream import generate_scale_world, scale_world_spec
+
+        spec = scale_world_spec(20_000)
+        world = generate_scale_world(spec)
+        namespace = spec.namespace
+        base = (
+            f"SELECT ?a ?b WHERE {{ ?a <{namespace.term('p0').value}> ?b }} "
+            "ORDER BY ?a DESC(?b)"
+        )
+        for evaluator in (
+            QueryEvaluator(world.store),
+            QueryEvaluator(world.store, use_vectorized=False),
+        ):
+            full = evaluator.evaluate(parse_query(base))
+            page = evaluator.evaluate(parse_query(base + " OFFSET 7 LIMIT 25"))
+            assert page.rows == full.rows[7:32]

@@ -220,3 +220,68 @@ class TestMembershipProbe:
         assert len(list(run)) == store.count_ids(sid, pid, None)
         with pytest.raises(StoreError):
             store.sorted_run_ids(subject=sid)
+
+
+class TestFromIdColumns:
+    """The streaming ID-column loader must agree with Triple-based loads."""
+
+    @staticmethod
+    def _columns():
+        from repro.store.dictionary import TermDictionary
+
+        dictionary = TermDictionary()
+        triples = sample_triples()
+        subjects, predicates, objects = [], [], []
+        for triple in triples:
+            s, p, o = dictionary.encode_triple(triple)
+            subjects.append(s)
+            predicates.append(p)
+            objects.append(o)
+        return dictionary, triples, subjects, predicates, objects
+
+    def test_equals_triple_load(self):
+        dictionary, triples, subjects, predicates, objects = self._columns()
+        reference = TripleStore(triples=triples)
+        store = TripleStore.from_id_columns("cols", dictionary, subjects, predicates, objects)
+        assert store.is_frozen
+        assert set(store) == set(reference)
+        assert len(store) == len(reference)
+
+    def test_deduplicates(self):
+        dictionary, _, subjects, predicates, objects = self._columns()
+        doubled = TripleStore.from_id_columns(
+            "cols", dictionary, subjects * 2, predicates * 2, objects * 2
+        )
+        once = TripleStore.from_id_columns("cols", dictionary, subjects, predicates, objects)
+        assert set(doubled.match_ids()) == set(once.match_ids())
+        assert len(doubled) == len(once)
+
+    def test_mutation_after_load(self):
+        dictionary, triples, subjects, predicates, objects = self._columns()
+        store = TripleStore.from_id_columns("cols", dictionary, subjects, predicates, objects)
+        extra = Triple(EX.zz, EX.p0, EX.yy)
+        assert store.add(extra)
+        assert extra in store
+        assert store.remove(extra)
+        assert len(store) == len(set(triples))
+
+    def test_persist_roundtrip(self, tmp_path):
+        dictionary, triples, subjects, predicates, objects = self._columns()
+        store = TripleStore.from_id_columns("cols", dictionary, subjects, predicates, objects)
+        store.save(tmp_path / "cols.snap")
+        reopened = TripleStore.open(tmp_path / "cols.snap")
+        assert set(reopened) == set(triples)
+
+    def test_empty_columns(self):
+        from repro.store.dictionary import TermDictionary
+
+        store = TripleStore.from_id_columns("empty", TermDictionary(), [], [], [])
+        assert len(store) == 0
+        assert list(store.match_ids()) == []
+
+    def test_pure_python_fallback_matches(self, monkeypatch):
+        dictionary, _, subjects, predicates, objects = self._columns()
+        fast = TripleStore.from_id_columns("cols", dictionary, subjects, predicates, objects)
+        monkeypatch.setenv("REPRO_NO_NUMPY", "1")
+        slow = TripleStore.from_id_columns("cols", dictionary, subjects, predicates, objects)
+        assert sorted(slow.match_ids()) == sorted(fast.match_ids())
