@@ -82,8 +82,11 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
         fresh temporary directory.  An up-to-date snapshot already there
         is reused (see
         :meth:`~repro.shard.sharded_store.ShardedTripleStore.serve`).
-    start_method, pool_size:
-        Forwarded to the process executor.
+    start_method, pool_size, result_window:
+        Forwarded to the process executor (``result_window`` is the
+        credit-based flow-control window bounding parent-side buffering
+        per in-flight task; see
+        :meth:`~repro.shard.sharded_store.ShardedTripleStore.serve`).
 
     Process-backed endpoints own worker processes: use the endpoint as a
     context manager or call :meth:`close`.
@@ -100,6 +103,7 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
         snapshot_dir=None,
         start_method: Optional[str] = None,
         pool_size: Optional[int] = None,
+        result_window: Optional[int] = None,
     ):
         if latency_scale < 0:
             raise EndpointError("latency_scale must be non-negative")
@@ -126,7 +130,10 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
                 self._owned_snapshot_dir = snapshot_dir
             try:
                 executor = store.serve(
-                    snapshot_dir, start_method=start_method, pool_size=pool_size
+                    snapshot_dir,
+                    start_method=start_method,
+                    pool_size=pool_size,
+                    result_window=result_window,
                 )
                 self._executor = executor
             except BaseException:
@@ -191,6 +198,7 @@ def sharded_endpoint(
     snapshot_dir=None,
     start_method: Optional[str] = None,
     pool_size: Optional[int] = None,
+    result_window: Optional[int] = None,
 ) -> SimulatedSparqlEndpoint:
     """A simulated endpoint serving a sharded store via scatter/gather.
 
@@ -207,6 +215,7 @@ def sharded_endpoint(
         snapshot_dir=snapshot_dir,
         start_method=start_method,
         pool_size=pool_size,
+        result_window=result_window,
     )
 
 

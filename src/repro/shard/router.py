@@ -32,14 +32,23 @@ IdPattern = Tuple[Optional[int], Optional[int], Optional[int]]
 
 @dataclass(frozen=True)
 class PatternRoute:
-    """Routing outcome for one pattern: shards probed vs pruned."""
+    """Routing outcome for one pattern: shards probed vs pruned.
+
+    ``shipped`` marks a pattern that is not probed per shard at all: the
+    cross-shard join shipper materialises its full match set once in the
+    parent and broadcasts the ID columns to every worker, so shard routing
+    does not apply to it.
+    """
 
     pattern: IdPattern
     probed: Tuple[int, ...]
     pruned: Tuple[int, ...]
+    shipped: bool = False
 
     def describe(self) -> str:
         """One-line rendering used by the sharded plan explain output."""
+        if self.shipped:
+            return "broadcast to all probed shards (join shipping)"
         probed = ",".join(map(str, self.probed)) or "-"
         pruned = ",".join(map(str, self.pruned)) or "-"
         return f"shards probed=[{probed}] pruned=[{pruned}]"

@@ -193,6 +193,7 @@ class ShardedTripleStore:
         start_method: Optional[str] = None,
         pool_size: Optional[int] = None,
         verify: bool = True,
+        result_window: Optional[int] = None,
         **executor_kwargs,
     ):
         """Snapshot (if dirty) and boot process shard workers over it.
@@ -207,6 +208,14 @@ class ShardedTripleStore:
         count; workers then serve several shards each).  Each worker
         mmap-opens its shard's columns and the shared dictionary from the
         snapshot — nothing is pickled, nothing re-interned.
+
+        ``result_window`` bounds how many result batches each in-flight
+        task may have unacknowledged in the parent (credit-based flow
+        control; defaults to the ``REPRO_RESULT_WINDOW`` environment
+        variable, falling back to
+        :data:`~repro.shard.workers.DEFAULT_RESULT_WINDOW`).  Smaller
+        windows cap parent memory under skewed waves; larger windows
+        keep fast workers busier between acknowledgements.
 
         The returned executor should be closed (it is a context manager);
         wiring it into evaluation is
@@ -232,6 +241,7 @@ class ShardedTripleStore:
             start_method=start_method,
             pool_size=pool_size,
             verify=verify,
+            result_window=result_window,
             **executor_kwargs,
         )
 

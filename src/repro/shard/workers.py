@@ -11,20 +11,31 @@ no store is pickled across the process boundary and nothing is
 re-interned, so worker-side dictionary IDs are byte-for-byte the
 parent's and binding batches can travel as plain integers.
 
-Protocol (one task queue and one result queue per worker, plus a cancel
+Protocol (one task queue and one result queue per worker, plus a control
 queue):
 
-* parent → worker: ``("eval", task_id, shard_index, group_ast,
-  initial_binding)`` — run the planned BGP pipeline of ``group_ast``
-  against the shard's local evaluator, streaming solutions back in
-  serialized batches; ``("ping", task_id)`` — health/diagnostics probe;
+* parent → worker: ``("eval", task_id, shard_index, work, initial,
+  fold, project, distinct)`` — evaluate ``work`` (a pickled
+  :class:`~repro.sparql.ast.GroupGraphPattern` or
+  :class:`~repro.sparql.distjoin.ShipPlan`) against the shard's local
+  evaluator.  With a ``fold`` spec the worker reduces its stream to one
+  partial aggregate message; otherwise it streams solution batches,
+  optionally restricted to the ``project`` variables (and locally
+  deduplicated when ``distinct``).  ``("ping", task_id)`` — health probe;
   ``("stall", task_id, seconds)`` — hold the worker busy (fault-injection
   and cancellation tests); ``("stop",)`` — exit.
-* parent → worker (cancel queue): bare task IDs.  The worker drains the
-  cancel queue between batches, so an ASK or LIMIT consumer that stops
-  early aborts the in-flight shard scans instead of letting them run dry.
+* parent → worker (control queue): ``("cancel", task_id)`` aborts an
+  in-flight task between batches; ``("ack", task_id, n)`` grants ``n``
+  result-window credits.  **Credit-based flow control**: each eval task
+  starts with ``result_window`` credits, every ``rows`` batch costs one,
+  and a worker out of credits blocks (polling the control queue) until
+  the parent acks a consumed batch or cancels the task — so a trailing
+  shard can buffer at most ``result_window`` batches in the parent, and
+  ASK/LIMIT cancellation frees its credits immediately.  The default
+  window comes from the ``REPRO_RESULT_WINDOW`` environment variable.
 * worker → parent: ``(task_id, "rows", batch)`` (a batch is a list of
   serialized bindings: tuples of ``(variable_name, id_or_term)`` pairs),
+  ``(task_id, "agg", partial)`` (one fold partial, not terminal),
   ``(task_id, "done", row_count, cancelled)``, ``(task_id, "error",
   type_name, message, traceback)``, ``(task_id, "pong", info)``.
 
@@ -65,6 +76,25 @@ from repro.sparql.bindings import IdBinding, Variable
 #: Rows per result batch: large enough to amortise one queue round-trip
 #: over many solutions, small enough to keep cancellation responsive.
 DEFAULT_BATCH_ROWS = 256
+
+#: Result-window credits per eval task: how many ``rows`` batches a worker
+#: may have outstanding (sent but not yet consumed by the parent) before
+#: it blocks awaiting an ack.  Bounds parent-side buffering per task at
+#: ``result_window * batch_rows`` rows.
+DEFAULT_RESULT_WINDOW = 8
+
+
+def _default_result_window() -> int:
+    """The configured result window (``REPRO_RESULT_WINDOW`` override)."""
+    raw = os.environ.get("REPRO_RESULT_WINDOW")
+    if raw:
+        try:
+            value = int(raw)
+        except ValueError:
+            return DEFAULT_RESULT_WINDOW
+        if value >= 1:
+            return value
+    return DEFAULT_RESULT_WINDOW
 
 #: How often collector threads wake to check worker liveness (seconds).
 _POLL_INTERVAL = 0.05
@@ -144,12 +174,75 @@ def map_in_processes(
 # --------------------------------------------------------------------- #
 # Worker process main
 # --------------------------------------------------------------------- #
-def _drain_cancels(cancel_queue, cancelled: set) -> None:
+def _apply_control(message, cancelled: set, acks: Dict[int, int]) -> None:
+    if message[0] == "cancel":
+        cancelled.add(message[1])
+    else:  # ("ack", task_id, n)
+        task_id = message[1]
+        acks[task_id] = acks.get(task_id, 0) + message[2]
+
+
+def _drain_control(control_queue, cancelled: set, acks: Dict[int, int]) -> None:
     while True:
         try:
-            cancelled.add(cancel_queue.get_nowait())
+            message = control_queue.get_nowait()
         except queue.Empty:
             return
+        _apply_control(message, cancelled, acks)
+
+
+def _await_credit(
+    control_queue, cancelled: set, acks: Dict[int, int], task_id: int
+) -> int:
+    """Block until the parent grants credits for ``task_id`` (or cancels).
+
+    Returns the granted credit count, 0 when the task was cancelled while
+    waiting — cancellation frees a starved task immediately instead of
+    leaving the worker parked on a window the consumer will never drain.
+    """
+    while True:
+        if task_id in cancelled:
+            return 0
+        granted = acks.pop(task_id, 0)
+        if granted:
+            return granted
+        try:
+            message = control_queue.get(timeout=_POLL_INTERVAL)
+        except queue.Empty:
+            continue
+        _apply_control(message, cancelled, acks)
+        _drain_control(control_queue, cancelled, acks)
+
+
+def _restrict_solutions(
+    solutions, names: Tuple[str, ...], distinct: bool, memo: Dict[str, Variable]
+):
+    """Worker-side projection pushdown: keep only the projected variables.
+
+    With ``distinct`` the worker deduplicates the restricted rows locally
+    before they hit the wire — the parent still deduplicates globally, so
+    this only shrinks the transfer (restriction makes parent projection a
+    bijection on these rows, hence local dedup never changes the result).
+    """
+    variables = []
+    for name in names:
+        variable = memo.get(name)
+        if variable is None:
+            variable = memo[name] = Variable(name)
+        variables.append(variable)
+    seen = set() if distinct else None
+    for solution in solutions:
+        data = {}
+        for variable in variables:
+            value = solution.get(variable)
+            if value is not None:
+                data[variable] = value
+        row = IdBinding(data)
+        if seen is not None:
+            if row in seen:
+                continue
+            seen.add(row)
+        yield row
 
 
 def _worker_diagnostics(worker_index, stores, dictionary, tasks_served) -> dict:
@@ -173,16 +266,19 @@ def shard_worker_main(
     directory: str,
     task_queue,
     result_queue,
-    cancel_queue,
+    control_queue,
     verify: bool,
     batch_rows: int,
+    result_window: int = DEFAULT_RESULT_WINDOW,
 ) -> None:
     """Entry point of one shard worker process.
 
     Module-level (not a closure) so it is importable under the ``spawn``
     and ``forkserver`` start methods.
     """
+    from repro.sparql.distjoin import ShipPlan, execute_ship_plan
     from repro.sparql.evaluate import QueryEvaluator
+    from repro.sparql.fold import fold_local
     from repro.store.persist import open_shard_stores
 
     try:
@@ -200,8 +296,18 @@ def shard_worker_main(
         return
 
     cancelled: set = set()
-    group_cache: Dict[bytes, object] = {}
+    acks: Dict[int, int] = {}
+    work_cache: Dict[bytes, object] = {}
     tasks_served = 0
+
+    def cached_payload(payload_bytes: bytes):
+        cached = work_cache.get(payload_bytes)
+        if cached is None:
+            if len(work_cache) >= _GROUP_CACHE_LIMIT:
+                work_cache.clear()
+            cached = work_cache[payload_bytes] = pickle.loads(payload_bytes)
+        return cached
+
     while True:
         message = task_queue.get()
         kind = message[0]
@@ -209,10 +315,11 @@ def shard_worker_main(
             return
         task_id = message[1]
         tasks_served += 1
-        _drain_cancels(cancel_queue, cancelled)
-        # Task IDs reach a worker in increasing order, so cancel marks
-        # below the current task can never match again — prune them.
+        _drain_control(control_queue, cancelled, acks)
+        # Task IDs reach a worker in increasing order, so cancel marks and
+        # credit acks below the current task can never match again — prune.
         cancelled = {tid for tid in cancelled if tid >= task_id}
+        acks = {tid: n for tid, n in acks.items() if tid >= task_id}
         if kind == "ping":
             result_queue.put(
                 (task_id, "pong",
@@ -225,7 +332,7 @@ def shard_worker_main(
             was_cancelled = False
             while time.monotonic() < deadline:
                 time.sleep(0.01)
-                _drain_cancels(cancel_queue, cancelled)
+                _drain_control(control_queue, cancelled, acks)
                 if task_id in cancelled:
                     was_cancelled = True
                     break
@@ -237,34 +344,75 @@ def shard_worker_main(
                  f"unknown task kind {kind!r}", "")
             )
             continue
-        _, _, shard_index, group_bytes, initial_payload = message
+        _, _, shard_index, work_bytes, initial_payload, fold_bytes, project, distinct = message
         if task_id in cancelled:
             result_queue.put((task_id, "done", 0, True))
             continue
         try:
-            group = group_cache.get(group_bytes)
-            if group is None:
-                if len(group_cache) >= _GROUP_CACHE_LIMIT:
-                    group_cache.clear()
-                group = group_cache[group_bytes] = pickle.loads(group_bytes)
+            work = cached_payload(work_bytes)
             evaluator = evaluators[shard_index]
             memo: Dict[str, Variable] = {}
             initial = decode_binding(initial_payload, memo)
+            if isinstance(work, ShipPlan):
+                solutions = execute_ship_plan(evaluator, work, initial)
+            else:
+                solutions = evaluator._evaluate_group(work, initial)
+
+            if fold_bytes is not None:
+                # Aggregate pushdown: reduce the whole stream to one
+                # partial; transfer is O(groups), not O(solutions).
+                spec = cached_payload(fold_bytes)
+
+                def fold_stopped() -> bool:
+                    _drain_control(control_queue, cancelled, acks)
+                    return task_id in cancelled
+
+                partial = fold_local(solutions, spec, fold_stopped)
+                if partial is None:
+                    result_queue.put((task_id, "done", 0, True))
+                else:
+                    result_queue.put((task_id, "agg", partial))
+                    result_queue.put((task_id, "done", len(partial), False))
+                continue
+
+            if project is not None:
+                solutions = _restrict_solutions(
+                    solutions, project, bool(distinct), memo
+                )
+
             batch: List[Tuple[Tuple[str, object], ...]] = []
             count = 0
             was_cancelled = False
-            for binding in evaluator._evaluate_group(group, initial):
+            credits = result_window
+            for binding in solutions:
                 batch.append(encode_binding(binding))
                 count += 1
                 if len(batch) >= batch_rows:
-                    result_queue.put((task_id, "rows", batch))
-                    batch = []
-                    _drain_cancels(cancel_queue, cancelled)
+                    _drain_control(control_queue, cancelled, acks)
+                    credits += acks.pop(task_id, 0)
                     if task_id in cancelled:
                         was_cancelled = True
                         break
+                    if credits <= 0:
+                        credits = _await_credit(
+                            control_queue, cancelled, acks, task_id
+                        )
+                        if not credits:
+                            was_cancelled = True
+                            break
+                    result_queue.put((task_id, "rows", batch))
+                    credits -= 1
+                    batch = []
             if batch and not was_cancelled:
-                result_queue.put((task_id, "rows", batch))
+                credits += acks.pop(task_id, 0)
+                if credits <= 0:
+                    credits = _await_credit(
+                        control_queue, cancelled, acks, task_id
+                    )
+                if credits:
+                    result_queue.put((task_id, "rows", batch))
+                else:
+                    was_cancelled = True
             result_queue.put((task_id, "done", count, was_cancelled))
         except BaseException as error:
             result_queue.put(
@@ -277,14 +425,21 @@ def shard_worker_main(
 # Parent-side plumbing
 # --------------------------------------------------------------------- #
 class _TaskStream:
-    """Parent-side buffer for one in-flight task's result messages."""
+    """Parent-side buffer for one in-flight task's result messages.
 
-    __slots__ = ("task_id", "handle", "finished", "_buffer")
+    ``pending`` counts buffered-but-unconsumed ``rows`` batches (guarded
+    by the executor's stats lock); cancellation refunds them from the
+    global buffered gauge at cancel-enqueue time.
+    """
+
+    __slots__ = ("task_id", "handle", "finished", "pending", "cancelled", "_buffer")
 
     def __init__(self, task_id: int, handle: "_WorkerHandle"):
         self.task_id = task_id
         self.handle = handle
         self.finished = False
+        self.pending = 0
+        self.cancelled = False
         self._buffer: "queue.SimpleQueue" = queue.SimpleQueue()
 
     def push(self, item) -> None:
@@ -299,18 +454,18 @@ class _WorkerHandle:
 
     __slots__ = (
         "index", "shard_indices", "process", "task_queue", "result_queue",
-        "cancel_queue", "inflight", "lock", "dead", "fatal_info", "collector",
+        "control_queue", "inflight", "lock", "dead", "fatal_info", "collector",
         "next_task_id",
     )
 
     def __init__(self, index, shard_indices, process, task_queue,
-                 result_queue, cancel_queue):
+                 result_queue, control_queue):
         self.index = index
         self.shard_indices = shard_indices
         self.process = process
         self.task_queue = task_queue
         self.result_queue = result_queue
-        self.cancel_queue = cancel_queue
+        self.control_queue = control_queue
         self.inflight: Dict[int, _TaskStream] = {}
         self.lock = threading.Lock()
         self.dead = False
@@ -323,7 +478,7 @@ class _WorkerHandle:
         self.next_task_id = 0
 
     def close_queues(self) -> None:
-        for q in (self.task_queue, self.result_queue, self.cancel_queue):
+        for q in (self.task_queue, self.result_queue, self.control_queue):
             try:
                 q.close()
             except (OSError, ValueError):  # pragma: no cover - teardown race
@@ -354,6 +509,12 @@ class ProcessShardExecutor:
     batch_rows:
         Solutions per result batch (protocol granularity: throughput vs
         cancellation latency).
+    result_window:
+        Credits per eval task — how many ``rows`` batches a worker may
+        have in flight before it blocks for an ack.  Bounds parent-side
+        buffering per task at ``result_window * batch_rows`` rows.
+        ``None`` reads ``REPRO_RESULT_WINDOW`` (default
+        :data:`DEFAULT_RESULT_WINDOW`).
 
     The executor is a context manager; :meth:`close` stops the workers.
     """
@@ -365,6 +526,7 @@ class ProcessShardExecutor:
         pool_size: Optional[int] = None,
         verify: bool = True,
         batch_rows: int = DEFAULT_BATCH_ROWS,
+        result_window: Optional[int] = None,
     ):
         from repro.store.persist import _read_manifest
 
@@ -375,12 +537,36 @@ class ProcessShardExecutor:
             pool_size = self._num_shards
         if pool_size < 1:
             raise StoreError(f"pool_size must be >= 1, got {pool_size}")
+        if result_window is None:
+            result_window = _default_result_window()
+        if result_window < 1:
+            raise StoreError(f"result_window must be >= 1, got {result_window}")
         self._num_workers = min(pool_size, self._num_shards)
         self._ctx = multiprocessing.get_context(start_method)
         self._verify = verify
         self._batch_rows = batch_rows
+        self._result_window = int(result_window)
         self._lock = threading.Lock()
         self._closed = False
+        # Protocol accounting: every counter mutation happens under one
+        # stats lock so the ledger balances exactly at quiescence
+        # (dispatched == completed + cancelled + failed + crashed) and the
+        # buffered-batches gauge reflects live parent-side buffering.
+        self._stats_lock = threading.Lock()
+        self._stats: Dict[str, int] = {
+            "dispatched": 0,
+            "completed": 0,
+            "cancelled": 0,
+            "failed": 0,
+            "crashed": 0,
+            "row_batches": 0,
+            "rows": 0,
+            "agg_partials": 0,
+            "acks": 0,
+            "dropped_batches": 0,
+            "buffered_batches": 0,
+            "max_buffered_batches": 0,
+        }
         # Consecutive fatal boot failures per pool slot; at
         # _MAX_BOOT_FAILURES the slot is abandoned (dispatch fails fast
         # with the worker's reported error instead of respawn-looping).
@@ -421,6 +607,24 @@ class ProcessShardExecutor:
         """Current worker PIDs, by pool slot."""
         with self._lock:
             return [handle.process.pid for handle in self._handles]
+
+    @property
+    def result_window(self) -> int:
+        """Credits per eval task (see :data:`DEFAULT_RESULT_WINDOW`)."""
+        return self._result_window
+
+    def protocol_stats(self) -> Dict[str, int]:
+        """A snapshot of the executor's protocol ledger.
+
+        Task counters (``dispatched`` / ``completed`` / ``cancelled`` /
+        ``failed`` / ``crashed``) balance exactly once all streams reach a
+        terminal state; ``buffered_batches`` is the live gauge of result
+        batches held in parent-side buffers and ``max_buffered_batches``
+        its high-water mark — with flow control it stays within
+        ``result_window`` per concurrently in-flight task.
+        """
+        with self._stats_lock:
+            return dict(self._stats)
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -466,7 +670,7 @@ class ProcessShardExecutor:
         ctx = self._ctx
         task_queue = ctx.Queue()
         result_queue = ctx.Queue()
-        cancel_queue = ctx.Queue()
+        control_queue = ctx.Queue()
         process = ctx.Process(
             target=shard_worker_main,
             args=(
@@ -475,9 +679,10 @@ class ProcessShardExecutor:
                 str(self._directory),
                 task_queue,
                 result_queue,
-                cancel_queue,
+                control_queue,
                 self._verify,
                 self._batch_rows,
+                self._result_window,
             ),
             name=f"repro-shard-worker-{worker_index}",
             daemon=True,
@@ -485,7 +690,7 @@ class ProcessShardExecutor:
         process.start()
         handle = _WorkerHandle(
             worker_index, self._shards_of(worker_index), process,
-            task_queue, result_queue, cancel_queue,
+            task_queue, result_queue, control_queue,
         )
         collector = threading.Thread(
             target=self._collect,
@@ -521,9 +726,33 @@ class ProcessShardExecutor:
         with handle.lock:
             stream = handle.inflight.get(task_id)
             if stream is None:  # cancelled and forgotten
+                if kind == "rows":
+                    with self._stats_lock:
+                        self._stats["dropped_batches"] += 1
                 return
             if kind in _TERMINAL:
                 del handle.inflight[task_id]
+        with self._stats_lock:
+            if kind == "rows":
+                if stream.cancelled:
+                    # _cancel already refunded this stream's buffers; a
+                    # batch the worker had in the pipe must not re-enter
+                    # the gauge (it will never be consumed).
+                    self._stats["dropped_batches"] += 1
+                    return
+                stream.pending += 1
+                self._stats["row_batches"] += 1
+                self._stats["rows"] += len(message[2])
+                buffered = self._stats["buffered_batches"] + 1
+                self._stats["buffered_batches"] = buffered
+                if buffered > self._stats["max_buffered_batches"]:
+                    self._stats["max_buffered_batches"] = buffered
+            elif kind == "agg":
+                self._stats["agg_partials"] += 1
+            elif kind == "done" or kind == "pong":
+                self._stats["completed"] += 1
+            elif kind == "error":
+                self._stats["failed"] += 1
         stream.push(message[1:])
 
     def _reap(self, handle: _WorkerHandle) -> None:
@@ -545,6 +774,12 @@ class ProcessShardExecutor:
             f"shard worker {handle.index} (pid {handle.process.pid}) died "
             f"with {len(streams)} task(s) in flight{detail}"
         )
+        with self._stats_lock:
+            for stream in streams:
+                self._stats["crashed"] += 1
+                if stream.pending:
+                    self._stats["buffered_batches"] -= stream.pending
+                    stream.pending = 0
         for stream in streams:
             stream.push(("crashed", error))
         handle.close_queues()
@@ -605,15 +840,20 @@ class ProcessShardExecutor:
                         message = ("eval", task_id, shard_index) + extra
                     else:
                         message = (kind, task_id) + extra
+                    dispatched = True
                     try:
                         handle.task_queue.put(message)
                     except (OSError, ValueError):  # pragma: no cover - race
+                        dispatched = False
                         handle.inflight.pop(task_id, None)
                         stream.push(("crashed", WorkerCrashError(
                             f"shard worker {worker_index} queue closed "
                             "mid-dispatch"
                         )))
             if stream is not None:
+                if dispatched:
+                    with self._stats_lock:
+                        self._stats["dispatched"] += 1
                 return stream
             # The handle died and is being respawned; wait briefly for the
             # replacement instead of failing a query the fresh worker
@@ -628,10 +868,20 @@ class ProcessShardExecutor:
         handle = stream.handle
         with handle.lock:
             forgotten = handle.inflight.pop(stream.task_id, None)
+        with self._stats_lock:
+            # Refund the stream's buffered-but-unconsumed batches at
+            # cancel-enqueue time: the gauge (and anything budgeted on
+            # it) must not wait for the worker to drain the cancel.
+            stream.cancelled = True
+            if stream.pending:
+                self._stats["buffered_batches"] -= stream.pending
+                stream.pending = 0
+            if forgotten is not None:
+                self._stats["cancelled"] += 1
         if forgotten is None:
             return
         try:
-            handle.cancel_queue.put(stream.task_id)
+            handle.control_queue.put(("cancel", stream.task_id))
         except (OSError, ValueError):  # pragma: no cover - dead queue
             pass
 
@@ -643,13 +893,54 @@ class ProcessShardExecutor:
             f"worker task failed: {type_name}: {message}\n{tb}"
         )
 
+    def _dispatch_eval(
+        self,
+        shard_indices: Sequence[int],
+        work,
+        initial: Optional[IdBinding],
+        fold_spec,
+        project: Optional[Sequence[str]],
+        distinct: bool,
+    ) -> List[_TaskStream]:
+        """Fan one eval payload out to every routed shard's worker.
+
+        The work object (group AST or ship plan — broadcast tables
+        included) and the fold spec are each pickled once per query, not
+        once per shard task; workers memoise the unpickled objects per
+        payload bytes.
+        """
+        payload = encode_binding(initial if initial is not None else IdBinding.EMPTY)
+        work_bytes = pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL)
+        fold_bytes = (
+            None
+            if fold_spec is None
+            else pickle.dumps(fold_spec, protocol=pickle.HIGHEST_PROTOCOL)
+        )
+        project_names = None if project is None else tuple(project)
+        streams: List[_TaskStream] = []
+        try:
+            for shard_index in shard_indices:
+                streams.append(
+                    self._dispatch(
+                        shard_index, "eval", work_bytes, payload,
+                        fold_bytes, project_names, bool(distinct),
+                    )
+                )
+        except BaseException:
+            for stream in streams:
+                self._cancel(stream)
+            raise
+        return streams
+
     def run_group(
         self,
         shard_indices: Sequence[int],
-        group,
+        work,
         initial: Optional[IdBinding] = None,
+        project: Optional[Sequence[str]] = None,
+        distinct: bool = False,
     ) -> Iterator[IdBinding]:
-        """Scatter one co-partitioned group over its shards' workers.
+        """Scatter one group (or ship plan) over its shards' workers.
 
         All per-shard tasks are dispatched up front (a single query fans
         out over the pool and the per-shard pipelines run genuinely in
@@ -657,31 +948,74 @@ class ProcessShardExecutor:
         returned iterator early — ASK's first solution, a filled LIMIT
         page — sends cancel messages for every unfinished task.
 
-        Memory note: eager dispatch trades parent memory for wall-clock
-        parallelism — while shard 0's stream is being drained, trailing
-        shards keep producing into their (unbounded) parent-side
-        buffers, so a slow consumer of a huge scattered SELECT can hold
-        up to the full result set in the parent.  The thread backend's
-        lazy chaining has the opposite trade.  A flow-controlled ack
-        protocol is a ROADMAP item; workloads at the current scale are
-        bounded by the endpoint's row caps.
+        Parent-side buffering is bounded by the credit protocol: each
+        task may have at most ``result_window`` row batches buffered, so
+        a trailing shard waits for the consumer instead of materialising
+        its whole result in the parent.  ``project`` (variable names) and
+        ``distinct`` push the final projection down to the workers for
+        plain SELECT queries.
         """
-        payload = encode_binding(initial if initial is not None else IdBinding.EMPTY)
-        # Pickle the group once per query, not once per shard task: the
-        # bytes fan out to every routed worker, and workers memoise the
-        # unpickled AST per payload.
-        group_bytes = pickle.dumps(group, protocol=pickle.HIGHEST_PROTOCOL)
-        streams: List[_TaskStream] = []
-        try:
-            for shard_index in shard_indices:
-                streams.append(
-                    self._dispatch(shard_index, "eval", group_bytes, payload)
-                )
-        except BaseException:
-            for stream in streams:
-                self._cancel(stream)
-            raise
+        streams = self._dispatch_eval(
+            shard_indices, work, initial, None, project, distinct
+        )
         return self._gather(streams)
+
+    def run_fold(
+        self,
+        shard_indices: Sequence[int],
+        work,
+        fold_spec,
+        initial: Optional[IdBinding] = None,
+    ) -> Dict:
+        """Scatter an aggregate query and merge worker-side fold partials.
+
+        Each routed worker reduces its shard's solution stream with
+        ``fold_spec`` and ships exactly one partial message — transfer is
+        O(shards · groups), never O(solutions).  Returns the merged
+        partial dict for :func:`repro.sparql.fold.finalize`.
+        """
+        from repro.sparql.fold import merge_partial
+
+        streams = self._dispatch_eval(
+            shard_indices, work, initial, fold_spec, None, False
+        )
+        merged: Dict = {}
+        try:
+            for stream in streams:
+                while True:
+                    try:
+                        item = stream.next_message(timeout=1.0)
+                    except queue.Empty:
+                        continue
+                    kind = item[0]
+                    if kind == "agg":
+                        merge_partial(fold_spec, merged, item[1])
+                    elif kind == "done":
+                        stream.finished = True
+                        break
+                    elif kind == "crashed":
+                        stream.finished = True
+                        raise item[1]
+                    elif kind == "error":
+                        stream.finished = True
+                        raise self._rebuild_error(item[1], item[2], item[3])
+        finally:
+            for stream in streams:
+                if not stream.finished:
+                    self._cancel(stream)
+        return merged
+
+    def _ack(self, stream: _TaskStream) -> None:
+        """Account one consumed rows batch and grant the worker a credit."""
+        with self._stats_lock:
+            if stream.pending > 0:
+                stream.pending -= 1
+                self._stats["buffered_batches"] -= 1
+            self._stats["acks"] += 1
+        try:
+            stream.handle.control_queue.put(("ack", stream.task_id, 1))
+        except (OSError, ValueError):  # pragma: no cover - dead queue
+            pass
 
     def _gather(self, streams: List[_TaskStream]) -> Iterator[IdBinding]:
         memo: Dict[str, Variable] = {}
@@ -699,6 +1033,11 @@ class ProcessShardExecutor:
                     if kind == "rows":
                         for row in item[1]:
                             yield decode_binding(row, memo)
+                        # Ack only after the batch is fully consumed: a
+                        # consumer that closes the generator mid-batch
+                        # skips the ack and the finally-cancel refunds
+                        # the worker instead.
+                        self._ack(stream)
                     elif kind == "done":
                         stream.finished = True
                         break

@@ -70,6 +70,7 @@ from repro.sparql.plan import (
     BGPPlan,
     plan_bgp,
     plan_context,
+    resolve_pattern_ids,
 )
 from repro.sparql.results import AskResult, ResultSet
 from repro.store.triplestore import TripleStore
@@ -730,17 +731,7 @@ class QueryEvaluator:
         Returns ``None`` when a constant is unknown to the dictionary — the
         pattern provably matches nothing.
         """
-        id_for = self._dict.id_for
-        consts: List[Optional[int]] = []
-        for term in (pattern.subject, pattern.predicate, pattern.object):
-            if isinstance(term, Variable):
-                consts.append(None)
-            else:
-                tid = id_for(term)
-                if tid is None:
-                    return None
-                consts.append(tid)
-        return consts
+        return resolve_pattern_ids(self._dict, pattern)
 
     def _build_join_table(
         self, pattern: TriplePatternNode, join_variables: Tuple[Variable, ...]

@@ -184,6 +184,16 @@ def _expand_key(seconds, bounds, thirds):
     return _np.repeat(seconds, _np.diff(bounds)), thirds
 
 
+def pattern_columns(store, consts) -> Tuple[int, List]:
+    """Public wrapper over :func:`_pattern_columns` for other modules.
+
+    The cross-shard join shipper (:mod:`repro.sparql.distjoin`) uses it to
+    materialise a broadcast side's ID columns in one vectorized pass.
+    Callers must check :func:`kernels_available` first.
+    """
+    return _pattern_columns(store, consts)
+
+
 def _pattern_run(store, consts):
     """A two-constant pattern's sorted third-level run as one array."""
     shards = getattr(store, "shards", None)

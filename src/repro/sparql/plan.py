@@ -61,6 +61,29 @@ NESTED = "nested"
 PLAN_CACHE_LIMIT = 512
 
 
+def resolve_pattern_ids(
+    dictionary, pattern: TriplePatternNode
+) -> Optional[List[Optional[int]]]:
+    """The pattern's positions as dictionary IDs (``None`` per variable).
+
+    Returns ``None`` when a constant term is unknown to the dictionary —
+    the pattern provably matches nothing.  Shared by the evaluator, the
+    shard router's callers and the cross-shard join shipper so every layer
+    resolves constants identically.
+    """
+    id_for = dictionary.id_for
+    consts: List[Optional[int]] = []
+    for term in (pattern.subject, pattern.predicate, pattern.object):
+        if isinstance(term, Variable):
+            consts.append(None)
+        else:
+            tid = id_for(term)
+            if tid is None:
+                return None
+            consts.append(tid)
+    return consts
+
+
 class PlanContext:
     """Shared planning state for one store: estimator + plan cache.
 

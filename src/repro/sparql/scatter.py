@@ -19,6 +19,15 @@ binding or all-constant VALUES rows) and by per-shard pattern counts
 (a shard where any required pattern matches zero triples contributes
 nothing).
 
+**Join shipping** — a pure-BGP group that is *not* co-partitioned (the
+classic s–o chain) can still run sharded when some subject-position
+variable anchors part of it: the anchored patterns scatter as usual and
+the remaining patterns' full match sets are broadcast to every routed
+shard as columnar ID tables, probed there with a hash join (see
+:mod:`repro.sparql.distjoin`).  Shipping engages only when the broadcast
+side stays under ``REPRO_RESULT_WINDOW``'s sibling knob
+``REPRO_BROADCAST_LIMIT``; otherwise the group falls back.
+
 **Global gather** — everything else runs the inherited evaluator against
 the :class:`ShardedTripleStore` itself, whose ID-level API merges the
 shards: subject-bound lookups route, counts sum, and two-constant
@@ -26,13 +35,25 @@ sorted runs concatenate into globally sorted runs the existing
 merge-join operators stream directly.  This path is correct for
 arbitrary queries (cross-subject chains, FILTER NOT EXISTS, ...).
 
+On top of the per-group strategy, COUNT-only aggregate queries over a
+scattered or shipped group push the *fold* down to the shards: each
+shard reduces its stream to a small partial (see
+:mod:`repro.sparql.fold`) and the parent merges O(shards) partials
+instead of streaming O(solutions) rows.  Non-aggregate projections over
+process-backed scatters push the projection down instead, so workers
+ship only the projected columns (deduplicated shard-locally under
+DISTINCT).
+
 :meth:`ShardedQueryEvaluator.explain` returns a :class:`ShardedBGPPlan`
-wrapping the ordinary :class:`BGPPlan` with the chosen mode and, per
-planned pattern, the shards probed vs pruned.
+wrapping the ordinary :class:`BGPPlan` with the chosen mode, per planned
+pattern the shards probed vs pruned (or its broadcast marker), and — when
+a group degrades to the global path or an aggregate cannot fold — the
+human-readable ``fallback_reason``.
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
@@ -49,15 +70,19 @@ from repro.sparql.ast import (
     InExpression,
     OptionalNode,
     Query,
+    SelectQuery,
     TriplePatternNode,
     UnaryExpression,
     UnionNode,
     ValuesNode,
 )
 from repro.sparql.bindings import IdBinding, Variable
+from repro.sparql.distjoin import ShipPlan, build_ship_plan, execute_ship_plan
 from repro.sparql.evaluate import QueryEvaluator
+from repro.sparql.fold import FoldSpec, build_fold_spec, finalize, fold_local, merge_partial
 from repro.sparql.parser import parse_query
 from repro.sparql.plan import BGPPlan, PLAN_CACHE_LIMIT
+from repro.sparql.results import ResultSet
 
 #: Cache sentinel: the group was analysed and is not co-partitioned.
 _NOT_CO_PARTITIONED = object()
@@ -145,6 +170,67 @@ def _expression_subject(
     return subject, True
 
 
+def _exists_groups(expression: Expression) -> Iterator[GroupGraphPattern]:
+    """Every EXISTS group nested inside a filter expression."""
+    if isinstance(expression, ExistsExpression):
+        yield expression.group
+    elif isinstance(expression, UnaryExpression):
+        yield from _exists_groups(expression.operand)
+    elif isinstance(expression, BinaryExpression):
+        yield from _exists_groups(expression.left)
+        yield from _exists_groups(expression.right)
+    elif isinstance(expression, FunctionCall):
+        for argument in expression.arguments:
+            yield from _exists_groups(argument)
+    elif isinstance(expression, InExpression):
+        yield from _exists_groups(expression.operand)
+        for choice in expression.choices:
+            yield from _exists_groups(choice)
+
+
+def _collect_subjects(
+    group: GroupGraphPattern, variables: List[Variable], constants: List[bool]
+) -> None:
+    for element in group.elements:
+        if isinstance(element, TriplePatternNode):
+            if isinstance(element.subject, Variable):
+                variables.append(element.subject)
+            else:
+                constants[0] = True
+        elif isinstance(element, OptionalNode):
+            _collect_subjects(element.group, variables, constants)
+        elif isinstance(element, UnionNode):
+            for branch in element.branches:
+                _collect_subjects(branch, variables, constants)
+        elif isinstance(element, GroupGraphPattern):
+            _collect_subjects(element, variables, constants)
+        elif isinstance(element, FilterNode):
+            for nested in _exists_groups(element.expression):
+                _collect_subjects(nested, variables, constants)
+
+
+def co_partition_reason(group: GroupGraphPattern) -> str:
+    """Why :func:`co_partition_subject` rejected ``group`` (for explain).
+
+    Best-effort diagnostics, never used for execution decisions: the
+    returned string names the first structural obstacle found.
+    """
+    if not any(isinstance(e, TriplePatternNode) for e in group.elements):
+        return "not co-partitioned: no top-level triple pattern"
+    variables: List[Variable] = []
+    constants = [False]
+    _collect_subjects(group, variables, constants)
+    if constants[0]:
+        return "not co-partitioned: a pattern has a constant subject"
+    names = sorted({f"?{v.name}" for v in variables})
+    if len(names) > 1:
+        return (
+            "not co-partitioned: patterns bind different subject variables "
+            f"({', '.join(names)})"
+        )
+    return "not co-partitioned"
+
+
 @dataclass(frozen=True)
 class ShardedBGPPlan:
     """A :class:`BGPPlan` plus shard routing for one basic graph pattern.
@@ -156,14 +242,22 @@ class ShardedBGPPlan:
         same plan runs per shard on the scatter path, or once against the
         merged view on the global path).
     mode:
-        ``"scatter"`` (co-partitioned, pipeline runs per shard) or
-        ``"global"`` (merged-view evaluation).
+        ``"scatter"`` (co-partitioned, pipeline runs per shard),
+        ``"ship"`` (anchored patterns scatter, the rest broadcast as hash
+        tables) or ``"global"`` (merged-view evaluation).
     subject_variable:
-        The common subject variable when scattering, else ``None``.
+        The common subject variable when scattering, the ship plan's
+        partition variable when shipping, else ``None``.
     shards:
         The shards that must run the group (probed by every pattern).
     routing:
-        Per plan step, the shards probed vs pruned for that pattern.
+        Per plan step, the shards probed vs pruned for that pattern;
+        broadcast patterns of a ship plan are marked ``shipped``.
+    fallback_reason:
+        Why the group degraded — to the global path (mode ``"global"``),
+        or, for aggregate queries whose group *is* distributable, why the
+        fold could not be pushed to the workers.  ``None`` when nothing
+        degraded.
     """
 
     plan: BGPPlan
@@ -172,6 +266,7 @@ class ShardedBGPPlan:
     subject_variable: Optional[Variable]
     shards: Tuple[int, ...]
     routing: Tuple[PatternRoute, ...]
+    fallback_reason: Optional[str] = None
 
     @property
     def steps(self):
@@ -200,6 +295,8 @@ class ShardedBGPPlan:
         ]
         for step, route in zip(self.plan.steps, self.routing):
             lines.append(f"{step.describe()}  {route.describe()}")
+        if self.fallback_reason:
+            lines.append(f"fallback: {self.fallback_reason}")
         return "\n".join(lines)
 
 
@@ -289,13 +386,115 @@ class ShardedQueryEvaluator(QueryEvaluator):
             for shard in store.shards
         )
         self._scatter_cache: Dict[GroupGraphPattern, object] = {}
+        self._ship_cache: Dict[GroupGraphPattern, Tuple] = {}
+        # Endpoints share one evaluator across wave threads, so the
+        # armed-pushdown handoff from _evaluate_select to _evaluate_group
+        # must be per thread — a shared slot could hand one query's
+        # projection to a concurrent query reusing the same WHERE object.
+        self._push_local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # SELECT pushdowns (fold / projection)
+    # ------------------------------------------------------------------ #
+    def _evaluate_select(self, query: SelectQuery) -> ResultSet:
+        if query.is_aggregate:
+            fast = self._try_fast_count(query)
+            if fast is not None:
+                return fast
+            folded = self._fold_pushdown(query)
+            if folded is not None:
+                return folded
+            return super()._evaluate_select(query)
+        if not self._stash_projection(query):
+            return super()._evaluate_select(query)
+        try:
+            return super()._evaluate_select(query)
+        finally:
+            self._push_local.spec = None
+
+    def _fold_pushdown(self, query: SelectQuery) -> Optional[ResultSet]:
+        """Aggregate the query with worker-side partial folds, or ``None``.
+
+        Engages when the WHERE group is distributable (scatter or ship)
+        and every projection item is a plain variable or COUNT — the
+        shapes :func:`repro.sparql.fold.build_fold_spec` mirrors exactly.
+        Transfer is one partial per routed shard.
+        """
+        self._require_fresh_snapshot()
+        group = query.where
+        ship: Optional[ShipPlan] = None
+        subject = self._scatter_subject(group)
+        if subject is None:
+            ship, _ = self._ship_plan(group)
+            if ship is None:
+                return None
+            partition = ship.partition_variable
+        else:
+            partition = subject
+        spec = build_fold_spec(query, partition)
+        if spec is None:
+            return None
+        if spec.group_by and (query.limit is not None or query.offset):
+            # Which grouped rows survive OFFSET/LIMIT depends on the row
+            # order the fold merge does not reproduce; stream instead.
+            return None
+        if ship is None:
+            shards = self._route(group, subject, IdBinding.EMPTY)
+            work = group
+        else:
+            shards = self._route_ship(ship, IdBinding.EMPTY)
+            work = ship
+        merged: Dict = {}
+        if shards:
+            if self.backend == "process":
+                merged = self._executor.run_fold(shards, work, spec)
+            else:
+                for index in shards:
+                    local = self._locals[index]
+                    if ship is None:
+                        solutions = local._evaluate_group(group, IdBinding.EMPTY)
+                    else:
+                        solutions = execute_ship_plan(local, ship, IdBinding.EMPTY)
+                    partial = fold_local(solutions, spec)
+                    merge_partial(spec, merged, partial)
+        return finalize(query, spec, merged, self._dict)
+
+    def _stash_projection(self, query: SelectQuery) -> bool:
+        """Arm worker-side projection pushdown for this query's top group.
+
+        Only the process backend benefits (threads share the heap), and
+        only plain-variable projections are restrictable: workers then
+        ship just the projected columns and, under DISTINCT, pre-dedup
+        shard-locally (sound — the parent's projection is the identity on
+        restricted rows, and its own DISTINCT still runs globally).
+        """
+        if self.backend != "process" or query.select_all:
+            return False
+        names = []
+        for item in query.projection:
+            if item.expression is not None or item.variable is None:
+                return False
+            names.append(item.variable.name)
+        self._push_local.spec = (query.where, tuple(names), bool(query.distinct))
+        return True
+
+    def _consume_push(self, group: GroupGraphPattern, initial: IdBinding) -> Dict:
+        """The armed projection-pushdown kwargs for this exact dispatch.
+
+        Applies once, to the top-level evaluation of the stashed query's
+        WHERE group with an empty initial binding — re-entrant calls
+        (OPTIONAL probes, EXISTS groups) must ship full rows.
+        """
+        spec = getattr(self._push_local, "spec", None)
+        if spec is not None and spec[0] is group and not initial:
+            self._push_local.spec = None
+            return {"project": spec[1], "distinct": spec[2]}
+        return {}
 
     # ------------------------------------------------------------------ #
     # Scatter dispatch
     # ------------------------------------------------------------------ #
-    def _evaluate_group(
-        self, group: GroupGraphPattern, initial: IdBinding
-    ) -> Iterator[IdBinding]:
+    def _require_fresh_snapshot(self) -> None:
         if (
             self.backend == "process"
             and self.store.data_version != self.store._snapshot_version
@@ -309,14 +508,24 @@ class ShardedQueryEvaluator(QueryEvaluator):
                 "executor booted; call serve() again to refresh the "
                 "workers' snapshot"
             )
+
+    def _evaluate_group(
+        self, group: GroupGraphPattern, initial: IdBinding
+    ) -> Iterator[IdBinding]:
+        self._require_fresh_snapshot()
         subject = self._scatter_subject(group)
         if subject is None:
+            shipped = self._try_ship(group, initial)
+            if shipped is not None:
+                return shipped
             return super()._evaluate_group(group, initial)
         shards = self._route(group, subject, initial)
         if not shards:
             return iter(())
         if self.backend == "process":
-            return self._executor.run_group(shards, group, initial)
+            return self._executor.run_group(
+                shards, group, initial, **self._consume_push(group, initial)
+            )
         if len(shards) == 1:
             return self._locals[shards[0]]._evaluate_group(group, initial)
         return self._gather(group, initial, shards)
@@ -331,6 +540,72 @@ class ShardedQueryEvaluator(QueryEvaluator):
         stops before the trailing shards are ever planned or scanned."""
         for index in shards:
             yield from self._locals[index]._evaluate_group(group, initial)
+
+    # ------------------------------------------------------------------ #
+    # Join shipping
+    # ------------------------------------------------------------------ #
+    def _try_ship(
+        self, group: GroupGraphPattern, initial: IdBinding
+    ) -> Optional[Iterator[IdBinding]]:
+        """Run ``group`` as a broadcast hash join, or ``None`` to fall back."""
+        plan, _ = self._ship_plan(group)
+        if plan is None:
+            return None
+        shards = self._route_ship(plan, initial)
+        if not shards:
+            return iter(())
+        if self.backend == "process":
+            return self._executor.run_group(
+                shards, plan, initial, **self._consume_push(group, initial)
+            )
+        if len(shards) == 1:
+            return execute_ship_plan(self._locals[shards[0]], plan, initial)
+        return self._ship_gather(plan, initial, shards)
+
+    def _ship_gather(
+        self, plan: ShipPlan, initial: IdBinding, shards: Tuple[int, ...]
+    ) -> Iterator[IdBinding]:
+        for index in shards:
+            yield from execute_ship_plan(self._locals[index], plan, initial)
+
+    def _ship_plan(self, group: GroupGraphPattern) -> Tuple[Optional[ShipPlan], str]:
+        """Build (or reuse) the ship plan for ``group``.
+
+        Cached per group *and* store version — the broadcast tables are
+        materialised data, so a mutation invalidates them even though the
+        AST key is unchanged.
+        """
+        version = self.store.data_version
+        cached = self._ship_cache.get(group)
+        if cached is not None and cached[0] == version:
+            return cached[1], cached[2]
+        if len(self._ship_cache) >= PLAN_CACHE_LIMIT:
+            self._ship_cache.clear()
+        plan, reason = build_ship_plan(self.store, self._dict, group)
+        self._ship_cache[group] = (version, plan, reason)
+        return plan, reason
+
+    def _route_ship(
+        self, plan: ShipPlan, initial: IdBinding
+    ) -> Tuple[int, ...]:
+        """The shards that must run a ship plan's anchor (may be empty)."""
+        bound = initial.get(plan.partition_variable)
+        if bound is not None:
+            if type(bound) is not int:
+                return ()
+            candidates: Optional[List[int]] = [
+                self.store.shard_index_for_subject(bound)
+            ]
+        else:
+            candidates = None
+        id_patterns = []
+        for pattern in plan.anchor.elements:
+            consts = self._resolve_constants(pattern)
+            if consts is None:  # a constant unknown to the dictionary
+                return ()
+            id_patterns.append(tuple(consts))
+        shards, _ = self._router.route_group(id_patterns, candidates)
+        return shards
 
     def _scatter_subject(self, group: GroupGraphPattern) -> Optional[Variable]:
         cached = self._scatter_cache.get(group)
@@ -421,18 +696,59 @@ class ShardedQueryEvaluator(QueryEvaluator):
         base = super().explain(query)
         group = query.where
         subject = self._scatter_subject(group)
+        ship: Optional[ShipPlan] = None
+        fallback_reason: Optional[str] = None
         if subject is not None:
             candidates = self._candidate_shards(group, subject, IdBinding.EMPTY)
             mode = "scatter"
         else:
             candidates = None
-            mode = "global"
+            ship, ship_reason = self._ship_plan(group)
+            if ship is not None:
+                mode = "ship"
+                subject = ship.partition_variable
+            else:
+                mode = "global"
+                fallback_reason = (
+                    f"{co_partition_reason(group)}; "
+                    f"join shipping rejected: {ship_reason}"
+                )
+        if (
+            mode != "global"
+            and isinstance(query, SelectQuery)
+            and query.is_aggregate
+            and self._try_fast_count(query) is None
+        ):
+            spec = build_fold_spec(query, subject)
+            if spec is None:
+                fallback_reason = (
+                    "aggregate projection cannot fold worker-side "
+                    "(non-COUNT expression); rows stream to the parent"
+                )
+            elif spec.group_by and (query.limit is not None or query.offset):
+                fallback_reason = (
+                    "grouped aggregate with LIMIT/OFFSET folds in the "
+                    "parent (merge order is not deterministic)"
+                )
+        shipped = ship.shipped if ship is not None else ()
         routing: List[PatternRoute] = []
         surviving = (
             set(candidates) if candidates is not None else set(self._router.all_shards())
         )
         for step in base.steps:
             consts = self._resolve_constants(step.pattern)
+            if step.pattern in shipped:
+                # Broadcast to every routed worker: shard routing does
+                # not apply and the pattern never constrains `surviving`.
+                routing.append(
+                    PatternRoute(
+                        pattern=tuple(consts) if consts else (None, None, None),
+                        probed=(),
+                        pruned=(),
+                        shipped=True,
+                    )
+                )
+                continue
             if consts is None:
                 route = PatternRoute(
                     pattern=(None, None, None),
@@ -450,6 +766,7 @@ class ShardedQueryEvaluator(QueryEvaluator):
             subject_variable=subject,
             shards=tuple(sorted(surviving)),
             routing=tuple(routing),
+            fallback_reason=fallback_reason,
         )
 
 

@@ -133,6 +133,8 @@ class TestDifferentialBackends:
         values=_values_nodes,
         ask_patterns=_pattern_lists,
         limit=st.integers(min_value=0, max_value=7),
+        chain_p1=_iris,
+        chain_p2=_iris,
     )
     @settings(max_examples=8, deadline=None)
     def test_backends_agree_on_full_battery(
@@ -146,7 +148,15 @@ class TestDifferentialBackends:
         values,
         ask_patterns,
         limit,
+        chain_p1,
+        chain_p2,
     ):
+        # An s–o chain is never co-partitioned: it exercises the join
+        # shipping path (or, over the broadcast limit, the global one).
+        chain = (
+            TriplePatternNode(Variable("a"), chain_p1, Variable("b")),
+            TriplePatternNode(Variable("b"), chain_p2, Variable("c")),
+        )
         multiset_queries = [
             ("bgp", _select(*bgp)),
             (
@@ -182,6 +192,44 @@ class TestDifferentialBackends:
                         ),
                     ),
                     where=GroupGraphPattern(tuple(bgp)),
+                ),
+            ),
+            ("chain", _select(*chain)),
+            (
+                "chain-count",
+                SelectQuery(
+                    projection=(
+                        ProjectionItem(
+                            expression=CountExpression(), alias=Variable("c")
+                        ),
+                        ProjectionItem(
+                            expression=CountExpression(
+                                variable=Variable("c"), distinct=True
+                            ),
+                            alias=Variable("d"),
+                        ),
+                    ),
+                    where=GroupGraphPattern(chain),
+                ),
+            ),
+            (
+                "grouped-count",
+                SelectQuery(
+                    projection=(
+                        ProjectionItem(variable=Variable("b")),
+                        ProjectionItem(
+                            expression=CountExpression(variable=Variable("a")),
+                            alias=Variable("c"),
+                        ),
+                        ProjectionItem(
+                            expression=CountExpression(
+                                variable=Variable("c"), distinct=True
+                            ),
+                            alias=Variable("d"),
+                        ),
+                    ),
+                    where=GroupGraphPattern(chain),
+                    group_by=(Variable("b"),),
                 ),
             ),
         ]

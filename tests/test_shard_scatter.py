@@ -212,13 +212,86 @@ class TestShardedExplain:
         for route in plan.routing:
             assert set(route.probed) | set(route.pruned) == set(range(4))
 
-    def test_chain_query_is_global(self, evaluator):
+    def test_chain_query_ships(self, evaluator):
         plan = evaluator.explain(
             "SELECT * WHERE { ?s <http://scatter.test/p1> ?o . "
             "?o <http://scatter.test/link> ?z }"
         )
+        assert plan.mode == "ship"
+        # The link relation (40 triples) is the cheaper broadcast side, so
+        # the p1 patterns anchor on ?s and the link pattern ships.
+        assert plan.subject_variable == Variable("s")
+        assert plan.fallback_reason is None
+        shipped = [route for route in plan.routing if route.shipped]
+        assert len(shipped) == 1
+        assert "broadcast" in plan.describe()
+
+    def test_constant_subject_chain_ships(self, evaluator):
+        # A constant-subject pattern can ride along as a broadcast table:
+        # the variable-subject pattern anchors the scatter.
+        plan = evaluator.explain(
+            "SELECT * WHERE { <http://scatter.test/s1> "
+            "<http://scatter.test/p1> ?o . ?o <http://scatter.test/link> ?z }"
+        )
+        assert plan.mode == "ship"
+        assert plan.subject_variable == Variable("o")
+
+    def test_mixed_shape_falls_back_with_reason(self, evaluator):
+        plan = evaluator.explain(
+            "SELECT * WHERE { ?s <http://scatter.test/p1> ?o "
+            "OPTIONAL { ?o <http://scatter.test/link> ?z } }"
+        )
         assert plan.mode == "global"
         assert plan.subject_variable is None
+        assert "not co-partitioned" in plan.fallback_reason
+        assert "join shipping rejected" in plan.fallback_reason
+        assert "mixes non-pattern elements" in plan.fallback_reason
+        assert "fallback:" in plan.describe()
+
+    def test_disconnected_product_falls_back_with_reason(self, evaluator):
+        plan = evaluator.explain(
+            "SELECT * WHERE { ?s <http://scatter.test/p1> ?o . "
+            "?x <http://scatter.test/p2> ?y }"
+        )
+        assert plan.mode == "global"
+        assert "connects every pattern" in plan.fallback_reason
+
+    def test_broadcast_limit_rejects_with_reason(self, stores, monkeypatch):
+        _, sharded = stores
+        monkeypatch.setenv("REPRO_BROADCAST_LIMIT", "1")
+        fresh = ShardedQueryEvaluator(sharded)
+        plan = fresh.explain(
+            "SELECT * WHERE { ?s <http://scatter.test/p1> ?o . "
+            "?o <http://scatter.test/link> ?z }"
+        )
+        assert plan.mode == "global"
+        assert "broadcast side too large" in plan.fallback_reason
+        assert "REPRO_BROADCAST_LIMIT" in plan.fallback_reason
+
+    def test_grouped_aggregate_with_limit_reports_parent_fold(self, evaluator):
+        plan = evaluator.explain(
+            "SELECT ?o (COUNT(?s) AS ?c) WHERE "
+            "{ ?s <http://scatter.test/p1> ?o . ?s <http://scatter.test/p2> ?o2 } "
+            "GROUP BY ?o LIMIT 2"
+        )
+        assert plan.mode == "scatter"
+        assert "LIMIT/OFFSET" in plan.fallback_reason
+
+    def test_non_count_aggregate_reports_parent_fold(self, evaluator):
+        plan = evaluator.explain(
+            "SELECT (STR(?o) AS ?x) (COUNT(*) AS ?c) WHERE "
+            "{ ?s <http://scatter.test/p1> ?o . ?s <http://scatter.test/p2> ?o2 }"
+        )
+        assert plan.mode == "scatter"
+        assert "cannot fold" in plan.fallback_reason
+
+    def test_foldable_aggregate_has_no_fallback_reason(self, evaluator):
+        plan = evaluator.explain(
+            "SELECT (COUNT(*) AS ?c) (COUNT(DISTINCT ?o) AS ?d) WHERE "
+            "{ ?s <http://scatter.test/p1> ?o . ?s <http://scatter.test/p2> ?o2 }"
+        )
+        assert plan.mode == "scatter"
+        assert plan.fallback_reason is None
 
     def test_values_narrow_routing(self, stores, evaluator):
         _, sharded = stores

@@ -185,6 +185,60 @@ class TestExecutorCrash:
             assert executor.ping(1)["promoted"] is False
 
 
+class TestProtocolAccounting:
+    """The stats ledger stays exact through cancels and crashes."""
+
+    def _assert_balanced(self, stats):
+        assert stats["dispatched"] == (
+            stats["completed"]
+            + stats["cancelled"]
+            + stats["failed"]
+            + stats["crashed"]
+        ), stats
+        assert stats["buffered_batches"] == 0, stats
+
+    def test_ledger_balances_after_crashed_wave(self, tmp_path):
+        store = _store()
+        with store.serve(tmp_path / "snap", start_method=START_METHOD) as executor:
+            pid = _stall_worker(executor, shard_index=0)
+            group = parse_query(SCATTER_QUERY).where
+            stream = executor.run_group(range(store.num_shards), group)
+            os.kill(pid, signal.SIGKILL)
+            with pytest.raises(WorkerCrashError):
+                list(stream)
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                stats = executor.protocol_stats()
+                if stats["crashed"] >= 1 and stats["dispatched"] == (
+                    stats["completed"]
+                    + stats["cancelled"]
+                    + stats["failed"]
+                    + stats["crashed"]
+                ):
+                    break
+                time.sleep(0.05)
+            assert stats["crashed"] >= 1
+            self._assert_balanced(stats)
+
+    def test_ledger_balances_after_cancelled_wave(self, tmp_path):
+        # A LIMIT-satisfied scatter cancels its trailing tasks; the
+        # buffered-batch refund happens at cancel-enqueue time (the
+        # stalled worker provably has not drained its control queue yet).
+        store = _store()
+        with store.serve(
+            tmp_path / "snap", start_method=START_METHOD, batch_rows=1
+        ) as executor:
+            executor.stall(0, seconds=0.4)
+            evaluator = ShardedQueryEvaluator(
+                store, backend="process", executor=executor
+            )
+            page = evaluator.evaluate(f"{SCATTER_QUERY} LIMIT 2")
+            assert len(page) == 2
+            stats = executor.protocol_stats()
+            assert stats["cancelled"] >= 1
+            self._assert_balanced(stats)
+
+
 class TestWaveFaults:
     def test_sigkill_mid_wave_refunds_budget_exactly_and_respawns(self, tmp_path):
         """The headline contract, end to end.
