@@ -1,0 +1,109 @@
+"""Quickstart: end-to-end query tracing and wave-level telemetry.
+
+Demonstrates the observability layer (``repro.obs``) on a sharded,
+process-backed endpoint:
+
+1. ``endpoint.profile(query)`` — one span tree per query, with the
+   engine stages (``parse`` / ``evaluate`` / ``scatter`` / ``fold`` /
+   ``ship:broadcast-build``) and the **worker-measured** ``worker:exec``
+   spans re-parented into the caller's tree, queue wait included;
+2. ``WaveScheduler.wave_report()`` — p50/p95/p99 latency percentiles per
+   execution mode plus error/crash counts and the worker-protocol
+   ledger;
+3. the always-on metrics registry — plan-cache, kernel-engagement and
+   scatter-mode counters every layer increments;
+4. the structured access log (``export_access_log``) with per-query
+   measured latency and execution mode.
+
+Setting ``REPRO_TRACE=/path/to/trace.jsonl`` additionally appends every
+completed query trace to that file as JSON lines — no code changes
+needed; ``profile()`` is for interactive use, the env var for soaking.
+
+Run with::
+
+    PYTHONPATH=src python examples/trace_quickstart.py
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+from repro.endpoint.simulation import WaveScheduler, sharded_endpoint
+from repro.obs.metrics import registry
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+
+EX = Namespace("http://trace.example/")
+
+STAR_QUERY = (
+    "SELECT ?s ?a ?b WHERE { ?s <http://trace.example/p0> ?a . "
+    "?s <http://trace.example/p1> ?b }"
+)
+COUNT_QUERY = (
+    "SELECT (COUNT(*) AS ?c) (COUNT(DISTINCT ?a) AS ?d) WHERE "
+    "{ ?s <http://trace.example/p0> ?a . ?s <http://trace.example/p1> ?b }"
+)
+CHAIN_QUERY = (
+    "SELECT ?s ?a ?z WHERE { ?s <http://trace.example/p0> ?a . "
+    "?a <http://trace.example/link> ?z }"
+)
+
+
+def build_store() -> ShardedTripleStore:
+    triples = []
+    for i in range(400):
+        triples.append(Triple(EX[f"s{i}"], EX.p0, EX[f"a{i % 23}"]))
+        triples.append(Triple(EX[f"s{i}"], EX.p1, EX[f"b{i % 11}"]))
+    for i in range(23):
+        triples.append(Triple(EX[f"a{i}"], EX.link, EX[f"z{i % 5}"]))
+    return ShardedTripleStore(num_shards=4, triples=triples)
+
+
+def main() -> None:
+    store = build_store()
+    with tempfile.TemporaryDirectory(prefix="trace-quickstart-") as tmp:
+        with sharded_endpoint(
+            store, backend="process", snapshot_dir=Path(tmp) / "snap"
+        ) as endpoint:
+            # 1. One profiled query = one span tree.  worker:exec spans
+            #    are measured inside the worker processes and re-parented
+            #    here; queue_wait_ms is the dispatch-to-pickup latency.
+            print("== scatter join, profiled ==")
+            profile = endpoint.profile(STAR_QUERY)
+            print(profile.describe())
+
+            print("\n== pushed-down COUNT (fold mode) ==")
+            print(endpoint.profile(COUNT_QUERY).describe())
+
+            print("\n== s-o chain (broadcast join shipping) ==")
+            print(endpoint.profile(CHAIN_QUERY).describe())
+
+            # 2. Wave-level telemetry: latency percentiles per mode.
+            with WaveScheduler(endpoint, max_workers=4) as scheduler:
+                scheduler.run_wave(
+                    [STAR_QUERY] * 6 + [COUNT_QUERY] * 4 + [CHAIN_QUERY] * 2
+                )
+                print("\n== wave_report ==")
+                print(json.dumps(scheduler.wave_report(), indent=2))
+
+            # 3. The always-on registry: what did the engine actually do?
+            counters = registry().snapshot()["counters"]
+            engine = {
+                name: value
+                for name, value in counters.items()
+                if name.split(".")[0] in ("plan", "kernel", "scatter", "ship")
+            }
+            print("\n== engine counters ==")
+            print(json.dumps(engine, indent=2))
+
+            # 4. The structured access log (mode + measured latency).
+            log_path = Path(tmp) / "access.jsonl"
+            endpoint.export_access_log(log_path)
+            print(f"\n== access log (first 3 of {endpoint.log.query_count}) ==")
+            for line in log_path.read_text().splitlines()[:3]:
+                print(line)
+
+
+if __name__ == "__main__":
+    main()

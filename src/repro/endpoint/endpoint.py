@@ -11,10 +11,15 @@ that "no full dump access" is enforced by construction.
 from __future__ import annotations
 
 import threading
+import time
 from functools import lru_cache
 from typing import Callable, Optional, Union
 
 from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
+from repro.obs import config as obs_config
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
+from repro.obs.trace import QueryProfile
 from repro.sparql.ast import (
     AskQuery,
     GroupGraphPattern,
@@ -115,57 +120,80 @@ class SparqlEndpoint:
         ResultTruncated
             When truncation occurs and the policy is configured to fail.
         """
-        # Reserve a budget slot atomically (check + increment under the
-        # lock), so N racing threads can never admit more than the quota.
-        # The slot is refunded if the query fails before producing a
-        # result — rejected full scans and evaluation errors never
-        # consumed budget on the sequential path either.
-        with self._budget_lock:
-            if (
-                self.policy.max_queries is not None
-                and self._queries_issued >= self.policy.max_queries
-            ):
-                raise QueryBudgetExceeded(
-                    f"Endpoint {self.name!r}: query budget of {self.policy.max_queries} exhausted"
-                )
-            self._queries_issued += 1
-
+        started = time.perf_counter()
+        tracer = obs_trace.recorder()
+        # Auto-trace every query to the REPRO_TRACE JSON-lines file when
+        # configured — unless a caller (profile()) already opened a root.
+        root = None
+        if not tracer.active and obs_config.trace_path():
+            root = tracer.begin("query", endpoint=self.name)
         try:
-            query_text = (
-                query if isinstance(query, str) else f"<parsed:{type(query).__name__}>"
-            )
-            parsed = _parse_query_cached(query) if isinstance(query, str) else query
-
-            if not self.policy.allow_full_scan and self._is_full_scan(parsed):
-                raise EndpointError(
-                    f"Endpoint {self.name!r}: dump-style full scans are not allowed by policy"
-                )
-
-            result = self._evaluator.evaluate(parsed)
-        except BaseException:
+            # Reserve a budget slot atomically (check + increment under
+            # the lock), so N racing threads can never admit more than
+            # the quota.  The slot is refunded if the query fails before
+            # producing a result — rejected full scans and evaluation
+            # errors never consumed budget on the sequential path either.
             with self._budget_lock:
-                self._queries_issued -= 1
+                if (
+                    self.policy.max_queries is not None
+                    and self._queries_issued >= self.policy.max_queries
+                ):
+                    raise QueryBudgetExceeded(
+                        f"Endpoint {self.name!r}: query budget of {self.policy.max_queries} exhausted"
+                    )
+                self._queries_issued += 1
+
+            try:
+                query_text = (
+                    query if isinstance(query, str) else f"<parsed:{type(query).__name__}>"
+                )
+                with tracer.span("parse"):
+                    parsed = (
+                        _parse_query_cached(query) if isinstance(query, str) else query
+                    )
+
+                if not self.policy.allow_full_scan and self._is_full_scan(parsed):
+                    raise EndpointError(
+                        f"Endpoint {self.name!r}: dump-style full scans are not allowed by policy"
+                    )
+
+                # The result set materialises inside this span, so every
+                # downstream stage span (kernel / scatter / worker:exec)
+                # nests and finishes under it.
+                with tracer.span("evaluate"):
+                    result = self._evaluator.evaluate(parsed)
+            except BaseException:
+                with self._budget_lock:
+                    self._queries_issued -= 1
+                raise
+
+            truncated = False
+            row_count = 0
+            form = "ASK"
+            if isinstance(result, ResultSet):
+                form = "SELECT"
+                if isinstance(parsed, SelectQuery) and parsed.is_aggregate:
+                    form = "COUNT"
+                row_count = len(result)
+                cap = self.policy.max_result_rows
+                if cap is not None and row_count > cap:
+                    if self.policy.fail_on_truncation:
+                        raise ResultTruncated(
+                            f"Endpoint {self.name!r}: result of {row_count} rows exceeds cap {cap}"
+                        )
+                    result.rows = result.rows[:cap]
+                    result.truncated = True
+                    truncated = True
+                    row_count = cap
+        except BaseException as error:
+            obs_metrics.registry().increment("endpoint.errors")
+            if root is not None:
+                tracer.end(root, status="error", error=error)
             raise
 
-        truncated = False
-        row_count = 0
-        form = "ASK"
-        if isinstance(result, ResultSet):
-            form = "SELECT"
-            if isinstance(parsed, SelectQuery) and parsed.is_aggregate:
-                form = "COUNT"
-            row_count = len(result)
-            cap = self.policy.max_result_rows
-            if cap is not None and row_count > cap:
-                if self.policy.fail_on_truncation:
-                    raise ResultTruncated(
-                        f"Endpoint {self.name!r}: result of {row_count} rows exceeds cap {cap}"
-                    )
-                result.rows = result.rows[:cap]
-                result.truncated = True
-                truncated = True
-                row_count = cap
-
+        mode = self.last_query_mode()
+        duration = time.perf_counter() - started
+        obs_metrics.registry().increment("endpoint.queries")
         self.log.record(
             QueryRecord(
                 query=query_text,
@@ -173,9 +201,57 @@ class SparqlEndpoint:
                 row_count=row_count,
                 truncated=truncated,
                 virtual_seconds=self.policy.estimated_cost(row_count),
+                duration_seconds=duration,
+                mode=mode,
             )
         )
+        open_root = tracer.current()
+        if open_root is not None:
+            open_root.annotate(
+                form=form, rows=row_count, mode=mode, query=query_text[:200]
+            )
+        if root is not None:
+            tracer.end(root)
         return result
+
+    def last_query_mode(self) -> str:
+        """The execution mode the evaluator noted for its latest query.
+
+        ``single`` for evaluators without mode tracking (plain
+        :class:`QueryEvaluator` on an unsharded store reports it too).
+        """
+        last_mode = getattr(self._evaluator, "last_mode", None)
+        if callable(last_mode):
+            return last_mode()
+        return "single"
+
+    def profile(self, query: Union[str, Query]) -> QueryProfile:
+        """Run a query under tracing and return its span tree.
+
+        Endpoint-family failures (budget, policy, truncation, worker
+        crash) are captured in the returned
+        :class:`~repro.obs.trace.QueryProfile` — the trace then shows
+        where the failure happened — while unrelated errors propagate.
+        """
+        tracer = obs_trace.recorder()
+        span = tracer.begin("query", endpoint=self.name, profiled=True)
+        result = None
+        captured: Optional[EndpointError] = None
+        try:
+            result = self.query(query)
+        except EndpointError as error:
+            captured = error
+            tracer.end(span, status="error", error=error)
+        except BaseException as error:
+            tracer.end(span, status="error", error=error)
+            raise
+        else:
+            tracer.end(span)
+        return QueryProfile(result, captured, span)
+
+    def export_access_log(self, path) -> int:
+        """Write the query log to ``path`` as JSON lines; returns count."""
+        return self.log.to_jsonl(path)
 
     def select(self, query: Union[str, Query]) -> ResultSet:
         """Like :meth:`query` but asserts a SELECT result."""

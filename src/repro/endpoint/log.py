@@ -7,6 +7,7 @@ append records while another thread reads a consistent summary.
 
 from __future__ import annotations
 
+import json
 import threading
 from dataclasses import dataclass, field
 from typing import Iterator, List
@@ -14,13 +15,22 @@ from typing import Iterator, List
 
 @dataclass(frozen=True)
 class QueryRecord:
-    """One executed query with its observed cost."""
+    """One executed query with its observed cost.
+
+    ``virtual_seconds`` is the *simulated* latency the policy charges;
+    ``duration_seconds`` is the real monotonic wall time the engine spent
+    evaluating (0.0 for records produced before the endpoint measured
+    it).  ``mode`` is the engine's execution-mode note — ``single`` /
+    ``fast-count`` / ``fold`` / ``scatter`` / ``ship`` / ``global``.
+    """
 
     query: str
     form: str
     row_count: int
     truncated: bool
     virtual_seconds: float
+    duration_seconds: float = 0.0
+    mode: str = "single"
 
 
 @dataclass
@@ -77,6 +87,44 @@ class QueryLog:
             counts[record.form] = counts.get(record.form, 0) + 1
         return counts
 
+    def by_mode(self) -> dict[str, int]:
+        """Query counts grouped by execution mode (scatter / fold / ...)."""
+        counts: dict[str, int] = {}
+        for record in self.records:
+            counts[record.mode] = counts.get(record.mode, 0) + 1
+        return counts
+
+    def to_jsonl(self, path) -> int:
+        """Write the log as JSON lines (one record per line); returns count.
+
+        The structured access-log export the HTTP service tier will
+        inherit: each line carries the query text, form, execution mode,
+        row count, truncation flag and both latencies (simulated and
+        measured milliseconds).
+        """
+        with self._lock:
+            records = list(self.records)
+        with open(path, "w", encoding="utf-8") as sink:
+            for record in records:
+                sink.write(
+                    json.dumps(
+                        {
+                            "query": record.query,
+                            "form": record.form,
+                            "mode": record.mode,
+                            "rows": record.row_count,
+                            "truncated": record.truncated,
+                            "virtual_seconds": round(record.virtual_seconds, 6),
+                            "duration_ms": round(
+                                record.duration_seconds * 1000, 3
+                            ),
+                        },
+                        sort_keys=True,
+                    )
+                    + "\n"
+                )
+        return len(records)
+
     def reset(self) -> None:
         """Forget all records."""
         with self._lock:
@@ -91,6 +139,9 @@ class QueryLog:
             "rows": float(sum(record.row_count for record in records)),
             "virtual_seconds": round(
                 sum(record.virtual_seconds for record in records), 6
+            ),
+            "duration_seconds": round(
+                sum(record.duration_seconds for record in records), 6
             ),
             "truncated": float(sum(1 for record in records if record.truncated)),
         }

@@ -39,7 +39,13 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.endpoint.endpoint import SparqlEndpoint
 from repro.endpoint.policy import AccessPolicy
-from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
+from repro.errors import (
+    EndpointError,
+    QueryBudgetExceeded,
+    ResultTruncated,
+    WorkerCrashError,
+)
+from repro.obs.metrics import MetricsRegistry
 from repro.shard.sharded_store import ShardedTripleStore
 from repro.sparql.ast import Query
 from repro.sparql.results import AskResult, ResultSet
@@ -271,11 +277,22 @@ class WaveScheduler:
     max_workers:
         Concurrent in-flight queries; defaults to the store's shard
         count when the endpoint serves a sharded store, else 4.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` receiving this
+        scheduler's wave telemetry (per-query wall-latency histograms,
+        per-mode counters, error/crash counts); defaults to a fresh
+        per-scheduler registry so :meth:`wave_report` reflects exactly
+        this scheduler's traffic.
 
     Use as a context manager (or call :meth:`close`) to release the pool.
     """
 
-    def __init__(self, endpoint: SparqlEndpoint, max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        endpoint: SparqlEndpoint,
+        max_workers: Optional[int] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
         if max_workers is None:
             shard_count = endpoint.shard_count
             max_workers = shard_count if shard_count > 1 else 4
@@ -283,6 +300,7 @@ class WaveScheduler:
             raise EndpointError("max_workers must be >= 1")
         self.endpoint = endpoint
         self.max_workers = max_workers
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self._executor = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="query-wave"
         )
@@ -298,9 +316,64 @@ class WaveScheduler:
         self._executor.shutdown(wait=True)
 
     # ------------------------------------------------------------------ #
+    def _timed_query(
+        self, query: Union[str, Query]
+    ) -> Union[ResultSet, AskResult]:
+        """Run one query and record its wall latency into the registry.
+
+        Successful queries land in the overall ``wave.latency`` histogram
+        plus a per-execution-mode one; failures record into
+        ``wave.latency.error`` and bump ``wave.errors`` (and
+        ``wave.crashes`` for worker deaths) before propagating.
+        """
+        started = time.perf_counter()
+        try:
+            result = self.endpoint.query(query)
+        except BaseException as error:
+            self.metrics.observe(
+                "wave.latency.error", time.perf_counter() - started
+            )
+            self.metrics.increment("wave.errors")
+            if isinstance(error, WorkerCrashError):
+                self.metrics.increment("wave.crashes")
+            raise
+        elapsed = time.perf_counter() - started
+        mode = self.endpoint.last_query_mode()
+        self.metrics.observe("wave.latency", elapsed)
+        self.metrics.observe("wave.latency." + mode, elapsed)
+        self.metrics.increment("wave.mode." + mode)
+        return result
+
+    def wave_report(self) -> dict:
+        """Latency percentiles, error/crash counts and per-mode breakdown.
+
+        The ``latency`` block is the overall histogram snapshot (count /
+        mean / p50 / p95 / p99, seconds); ``modes`` holds one such
+        snapshot per execution mode observed.  Process-backed endpoints
+        additionally contribute their executor's ``protocol`` ledger.
+        """
+        snapshot = self.metrics.snapshot()
+        histograms = snapshot["histograms"]
+        modes = {}
+        for name, data in histograms.items():
+            prefix = "wave.latency."
+            if name.startswith(prefix) and name != "wave.latency.error":
+                modes[name[len(prefix):]] = data
+        report = {
+            "queries": histograms.get("wave.latency", {}).get("count", 0),
+            "errors": int(self.metrics.value("wave.errors")),
+            "crashes": int(self.metrics.value("wave.crashes")),
+            "latency": histograms.get("wave.latency", {"count": 0}),
+            "modes": modes,
+        }
+        executor = getattr(self.endpoint, "executor", None)
+        if executor is not None:
+            report["protocol"] = executor.protocol_stats()
+        return report
+
     def submit(self, query: Union[str, Query]) -> "Future":
         """Submit one query; returns its :class:`concurrent.futures.Future`."""
-        return self._executor.submit(self.endpoint.query, query)
+        return self._executor.submit(self._timed_query, query)
 
     def run_wave(self, queries: Sequence[Union[str, Query]]) -> WaveResult:
         """Issue one wave of queries concurrently; gather in order."""
@@ -357,7 +430,7 @@ class WaveScheduler:
         loop = asyncio.get_running_loop()
         start = time.perf_counter()
         tasks = [
-            loop.run_in_executor(self._executor, self.endpoint.query, query)
+            loop.run_in_executor(self._executor, self._timed_query, query)
             for query in queries
         ]
         gathered = await asyncio.gather(*tasks, return_exceptions=True)

@@ -38,6 +38,15 @@ class SparqlError(ReproError):
     """A SPARQL query is invalid or unsupported by the engine subset."""
 
 
+class ConfigError(ReproError):
+    """A ``REPRO_*`` environment variable holds a malformed value.
+
+    Raised by :mod:`repro.obs.config` instead of silently falling back to
+    a default, so typos in tuning knobs surface immediately rather than
+    as mystery performance regressions.
+    """
+
+
 class StoreError(ReproError):
     """Triple store misuse (e.g. adding malformed triples)."""
 

@@ -1,0 +1,104 @@
+"""One validated home for every ``REPRO_*`` environment knob.
+
+Before this module the engine parsed its environment ad hoc —
+``workers.py`` silently fell back to the default window on a malformed
+``REPRO_RESULT_WINDOW``, ``distjoin.py`` did the same for
+``REPRO_BROADCAST_LIMIT``, and ``kernels.py`` treated *any* non-empty
+``REPRO_NO_NUMPY`` (including ``"0"``) as "disable numpy".  Silent
+fallbacks turn typos into mystery performance regressions, so here a
+malformed value raises :class:`~repro.errors.ConfigError` naming the
+variable and the offending text.
+
+Values are read from the environment on every call (no import-time
+caching) so tests can monkeypatch ``os.environ`` freely, and worker
+processes — which inherit or re-exec the environment depending on the
+start method — always see their own process's settings.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DEFAULT_RESULT_WINDOW",
+    "DEFAULT_BROADCAST_LIMIT",
+    "env_int",
+    "env_flag",
+    "env_path",
+    "result_window",
+    "broadcast_limit",
+    "numpy_disabled",
+    "trace_path",
+]
+
+#: Default credit window: unacked result batches allowed per in-flight
+#: task before a worker blocks (see ``shard/workers.py``).
+DEFAULT_RESULT_WINDOW = 8
+
+#: Default cap on rows broadcast to every shard for a shipped join
+#: (see ``sparql/distjoin.py``).
+DEFAULT_BROADCAST_LIMIT = 65536
+
+_FLAG_TRUE = frozenset({"1", "true", "yes", "on"})
+_FLAG_FALSE = frozenset({"0", "false", "no", "off", ""})
+
+
+def env_int(name: str, default: int, minimum: Optional[int] = None) -> int:
+    """An integer environment variable; unset or blank means ``default``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return default
+    try:
+        value = int(raw.strip())
+    except ValueError:
+        raise ConfigError(f"{name} must be an integer, got {raw!r}") from None
+    if minimum is not None and value < minimum:
+        raise ConfigError(f"{name} must be >= {minimum}, got {value}")
+    return value
+
+
+def env_flag(name: str, default: bool = False) -> bool:
+    """A boolean environment variable (1/true/yes/on vs 0/false/no/off)."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    lowered = raw.strip().lower()
+    if lowered in _FLAG_TRUE:
+        return True
+    if lowered in _FLAG_FALSE:
+        return False
+    raise ConfigError(
+        f"{name} must be a boolean flag (1/true/yes/on or 0/false/no/off), "
+        f"got {raw!r}"
+    )
+
+
+def env_path(name: str) -> Optional[str]:
+    """A path-valued environment variable; unset or blank means ``None``."""
+    raw = os.environ.get(name)
+    if raw is None or not raw.strip():
+        return None
+    return raw.strip()
+
+
+def result_window() -> int:
+    """``REPRO_RESULT_WINDOW``: unacked batches per task (>= 1)."""
+    return env_int("REPRO_RESULT_WINDOW", DEFAULT_RESULT_WINDOW, minimum=1)
+
+
+def broadcast_limit() -> int:
+    """``REPRO_BROADCAST_LIMIT``: max rows broadcast per shipped join."""
+    return env_int("REPRO_BROADCAST_LIMIT", DEFAULT_BROADCAST_LIMIT, minimum=0)
+
+
+def numpy_disabled() -> bool:
+    """``REPRO_NO_NUMPY``: force the scalar fallback paths everywhere."""
+    return env_flag("REPRO_NO_NUMPY")
+
+
+def trace_path() -> Optional[str]:
+    """``REPRO_TRACE``: file to append completed traces to as JSON lines."""
+    return env_path("REPRO_TRACE")

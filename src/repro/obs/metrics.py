@@ -1,0 +1,286 @@
+"""Thread-safe counters, gauges and fixed-bucket latency histograms.
+
+The registry is the always-on half of the observability layer: every
+engine layer increments named instruments unconditionally (plan-cache
+hits, kernel engagement, scatter modes, worker-protocol gauges), and the
+cost per event is one dict lookup plus one locked integer add — cheap
+enough that nothing in the engine needs a "metrics on/off" code path.
+For the honest zero-instrumentation baseline (``record_obs.py``'s
+overhead gate) a registry can still be disabled wholesale:
+:meth:`MetricsRegistry.set_enabled` turns the hot-path convenience
+methods (:meth:`~MetricsRegistry.increment`,
+:meth:`~MetricsRegistry.observe`, :meth:`~MetricsRegistry.set_gauge`)
+into immediate returns.
+
+Histograms use fixed geometric buckets (100 µs doubling up to ~105 s),
+so recording is O(log buckets) with no per-sample allocation and
+percentiles come from cumulative bucket counts with linear
+interpolation inside the winning bucket, clamped to the exact observed
+min/max.  That makes p50/p95/p99 snapshots safe to compute while waves
+are still recording.
+
+Everything here is stdlib-only; no engine module is imported, so any
+layer (including worker processes) can use the registry freely.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Dict, Optional, Tuple
+
+#: Histogram bucket upper bounds in seconds: 100 µs doubling to ~105 s.
+#: Wave latencies (sub-ms vectorized joins up to multi-second folds over
+#: 10M-triple worlds) all land in distinct buckets; anything above the
+#: last bound goes to the overflow slot and percentiles clamp to the
+#: observed max.
+DEFAULT_LATENCY_BUCKETS: Tuple[float, ...] = tuple(
+    0.0001 * (2 ** exponent) for exponent in range(21)
+)
+
+
+class Counter:
+    """A monotonically increasing named integer."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+
+class Gauge:
+    """A named value that can move both ways (queue depths, ledgers)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with percentile snapshots.
+
+    ``record`` is thread-safe and allocation-free; ``percentile`` walks
+    the cumulative bucket counts and interpolates linearly inside the
+    bucket holding the requested rank, clamping to the exact observed
+    min/max so a single-sample histogram reports that sample at every
+    percentile.
+    """
+
+    __slots__ = ("name", "bounds", "_lock", "_counts", "_count", "_sum",
+                 "_min", "_max")
+
+    def __init__(self, name: str, bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS):
+        self.name = name
+        self.bounds = tuple(bounds)
+        self._lock = threading.Lock()
+        # One slot per bound plus the overflow slot.
+        self._counts = [0] * (len(self.bounds) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        slot = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[slot] += 1
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    def percentile(self, q: float) -> Optional[float]:
+        """The q-th percentile (``q`` in [0, 100]) or ``None`` when empty."""
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            low, high = self._min, self._max
+        if not total:
+            return None
+        rank = max(1, -(-int(q * total) // 100))  # ceil(q/100 * total), >= 1
+        cumulative = 0
+        for slot, slot_count in enumerate(counts):
+            if not slot_count:
+                continue
+            if cumulative + slot_count >= rank:
+                lower = self.bounds[slot - 1] if slot > 0 else 0.0
+                upper = self.bounds[slot] if slot < len(self.bounds) else high
+                fraction = (rank - cumulative) / slot_count
+                estimate = lower + (upper - lower) * fraction
+                return min(max(estimate, low), high)
+            cumulative += slot_count
+        return high  # pragma: no cover - rank <= total always lands above
+
+    def snapshot(self) -> Dict[str, float]:
+        """count / sum / mean / min / max plus p50, p95 and p99."""
+        with self._lock:
+            total = self._count
+            value_sum = self._sum
+            low, high = self._min, self._max
+        if not total:
+            return {"count": 0}
+        return {
+            "count": total,
+            "sum": round(value_sum, 6),
+            "mean": round(value_sum / total, 6),
+            "min": round(low, 6),
+            "max": round(high, 6),
+            "p50": round(self.percentile(50), 6),
+            "p95": round(self.percentile(95), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+
+class MetricsRegistry:
+    """A named collection of counters, gauges and histograms.
+
+    There is one process-wide default registry (:func:`registry`) the
+    engine layers write to; components that need isolated numbers — the
+    per-executor protocol gauges, each :class:`WaveScheduler`'s latency
+    histograms — create their own instances.
+    """
+
+    def __init__(self, enabled: bool = True):
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._enabled = bool(enabled)
+
+    # ------------------------------------------------------------------ #
+    # Enable switch (the overhead benchmark's bare baseline)
+    # ------------------------------------------------------------------ #
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    def set_enabled(self, enabled: bool) -> None:
+        """Turn the hot-path convenience methods into no-ops (or back)."""
+        self._enabled = bool(enabled)
+
+    # ------------------------------------------------------------------ #
+    # Instrument accessors (create on first use)
+    # ------------------------------------------------------------------ #
+    def counter(self, name: str) -> Counter:
+        instrument = self._counters.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._counters.setdefault(name, Counter(name))
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._gauges.setdefault(name, Gauge(name))
+        return instrument
+
+    def histogram(
+        self, name: str, bounds: Tuple[float, ...] = DEFAULT_LATENCY_BUCKETS
+    ) -> Histogram:
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            with self._lock:
+                instrument = self._histograms.setdefault(
+                    name, Histogram(name, bounds)
+                )
+        return instrument
+
+    # ------------------------------------------------------------------ #
+    # Hot-path conveniences (no-ops when disabled)
+    # ------------------------------------------------------------------ #
+    def increment(self, name: str, amount: int = 1) -> None:
+        if self._enabled:
+            self.counter(name).inc(amount)
+
+    def set_gauge(self, name: str, value: float) -> None:
+        if self._enabled:
+            self.gauge(name).set(value)
+
+    def observe(self, name: str, value: float) -> None:
+        if self._enabled:
+            self.histogram(name).record(value)
+
+    # ------------------------------------------------------------------ #
+    # Reads
+    # ------------------------------------------------------------------ #
+    def value(self, name: str) -> float:
+        """A counter's (or, failing that, a gauge's) current value; 0 if unset."""
+        counter = self._counters.get(name)
+        if counter is not None:
+            return counter.value
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0
+
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """``suffix -> value`` for every counter named ``prefix`` + suffix."""
+        with self._lock:
+            items = list(self._counters.items())
+        return {
+            name[len(prefix):]: counter.value
+            for name, counter in items
+            if name.startswith(prefix)
+        }
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """A consistent read of every instrument, for reports and tests."""
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+        return {
+            "counters": {name: c.value for name, c in sorted(counters)},
+            "gauges": {name: g.value for name, g in sorted(gauges)},
+            "histograms": {name: h.snapshot() for name, h in sorted(histograms)},
+        }
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and benchmark phases)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+#: The process-wide default registry the engine layers write to.
+_DEFAULT = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default :class:`MetricsRegistry`."""
+    return _DEFAULT

@@ -15,7 +15,7 @@ Protocol (one task queue and one result queue per worker, plus a control
 queue):
 
 * parent → worker: ``("eval", task_id, shard_index, work, initial,
-  fold, project, distinct)`` — evaluate ``work`` (a pickled
+  fold, project, distinct, trace_ts)`` — evaluate ``work`` (a pickled
   :class:`~repro.sparql.ast.GroupGraphPattern` or
   :class:`~repro.sparql.distjoin.ShipPlan`) against the shard's local
   evaluator.  With a ``fold`` spec the worker reduces its stream to one
@@ -36,8 +36,18 @@ queue):
 * worker → parent: ``(task_id, "rows", batch)`` (a batch is a list of
   serialized bindings: tuples of ``(variable_name, id_or_term)`` pairs),
   ``(task_id, "agg", partial)`` (one fold partial, not terminal),
-  ``(task_id, "done", row_count, cancelled)``, ``(task_id, "error",
-  type_name, message, traceback)``, ``(task_id, "pong", info)``.
+  ``(task_id, "done", row_count, cancelled, trace)``, ``(task_id,
+  "error", type_name, message, traceback, trace)``, ``(task_id, "pong",
+  info)``.
+
+**Tracing piggyback**: when the parent's query is being traced
+(``endpoint.profile`` / ``REPRO_TRACE``), ``trace_ts`` carries the
+dispatch ``time.monotonic()`` and the worker measures its own
+``worker:exec`` span — queue wait (monotonic clocks are comparable
+across processes on Linux), shard, pid, rows — which rides back as the
+``trace`` payload of the terminal ``done``/``error`` message and is
+re-parented into the caller's span tree.  Untraced queries pay one
+``is None`` check; the payload slot stays ``None``.
 
 Crash handling: a per-worker collector thread in the parent routes result
 messages to per-task buffers and watches the worker process.  When a
@@ -71,6 +81,9 @@ from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import repro.errors as _errors
 from repro.errors import ReproError, StoreError, WorkerCrashError
+from repro.obs import config as _config
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Span, recorder
 from repro.sparql.bindings import IdBinding, Variable
 
 #: Rows per result batch: large enough to amortise one queue round-trip
@@ -81,20 +94,12 @@ DEFAULT_BATCH_ROWS = 256
 #: may have outstanding (sent but not yet consumed by the parent) before
 #: it blocks awaiting an ack.  Bounds parent-side buffering per task at
 #: ``result_window * batch_rows`` rows.
-DEFAULT_RESULT_WINDOW = 8
+DEFAULT_RESULT_WINDOW = _config.DEFAULT_RESULT_WINDOW
 
 
 def _default_result_window() -> int:
     """The configured result window (``REPRO_RESULT_WINDOW`` override)."""
-    raw = os.environ.get("REPRO_RESULT_WINDOW")
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            return DEFAULT_RESULT_WINDOW
-        if value >= 1:
-            return value
-    return DEFAULT_RESULT_WINDOW
+    return _config.result_window()
 
 #: How often collector threads wake to check worker liveness (seconds).
 _POLL_INTERVAL = 0.05
@@ -310,6 +315,7 @@ def shard_worker_main(
 
     while True:
         message = task_queue.get()
+        received = time.monotonic()
         kind = message[0]
         if kind == "stop":
             return
@@ -336,18 +342,44 @@ def shard_worker_main(
                 if task_id in cancelled:
                     was_cancelled = True
                     break
-            result_queue.put((task_id, "done", 0, was_cancelled))
+            result_queue.put((task_id, "done", 0, was_cancelled, None))
             continue
         if kind != "eval":
             result_queue.put(
                 (task_id, "error", "WorkerCrashError",
-                 f"unknown task kind {kind!r}", "")
+                 f"unknown task kind {kind!r}", "", None)
             )
             continue
-        _, _, shard_index, work_bytes, initial_payload, fold_bytes, project, distinct = message
+        (_, _, shard_index, work_bytes, initial_payload, fold_bytes, project,
+         distinct, trace_ts) = message
         if task_id in cancelled:
-            result_queue.put((task_id, "done", 0, True))
+            result_queue.put((task_id, "done", 0, True, None))
             continue
+        # Worker-side tracing: the parent stamped its dispatch monotonic
+        # time, so queue wait is directly measurable here; the finished
+        # span rides home on the terminal message.
+        span: Optional[Span] = None
+        if trace_ts is not None:
+            span = Span(
+                "worker:exec",
+                {
+                    "shard": shard_index,
+                    "worker": worker_index,
+                    "pid": os.getpid(),
+                    "queue_wait_ms": round(
+                        max(0.0, received - trace_ts) * 1000, 3
+                    ),
+                },
+                process="worker",
+            )
+
+        def span_payload(status="ok", error=None, **attributes):
+            if span is None:
+                return None
+            span.annotate(**attributes)
+            span.finish(status=status, error=error)
+            return span.to_dict()
+
         try:
             work = cached_payload(work_bytes)
             evaluator = evaluators[shard_index]
@@ -369,10 +401,16 @@ def shard_worker_main(
 
                 partial = fold_local(solutions, spec, fold_stopped)
                 if partial is None:
-                    result_queue.put((task_id, "done", 0, True))
+                    result_queue.put(
+                        (task_id, "done", 0, True,
+                         span_payload(mode="fold", cancelled=True))
+                    )
                 else:
                     result_queue.put((task_id, "agg", partial))
-                    result_queue.put((task_id, "done", len(partial), False))
+                    result_queue.put(
+                        (task_id, "done", len(partial), False,
+                         span_payload(mode="fold", groups=len(partial)))
+                    )
                 continue
 
             if project is not None:
@@ -413,11 +451,15 @@ def shard_worker_main(
                     result_queue.put((task_id, "rows", batch))
                 else:
                     was_cancelled = True
-            result_queue.put((task_id, "done", count, was_cancelled))
+            result_queue.put(
+                (task_id, "done", count, was_cancelled,
+                 span_payload(rows=count, cancelled=was_cancelled))
+            )
         except BaseException as error:
             result_queue.put(
                 (task_id, "error", type(error).__name__, str(error),
-                 traceback.format_exc())
+                 traceback.format_exc(),
+                 span_payload(status="error", error=error))
             )
 
 
@@ -432,11 +474,15 @@ class _TaskStream:
     global buffered gauge at cancel-enqueue time.
     """
 
-    __slots__ = ("task_id", "handle", "finished", "pending", "cancelled", "_buffer")
+    __slots__ = ("task_id", "handle", "shard_index", "finished", "pending",
+                 "cancelled", "_buffer")
 
-    def __init__(self, task_id: int, handle: "_WorkerHandle"):
+    def __init__(
+        self, task_id: int, handle: "_WorkerHandle", shard_index: int = -1
+    ):
         self.task_id = task_id
         self.handle = handle
+        self.shard_index = shard_index
         self.finished = False
         self.pending = 0
         self.cancelled = False
@@ -548,6 +594,9 @@ class ProcessShardExecutor:
         self._result_window = int(result_window)
         self._lock = threading.Lock()
         self._closed = False
+        #: Per-executor instruments; :meth:`protocol_stats` mirrors the
+        #: ledger into it as ``worker.protocol.*`` gauges.
+        self.metrics = MetricsRegistry()
         # Protocol accounting: every counter mutation happens under one
         # stats lock so the ledger balances exactly at quiescence
         # (dispatched == completed + cancelled + failed + crashed) and the
@@ -621,10 +670,15 @@ class ProcessShardExecutor:
         terminal state; ``buffered_batches`` is the live gauge of result
         batches held in parent-side buffers and ``max_buffered_batches``
         its high-water mark — with flow control it stays within
-        ``result_window`` per concurrently in-flight task.
+        ``result_window`` per concurrently in-flight task.  Each snapshot
+        also folds the ledger into :attr:`metrics` as
+        ``worker.protocol.<counter>`` gauges.
         """
         with self._stats_lock:
-            return dict(self._stats)
+            snapshot = dict(self._stats)
+        for key, value in snapshot.items():
+            self.metrics.gauge("worker.protocol." + key).set(value)
+        return snapshot
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -834,7 +888,7 @@ class ProcessShardExecutor:
                     # on that ordering).
                     task_id = handle.next_task_id
                     handle.next_task_id += 1
-                    stream = _TaskStream(task_id, handle)
+                    stream = _TaskStream(task_id, handle, shard_index)
                     handle.inflight[task_id] = stream
                     if kind == "eval":
                         message = ("eval", task_id, shard_index) + extra
@@ -901,13 +955,16 @@ class ProcessShardExecutor:
         fold_spec,
         project: Optional[Sequence[str]],
         distinct: bool,
+        traced: bool = False,
     ) -> List[_TaskStream]:
         """Fan one eval payload out to every routed shard's worker.
 
         The work object (group AST or ship plan — broadcast tables
         included) and the fold spec are each pickled once per query, not
         once per shard task; workers memoise the unpickled objects per
-        payload bytes.
+        payload bytes.  With ``traced`` each task carries the dispatch
+        monotonic timestamp so workers can measure queue wait and ship a
+        ``worker:exec`` span back on their terminal message.
         """
         payload = encode_binding(initial if initial is not None else IdBinding.EMPTY)
         work_bytes = pickle.dumps(work, protocol=pickle.HIGHEST_PROTOCOL)
@@ -920,10 +977,11 @@ class ProcessShardExecutor:
         streams: List[_TaskStream] = []
         try:
             for shard_index in shard_indices:
+                trace_ts = time.monotonic() if traced else None
                 streams.append(
                     self._dispatch(
                         shard_index, "eval", work_bytes, payload,
-                        fold_bytes, project_names, bool(distinct),
+                        fold_bytes, project_names, bool(distinct), trace_ts,
                     )
                 )
         except BaseException:
@@ -932,6 +990,33 @@ class ProcessShardExecutor:
             raise
         return streams
 
+    def _merge_span(self, streams: List[_TaskStream], trace_parent):
+        """The ``parent:merge/decode`` span for a traced scatter, or None."""
+        tracer = recorder()
+        if trace_parent is None and not tracer.active:
+            return None
+        return tracer.stream_span(
+            "parent:merge/decode", parent=trace_parent, shards=len(streams)
+        )
+
+    @staticmethod
+    def _attach_worker_span(span, payload) -> None:
+        if span is not None and payload is not None:
+            span.children.append(Span.from_payload(payload))
+
+    @staticmethod
+    def _attach_crash_span(span, stream: _TaskStream, error) -> None:
+        """Synthesize the worker:exec span a crashed worker never sent."""
+        if span is None:
+            return
+        child = Span(
+            "worker:exec",
+            {"shard": stream.shard_index, "crashed": True},
+            process="worker",
+        )
+        child.finish(status="error", error=error)
+        span.children.append(child)
+
     def run_group(
         self,
         shard_indices: Sequence[int],
@@ -939,6 +1024,7 @@ class ProcessShardExecutor:
         initial: Optional[IdBinding] = None,
         project: Optional[Sequence[str]] = None,
         distinct: bool = False,
+        trace_parent=None,
     ) -> Iterator[IdBinding]:
         """Scatter one group (or ship plan) over its shards' workers.
 
@@ -954,11 +1040,20 @@ class ProcessShardExecutor:
         its whole result in the parent.  ``project`` (variable names) and
         ``distinct`` push the final projection down to the workers for
         plain SELECT queries.
+
+        ``trace_parent`` (a :class:`~repro.obs.trace.Span`) re-parents
+        the scatter's ``parent:merge/decode`` span — and the worker-side
+        ``worker:exec`` spans shipped back on terminal messages — under
+        the caller's trace even though the returned iterator is consumed
+        after the calling frame has unwound.
         """
+        traced = trace_parent is not None or recorder().active
         streams = self._dispatch_eval(
-            shard_indices, work, initial, None, project, distinct
+            shard_indices, work, initial, None, project, distinct,
+            traced=traced,
         )
-        return self._gather(streams)
+        span = self._merge_span(streams, trace_parent) if traced else None
+        return self._gather(streams, span=span)
 
     def run_fold(
         self,
@@ -966,6 +1061,7 @@ class ProcessShardExecutor:
         work,
         fold_spec,
         initial: Optional[IdBinding] = None,
+        trace_parent=None,
     ) -> Dict:
         """Scatter an aggregate query and merge worker-side fold partials.
 
@@ -976,9 +1072,12 @@ class ProcessShardExecutor:
         """
         from repro.sparql.fold import merge_partial
 
+        traced = trace_parent is not None or recorder().active
         streams = self._dispatch_eval(
-            shard_indices, work, initial, fold_spec, None, False
+            shard_indices, work, initial, fold_spec, None, False,
+            traced=traced,
         )
+        span = self._merge_span(streams, trace_parent) if traced else None
         merged: Dict = {}
         try:
             for stream in streams:
@@ -992,17 +1091,27 @@ class ProcessShardExecutor:
                         merge_partial(fold_spec, merged, item[1])
                     elif kind == "done":
                         stream.finished = True
+                        self._attach_worker_span(span, item[3])
                         break
                     elif kind == "crashed":
                         stream.finished = True
+                        self._attach_crash_span(span, stream, item[1])
+                        if span is not None:
+                            span.finish(status="error", error=item[1])
                         raise item[1]
                     elif kind == "error":
                         stream.finished = True
-                        raise self._rebuild_error(item[1], item[2], item[3])
+                        self._attach_worker_span(span, item[4])
+                        error = self._rebuild_error(item[1], item[2], item[3])
+                        if span is not None:
+                            span.finish(status="error", error=error)
+                        raise error
         finally:
             for stream in streams:
                 if not stream.finished:
                     self._cancel(stream)
+            if span is not None:
+                span.finish()
         return merged
 
     def _ack(self, stream: _TaskStream) -> None:
@@ -1017,8 +1126,11 @@ class ProcessShardExecutor:
         except (OSError, ValueError):  # pragma: no cover - dead queue
             pass
 
-    def _gather(self, streams: List[_TaskStream]) -> Iterator[IdBinding]:
+    def _gather(
+        self, streams: List[_TaskStream], span=None
+    ) -> Iterator[IdBinding]:
         memo: Dict[str, Variable] = {}
+        rows_out = 0
         try:
             for stream in streams:
                 while True:
@@ -1032,6 +1144,7 @@ class ProcessShardExecutor:
                     kind = item[0]
                     if kind == "rows":
                         for row in item[1]:
+                            rows_out += 1
                             yield decode_binding(row, memo)
                         # Ack only after the batch is fully consumed: a
                         # consumer that closes the generator mid-batch
@@ -1040,17 +1153,34 @@ class ProcessShardExecutor:
                         self._ack(stream)
                     elif kind == "done":
                         stream.finished = True
+                        self._attach_worker_span(span, item[3])
                         break
                     elif kind == "crashed":
                         stream.finished = True
+                        self._attach_crash_span(span, stream, item[1])
+                        if span is not None:
+                            span.finish(status="error", error=item[1])
                         raise item[1]
                     elif kind == "error":
                         stream.finished = True
-                        raise self._rebuild_error(item[1], item[2], item[3])
+                        self._attach_worker_span(span, item[4])
+                        error = self._rebuild_error(item[1], item[2], item[3])
+                        if span is not None:
+                            span.finish(status="error", error=error)
+                        raise error
         finally:
+            cancelled = 0
             for stream in streams:
                 if not stream.finished:
                     self._cancel(stream)
+                    cancelled += 1
+            if span is not None:
+                # GeneratorExit (a satisfied ASK / filled LIMIT page)
+                # lands here too: a clean early close, not an error.
+                span.annotate(rows=rows_out)
+                if cancelled:
+                    span.annotate(cancelled_tasks=cancelled)
+                span.finish()
 
     # ------------------------------------------------------------------ #
     # Diagnostics / fault injection

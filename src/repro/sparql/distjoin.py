@@ -30,10 +30,10 @@ reason string that :meth:`ShardedQueryEvaluator.explain` surfaces.
 
 from __future__ import annotations
 
-import os
 from array import array
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
+from repro.obs import config as _config
 from repro.sparql import kernels
 from repro.sparql.ast import GroupGraphPattern, TriplePatternNode
 from repro.sparql.bindings import IdBinding, Variable
@@ -42,20 +42,12 @@ from repro.sparql.plan import resolve_pattern_ids
 #: Largest total broadcast side (rows across all shipped patterns) a ship
 #: plan may carry; above this, the merged-view fallback is cheaper than
 #: pickling the tables to every worker.
-DEFAULT_BROADCAST_LIMIT = 65536
+DEFAULT_BROADCAST_LIMIT = _config.DEFAULT_BROADCAST_LIMIT
 
 
 def broadcast_limit() -> int:
     """The configured broadcast-row ceiling (``REPRO_BROADCAST_LIMIT``)."""
-    raw = os.environ.get("REPRO_BROADCAST_LIMIT")
-    if raw:
-        try:
-            value = int(raw)
-        except ValueError:
-            return DEFAULT_BROADCAST_LIMIT
-        if value >= 0:
-            return value
-    return DEFAULT_BROADCAST_LIMIT
+    return _config.broadcast_limit()
 
 
 class BroadcastTable:
@@ -162,6 +154,13 @@ class ShipPlan:
     def broadcast_rows(self) -> int:
         """Total rows shipped across all broadcast tables."""
         return sum(table.rows for table in self.tables)
+
+    @property
+    def broadcast_bytes(self) -> int:
+        """Total encoded column bytes shipped across all broadcast tables."""
+        return sum(
+            len(column) for table in self.tables for column in table.columns
+        )
 
     def describe(self) -> str:
         anchors = len(self.anchor.elements)

@@ -43,10 +43,13 @@ two).
 from __future__ import annotations
 
 import heapq
+import threading
 from itertools import islice
 from typing import Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import SparqlError
+from repro.obs import metrics as obs_metrics
+from repro.obs import trace as obs_trace
 from repro.sparql.ast import (
     AskQuery,
     CountExpression,
@@ -141,12 +144,19 @@ class QueryEvaluator:
             self._use_vectorized = kernels.kernels_available()
         else:
             self._use_vectorized = bool(use_vectorized) and kernels.kernels_available()
+        self._metrics = obs_metrics.registry()
+        self._tracer = obs_trace.recorder()
+        # Per-thread execution-mode note (single / fast-count / fold /
+        # scatter / ship / global): first write per query wins, so the
+        # top-level routing decision survives nested group evaluations.
+        self._mode_local = threading.local()
 
     # ------------------------------------------------------------------ #
     # Public API
     # ------------------------------------------------------------------ #
     def evaluate(self, query: Union[Query, str]) -> Union[ResultSet, AskResult]:
         """Evaluate a query (AST or SPARQL text) and return its result."""
+        self._mode_local.mode = None
         if isinstance(query, str):
             query = parse_query(query)
         if isinstance(query, SelectQuery):
@@ -154,6 +164,15 @@ class QueryEvaluator:
         if isinstance(query, AskQuery):
             return self._evaluate_ask(query)
         raise SparqlError(f"Unsupported query type: {type(query).__name__}")
+
+    def _note_mode(self, mode: str) -> None:
+        """Record this query's execution mode (first write per query wins)."""
+        if getattr(self._mode_local, "mode", None) is None:
+            self._mode_local.mode = mode
+
+    def last_mode(self) -> str:
+        """The execution mode of this thread's most recent query."""
+        return getattr(self._mode_local, "mode", None) or "single"
 
     # ------------------------------------------------------------------ #
     # SELECT / ASK
@@ -498,15 +517,36 @@ class QueryEvaluator:
                 bound = set(initial)
                 bound |= self._values_bound(values_nodes)
                 plan = self._plan_for(group, patterns, bound, not values_nodes)
+                # Kernel engagement and stage spans are only recorded for
+                # root evaluations (empty input binding): OPTIONAL /
+                # EXISTS probes re-enter here once per solution, where
+                # per-call accounting would swamp both the registry and
+                # the trace tree.
+                root_call = not len(initial)
+                tracer = self._tracer
+                trace_steps = root_call and tracer.active
                 vectorized = None
-                if self._use_vectorized and not values_nodes and not len(initial):
+                if self._use_vectorized and not values_nodes and root_call:
                     # Kernels compute complete solutions from the store
                     # alone, so they only replace the single-empty-input
                     # case (the top-level group); OPTIONAL / EXISTS inner
                     # groups carry bindings and stay scalar.
                     vectorized = kernels.execute(self, plan)
+                    if vectorized is not None:
+                        self._metrics.increment("kernel.vectorized")
+                    else:
+                        self._metrics.increment("kernel.fallback.unsupported-step")
+                elif root_call:
+                    reason = "disabled" if not self._use_vectorized else "bound-input"
+                    self._metrics.increment("kernel.fallback." + reason)
                 if vectorized is not None:
                     solutions = vectorized
+                    if trace_steps:
+                        span = tracer.stream_span(
+                            "kernel", steps=len(plan.steps)
+                        )
+                        if span is not None:
+                            solutions = obs_trace.count_rows(span, solutions)
                 else:
                     for step in plan.steps:
                         if step.operator == MERGE:
@@ -519,6 +559,13 @@ class QueryEvaluator:
                             )
                         else:  # scan / nested: per-solution index lookups
                             solutions = self._join_pattern(solutions, step.pattern)
+                        if trace_steps:
+                            span = tracer.stream_span(
+                                "step:" + step.operator,
+                                pattern=step.describe(),
+                            )
+                            if span is not None:
+                                solutions = obs_trace.count_rows(span, solutions)
             else:
                 for pattern in self._order_by_constants(patterns):
                     solutions = self._join_pattern(solutions, pattern)
@@ -556,10 +603,18 @@ class QueryEvaluator:
         key = (group, frozenset(bound), single_input)
         plan = context.plans.get(key)
         if plan is None:
+            self._metrics.increment("plan.cache_miss")
             if len(context.plans) >= PLAN_CACHE_LIMIT:
                 context.plans.clear()
-            plan = plan_bgp(self.store, patterns, bound, single_input, context.estimator)
+            with self._tracer.span("plan", patterns=len(patterns)):
+                plan = plan_bgp(
+                    self.store, patterns, bound, single_input, context.estimator
+                )
+            for step in plan.steps:
+                self._metrics.increment("plan.op." + step.operator)
             context.plans[key] = plan
+        else:
+            self._metrics.increment("plan.cache_hit")
         return plan
 
     def explain(self, query: Union[Query, str]) -> BGPPlan:

@@ -40,10 +40,10 @@ the evaluator keeps its pure-Python operators.
 
 from __future__ import annotations
 
-import os
 from array import array
 from typing import Iterator, List, Optional, Tuple
 
+from repro.obs import config as _config
 from repro.sparql.ast import TriplePatternNode
 from repro.sparql.bindings import IdBinding, Variable
 from repro.sparql.plan import HASH, MERGE, NESTED, SCAN, BGPPlan, PlanStep
@@ -70,7 +70,7 @@ NESTED_BUILD_MIN = 4096.0
 def kernels_available() -> bool:
     """Whether the block kernels can run (numpy importable and not
     disabled via the ``REPRO_NO_NUMPY`` environment variable)."""
-    return _np is not None and not os.environ.get("REPRO_NO_NUMPY")
+    return _np is not None and not _config.numpy_disabled()
 
 
 # --------------------------------------------------------------------- #

@@ -58,6 +58,7 @@ from dataclasses import dataclass
 from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.errors import StoreError
+from repro.obs import trace as obs_trace
 from repro.shard.router import PatternRoute, ShardRouter
 from repro.shard.sharded_store import ShardedTripleStore
 from repro.sparql.ast import (
@@ -400,9 +401,13 @@ class ShardedQueryEvaluator(QueryEvaluator):
         if query.is_aggregate:
             fast = self._try_fast_count(query)
             if fast is not None:
+                self._note_mode("fast-count")
+                self._metrics.increment("scatter.mode.fast-count")
                 return fast
             folded = self._fold_pushdown(query)
             if folded is not None:
+                self._note_mode("fold")
+                self._metrics.increment("scatter.mode.fold")
                 return folded
             return super()._evaluate_select(query)
         if not self._stash_projection(query):
@@ -446,17 +451,24 @@ class ShardedQueryEvaluator(QueryEvaluator):
             work = ship
         merged: Dict = {}
         if shards:
-            if self.backend == "process":
-                merged = self._executor.run_fold(shards, work, spec)
-            else:
-                for index in shards:
-                    local = self._locals[index]
-                    if ship is None:
-                        solutions = local._evaluate_group(group, IdBinding.EMPTY)
-                    else:
-                        solutions = execute_ship_plan(local, ship, IdBinding.EMPTY)
-                    partial = fold_local(solutions, spec)
-                    merge_partial(spec, merged, partial)
+            with self._tracer.span(
+                "fold", shards=len(shards), backend=self.backend
+            ):
+                if self.backend == "process":
+                    merged = self._executor.run_fold(shards, work, spec)
+                else:
+                    for index in shards:
+                        local = self._locals[index]
+                        if ship is None:
+                            solutions = local._evaluate_group(
+                                group, IdBinding.EMPTY
+                            )
+                        else:
+                            solutions = execute_ship_plan(
+                                local, ship, IdBinding.EMPTY
+                            )
+                        partial = fold_local(solutions, spec)
+                        merge_partial(spec, merged, partial)
         return finalize(query, spec, merged, self._dict)
 
     def _stash_projection(self, query: SelectQuery) -> bool:
@@ -513,22 +525,42 @@ class ShardedQueryEvaluator(QueryEvaluator):
         self, group: GroupGraphPattern, initial: IdBinding
     ) -> Iterator[IdBinding]:
         self._require_fresh_snapshot()
+        # Mode counters and scatter spans only fire for root evaluations
+        # (empty initial binding) — OPTIONAL / EXISTS probes re-enter here
+        # once per solution.
+        root_call = not len(initial)
         subject = self._scatter_subject(group)
         if subject is None:
             shipped = self._try_ship(group, initial)
             if shipped is not None:
                 return shipped
+            if root_call:
+                self._note_mode("global")
+                self._metrics.increment("scatter.mode.global")
             return super()._evaluate_group(group, initial)
         shards = self._route(group, subject, initial)
+        if root_call:
+            self._note_mode("scatter")
+            self._metrics.increment("scatter.mode.scatter")
         if not shards:
             return iter(())
-        if self.backend == "process":
-            return self._executor.run_group(
-                shards, group, initial, **self._consume_push(group, initial)
+        span = None
+        if root_call and self._tracer.active:
+            span = self._tracer.stream_span(
+                "scatter", shards=len(shards), backend=self.backend
             )
-        if len(shards) == 1:
-            return self._locals[shards[0]]._evaluate_group(group, initial)
-        return self._gather(group, initial, shards)
+        if self.backend == "process":
+            stream = self._executor.run_group(
+                shards, group, initial, trace_parent=span,
+                **self._consume_push(group, initial)
+            )
+        elif len(shards) == 1:
+            stream = self._locals[shards[0]]._evaluate_group(group, initial)
+        else:
+            stream = self._gather(group, initial, shards)
+        if span is not None:
+            stream = obs_trace.count_rows(span, stream)
+        return stream
 
     def _gather(
         self,
@@ -551,16 +583,34 @@ class ShardedQueryEvaluator(QueryEvaluator):
         plan, _ = self._ship_plan(group)
         if plan is None:
             return None
+        root_call = not len(initial)
+        if root_call:
+            self._note_mode("ship")
+            self._metrics.increment("scatter.mode.ship")
         shards = self._route_ship(plan, initial)
         if not shards:
             return iter(())
-        if self.backend == "process":
-            return self._executor.run_group(
-                shards, plan, initial, **self._consume_push(group, initial)
+        span = None
+        if root_call and self._tracer.active:
+            span = self._tracer.stream_span(
+                "scatter",
+                shards=len(shards),
+                backend=self.backend,
+                shipped=True,
+                broadcast_rows=plan.broadcast_rows,
             )
-        if len(shards) == 1:
-            return execute_ship_plan(self._locals[shards[0]], plan, initial)
-        return self._ship_gather(plan, initial, shards)
+        if self.backend == "process":
+            stream = self._executor.run_group(
+                shards, plan, initial, trace_parent=span,
+                **self._consume_push(group, initial)
+            )
+        elif len(shards) == 1:
+            stream = execute_ship_plan(self._locals[shards[0]], plan, initial)
+        else:
+            stream = self._ship_gather(plan, initial, shards)
+        if span is not None:
+            stream = obs_trace.count_rows(span, stream)
+        return stream
 
     def _ship_gather(
         self, plan: ShipPlan, initial: IdBinding, shards: Tuple[int, ...]
@@ -581,7 +631,12 @@ class ShardedQueryEvaluator(QueryEvaluator):
             return cached[1], cached[2]
         if len(self._ship_cache) >= PLAN_CACHE_LIMIT:
             self._ship_cache.clear()
-        plan, reason = build_ship_plan(self.store, self._dict, group)
+        with self._tracer.span("ship:broadcast-build"):
+            plan, reason = build_ship_plan(self.store, self._dict, group)
+        if plan is not None:
+            self._metrics.increment("ship.plans_built")
+            self._metrics.increment("ship.broadcast_rows", plan.broadcast_rows)
+            self._metrics.increment("ship.broadcast_bytes", plan.broadcast_bytes)
         self._ship_cache[group] = (version, plan, reason)
         return plan, reason
 

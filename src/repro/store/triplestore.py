@@ -65,9 +65,9 @@ def _numpy():
     it); checking per call keeps the switch effective for tests that set
     the variable after import.
     """
-    import os
+    from repro.obs import config as _config
 
-    if _np is None or os.environ.get("REPRO_NO_NUMPY"):
+    if _np is None or _config.numpy_disabled():
         return None
     return _np
 

@@ -61,7 +61,9 @@ _MASK64 = (1 << 64) - 1
 
 def _numpy():
     """NumPy, unless absent or disabled via ``REPRO_NO_NUMPY`` (checked per call)."""
-    if _np is None or os.environ.get("REPRO_NO_NUMPY"):
+    from repro.obs import config as _config
+
+    if _np is None or _config.numpy_disabled():
         return None
     return _np
 

@@ -1,0 +1,157 @@
+"""Differential guard: tracing must never change query results.
+
+For every backend (thread and process) at 1, 2 and 8 shards, each query
+of a fixed battery — BGP join, OPTIONAL, UNION, ASK, LIMIT, COUNT /
+COUNT DISTINCT, an s–o chain (the join-shipping path) and a grouped
+count — is answered three ways:
+
+* plain ``query()`` with tracing off (the reference);
+* ``profile()`` — a full span tree is recorded around the same call;
+* plain ``query()`` with ``REPRO_TRACE`` set — the auto-trace sink.
+
+All three must agree as solution multisets (LIMIT pages may pick
+different rows, so they assert size + subset-of-universe instead), and
+the traced runs must actually have engaged: process-backend profiles
+carry re-parented ``worker:exec`` spans, so the guard cannot silently
+pass with tracing compiled out.
+
+Runs under every worker start method (``REPRO_WORKER_START_METHOD``).
+"""
+
+import multiprocessing
+import os
+from collections import Counter
+
+import pytest
+
+from repro.endpoint.simulation import sharded_endpoint
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.sparql.results import AskResult
+
+EX = Namespace("http://difftrace.test/")
+P = "http://difftrace.test/"
+
+START_METHOD = os.environ.get("REPRO_WORKER_START_METHOD") or None
+if START_METHOD and START_METHOD not in multiprocessing.get_all_start_methods():
+    pytest.skip(
+        f"start method {START_METHOD!r} unsupported on this platform",
+        allow_module_level=True,
+    )
+
+SHARD_COUNTS = (1, 2, 8)
+
+MULTISET_QUERIES = [
+    ("bgp", f"SELECT ?s ?a ?b WHERE {{ ?s <{P}p0> ?a . ?s <{P}p1> ?b }}"),
+    (
+        "optional",
+        f"SELECT ?s ?a ?o WHERE {{ ?s <{P}p0> ?a . "
+        f"OPTIONAL {{ ?s <{P}p2> ?o }} }}",
+    ),
+    (
+        "union",
+        f"SELECT ?s ?x WHERE {{ {{ ?s <{P}p0> ?x }} UNION "
+        f"{{ ?s <{P}p2> ?x }} }}",
+    ),
+    (
+        "count",
+        f"SELECT (COUNT(*) AS ?c) (COUNT(DISTINCT ?a) AS ?d) WHERE "
+        f"{{ ?s <{P}p0> ?a . ?s <{P}p1> ?b }}",
+    ),
+    # The s–o chain is never co-partitioned: broadcast-hash shipping.
+    ("chain", f"SELECT ?s ?a ?z WHERE {{ ?s <{P}p0> ?a . ?a <{P}link> ?z }}"),
+    (
+        "grouped-count",
+        f"SELECT ?a (COUNT(?s) AS ?c) WHERE {{ ?s <{P}p0> ?a . "
+        f"?s <{P}p1> ?b }} GROUP BY ?a",
+    ),
+]
+ASK_QUERY = f"ASK {{ ?s <{P}p0> ?a . ?s <{P}p1> ?b }}"
+LIMIT_QUERY = f"SELECT ?s ?a WHERE {{ ?s <{P}p0> ?a }} LIMIT 5"
+UNIVERSE_QUERY = f"SELECT ?s ?a WHERE {{ ?s <{P}p0> ?a }}"
+
+
+def _triples():
+    triples = []
+    for i in range(48):
+        triples.append(Triple(EX[f"s{i}"], EX.p0, EX[f"a{i % 7}"]))
+        triples.append(Triple(EX[f"s{i}"], EX.p1, EX[f"b{i % 5}"]))
+        if i % 3 == 0:
+            triples.append(Triple(EX[f"s{i}"], EX.p2, EX[f"c{i % 4}"]))
+    for i in range(7):
+        triples.append(Triple(EX[f"a{i}"], EX.link, EX[f"z{i % 3}"]))
+    return triples
+
+
+def _multiset(result) -> Counter:
+    return Counter(frozenset(row.items()) for row in result)
+
+
+def _endpoints(tmp_path, stack):
+    for backend in ("thread", "process"):
+        for count in SHARD_COUNTS:
+            store = ShardedTripleStore(num_shards=count, triples=_triples())
+            kwargs = {}
+            if backend == "process":
+                kwargs = {
+                    "snapshot_dir": tmp_path / f"snap{count}",
+                    "start_method": START_METHOD,
+                }
+            endpoint = stack.enter_context(
+                sharded_endpoint(store, backend=backend, **kwargs)
+            )
+            yield f"{backend}-{count}", backend, endpoint
+
+
+class TestTracingIsInvisible:
+    def test_results_identical_with_tracing_on_and_off(
+        self, tmp_path, monkeypatch
+    ):
+        from contextlib import ExitStack
+
+        trace_file = tmp_path / "trace.jsonl"
+        with ExitStack() as stack:
+            for label, backend, endpoint in _endpoints(tmp_path, stack):
+                monkeypatch.delenv("REPRO_TRACE", raising=False)
+                plain = {
+                    family: _multiset(endpoint.query(query))
+                    for family, query in MULTISET_QUERIES
+                }
+                plain_ask = endpoint.ask(ASK_QUERY)
+                universe = _multiset(endpoint.query(UNIVERSE_QUERY))
+                page_size = min(5, sum(universe.values()))
+
+                # profile(): explicit root span around the same queries.
+                for family, query in MULTISET_QUERIES:
+                    profile = endpoint.profile(query)
+                    assert profile.error is None, f"{family} @ {label}"
+                    assert (
+                        _multiset(profile.result) == plain[family]
+                    ), f"{family} @ {label}"
+                    assert profile.trace.find("evaluate") is not None
+                    if backend == "process":
+                        workers = profile.trace.find_all("worker:exec")
+                        assert workers, f"{family} @ {label}: no worker spans"
+                ask_profile = endpoint.profile(ASK_QUERY)
+                assert isinstance(ask_profile.result, AskResult)
+                assert bool(ask_profile.result) == plain_ask, label
+                page = _multiset(endpoint.profile(LIMIT_QUERY).result)
+                assert sum(page.values()) == page_size, label
+                for row, count in page.items():
+                    assert universe[row] >= count, label
+
+                # Auto-traced queries (REPRO_TRACE sink) agree too.
+                monkeypatch.setenv("REPRO_TRACE", str(trace_file))
+                for family, query in MULTISET_QUERIES:
+                    assert (
+                        _multiset(endpoint.query(query)) == plain[family]
+                    ), f"{family} @ {label} (auto-trace)"
+                assert endpoint.ask(ASK_QUERY) == plain_ask, label
+                monkeypatch.delenv("REPRO_TRACE", raising=False)
+
+        # The auto-trace sink actually recorded complete roots.
+        lines = trace_file.read_text().splitlines()
+        assert len(lines) == (len(MULTISET_QUERIES) + 1) * len(
+            SHARD_COUNTS
+        ) * 2

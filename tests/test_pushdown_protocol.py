@@ -23,7 +23,7 @@ from collections import Counter
 
 import pytest
 
-from repro.errors import StoreError
+from repro.errors import ConfigError, StoreError
 from repro.rdf.namespace import Namespace
 from repro.rdf.triple import Triple
 from repro.shard.sharded_store import ShardedTripleStore
@@ -264,13 +264,18 @@ class TestWindowConfiguration:
         with store.serve(tmp_path / "snap", start_method=START_METHOD) as executor:
             assert executor.result_window == 3
 
-    def test_invalid_env_falls_back_to_default(self, tmp_path, monkeypatch):
+    def test_invalid_env_raises_config_error(self, tmp_path, monkeypatch):
+        # Silent fallback turned typos into mystery performance
+        # regressions; malformed values now fail loudly (obs.config).
         store = ShardedTripleStore(num_shards=1, triples=_star_triples())
         monkeypatch.setenv("REPRO_RESULT_WINDOW", "bogus")
-        with store.serve(tmp_path / "snapa", start_method=START_METHOD) as executor:
-            assert executor.result_window == DEFAULT_RESULT_WINDOW
+        with pytest.raises(ConfigError, match="REPRO_RESULT_WINDOW"):
+            store.serve(tmp_path / "snapa", start_method=START_METHOD)
         monkeypatch.setenv("REPRO_RESULT_WINDOW", "0")
-        with store.serve(tmp_path / "snapb", start_method=START_METHOD) as executor:
+        with pytest.raises(ConfigError, match="REPRO_RESULT_WINDOW"):
+            store.serve(tmp_path / "snapb", start_method=START_METHOD)
+        monkeypatch.setenv("REPRO_RESULT_WINDOW", "")
+        with store.serve(tmp_path / "snapc", start_method=START_METHOD) as executor:
             assert executor.result_window == DEFAULT_RESULT_WINDOW
 
     def test_explicit_zero_window_rejected(self, tmp_path):

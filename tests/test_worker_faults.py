@@ -295,6 +295,72 @@ class TestWaveFaults:
                     == 8 - wave.succeeded - 3
                 )
 
+    def test_trace_survives_worker_sigkill(self, tmp_path):
+        """A profiled query crashed by SIGKILL still yields a full trace.
+
+        The crashed shard appears as an error-status ``worker:exec`` span
+        synthesized by the executor (the real worker died before it could
+        ship its measured span), the merge stream span carries the crash,
+        and the protocol ledger — mirrored into the executor's metrics
+        gauges by ``protocol_stats()`` — balances afterwards.
+        """
+        store = _store(num_shards=2)
+        with sharded_endpoint(
+            store,
+            backend="process",
+            snapshot_dir=tmp_path / "snap",
+            start_method=START_METHOD,
+        ) as endpoint:
+            executor = endpoint.executor
+            old_pid = _stall_worker(executor, shard_index=0)
+            killer = threading.Timer(0.3, os.kill, (old_pid, signal.SIGKILL))
+            killer.start()
+            profile = endpoint.profile(SCATTER_QUERY)
+            killer.join()
+
+            assert profile.result is None
+            assert isinstance(profile.error, WorkerCrashError)
+            trace = profile.trace
+            assert trace.status == "error"
+            assert "WorkerCrashError" in trace.error
+            merge = trace.find("parent:merge/decode")
+            assert merge is not None and merge.status == "error"
+            crashed = [
+                span
+                for span in trace.find_all("worker:exec")
+                if span.attributes.get("crashed")
+            ]
+            assert len(crashed) == 1
+            assert crashed[0].status == "error"
+            assert crashed[0].process == "worker"
+            assert crashed[0].attributes["shard"] == 0
+
+            # After respawn a profiled query produces measured worker
+            # spans again — one per shard, each with its queue wait.
+            _await_respawn(executor, 0, old_pid)
+            clean = endpoint.profile(SCATTER_QUERY)
+            assert clean.error is None
+            workers = clean.trace.find_all("worker:exec")
+            assert len(workers) == store.num_shards
+            assert all(s.status == "ok" for s in workers)
+            assert all("queue_wait_ms" in s.attributes for s in workers)
+
+            # Ledger balances at quiescence and its mirror gauges agree.
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                stats = executor.protocol_stats()
+                if stats["crashed"] >= 1 and stats["dispatched"] == (
+                    stats["completed"]
+                    + stats["cancelled"]
+                    + stats["failed"]
+                    + stats["crashed"]
+                ):
+                    break
+                time.sleep(0.05)
+            assert stats["crashed"] >= 1
+            for key, value in stats.items():
+                assert executor.metrics.value("worker.protocol." + key) == value
+
     def test_refunded_slots_remain_spendable(self, tmp_path):
         # After crash-induced refunds, the quota still admits exactly
         # the refunded number of queries — no slot leaks either way.
