@@ -1,0 +1,338 @@
+"""Record HTTP service-tier latency under concurrent clients.
+
+Boots a :class:`~repro.http.server.SparqlHttpServer` over a sharded
+scale world, drives it with N concurrent :class:`HttpSparqlClient`
+threads issuing a mixed GET/POST workload (paged SELECT, ASK, COUNT)
+and records per-request latency percentiles plus server-side telemetry
+into a JSON artefact::
+
+    PYTHONPATH=src python benchmarks/record_http.py --label pr9 \
+        --out BENCH_http.json
+    # CI smoke gate (small world, thread backend, drain assertions):
+    PYTHONPATH=src python benchmarks/record_http.py --label ci \
+        --out /tmp/ci-http.json --smoke --check
+
+``--check`` asserts every request answered 200, percentiles were
+recorded under the p95 ceiling, graceful shutdown completed with an
+in-flight query still answering 200, the listener really closed, and
+no worker process outlived the server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import socket
+import sys
+import threading
+import time
+from pathlib import Path
+
+_ROOT = Path(__file__).parent.parent
+_SRC = _ROOT / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.endpoint.policy import AccessPolicy  # noqa: E402
+from repro.endpoint.simulation import SimulatedSparqlEndpoint  # noqa: E402
+from repro.http import HttpSparqlClient, serve_http  # noqa: E402
+from repro.obs.metrics import MetricsRegistry  # noqa: E402
+from repro.synthetic.stream import (  # noqa: E402
+    generate_scale_world,
+    scale_world_spec,
+)
+
+
+def _workload(namespace: str, entities: int) -> list:
+    """``(kind, query)`` pairs cycling the protocol's surface."""
+    prefix = f"PREFIX s: <{namespace}> "
+    queries = []
+    for index in range(8):
+        entity = f"s:e{(index * 131) % max(entities, 1)}"
+        queries.append(
+            ("select", prefix + f"SELECT ?o WHERE {{ {entity} s:p0 ?o }}")
+        )
+        queries.append(
+            (
+                "paged",
+                prefix
+                + f"SELECT ?s ?o WHERE {{ ?s s:p{index % 4} ?o }} LIMIT 50",
+            )
+        )
+        queries.append(("ask", prefix + f"ASK {{ {entity} s:p1 ?o }}"))
+        queries.append(
+            (
+                "count",
+                prefix
+                + f"SELECT (COUNT(*) AS ?c) WHERE {{ ?s s:p{index % 4} ?o }}",
+            )
+        )
+    return queries
+
+
+def _drive_clients(
+    url: str, clients: int, queries_per_client: int, workload: list
+) -> dict:
+    """Fire the workload from concurrent clients; returns latency stats."""
+    registry = MetricsRegistry()
+    failures = []
+    lock = threading.Lock()
+
+    def worker(worker_index: int) -> None:
+        # Alternate transport per client: half POST form, half GET.
+        method = "post" if worker_index % 2 == 0 else "get"
+        client = HttpSparqlClient(
+            url, method=method, client_id=f"bench-{worker_index}"
+        )
+        try:
+            for query_index in range(queries_per_client):
+                kind, query = workload[
+                    (worker_index + query_index) % len(workload)
+                ]
+                started = time.perf_counter()
+                try:
+                    client.query(query)
+                except Exception as error:  # noqa: BLE001 - recorded, not raised
+                    with lock:
+                        failures.append(f"{kind}: {type(error).__name__}: {error}")
+                    continue
+                elapsed = time.perf_counter() - started
+                registry.observe("client.latency", elapsed)
+                registry.observe(f"client.latency.{kind}", elapsed)
+                registry.increment("client.requests")
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=worker, args=(index,)) for index in range(clients)
+    ]
+    started = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    snapshot = registry.snapshot()
+    stats = {
+        "requests": int(registry.value("client.requests")),
+        "failures": failures[:10],
+        "failure_count": len(failures),
+        "wall_seconds": round(wall, 4),
+        "throughput_rps": round(
+            registry.value("client.requests") / wall, 2
+        )
+        if wall
+        else 0.0,
+    }
+    histogram = snapshot["histograms"].get("client.latency", {})
+    for key in ("p50", "p90", "p95", "p99", "max"):
+        if key in histogram:
+            stats[f"latency_{key}_ms"] = round(histogram[key] * 1000, 3)
+    for kind in ("select", "paged", "ask", "count"):
+        kind_histogram = snapshot["histograms"].get(f"client.latency.{kind}", {})
+        if "p95" in kind_histogram:
+            stats[f"{kind}_p95_ms"] = round(kind_histogram["p95"] * 1000, 3)
+    return stats
+
+
+def _check_graceful_drain(store, metrics: MetricsRegistry) -> dict:
+    """Stop the server under an in-flight query; it must still answer.
+
+    Uses a latency-injected endpoint so the in-flight query is genuinely
+    mid-evaluation when ``stop()`` runs.
+    """
+    slow = SimulatedSparqlEndpoint(
+        store,
+        name="drain",
+        policy=AccessPolicy(latency_per_query=0.5),
+        latency_scale=1.0,
+    )
+    running = serve_http(slow, metrics=metrics, own_endpoint=True)
+    outcome = {}
+
+    def fire() -> None:
+        client = HttpSparqlClient(running.url)
+        try:
+            outcome["status"] = client.request_raw(
+                "POST",
+                "/sparql",
+                body=b"ASK { ?s ?p ?o }",
+                headers={"Content-Type": "application/sparql-query"},
+            )[0]
+        finally:
+            client.close()
+
+    thread = threading.Thread(target=fire)
+    thread.start()
+    time.sleep(0.1)  # let the request reach the evaluator
+    stop_started = time.perf_counter()
+    running.stop()
+    drain_seconds = time.perf_counter() - stop_started
+    thread.join(timeout=10)
+
+    listener_closed = True
+    try:
+        socket.create_connection((running.host, running.port), timeout=0.5).close()
+        listener_closed = False
+    except OSError:
+        pass
+    return {
+        "drained_status": outcome.get("status"),
+        "drain_seconds": round(drain_seconds, 4),
+        "listener_closed": listener_closed,
+    }
+
+
+def run_benchmarks(
+    scale: str,
+    shards: int,
+    backend: str,
+    clients: int,
+    queries_per_client: int,
+) -> dict:
+    world = generate_scale_world(
+        scale_world_spec(scale), shard_count=shards if shards > 1 else None
+    )
+    metrics = MetricsRegistry()
+    server_kwargs = dict(
+        store=world.store, name="bench", metrics=metrics, backend=None
+    )
+    if backend == "process":
+        server_kwargs["backend"] = "process"
+    with serve_http(**server_kwargs) as running:
+        workload = _workload(world.spec.namespace.base, world.spec.entities)
+        # One warm connection primes the page cache + plan caches off-clock.
+        with HttpSparqlClient(running.url) as warm:
+            warm.health()
+        stats = _drive_clients(
+            running.url, clients, queries_per_client, workload
+        )
+        server_side = metrics.snapshot()
+        stats["server"] = {
+            "requests": int(metrics.value("http.requests")),
+            "responses_200": int(metrics.value("http.responses.200")),
+            "cache_hits": int(metrics.value("http.cache.hits")),
+            "cache_misses": int(metrics.value("http.cache.misses")),
+            "rejected_overload": int(metrics.value("http.rejected.overload")),
+        }
+        latency = server_side["histograms"].get("http.latency", {})
+        if "p95" in latency:
+            stats["server"]["http_latency_p95_ms"] = round(
+                latency["p95"] * 1000, 3
+            )
+
+    stats["triples"] = len(world.store)
+    stats["shards"] = shards
+    stats["backend"] = backend
+    stats["clients"] = clients
+    stats["queries_per_client"] = queries_per_client
+    stats["drain"] = _check_graceful_drain(world.store, MetricsRegistry())
+    stats["leaked_workers"] = len(multiprocessing.active_children())
+    return stats
+
+
+def check(results: dict, max_p95_ms: float) -> list:
+    failures = []
+    if results["failure_count"]:
+        failures.append(
+            f"{results['failure_count']} requests failed "
+            f"(first: {results['failures'][:1]})"
+        )
+    expected = results["clients"] * results["queries_per_client"]
+    if results["requests"] != expected:
+        failures.append(
+            f"{results['requests']}/{expected} requests completed"
+        )
+    if "latency_p95_ms" not in results:
+        failures.append("no latency percentiles recorded")
+    elif results["latency_p95_ms"] > max_p95_ms:
+        failures.append(
+            f"p95 latency {results['latency_p95_ms']}ms exceeds the "
+            f"{max_p95_ms:g}ms ceiling"
+        )
+    if results["server"]["responses_200"] < results["requests"]:
+        failures.append(
+            "server counted fewer 200s than the clients saw "
+            f"({results['server']['responses_200']} < {results['requests']})"
+        )
+    if results["drain"]["drained_status"] != 200:
+        failures.append(
+            "in-flight query during shutdown answered "
+            f"{results['drain']['drained_status']}, not 200"
+        )
+    if not results["drain"]["listener_closed"]:
+        failures.append("listener still accepting connections after stop()")
+    if results["leaked_workers"]:
+        failures.append(
+            f"{results['leaked_workers']} worker processes outlived the server"
+        )
+    return failures
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--label", required=True)
+    parser.add_argument("--out", required=True)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small world + thread backend for CI smoke checks",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="fail on request failures, missing percentiles, a p95 above "
+        "the ceiling, or an unclean shutdown",
+    )
+    parser.add_argument("--clients", type=int, default=8)
+    parser.add_argument("--queries-per-client", type=int, default=25)
+    parser.add_argument("--shards", type=int, default=4)
+    parser.add_argument(
+        "--backend", choices=("thread", "process"), default="process"
+    )
+    parser.add_argument(
+        "--max-p95-ms",
+        type=float,
+        default=2000.0,
+        help="p95 per-request latency ceiling for --check (default 2000)",
+    )
+    args = parser.parse_args()
+
+    scale = "13k" if args.smoke else "100k"
+    backend = "thread" if args.smoke else args.backend
+    shards = 2 if args.smoke else args.shards
+    clients = min(args.clients, 4) if args.smoke else args.clients
+    queries = min(args.queries_per_client, 10) if args.smoke else args.queries_per_client
+
+    results = {
+        "benchmark": "benchmarks/record_http.py",
+        "preset": f"scale_world_spec('{scale}') @ {shards} shards, "
+        f"{backend} backend, {clients} concurrent clients",
+        "note": (
+            "latency_* are client-observed per-request percentiles over a "
+            "mixed GET/POST SELECT/ASK/COUNT workload on a real socket; "
+            "drain asserts stop() answered an in-flight query with 200"
+        ),
+        "label": args.label,
+        "results": run_benchmarks(scale, shards, backend, clients, queries),
+    }
+    Path(args.out).write_text(json.dumps(results, indent=2) + "\n", encoding="utf-8")
+    print(json.dumps(results, indent=2))
+
+    if args.check:
+        failures = check(results["results"], args.max_p95_ms)
+        if failures:
+            for failure in failures:
+                print(f"CHECK FAILED: {failure}", file=sys.stderr)
+            sys.exit(1)
+        print(
+            f"http check ok ({results['results']['requests']} requests, "
+            f"p95 {results['results'].get('latency_p95_ms')}ms <= "
+            f"{args.max_p95_ms:g}ms, drained clean)"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -178,6 +178,14 @@ class SparqlEndpoint:
                 cap = self.policy.max_result_rows
                 if cap is not None and row_count > cap:
                     if self.policy.fail_on_truncation:
+                        # The query *did* run and its budget slot stays
+                        # consumed, so the log must agree with the quota:
+                        # record the truncated query (at the capped row
+                        # count, like the silent-truncation path) before
+                        # failing, keeping queries_issued == query_count.
+                        self._record(
+                            query_text, form, cap, True, started
+                        )
                         raise ResultTruncated(
                             f"Endpoint {self.name!r}: result of {row_count} rows exceeds cap {cap}"
                         )
@@ -191,20 +199,7 @@ class SparqlEndpoint:
                 tracer.end(root, status="error", error=error)
             raise
 
-        mode = self.last_query_mode()
-        duration = time.perf_counter() - started
-        obs_metrics.registry().increment("endpoint.queries")
-        self.log.record(
-            QueryRecord(
-                query=query_text,
-                form=form,
-                row_count=row_count,
-                truncated=truncated,
-                virtual_seconds=self.policy.estimated_cost(row_count),
-                duration_seconds=duration,
-                mode=mode,
-            )
-        )
+        mode = self._record(query_text, form, row_count, truncated, started)
         open_root = tracer.current()
         if open_root is not None:
             open_root.annotate(
@@ -213,6 +208,76 @@ class SparqlEndpoint:
         if root is not None:
             tracer.end(root)
         return result
+
+    def _record(
+        self,
+        query_text: str,
+        form: str,
+        row_count: int,
+        truncated: bool,
+        started: float,
+        mode: Optional[str] = None,
+    ) -> str:
+        """Append one executed query to the log and count it; returns mode.
+
+        Shared by the success path, the ``fail_on_truncation`` failure path
+        (where the budget slot stays consumed, so the log must record the
+        query too — a truncation failure therefore bumps both
+        ``endpoint.queries`` and ``endpoint.errors``) and cache-served
+        queries (:meth:`charge_cached`).
+        """
+        if mode is None:
+            mode = self.last_query_mode()
+        obs_metrics.registry().increment("endpoint.queries")
+        self.log.record(
+            QueryRecord(
+                query=query_text,
+                form=form,
+                row_count=row_count,
+                truncated=truncated,
+                virtual_seconds=self.policy.estimated_cost(row_count),
+                duration_seconds=time.perf_counter() - started,
+                mode=mode,
+            )
+        )
+        return mode
+
+    def charge_cached(
+        self,
+        query_text: str,
+        form: str,
+        row_count: int,
+        truncated: bool = False,
+    ) -> None:
+        """Charge one budget slot for a query answered from a result cache.
+
+        The HTTP service tier serves repeated queries from its
+        ``data_version``-keyed page cache without re-evaluating them, but a
+        cache hit is still a request the client made: it must consume quota
+        and appear in the access log exactly like an evaluated query, or
+        ``queries_remaining`` and ``log.query_count`` diverge.  Records the
+        query with ``mode="cached"`` (and zero measured duration).
+
+        Raises
+        ------
+        QueryBudgetExceeded
+            When the policy's query quota is exhausted (nothing is logged:
+            rejected requests never consumed budget on the evaluated path
+            either).
+        """
+        with self._budget_lock:
+            if (
+                self.policy.max_queries is not None
+                and self._queries_issued >= self.policy.max_queries
+            ):
+                raise QueryBudgetExceeded(
+                    f"Endpoint {self.name!r}: query budget of {self.policy.max_queries} exhausted"
+                )
+            self._queries_issued += 1
+        self._record(
+            query_text, form, row_count, truncated, time.perf_counter(),
+            mode="cached",
+        )
 
     def last_query_mode(self) -> str:
         """The execution mode the evaluator noted for its latest query.
@@ -308,6 +373,16 @@ class SparqlEndpoint:
     def dataset_size(self) -> int:
         """Number of triples served — public endpoints expose this as metadata."""
         return len(self._store)
+
+    @property
+    def data_version(self) -> int:
+        """Mutation stamp of the served store.
+
+        Metadata like :meth:`dataset_size`: result caches key their
+        entries on it so a mutation invalidates every cached page without
+        the cache ever touching the store itself.
+        """
+        return self._store.data_version
 
     @property
     def shard_count(self) -> int:

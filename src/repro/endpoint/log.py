@@ -53,44 +53,59 @@ class QueryLog:
             self.records.append(record)
 
     def __len__(self) -> int:
-        return len(self.records)
+        with self._lock:
+            return len(self.records)
 
     def __iter__(self) -> Iterator[QueryRecord]:
         # Iterate a snapshot so concurrent appends cannot skew readers.
         with self._lock:
             return iter(list(self.records))
 
+    # Every aggregate reader snapshots under the lock, like snapshot()
+    # and __iter__: iterating self.records bare while concurrent waves
+    # append or reset() would break the module's consistent-snapshot
+    # contract (a reset mid-sum yields a total belonging to no state the
+    # log was ever in).
+
     @property
     def query_count(self) -> int:
         """Total number of queries executed."""
-        return len(self.records)
+        with self._lock:
+            return len(self.records)
 
     @property
     def total_rows(self) -> int:
         """Total number of result rows transferred."""
-        return sum(record.row_count for record in self.records)
+        with self._lock:
+            return sum(record.row_count for record in self.records)
 
     @property
     def total_virtual_seconds(self) -> float:
         """Total simulated latency of all queries."""
-        return sum(record.virtual_seconds for record in self.records)
+        with self._lock:
+            return sum(record.virtual_seconds for record in self.records)
 
     @property
     def truncated_count(self) -> int:
         """Number of queries whose results were truncated by policy."""
-        return sum(1 for record in self.records if record.truncated)
+        with self._lock:
+            return sum(1 for record in self.records if record.truncated)
 
     def by_form(self) -> dict[str, int]:
         """Query counts grouped by query form (SELECT / ASK / COUNT)."""
+        with self._lock:
+            records = list(self.records)
         counts: dict[str, int] = {}
-        for record in self.records:
+        for record in records:
             counts[record.form] = counts.get(record.form, 0) + 1
         return counts
 
     def by_mode(self) -> dict[str, int]:
         """Query counts grouped by execution mode (scatter / fold / ...)."""
+        with self._lock:
+            records = list(self.records)
         counts: dict[str, int] = {}
-        for record in self.records:
+        for record in records:
             counts[record.mode] = counts.get(record.mode, 0) + 1
         return counts
 

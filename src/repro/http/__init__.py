@@ -1,0 +1,20 @@
+"""The HTTP SPARQL service tier.
+
+A stdlib-only asyncio network edge in front of the endpoint layer:
+:class:`~repro.http.server.SparqlHttpServer` speaks the SPARQL 1.1
+protocol (GET/POST ``/sparql`` returning JSON or TSV results, plus
+``/health`` and ``/metrics``) over a real socket, and
+:class:`~repro.http.client.HttpSparqlClient` is the blocking client that
+lets :class:`~repro.endpoint.client.EndpointClient` run unchanged
+against it.
+"""
+
+from repro.http.client import HttpSparqlClient
+from repro.http.server import SparqlHttpServer, ThreadedHttpServer, serve_http
+
+__all__ = [
+    "HttpSparqlClient",
+    "SparqlHttpServer",
+    "ThreadedHttpServer",
+    "serve_http",
+]

@@ -1,0 +1,189 @@
+"""A minimal HTTP/1.1 message layer over asyncio streams.
+
+Just enough protocol for the SPARQL service tier: request parsing
+(request line, headers, ``Content-Length`` bodies) and response
+rendering, with hard limits on header and body sizes so a misbehaving
+client cannot balloon server memory.  Connection semantics follow
+HTTP/1.1 — keep-alive by default, ``Connection: close`` honoured both
+ways — and every malformed input maps to an :class:`HttpProtocolError`
+carrying the status code the server should answer with before closing.
+
+Chunked request bodies, trailers, continuation lines and HTTP/1.0
+keep-alive are deliberately out of scope; clients that need them get a
+clean 4xx instead of silent misparsing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, unquote, urlsplit
+
+#: Upper bound on the request line + headers block, in bytes.
+MAX_HEADER_BYTES = 16 * 1024
+
+#: Upper bound on request bodies (SPARQL queries are small; VALUES-heavy
+#: alignment batches stay well under this).
+MAX_BODY_BYTES = 1 << 20
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    403: "Forbidden",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    406: "Not Acceptable",
+    408: "Request Timeout",
+    413: "Payload Too Large",
+    414: "URI Too Long",
+    415: "Unsupported Media Type",
+    429: "Too Many Requests",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+}
+
+
+class HttpProtocolError(Exception):
+    """A request the parser rejected, with the status to answer with."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request.
+
+    ``headers`` keys are lower-cased; ``params`` holds the decoded query
+    string (first value per key, the SPARQL protocol defines no repeated
+    parameters we care about).
+    """
+
+    method: str
+    target: str
+    path: str
+    params: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes = b""
+    keep_alive: bool = True
+
+    def header(self, name: str, default: str = "") -> str:
+        return self.headers.get(name.lower(), default)
+
+    @property
+    def content_type(self) -> str:
+        """The media type of the body, lower-cased, without parameters."""
+        return self.header("content-type").split(";", 1)[0].strip().lower()
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+    max_header_bytes: int = MAX_HEADER_BYTES,
+    max_body_bytes: int = MAX_BODY_BYTES,
+) -> Optional[HttpRequest]:
+    """Read one request from the stream.
+
+    Returns ``None`` on a clean end-of-stream before any byte of a
+    request (the client closed a keep-alive connection); raises
+    :class:`HttpProtocolError` on malformed or over-limit input and
+    ``asyncio.IncompleteReadError`` when the peer vanishes mid-message.
+    """
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.LimitOverrunError:
+        raise HttpProtocolError(431, "request headers too large") from None
+    except asyncio.IncompleteReadError as error:
+        if not error.partial:
+            return None
+        raise
+    if len(head) > max_header_bytes:
+        raise HttpProtocolError(431, "request headers too large")
+
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 decodes all bytes
+        raise HttpProtocolError(400, "undecodable request head") from None
+    lines = text.split("\r\n")
+    request_line = lines[0]
+    parts = request_line.split(" ")
+    if len(parts) != 3:
+        raise HttpProtocolError(400, f"malformed request line: {request_line!r}")
+    method, target, version = parts
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise HttpProtocolError(400, f"unsupported HTTP version {version!r}")
+
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        if ":" not in line:
+            raise HttpProtocolError(400, f"malformed header line: {line!r}")
+        name, value = line.split(":", 1)
+        headers[name.strip().lower()] = value.strip()
+
+    if headers.get("transfer-encoding"):
+        raise HttpProtocolError(501, "chunked request bodies are not supported")
+
+    body = b""
+    raw_length = headers.get("content-length")
+    if raw_length is not None:
+        try:
+            length = int(raw_length)
+        except ValueError:
+            raise HttpProtocolError(
+                400, f"malformed Content-Length: {raw_length!r}"
+            ) from None
+        if length < 0:
+            raise HttpProtocolError(400, "negative Content-Length")
+        if length > max_body_bytes:
+            raise HttpProtocolError(
+                413, f"request body of {length} bytes exceeds {max_body_bytes}"
+            )
+        if length:
+            body = await reader.readexactly(length)
+
+    split = urlsplit(target)
+    params: Dict[str, str] = {
+        key: values[0]
+        for key, values in parse_qs(
+            split.query, keep_blank_values=True
+        ).items()
+    }
+
+    connection = headers.get("connection", "").lower()
+    keep_alive = version == "HTTP/1.1" and connection != "close"
+
+    return HttpRequest(
+        method=method.upper(),
+        target=target,
+        path=unquote(split.path),
+        params=params,
+        headers=headers,
+        body=body,
+        keep_alive=keep_alive,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[List[Tuple[str, str]]] = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Render one complete HTTP/1.1 response."""
+    reason = _REASONS.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers or ():
+        lines.append(f"{name}: {value}")
+    return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + body

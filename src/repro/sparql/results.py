@@ -74,9 +74,17 @@ class ResultSet:
         """The scalar as an integer — convenient for ``COUNT`` queries."""
         term = self.scalar()
         if isinstance(term, Literal):
+            lexical = term.lexical
+            # Integer lexicals parse exactly: routing them through float()
+            # would lose precision for counts >= 2**53.
             try:
-                return int(float(term.lexical))
+                return int(lexical)
             except ValueError:
+                pass
+            try:
+                return int(float(lexical))
+            except (ValueError, OverflowError):
+                # "INF" raises OverflowError on int(), "NaN" ValueError.
                 return default
         return default
 

@@ -127,3 +127,116 @@ class TestParseCache:
         SparqlEndpoint(people_store, name="b").query(query)
         assert parse_cache_info().hits >= 1
         assert parse_cache_info().misses == 1
+
+
+class TestAccountingInvariants:
+    """The quota and the log must never diverge: every consumed budget
+    slot corresponds to exactly one QueryRecord, whatever the outcome."""
+
+    def test_hard_truncation_is_still_logged(self, people_store):
+        policy = AccessPolicy(
+            max_queries=5, max_result_rows=2, fail_on_truncation=True
+        )
+        endpoint = SparqlEndpoint(people_store, policy=policy)
+        with pytest.raises(ResultTruncated):
+            endpoint.select(PREFIX + "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        # The query ran and consumed budget, so it must be on the log —
+        # marked truncated, with the capped row count the policy allowed.
+        assert endpoint.queries_remaining == 4
+        assert endpoint.log.query_count == 1
+        record = list(endpoint.log)[0]
+        assert record.truncated
+        assert record.row_count == 2
+
+    def test_budget_and_log_agree_across_outcomes(self, people_store):
+        policy = AccessPolicy(
+            max_queries=10, max_result_rows=2, fail_on_truncation=True
+        )
+        endpoint = SparqlEndpoint(people_store, policy=policy)
+        endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+        with pytest.raises(ResultTruncated):
+            endpoint.query(PREFIX + "SELECT ?s ?p ?o WHERE { ?s ?p ?o }")
+        endpoint.query(PREFIX + "SELECT ?s WHERE { ?s ex:profession ex:Physicist }")
+        consumed = policy.max_queries - endpoint.queries_remaining
+        assert consumed == endpoint.log.query_count == 3
+
+    def test_charge_cached_consumes_budget_and_logs(self, people_store):
+        endpoint = SparqlEndpoint(
+            people_store, policy=AccessPolicy(max_queries=2)
+        )
+        endpoint.charge_cached("SELECT ...", "SELECT", row_count=7)
+        assert endpoint.queries_remaining == 1
+        assert endpoint.log.query_count == 1
+        record = list(endpoint.log)[0]
+        assert record.mode == "cached"
+        assert record.row_count == 7
+
+    def test_charge_cached_respects_exhausted_budget(self, people_store):
+        endpoint = SparqlEndpoint(
+            people_store, policy=AccessPolicy(max_queries=1)
+        )
+        endpoint.query(PREFIX + "ASK { ?s ex:bornIn ?c }")
+        with pytest.raises(QueryBudgetExceeded):
+            endpoint.charge_cached("SELECT ...", "SELECT", row_count=1)
+        # The rejected charge logged nothing, like a rejected query.
+        assert endpoint.log.query_count == 1
+
+    def test_data_version_tracks_store_mutations(self, people_store):
+        from repro.rdf.triple import Triple
+
+        endpoint = SparqlEndpoint(people_store)
+        before = endpoint.data_version
+        people_store.add(
+            Triple(EX["Nikola_Tesla"], EX.bornIn, EX.Serbia)
+        )
+        assert endpoint.data_version > before
+
+
+class TestQueryLogConcurrency:
+    def test_aggregate_readers_race_appenders_and_reset(self, people_store):
+        """Aggregates read under the log's lock: hammering them during
+        concurrent appends and resets must never raise or tear."""
+        import threading
+
+        from repro.endpoint.log import QueryLog, QueryRecord
+
+        log = QueryLog()
+        stop = threading.Event()
+        failures = []
+
+        def appender():
+            while not stop.is_set():
+                log.record(
+                    QueryRecord("q", "SELECT", 3, False, 0.5, 0.001, "single")
+                )
+
+        def resetter():
+            while not stop.is_set():
+                log.reset()
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    assert log.query_count >= 0
+                    assert log.total_rows >= 0
+                    assert log.total_virtual_seconds >= 0
+                    assert log.truncated_count == 0
+                    for counts in (log.by_form(), log.by_mode()):
+                        assert all(value > 0 for value in counts.values())
+                    log.snapshot()
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=target)
+            for target in (appender, appender, resetter, reader, reader)
+        ]
+        for thread in threads:
+            thread.start()
+        import time
+
+        time.sleep(0.3)
+        stop.set()
+        for thread in threads:
+            thread.join()
+        assert not failures

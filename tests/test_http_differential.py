@@ -1,0 +1,128 @@
+"""Differential: HTTP responses vs in-process evaluation.
+
+The serialisers are deterministic, so the HTTP tier must be *byte*
+transparent: for any query, the JSON and TSV bodies coming over the
+socket equal serialising the in-process result of an identically
+configured endpoint — across shard counts and both scatter backends —
+and parsing the HTTP response yields the same solution multiset as the
+unsharded reference evaluator.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from collections import Counter
+
+import pytest
+
+from repro.endpoint.simulation import SimulatedSparqlEndpoint
+from repro.http import HttpSparqlClient, serve_http
+from repro.obs.metrics import MetricsRegistry
+from repro.rdf.namespace import Namespace
+from repro.rdf.terms import Literal
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.sparql.serialize import from_sparql_json, to_sparql_json, to_sparql_tsv
+from repro.store.triplestore import TripleStore
+
+START_METHOD = os.environ.get("REPRO_WORKER_START_METHOD") or None
+if START_METHOD and START_METHOD not in multiprocessing.get_all_start_methods():
+    pytest.skip(
+        f"start method {START_METHOD!r} unsupported on this platform",
+        allow_module_level=True,
+    )
+
+EX = Namespace("http://httpdiff.test/")
+PREFIX = f"PREFIX ex: <{EX['']}> "
+
+SHARD_COUNTS = (1, 2, 8)
+BACKENDS = ("thread", "process")
+
+#: The query battery: joins, OPTIONAL, UNION, ASK, COUNT, literals.
+QUERIES = [
+    PREFIX + "SELECT ?s ?o WHERE { ?s ex:p0 ?o }",
+    PREFIX + "SELECT ?a ?b ?c WHERE { ?a ex:p0 ?b . ?b ex:p1 ?c }",
+    PREFIX
+    + "SELECT ?s ?name WHERE { ?s ex:p0 ?o . "
+    + "OPTIONAL { ?s ex:name ?name } }",
+    PREFIX
+    + "SELECT ?x WHERE { { ?x ex:p0 ex:n1 } UNION { ?x ex:p1 ex:n2 } }",
+    PREFIX + "SELECT (COUNT(*) AS ?c) WHERE { ?s ex:p0 ?o }",
+    PREFIX + "SELECT (COUNT(DISTINCT ?s) AS ?c) WHERE { ?s ?p ?o . ?s ex:p0 ?x }",
+    PREFIX + "ASK { ex:n0 ex:p0 ?o }",
+    PREFIX + "ASK { ex:n0 ex:p9 ex:n5 }",
+]
+
+
+def _triples():
+    triples = []
+    for index in range(24):
+        subject = EX[f"n{index % 7}"]
+        triples.append(Triple(subject, EX.p0, EX[f"n{(index + 1) % 7}"]))
+        if index % 3 == 0:
+            triples.append(Triple(subject, EX.p1, EX[f"n{(index + 2) % 7}"]))
+        if index % 4 == 0:
+            triples.append(Triple(subject, EX.name, Literal(f"name {index}")))
+    return triples
+
+
+def _multiset(result) -> Counter:
+    return Counter(frozenset(row.items()) for row in result)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """``query text -> in-process result`` on the unsharded store."""
+    endpoint = SimulatedSparqlEndpoint(TripleStore(triples=_triples()))
+    return {query: endpoint.query(query) for query in QUERIES}
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_http_matches_in_process_bytes(shards, backend, reference, tmp_path):
+    store = ShardedTripleStore(num_shards=shards, triples=_triples())
+    # The in-process twin: same store configuration, queried directly.
+    twin = SimulatedSparqlEndpoint(
+        store,
+        name="twin",
+        backend=backend,
+        snapshot_dir=tmp_path / "twin" if backend == "process" else None,
+        start_method=START_METHOD,
+    )
+    with twin:
+        expected = {query: twin.query(query) for query in QUERIES}
+        with serve_http(
+            store=ShardedTripleStore(num_shards=shards, triples=_triples()),
+            name="served",
+            backend=backend,
+            snapshot_dir=tmp_path / "served" if backend == "process" else None,
+            start_method=START_METHOD,
+            metrics=MetricsRegistry(),
+            # Byte comparison needs every response evaluated, not cached.
+            page_cache_size=0,
+        ) as running:
+            with HttpSparqlClient(running.url) as client:
+                for query in QUERIES:
+                    content_type, body = client.query_text(
+                        query, accept="application/sparql-results+json"
+                    )
+                    assert content_type == "application/sparql-results+json"
+                    assert body == to_sparql_json(expected[query]), query
+
+                    parsed = from_sparql_json(body)
+                    if hasattr(parsed, "rows"):
+                        assert _multiset(parsed) == _multiset(
+                            reference[query]
+                        ), query
+                    else:
+                        assert bool(parsed) == bool(reference[query]), query
+
+                for query in QUERIES:
+                    if not hasattr(expected[query], "rows"):
+                        continue  # ASK has no TSV form
+                    content_type, body = client.query_text(
+                        query, accept="text/tab-separated-values"
+                    )
+                    assert content_type == "text/tab-separated-values"
+                    assert body == to_sparql_tsv(expected[query]), query
