@@ -1,0 +1,139 @@
+"""Quickstart: zero-downtime refresh of a live sharded endpoint.
+
+Demonstrates the PR 10 live-mutation lifecycle end to end:
+
+1. build a sharded store, snapshot it, and serve it from a
+   process-backed simulated endpoint;
+2. hammer the endpoint with a live query wave from worker threads;
+3. ``refresh()`` mid-wave — the endpoint quiesces intake for the
+   mutation+persist instant only (queries queue, never fail), appends
+   the burst as per-shard snapshot deltas, optionally rebalances the
+   subject-ID boundaries from live shard counts, then boots the next
+   worker-process generation over the refreshed snapshot while an
+   in-process bridge keeps answering;
+4. inspect the refresh report and the retired pool's protocol ledger:
+   every query the wave issued either completed or was refunded —
+   nothing 5xx'd, nothing blended two generations.
+
+Run with::
+
+    PYTHONPATH=src python examples/live_refresh_quickstart.py
+"""
+
+import tempfile
+import threading
+from pathlib import Path
+
+from repro.endpoint.policy import AccessPolicy
+from repro.endpoint.simulation import SimulatedSparqlEndpoint
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+
+EX = Namespace("http://example.org/live/")
+
+SELECT = (
+    "SELECT ?s ?city WHERE { ?s <http://example.org/live/bornIn> ?city }"
+)
+
+
+def build_store() -> ShardedTripleStore:
+    triples = [
+        Triple(EX[f"person{i}"], EX[p], EX[f"{p}_{i % 23}"])
+        for i in range(4000)
+        for p in ("worksAt", "bornIn", "knows")
+    ]
+    store = ShardedTripleStore(num_shards=4, name="live")
+    store.bulk_load(triples)
+    return store
+
+
+def arrival_burst(start: int, count: int = 500):
+    """New facts whose subjects intern *after* the snapshot was cut."""
+
+    def mutate(store) -> None:
+        for i in range(count):
+            store.add(
+                Triple(EX[f"arrival{start + i}"], EX.bornIn, EX[f"city{i % 11}"])
+            )
+
+    return mutate
+
+
+def main() -> None:
+    store = build_store()
+    snapshot_dir = Path(tempfile.mkdtemp(prefix="live-refresh-")) / "snap"
+    policy = AccessPolicy(max_result_rows=None, allow_full_scan=True)
+
+    with SimulatedSparqlEndpoint(
+        store, policy=policy, backend="process", snapshot_dir=snapshot_dir
+    ) as endpoint:
+        print(
+            f"generation {endpoint.generation}: "
+            f"{len(endpoint.query(SELECT))} bornIn facts"
+        )
+
+        # A live wave keeps querying throughout both refreshes below.
+        counts: list = []
+        errors: list = []
+        stop = threading.Event()
+
+        def hammer() -> None:
+            while not stop.is_set():
+                try:
+                    counts.append(len(endpoint.query(SELECT)))
+                except Exception as error:  # noqa: BLE001 - reported below
+                    errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            old_executor = endpoint.executor
+            report = endpoint.refresh(mutate=arrival_burst(0))
+            print(
+                f"refresh #1: generation {report['generation']}, "
+                f"persisted={report['persisted']}, "
+                f"paused {report['paused_seconds'] * 1000:.1f}ms, "
+                f"old pool drained={report['drained']}"
+            )
+
+            # Late arrivals pile into the last shard's open ID range;
+            # rebalance re-splits the boundaries from live counts and
+            # rewrites only the moved shards on the next persist.
+            report = endpoint.refresh(
+                mutate=arrival_burst(1000), rebalance=True
+            )
+            moved = report["rebalance"]["moved"]
+            sizes = report["rebalance"]["shard_sizes"]
+            print(
+                f"refresh #2: generation {report['generation']}, "
+                f"rebalanced {moved} triples -> shard sizes {sizes}"
+            )
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+
+        # The contract the tests pin: zero failures, and every answer
+        # consistent with exactly one generation's dataset.
+        print(
+            f"live wave: {len(counts)} queries, {len(errors)} errors, "
+            f"answer sizes seen: {sorted(set(counts))}"
+        )
+        stats = old_executor.protocol_stats()
+        print(
+            f"retired pool ledger: dispatched={stats['dispatched']} = "
+            f"completed={stats['completed']} + cancelled={stats['cancelled']}"
+            f" + failed={stats['failed']} + crashed={stats['crashed']}"
+        )
+        print(f"final answer: {len(endpoint.query(SELECT))} bornIn facts")
+
+    # The deltas are durable: a cold open replays the chain to the same
+    # state the endpoint was serving.
+    reopened = ShardedTripleStore.open(snapshot_dir)
+    print(f"cold reopen from {snapshot_dir}: {len(reopened)} triples")
+
+
+if __name__ == "__main__":
+    main()

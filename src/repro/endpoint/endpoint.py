@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import threading
 import time
-from functools import lru_cache
+from collections import OrderedDict, namedtuple
 from typing import Callable, Optional, Union
 
 from repro.errors import EndpointError, QueryBudgetExceeded, ResultTruncated
@@ -39,26 +39,76 @@ from repro.endpoint.log import QueryLog, QueryRecord
 from repro.endpoint.policy import AccessPolicy
 
 
-@lru_cache(maxsize=4096)
-def _parse_query_cached(query_text: str) -> Query:
-    """Parse SPARQL text with an LRU cache over the query string.
+#: Shape-compatible with :func:`functools.lru_cache`'s ``cache_info()``.
+CacheInfo = namedtuple("CacheInfo", ["hits", "misses", "maxsize", "currsize"])
 
-    The typed :class:`~repro.endpoint.client.EndpointClient` calls re-issue
-    the same query shapes thousands of times per alignment run; the AST is
-    a tree of frozen dataclasses, so sharing one parse across evaluations
-    is safe.  The cache is process-wide (shared by all endpoints).
+
+class ParseCache:
+    """A thread-safe LRU cache of parsed SPARQL queries, shareable by
+    reference.
+
+    The typed :class:`~repro.endpoint.client.EndpointClient` calls
+    re-issue the same query shapes thousands of times per alignment run;
+    the AST is a tree of frozen dataclasses, so sharing one parse across
+    evaluations — and across *endpoints* — is safe.  Endpoints default to
+    one process-wide instance; the HTTP service tier passes its base
+    endpoint's cache into every lazily-created per-client endpoint so a
+    hot query parses once per server, not once per client.
     """
-    return parse_query(query_text)
+
+    def __init__(self, maxsize: int = 4096):
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[str, Query]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    def parse(self, query_text: str) -> Query:
+        """The parsed form of ``query_text`` (cached, LRU-evicted)."""
+        with self._lock:
+            parsed = self._entries.get(query_text)
+            if parsed is not None:
+                self._entries.move_to_end(query_text)
+                self._hits += 1
+                return parsed
+            self._misses += 1
+        # Parse outside the lock: a slow parse must not serialise every
+        # other client's cache hits.  Racing parses of the same text are
+        # idempotent; last writer wins.
+        parsed = parse_query(query_text)
+        with self._lock:
+            self._entries[query_text] = parsed
+            self._entries.move_to_end(query_text)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return parsed
+
+    def cache_info(self) -> CacheInfo:
+        with self._lock:
+            return CacheInfo(
+                self._hits, self._misses, self.maxsize, len(self._entries)
+            )
+
+    def cache_clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._hits = 0
+            self._misses = 0
 
 
-def parse_cache_info():
+#: The process-wide default cache (every endpoint without an explicit
+#: ``parse_cache`` shares it).
+_shared_parse_cache = ParseCache(maxsize=4096)
+
+
+def parse_cache_info() -> CacheInfo:
     """Hit/miss statistics of the shared parsed-query cache."""
-    return _parse_query_cached.cache_info()
+    return _shared_parse_cache.cache_info()
 
 
 def clear_parse_cache() -> None:
     """Drop all cached parsed queries (mainly for tests and benchmarks)."""
-    _parse_query_cached.cache_clear()
+    _shared_parse_cache.cache_clear()
 
 
 class SparqlEndpoint:
@@ -76,6 +126,11 @@ class SparqlEndpoint:
         Callable building the query evaluator from the store; defaults to
         :class:`QueryEvaluator`.  The endpoint-simulation layer passes the
         scatter/gather evaluator here for sharded stores.
+    parse_cache:
+        The :class:`ParseCache` this endpoint parses through; defaults to
+        the process-wide shared instance.  Pass an existing endpoint's
+        :attr:`parse_cache` to share parsed queries across endpoints
+        explicitly (the HTTP tier does, for its per-client endpoints).
 
     Budget accounting is thread-safe: concurrent query waves reserve a
     slot under a lock before evaluating, so a quota of *n* admits exactly
@@ -88,11 +143,13 @@ class SparqlEndpoint:
         name: str = "endpoint",
         policy: AccessPolicy | None = None,
         evaluator_factory: Optional[Callable[[TripleStore], QueryEvaluator]] = None,
+        parse_cache: Optional[ParseCache] = None,
     ):
         self._store = store
         self.name = name
         self.policy = policy or AccessPolicy.unlimited()
         self.log = QueryLog()
+        self.parse_cache = parse_cache if parse_cache is not None else _shared_parse_cache
         self._evaluator = (evaluator_factory or QueryEvaluator)(store)
         self._queries_issued = 0
         self._budget_lock = threading.Lock()
@@ -149,7 +206,9 @@ class SparqlEndpoint:
                 )
                 with tracer.span("parse"):
                     parsed = (
-                        _parse_query_cached(query) if isinstance(query, str) else query
+                        self.parse_cache.parse(query)
+                        if isinstance(query, str)
+                        else query
                     )
 
                 if not self.policy.allow_full_scan and self._is_full_scan(parsed):
@@ -161,7 +220,7 @@ class SparqlEndpoint:
                 # downstream stage span (kernel / scatter / worker:exec)
                 # nests and finishes under it.
                 with tracer.span("evaluate"):
-                    result = self._evaluator.evaluate(parsed)
+                    result = self._evaluate(parsed)
             except BaseException:
                 with self._budget_lock:
                     self._queries_issued -= 1
@@ -208,6 +267,17 @@ class SparqlEndpoint:
         if root is not None:
             tracer.end(root)
         return result
+
+    def _evaluate(self, parsed: Query) -> Union[ResultSet, AskResult]:
+        """Evaluate one admitted, policy-checked query.
+
+        The single dispatch point subclasses override to swap evaluators
+        safely — :class:`~repro.endpoint.simulation.SimulatedSparqlEndpoint`
+        routes through its current worker generation here, so budget
+        accounting, policy checks and logging above it never notice a
+        live snapshot refresh.
+        """
+        return self._evaluator.evaluate(parsed)
 
     def _record(
         self,

@@ -32,9 +32,11 @@ from __future__ import annotations
 import asyncio
 import shutil
 import tempfile
+import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.endpoint.endpoint import SparqlEndpoint
@@ -43,17 +45,36 @@ from repro.errors import (
     EndpointError,
     QueryBudgetExceeded,
     ResultTruncated,
+    StoreError,
     WorkerCrashError,
 )
 from repro.obs.metrics import MetricsRegistry
 from repro.shard.sharded_store import ShardedTripleStore
 from repro.sparql.ast import Query
+from repro.sparql.evaluate import QueryEvaluator
 from repro.sparql.results import AskResult, ResultSet
 from repro.sparql.scatter import ShardedQueryEvaluator
 from repro.store.triplestore import TripleStore
 
 #: Exception types reported per query instead of aborting a whole wave.
 _QUERY_ERRORS = (QueryBudgetExceeded, EndpointError, ResultTruncated)
+
+
+@dataclass
+class _Generation:
+    """One serving configuration: an evaluator plus its worker pool.
+
+    ``active`` counts queries currently inside :meth:`evaluate` on this
+    generation; it is guarded by the endpoint's generation condition.  A
+    retiring generation's worker pool is only closed once its count
+    reaches zero, so in-flight queries always finish against the
+    snapshot they started on.
+    """
+
+    evaluator: object
+    executor: object = None
+    number: int = 0
+    active: int = 0
 
 
 class SimulatedSparqlEndpoint(SparqlEndpoint):
@@ -119,6 +140,16 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
             )
         self._executor = None
         self._owned_snapshot_dir = None
+        # Kept for refresh(): rebuilding the in-process evaluator after a
+        # mutation.  The process backend's factory below closes over one
+        # specific executor, so it must never be reused across
+        # generations — refresh() builds its evaluators explicitly.
+        self._evaluator_factory = None if backend == "process" else evaluator_factory
+        self._serve_options = {
+            "start_method": start_method,
+            "pool_size": pool_size,
+            "result_window": result_window,
+        }
         if backend == "process":
             if not isinstance(store, ShardedTripleStore):
                 raise EndpointError(
@@ -162,11 +193,211 @@ class SimulatedSparqlEndpoint(SparqlEndpoint):
             raise
         self.latency_scale = latency_scale
         self.backend = backend or "thread"
+        self._snapshot_path = Path(snapshot_dir) if backend == "process" else None
+        # Generation handover state.  _gen_cond guards _generation, its
+        # active counts and _refresh_paused; _refresh_lock serializes
+        # whole refresh() calls against each other.
+        self._refresh_lock = threading.Lock()
+        self._gen_cond = threading.Condition()
+        self._refresh_paused = False
+        self._generation = _Generation(
+            evaluator=self._evaluator, executor=self._executor, number=0
+        )
 
     @property
     def executor(self):
         """The process executor serving this endpoint (``None`` on thread)."""
         return self._executor
+
+    @property
+    def generation(self) -> int:
+        """The serving generation number (bumped by every :meth:`refresh` swap)."""
+        return self._generation.number
+
+    # ------------------------------------------------------------------ #
+    # Generation handover
+    # ------------------------------------------------------------------ #
+    def _evaluate(self, parsed: Query) -> Union[ResultSet, AskResult]:
+        """Evaluate through the current serving generation.
+
+        Queries pin the generation they start on: a :meth:`refresh` in
+        flight never tears an evaluator (or its worker pool) out from
+        under an executing query, and a query arriving during the brief
+        mutation window *waits* instead of failing — the zero-downtime
+        contract is "no 5xx", not "no latency spike".
+        """
+        with self._gen_cond:
+            while self._refresh_paused:
+                self._gen_cond.wait()
+            generation = self._generation
+            generation.active += 1
+        try:
+            return generation.evaluator.evaluate(parsed)
+        finally:
+            with self._gen_cond:
+                generation.active -= 1
+                if generation.active == 0:
+                    self._gen_cond.notify_all()
+
+    def _swap_generation(self, evaluator, executor) -> int:
+        """Atomically install a new serving generation and resume intake."""
+        with self._gen_cond:
+            number = self._generation.number + 1
+            self._generation = _Generation(
+                evaluator=evaluator, executor=executor, number=number
+            )
+            self._evaluator = evaluator
+            self._executor = executor
+            self._refresh_paused = False
+            self._gen_cond.notify_all()
+        return number
+
+    def _inprocess_evaluator(self):
+        """A fresh evaluator over the live store (the handover bridge)."""
+        factory = self._evaluator_factory
+        if factory is None:
+            factory = (
+                ShardedQueryEvaluator
+                if isinstance(self._store, ShardedTripleStore)
+                else QueryEvaluator
+            )
+        return factory(self._store)
+
+    def _retire(self, generation: _Generation, drain_timeout: float, report: dict) -> None:
+        """Drain and close a retired generation's worker pool, if any."""
+        executor = generation.executor
+        if executor is None or executor is self._executor:
+            return
+        report["drained"] = executor.drain(timeout=drain_timeout)
+        executor.close()
+
+    def refresh(
+        self,
+        mutate: Optional[Callable[[TripleStore], None]] = None,
+        rebalance: bool = False,
+        snapshot_dir=None,
+        drain_timeout: float = 30.0,
+    ) -> dict:
+        """Apply mutations and hand the endpoint over to a new generation.
+
+        The zero-downtime refresh sequence:
+
+        1. **Quiesce** — new queries pause at the generation gate (they
+           queue, they do not fail) while in-flight queries on the
+           outgoing generation drain.  The scatter router and ship
+           planner read live parent-side store state, so mutating under
+           an executing query could mix two dataset versions into one
+           answer; the brief pause is what makes every answer consistent
+           with exactly one generation.
+        2. **Mutate** — ``mutate(store)`` runs, then ``rebalance`` (when
+           requested) re-splits the shard boundaries from live counts.
+        3. **Persist** — the sharded store appends a snapshot delta
+           (:meth:`~repro.shard.sharded_store.ShardedTripleStore.save_delta`),
+           falling back to a full :meth:`save` when no delta is possible
+           (lost journal, first save, compaction pending).
+        4. **Bridge** — intake resumes immediately through an in-process
+           evaluator over the mutated store, so queries flow again while
+           the expensive part (booting worker processes) happens in the
+           background.  This step runs even when mutate/persist raised:
+           the endpoint never stays paused.
+        5. **Swap** (process backend) — a new
+           :class:`~repro.shard.workers.ProcessShardExecutor` boots on
+           generation N+1 over the refreshed snapshot; once its scatter
+           evaluator validates the ``data_version`` pin, the serving
+           generation moves atomically.  If the boot fails, the bridge
+           keeps serving (degraded to in-process, but correct) and the
+           error propagates.
+        6. **Retire** — the generation-N pool drains its (already empty)
+           in-flight map and shuts down.
+
+        Returns a report dict: ``generation``, ``data_version``,
+        ``persisted`` (``"delta"``/``"full"``/``"clean"``/``None``),
+        ``rebalance`` (move stats or ``None``), ``paused_seconds`` (the
+        intake-pause window — the p99 spike budget), ``drained``.
+
+        Thread-backed endpoints skip steps 3 and 5 unless the store has a
+        snapshot directory to append to (or ``snapshot_dir`` names one).
+        """
+        store = self._store
+        if rebalance and not isinstance(store, ShardedTripleStore):
+            raise EndpointError("rebalance=True requires a ShardedTripleStore")
+        report: dict = {
+            "generation": self._generation.number,
+            "persisted": None,
+            "rebalance": None,
+            "paused_seconds": 0.0,
+            "drained": None,
+        }
+        with self._refresh_lock:
+            old = self._generation
+            pause_started = time.perf_counter()
+            with self._gen_cond:
+                self._refresh_paused = True
+                deadline = time.monotonic() + drain_timeout
+                while old.active:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        self._refresh_paused = False
+                        self._gen_cond.notify_all()
+                        raise EndpointError(
+                            f"refresh timed out after {drain_timeout:.1f}s "
+                            f"waiting for {old.active} in-flight queries"
+                        )
+                    self._gen_cond.wait(remaining)
+            target = snapshot_dir or self._snapshot_path
+            if target is None and isinstance(store, ShardedTripleStore):
+                target = getattr(store, "_snapshot_dir", None)
+            sharded = isinstance(store, ShardedTripleStore)
+            if sharded:
+                # In-flight queries were drained above, but out-of-band
+                # holders of the outgoing evaluator (profilers, explain
+                # tooling) must not hit the freshness pin mid-window.
+                store._refresh_serving += 1
+            try:
+                if mutate is not None:
+                    mutate(store)
+                if rebalance:
+                    report["rebalance"] = store.rebalance()
+                if sharded and target is not None:
+                    try:
+                        wrote = store.save_delta(target)
+                        report["persisted"] = "delta" if wrote else "clean"
+                    except StoreError:
+                        store.save(target)
+                        report["persisted"] = "full"
+            finally:
+                # Resume serving no matter what happened above — through a
+                # fresh in-process evaluator, because the store may have
+                # mutated (even partially) and the old generation's worker
+                # mmaps / caches no longer match it.
+                try:
+                    bridge = self._inprocess_evaluator()
+                except BaseException:
+                    with self._gen_cond:
+                        self._refresh_paused = False
+                        self._gen_cond.notify_all()
+                    raise
+                report["generation"] = self._swap_generation(bridge, None)
+                report["paused_seconds"] = time.perf_counter() - pause_started
+                if sharded:
+                    store._refresh_serving -= 1
+            if self.backend == "process":
+                try:
+                    executor = store.serve(target, **self._serve_options)
+                    try:
+                        evaluator = ShardedQueryEvaluator(
+                            store, backend="process", executor=executor
+                        )
+                    except BaseException:
+                        executor.close()
+                        raise
+                except BaseException:
+                    self._retire(old, drain_timeout, report)
+                    raise
+                report["generation"] = self._swap_generation(evaluator, executor)
+            self._retire(old, drain_timeout, report)
+            report["data_version"] = store.data_version
+            return report
 
     def close(self) -> None:
         """Stop the worker pool of a process-backed endpoint (idempotent).

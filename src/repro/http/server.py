@@ -94,20 +94,59 @@ def _status_for(error: BaseException) -> int:
 def _negotiate(accept: str) -> Optional[str]:
     """``json`` / ``tsv`` for an Accept header, ``None`` when unservable.
 
-    A deliberately small matcher: media ranges are checked in client
-    order against the types we serve, q-values are ignored (the SPARQL
-    protocol's clients send a single preferred type), and an absent or
-    empty header means JSON.
+    Media ranges are weighted per RFC 9110: the servable range with the
+    highest ``q`` wins, ties break in client order, and ``q=0`` marks a
+    range explicitly unacceptable (``Accept: */*;q=0`` is a 406, and
+    ``application/json;q=0, text/tab-separated-values`` serves TSV).  A
+    malformed q-value falls back to 1.0; an absent or empty header means
+    JSON.
     """
     if not accept.strip():
         return "json"
+    best: Optional[Tuple[float, str]] = None
     for part in accept.split(","):
-        media = part.split(";", 1)[0].strip().lower()
+        pieces = part.split(";")
+        media = pieces[0].strip().lower()
         if media in _JSON_ACCEPTS:
-            return "json"
-        if media in _TSV_ACCEPTS:
-            return "tsv"
-    return None
+            fmt = "json"
+        elif media in _TSV_ACCEPTS:
+            fmt = "tsv"
+        else:
+            continue
+        quality = 1.0
+        for parameter in pieces[1:]:
+            name, _, value = parameter.partition("=")
+            if name.strip().lower() == "q":
+                try:
+                    quality = float(value.strip())
+                except ValueError:
+                    quality = 1.0
+                break
+        if quality <= 0:
+            continue
+        if best is None or quality > best[0]:
+            best = (quality, fmt)
+    return best[1] if best is not None else None
+
+
+class _DelegatingEvaluator:
+    """Routes a per-client endpoint's evaluation through the base endpoint.
+
+    Per-client endpoints own *admission* (budget, query log) but never
+    execution.  Delegating through the base endpoint's ``_evaluate``
+    hook — instead of capturing its evaluator object at client creation
+    — keeps every client on the current worker generation across live
+    :meth:`SparqlHttpServer.refresh` swaps.
+    """
+
+    def __init__(self, base: SparqlEndpoint):
+        self._base = base
+
+    def evaluate(self, parsed):
+        return self._base._evaluate(parsed)
+
+    def last_mode(self) -> str:
+        return self._base.last_query_mode()
 
 
 class _PageCache:
@@ -318,6 +357,31 @@ class SparqlHttpServer:
     async def __aexit__(self, *exc_info) -> None:
         await self.stop()
 
+    def refresh(self, mutate=None, rebalance: bool = False, **kwargs) -> dict:
+        """Refresh the served dataset live, with zero dropped requests.
+
+        Delegates to
+        :meth:`~repro.endpoint.simulation.SimulatedSparqlEndpoint.refresh`
+        on the served endpoint: requests in flight finish on the old
+        generation, requests arriving during the brief mutation window
+        queue (they never 5xx), and the ``data_version``-keyed page
+        cache invalidates implicitly because every cache key carries the
+        version the page was rendered at.  Per-client endpoints follow
+        the swap automatically — they delegate execution to the base
+        endpoint instead of pinning an evaluator.
+
+        Thread-safe: callable from any thread while the server is
+        serving (the asyncio side evaluates on executor threads, which
+        the refresh quiesce coordinates with).
+        """
+        refresh = getattr(self._endpoint, "refresh", None)
+        if refresh is None:
+            raise EndpointError(
+                "the served endpoint does not support refresh(); serve a "
+                "SimulatedSparqlEndpoint (or build the server from store=)"
+            )
+        return refresh(mutate=mutate, rebalance=rebalance, **kwargs)
+
     # ------------------------------------------------------------------ #
     # Per-client admission
     # ------------------------------------------------------------------ #
@@ -325,23 +389,28 @@ class SparqlHttpServer:
         """The endpoint admitting ``client_id`` (the base one by default).
 
         With ``client_policy`` set, each client gets a lazily created
-        :class:`SparqlEndpoint` that shares the base endpoint's evaluator
-        (one plan cache, one worker pool) but owns its policy budget and
-        its query log.
+        :class:`SparqlEndpoint` that shares the base endpoint's execution
+        path (one plan cache, one worker pool, one parse cache) but owns
+        its policy budget and its query log.
         """
         if self._client_policy is None:
             return self._endpoint
         with self._clients_lock:
             endpoint = self._client_endpoints.get(client_id)
             if endpoint is None:
-                # Sharing the private evaluator is deliberate: admission
-                # is per client, evaluation capacity is one pool.
-                shared_evaluator = self._endpoint._evaluator
+                # Delegating execution is deliberate: admission is per
+                # client, evaluation capacity is one pool — and the
+                # delegation follows generation swaps on refresh().  The
+                # parse cache is the base endpoint's, so N clients warm
+                # one cache instead of N.
                 endpoint = SparqlEndpoint(
                     self._endpoint._store,
                     name=f"{self._endpoint.name}/{client_id}",
                     policy=self._client_policy,
-                    evaluator_factory=lambda _store: shared_evaluator,
+                    evaluator_factory=lambda _store: _DelegatingEvaluator(
+                        self._endpoint
+                    ),
+                    parse_cache=self._endpoint.parse_cache,
                 )
                 self._client_endpoints[client_id] = endpoint
             return endpoint
@@ -640,6 +709,7 @@ class SparqlHttpServer:
             "dataset_size": self._endpoint.dataset_size(),
             "shards": self._endpoint.shard_count,
             "data_version": self._endpoint.data_version,
+            "generation": getattr(self._endpoint, "generation", 0),
             "in_flight": self._active_requests,
             "max_in_flight": self.max_in_flight,
             "clients": len(self._client_endpoints),
@@ -750,6 +820,10 @@ class ThreadedHttpServer:
     @property
     def url(self) -> str:
         return self.server.url
+
+    def refresh(self, mutate=None, rebalance: bool = False, **kwargs) -> dict:
+        """Blocking façade for :meth:`SparqlHttpServer.refresh`."""
+        return self.server.refresh(mutate=mutate, rebalance=rebalance, **kwargs)
 
     def stop(self) -> None:
         """Gracefully stop the server and join the loop thread (idempotent)."""

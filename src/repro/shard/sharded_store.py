@@ -21,12 +21,14 @@ Partitioning invariants (everything above relies on these):
   counts need cross-shard set unions.
 
 Boundaries are fixed by the first non-empty :meth:`bulk_load` (the
-canonical build path): the batch's distinct subject IDs are split into
-near-equal chunks, and triples added earlier through :meth:`add` are
-re-homed so the invariants hold from then on.  Because dictionary IDs
-grow monotonically, subjects interned later fall into the last shard's
-open range — balanced enough for the build-once/query-many workloads the
-endpoint simulation runs, and a ``rebalance`` pass remains a follow-on.
+canonical build path) or, for pure-:meth:`add` stores, as soon as the
+first :data:`_SEED_MIN_SUBJECTS` distinct subjects accumulate: the
+distinct subject IDs are split into near-equal chunks, and triples added
+earlier are re-homed so the invariants hold from then on.  Because
+dictionary IDs grow monotonically, subjects interned later fall into the
+last shard's open range; :meth:`rebalance` re-splits the boundaries from
+the live contents and moves only the misplaced triples, restoring
+scatter balance without a rebuild.
 """
 
 from __future__ import annotations
@@ -55,6 +57,11 @@ _SKEW_MIN_LAST_SHARD = 64
 #: to shard 0): higher than the frozen floor so a small add() prelude
 #: before the first boundary-fixing bulk load stays quiet.
 _SKEW_MIN_UNBOUNDED = 256
+
+#: A pure-add() store seeds its range boundaries as soon as this many
+#: distinct subjects have accumulated in shard 0 — enough of a sample to
+#: cut near-equal ranges, early enough that the re-homing pass is cheap.
+_SEED_MIN_SUBJECTS = 64
 
 
 class ShardedTripleStore:
@@ -116,6 +123,14 @@ class ShardedTripleStore:
         # opened — lets serve() skip the snapshot write when clean.
         self._snapshot_dir = None
         self._snapshot_version = -1
+        # > 0 while a generation handover is in flight: the endpoint layer
+        # bumps it so in-flight queries on the outgoing worker generation
+        # (which serve a consistent snapshot from their own mmaps) are not
+        # rejected by the evaluator's data_version freshness pin.
+        self._refresh_serving = 0
+        # True while the boundaries are an automatic seed from early
+        # add()s rather than a deliberate freeze (see add()/bulk_load).
+        self._auto_seeded = False
         if triples is not None:
             self.bulk_load(triples)
 
@@ -147,6 +162,8 @@ class ShardedTripleStore:
         store._snapshot_retained = retained
         store._snapshot_dir = None
         store._snapshot_version = -1
+        store._refresh_serving = 0
+        store._auto_seeded = False
         return store
 
     # ------------------------------------------------------------------ #
@@ -164,6 +181,38 @@ class ShardedTripleStore:
         from repro.store.persist import save_sharded_store
 
         save_sharded_store(self, directory)
+        self._snapshot_dir = Path(directory)
+        self._snapshot_version = self.data_version
+
+    def save_delta(self, directory) -> bool:
+        """Append the mutations since the last snapshot point as per-shard
+        delta files next to the snapshot at ``directory``.
+
+        Only shards that actually changed (and terms interned since) are
+        written — a small mutation burst costs I/O proportional to the
+        burst, not to the store.  :meth:`open` replays the chains
+        transparently; :meth:`compact` folds them back into full files.
+        Returns ``False`` when the snapshot already matches.  Raises
+        :class:`~repro.errors.StoreError` when ``directory`` is not this
+        store's own last snapshot or a journal was lost — fall back to
+        :meth:`save`.
+        """
+        from pathlib import Path
+
+        from repro.store.persist import save_sharded_delta
+
+        wrote = save_sharded_delta(self, directory)
+        self._snapshot_dir = Path(directory)
+        self._snapshot_version = self.data_version
+        return wrote
+
+    def compact(self, directory) -> None:
+        """Fold every delta chain at ``directory`` into fresh base files."""
+        from pathlib import Path
+
+        from repro.store.persist import save_sharded_store
+
+        save_sharded_store(self, directory, compact=True)
         self._snapshot_dir = Path(directory)
         self._snapshot_version = self.data_version
 
@@ -259,10 +308,11 @@ class ShardedTripleStore:
           least ``_SKEW_MIN_LAST_SHARD`` triples), scatter waves lose
           their balance and a rebalance is due.
         * **Never frozen** — a multi-shard store populated only through
-          :meth:`add` routes *every* triple to shard 0 (bisect over empty
-          boundaries) and gets zero scatter parallelism; past
-          ``_SKEW_MIN_UNBOUNDED`` triples that cannot be a staging
-          prelude any more, so the warning points at :meth:`bulk_load`.
+          :meth:`add` routes everything to shard 0 (bisect over empty
+          boundaries) until :data:`_SEED_MIN_SUBJECTS` distinct subjects
+          seed the boundaries; a store that reaches
+          ``_SKEW_MIN_UNBOUNDED`` triples while still unbounded has too
+          few distinct subjects to split, and no boundary cut can help.
         """
         if self._skew_warned or len(self._shards) < 2:
             return
@@ -272,10 +322,11 @@ class ShardedTripleStore:
                 self._skew_warned = True
                 warnings.warn(
                     f"Sharded store {self.name!r}: {pending} triples added "
-                    "but boundaries were never frozen, so every triple "
-                    "routes to shard 0 and scatter parallelism is zero. "
-                    "Load through bulk_load() (it fixes balanced range "
-                    "boundaries and re-homes earlier adds).",
+                    f"over fewer than {_SEED_MIN_SUBJECTS} distinct "
+                    "subjects, so boundaries cannot be seeded and every "
+                    "triple routes to shard 0 — scatter parallelism is "
+                    "zero. Subject-range sharding needs more distinct "
+                    "subjects; use fewer shards for this dataset.",
                     ShardSkewWarning,
                     stacklevel=3,
                 )
@@ -489,6 +540,7 @@ class ShardedTripleStore:
         if distinct and count > 1:
             self._boundaries = self._cut_points(distinct, count)
         self._bounded = True
+        self._auto_seeded = False
         # New regime: the one-shot warning is re-armed for the frozen-era
         # pile-up check (an unbounded-era warning may already have fired).
         self._skew_warned = False
@@ -504,17 +556,90 @@ class ShardedTripleStore:
             for triple in misplaced:
                 self.add(triple)
 
+    def rebalance(self) -> Dict[str, object]:
+        """Re-split the range boundaries from the live per-shard contents.
+
+        Cuts fresh near-equal boundaries over the union of all current
+        distinct subject IDs (subjects are disjoint across shards, so the
+        union is a concatenation) and moves only the triples whose
+        subject now routes elsewhere — shards that already sit inside
+        their new range are not rewritten.  This is the repair for the
+        frozen-boundary pile-up: subjects interned after the first freeze
+        all landed in the last shard's open range, and a rebalance under
+        a quiesced or handover-protected store restores scatter balance
+        without a rebuild.
+
+        Returns ``{"moved", "boundaries", "shard_sizes"}``.  The one-shot
+        skew warning re-arms, and an unbounded store becomes bounded (the
+        live subjects seed its first boundaries).
+        """
+        shards = self._shards
+        if len(shards) > 1:
+            distinct = sorted(
+                {sid for shard in shards for sid in shard.position_ids("s")}
+            )
+            new_boundaries = (
+                self._cut_points(distinct, len(shards)) if distinct else []
+            )
+            moved = 0
+            transfers: List[Dict[Tuple[int, int, int], Triple]] = [
+                {} for _ in shards
+            ]
+            for index, shard in enumerate(shards):
+                outgoing = [
+                    (ids, triple)
+                    for ids, triple in shard.id_triples.items()
+                    if bisect_right(new_boundaries, ids[0]) != index
+                ]
+                for _, triple in outgoing:
+                    shard.remove(triple)
+                for ids, triple in outgoing:
+                    transfers[bisect_right(new_boundaries, ids[0])][ids] = triple
+                moved += len(outgoing)
+            self._boundaries = new_boundaries
+            for target, pending in enumerate(transfers):
+                if pending:
+                    shards[target].bulk_load_pending(pending)
+        else:
+            moved = 0
+        self._bounded = True
+        self._auto_seeded = False
+        self._skew_warned = False
+        return {
+            "moved": moved,
+            "boundaries": self.boundaries,
+            "shard_sizes": self.shard_sizes(),
+        }
+
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
     def add(self, triple: Triple) -> bool:
-        """Add a triple to the shard owning its subject ID."""
+        """Add a triple to the shard owning its subject ID.
+
+        A never-frozen multi-shard store routes every add to shard 0
+        (bisect over empty boundaries); once :data:`_SEED_MIN_SUBJECTS`
+        distinct subjects have accumulated there, boundaries are seeded
+        from them and the early triples re-homed, so pure-``add()``
+        stores actually shard instead of piling up forever.
+        """
         if not isinstance(triple, Triple):
             raise StoreError(f"Expected a Triple, got {type(triple).__name__}")
         sid = self._dictionary.encode(triple.subject)
         index = self.shard_index_for_subject(sid)
         changed = self._shards[index].add(triple)
-        if changed and (not self._bounded or index == len(self._shards) - 1):
+        if changed and not self._bounded:
+            if (
+                len(self._shards) > 1
+                and self._shards[0].count_distinct_ids("s") >= _SEED_MIN_SUBJECTS
+            ):
+                self._fix_boundaries(())
+                # Seeded, not deliberately frozen: the next bulk load (or
+                # an explicit rebalance) re-splits over everything.
+                self._auto_seeded = True
+            else:
+                self._check_skew()
+        elif changed and index == len(self._shards) - 1:
             self._check_skew()
         return changed
 
@@ -603,7 +728,13 @@ class ShardedTripleStore:
                 for shard, partition in zip(shards, partitions)
                 if partition
             )
-        if boundaries_were_frozen and inserted:
+        if self._auto_seeded and inserted:
+            # The boundaries were an automatic seed from the first few
+            # add()s, not a deliberate freeze: the first real bulk load
+            # re-splits over everything, preserving the historical
+            # "prelude adds, then balancing bulk load" behaviour.
+            self.rebalance()
+        elif boundaries_were_frozen and inserted:
             # Only loads *after* the freeze can pile into the last shard's
             # open range; the balancing first load never warns.
             self._check_skew()
@@ -623,6 +754,7 @@ class ShardedTripleStore:
             shard.clear()
         self._boundaries = []
         self._bounded = len(self._shards) == 1
+        self._auto_seeded = False
         self._skew_warned = False
 
     # ------------------------------------------------------------------ #

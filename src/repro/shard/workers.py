@@ -689,6 +689,30 @@ class ProcessShardExecutor:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
+    def drain(self, timeout: float = 30.0) -> bool:
+        """Wait until no task is in flight on any worker.
+
+        The handover primitive: a retiring executor keeps answering the
+        queries it already accepted (its workers serve their snapshot
+        from their own mmaps, unaffected by parent-side mutation) and is
+        closed only once this returns.  Returns ``True`` at quiescence,
+        ``False`` when ``timeout`` elapsed with tasks still in flight —
+        the ledger still balances either way once the streams terminate.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            with self._lock:
+                handles = list(self._handles)
+            busy = 0
+            for handle in handles:
+                with handle.lock:
+                    busy += len(handle.inflight)
+            if not busy:
+                return True
+            if time.monotonic() >= deadline:
+                return False
+            time.sleep(_POLL_INTERVAL)
+
     def close(self, timeout: float = 5.0) -> None:
         """Stop all workers and release their queues (idempotent)."""
         with self._lock:

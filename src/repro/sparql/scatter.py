@@ -510,6 +510,13 @@ class ShardedQueryEvaluator(QueryEvaluator):
         if (
             self.backend == "process"
             and self.store.data_version != self.store._snapshot_version
+            # During a generation handover the endpoint layer deliberately
+            # keeps the outgoing executor answering while the store is
+            # already mutated: its workers serve a consistent (old)
+            # snapshot from their own mmaps, which is exactly the
+            # zero-downtime contract.  The freshness pin re-arms the
+            # moment the handover completes.
+            and not getattr(self.store, "_refresh_serving", 0)
         ):
             # Checked before any routing or fallback: a mutated store
             # must never answer — not even with an empty routing result

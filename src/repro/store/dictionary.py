@@ -287,7 +287,18 @@ class LazyTermDictionary(TermDictionary):
       exactly that of a warm :class:`TermDictionary`.
     """
 
-    __slots__ = ("_heap", "_offsets", "_lookup", "_id_cache", "_promoted")
+    __slots__ = (
+        "_heap",
+        "_offsets",
+        "_lookup",
+        "_id_cache",
+        "_promoted",
+        "_base_count",
+        "_tail_heap",
+        "_tail_offsets",
+        "_tail_kinds",
+        "_tail_ids",
+    )
 
     def __init__(
         self,
@@ -312,14 +323,66 @@ class LazyTermDictionary(TermDictionary):
         self._kinds = kinds  # type: ignore[assignment]
         self._ids = _InternMap([], bytearray())  # replaced on promotion
         self._promoted = False
+        # Snapshot-delta tail: records appended by extend_tail() past the
+        # base sections.  The tail stays outside the record-sorted lookup
+        # permutation (recomputing it would be O(n log n) and defeat the
+        # O(1 + tail) delta reopen); id_for consults the small exact-match
+        # map for tail IDs instead.
+        self._base_count = count
+        self._tail_heap = bytearray()
+        self._tail_offsets: List[int] = [0]
+        self._tail_kinds = bytearray()
+        self._tail_ids: Dict[bytes, int] = {}
 
     @property
     def is_promoted(self) -> bool:
         """Whether the writable interning map has been built."""
         return self._promoted
 
-    def _record(self, tid: int) -> memoryview:
-        return self._heap[self._offsets[tid] : self._offsets[tid + 1]]
+    def _record(self, tid: int):
+        if tid < self._base_count:
+            return self._heap[self._offsets[tid] : self._offsets[tid + 1]]
+        index = tid - self._base_count
+        return memoryview(self._tail_heap)[
+            self._tail_offsets[index] : self._tail_offsets[index + 1]
+        ]
+
+    def extend_tail(self, heap, offsets, kinds) -> None:
+        """Append snapshot-delta term records past the current ID space.
+
+        ``heap``/``offsets``/``kinds`` have the same layout as the base
+        dictionary sections (``offsets`` holds ``n + 1`` boundaries
+        starting at 0).  The records receive the next dense IDs in order
+        — exactly the IDs they held when the delta was written, which the
+        persist layer validates via the delta's recorded base term count.
+        Unpromoted, the tail is indexed by an exact-record map (the
+        base lookup permutation is left untouched); a promoted dictionary
+        interns the decoded terms directly.
+        """
+        count = len(offsets) - 1
+        if count <= 0:
+            return
+        if self._promoted:
+            ids = self._ids
+            for index in range(count):
+                ids[decode_term_record(heap[offsets[index] : offsets[index + 1]])]
+            return
+        start = len(self._terms)
+        grown = len(self._tail_heap)
+        self._tail_heap += bytes(heap)
+        tail_offsets = self._tail_offsets
+        for index in range(count):
+            tail_offsets.append(grown + offsets[index + 1])
+        self._tail_kinds += bytes(kinds)
+        self._terms.extend([None] * count)
+        tail_ids = self._tail_ids
+        for index in range(count):
+            tail_ids[bytes(self._record(start + index))] = start + index
+
+    @property
+    def has_tail(self) -> bool:
+        """Whether delta term records were appended past the base sections."""
+        return len(self._tail_offsets) > 1
 
     def _promote(self) -> None:
         """Build the writable interning state (idempotent)."""
@@ -330,6 +393,7 @@ class LazyTermDictionary(TermDictionary):
             if terms[tid] is None:
                 terms[tid] = decode_term_record(self._record(tid))
         kinds = bytearray(self._kinds)
+        kinds += self._tail_kinds
         ids = _InternMap(terms, kinds)
         ids.update((term, tid) for tid, term in enumerate(terms))
         self._kinds = kinds
@@ -354,6 +418,11 @@ class LazyTermDictionary(TermDictionary):
             record = encode_term_record(term)
         except StoreError:
             return None  # non-term probe: the warm dict.get returns None too
+        if self._tail_ids:
+            tail_tid = self._tail_ids.get(record)
+            if tail_tid is not None:
+                cache[term] = tail_tid
+                return tail_tid
         lookup = self._lookup
         low, high = 0, len(lookup)
         while low < high:
@@ -382,6 +451,24 @@ class LazyTermDictionary(TermDictionary):
             return term in self._ids
         return self.id_for(term) is not None  # type: ignore[arg-type]
 
+    # -- kind queries --------------------------------------------------- #
+    def kind(self, tid: int) -> int:
+        if not self._promoted and tid >= self._base_count:
+            try:
+                return self._tail_kinds[tid - self._base_count]
+            except IndexError:
+                raise StoreError(f"Unknown term ID: {tid}") from None
+        return super().kind(tid)
+
+    def is_literal_id(self, tid: int) -> bool:
+        kinds = self._kinds
+        if self._promoted or tid < len(kinds):
+            return kinds[tid] == KIND_LITERAL
+        return self._tail_kinds[tid - self._base_count] == KIND_LITERAL
+
+    def is_entity_id(self, tid: int) -> bool:
+        return not self.is_literal_id(tid)
+
     # -- decoding ------------------------------------------------------ #
     def decode(self, tid: int) -> Term:
         try:
@@ -406,9 +493,29 @@ class LazyTermDictionary(TermDictionary):
 
         An unpromoted lazy dictionary hands back its original section
         bytes verbatim (no record is decoded), which both keeps resaving a
-        cold store cheap and guarantees byte identity.  Once promoted it
-        falls back to the generic deterministic builder.
+        cold store cheap and guarantees byte identity.  With a delta tail
+        the heap/offsets/kinds concatenate (still no Term is decoded) and
+        only the lookup permutation is recomputed over raw record bytes —
+        the deterministic output a warm dictionary holding the same terms
+        would produce.  Once promoted it falls back to the generic
+        deterministic builder.
         """
+        from array import array
+
         if self._promoted:
             return super().snapshot_columns()
-        return bytes(self._heap), self._offsets, bytes(self._kinds), self._lookup
+        if not self.has_tail:
+            return bytes(self._heap), self._offsets, bytes(self._kinds), self._lookup
+        base_len = len(self._heap)
+        heap = bytes(self._heap) + bytes(self._tail_heap)
+        offsets = array("q", self._offsets)
+        offsets.extend(base_len + bound for bound in self._tail_offsets[1:])
+        kinds = bytes(self._kinds) + bytes(self._tail_kinds)
+        lookup = array(
+            "q",
+            sorted(
+                range(len(self._terms)),
+                key=lambda tid: bytes(self._record(tid)),
+            ),
+        )
+        return heap, offsets, kinds, lookup

@@ -73,8 +73,12 @@ from array import array
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple, Union
 
-from repro.errors import SnapshotCorruptError
-from repro.store.dictionary import LazyTermDictionary, TermDictionary
+from repro.errors import SnapshotCorruptError, StoreError
+from repro.store.dictionary import (
+    LazyTermDictionary,
+    TermDictionary,
+    encode_term_record,
+)
 from repro.store.index import FrozenIdIndex, IdTripleIndex
 
 MAGIC = b"RPROSNAP"
@@ -83,11 +87,17 @@ VERSION = 1
 KIND_STORE = "store"
 KIND_DICTIONARY = "dictionary"
 KIND_COLUMNS = "columns"
+#: Append-only snapshot delta: the terms interned since the base (a
+#: dictionary-section tail) plus the net added/removed ID triples.
+KIND_DELTA = "delta"
 
 #: Index orders and the CSR columns serialised per order.
 INDEX_ORDERS = ("spo", "pos", "osp")
 INDEX_COLUMNS = ("keys", "key_groups", "seconds", "group_starts", "thirds")
 DICT_SECTIONS = ("dict/heap", "dict/offsets", "dict/kinds", "dict/lookup")
+DELTA_TERM_SECTIONS = ("dterms/heap", "dterms/offsets", "dterms/kinds")
+DELTA_ADD_SECTIONS = ("add/s", "add/p", "add/o")
+DELTA_DEL_SECTIONS = ("del/s", "del/p", "del/o")
 
 MANIFEST_NAME = "manifest.json"
 
@@ -152,26 +162,40 @@ def write_container(
     sections: List[Tuple[str, bytes]],
     triples: int,
     terms: int,
+    extra: Optional[dict] = None,
 ) -> None:
     """Serialise one snapshot container to ``path`` (canonical bytes,
-    atomically replaced)."""
+    atomically replaced).
+
+    ``extra`` merges additional keys into the header (delta containers
+    record their base-generation linkage there).  Every header also
+    carries a ``chain`` stamp — a CRC over the concatenated section
+    payloads, i.e. a deterministic content fingerprint — which delta
+    files copy as ``base_chain`` so a reopened chain can tell whether the
+    deltas next to a base file actually belong to it (a crashed
+    ``compact`` leaves stale deltas behind; the stamp makes them inert).
+    """
     table: Dict[str, List[int]] = {}
     offset = 0
+    chain = 0
     payloads = []
     for tag, payload in sections:
         table[tag] = [offset, len(payload), zlib.crc32(payload)]
         payloads.append(payload)
+        chain = zlib.crc32(payload, chain)
         offset += len(payload) + _pad8(len(payload))
-    header = _canonical_json(
-        {
-            "kind": kind,
-            "version": VERSION,
-            "name": name,
-            "triples": triples,
-            "terms": terms,
-            "sections": table,
-        }
-    ).encode("utf-8")
+    body = {
+        "kind": kind,
+        "version": VERSION,
+        "name": name,
+        "triples": triples,
+        "terms": terms,
+        "chain": chain,
+        "sections": table,
+    }
+    if extra:
+        body.update(extra)
+    header = _canonical_json(body).encode("utf-8")
     parts = [MAGIC, len(header).to_bytes(4, "little"),
              zlib.crc32(header).to_bytes(4, "little"), header,
              b"\0" * _pad8(_PREFIX_LEN + len(header))]
@@ -277,6 +301,202 @@ def index_sections(order: str, index) -> List[Tuple[str, bytes]]:
     ]
 
 
+def delta_term_sections(
+    dictionary: TermDictionary, start: int
+) -> List[Tuple[str, bytes]]:
+    """The dictionary-tail sections of a delta: records for IDs
+    ``[start, len(dictionary))`` in the base heap/offsets/kinds layout
+    (offsets relative to the tail's own heap)."""
+    heap = bytearray()
+    offsets = array("q", [0])
+    kinds = bytearray()
+    for tid in range(start, len(dictionary)):
+        heap += encode_term_record(dictionary.decode(tid))
+        offsets.append(len(heap))
+        kinds.append(dictionary.kind(tid))
+    return [
+        ("dterms/heap", bytes(heap)),
+        ("dterms/offsets", _int64_bytes(offsets)),
+        ("dterms/kinds", bytes(kinds)),
+    ]
+
+
+def delta_triple_sections(added, removed) -> List[Tuple[str, bytes]]:
+    """The six ID-triple columns of a delta (sorted for determinism)."""
+    sections: List[Tuple[str, bytes]] = []
+    for tags, triples in ((DELTA_ADD_SECTIONS, added), (DELTA_DEL_SECTIONS, removed)):
+        rows = sorted(triples)
+        for position, tag in enumerate(tags):
+            sections.append(
+                (tag, _int64_bytes(array("q", (row[position] for row in rows))))
+            )
+    return sections
+
+
+def _expanded_rows(store):
+    """A store's SPO index expanded back to parallel s/p/o row columns.
+
+    The numpy path repeats the CSR key/second runs vectorised; the pure-
+    Python twin streams the index's triple iterator.  Rows come out in
+    SPO order either way.
+    """
+    from repro.store.triplestore import _numpy
+
+    np = _numpy()
+    spo = store._spo
+    if np is not None and isinstance(spo, FrozenIdIndex):
+        keys, key_groups, seconds, group_starts, thirds = (
+            np.asarray(column) for column in spo.columns()
+        )
+        group_counts = np.diff(group_starts)
+        s_rows = np.repeat(np.repeat(keys, np.diff(key_groups)), group_counts)
+        p_rows = np.repeat(seconds, group_counts)
+        return s_rows, p_rows, np.ascontiguousarray(thirds)
+    s_rows = array("q")
+    p_rows = array("q")
+    o_rows = array("q")
+    for s, p, o in spo.triples():
+        s_rows.append(s)
+        p_rows.append(p)
+        o_rows.append(o)
+    return s_rows, p_rows, o_rows
+
+
+def _delta_columns(views: Dict[str, memoryview], tags) -> List[memoryview]:
+    columns = []
+    for tag in tags:
+        if tag not in views:
+            raise SnapshotCorruptError(f"Delta snapshot missing section {tag!r}")
+        columns.append(_int64_view(views[tag], tag))
+    if len({len(column) for column in columns}) > 1:
+        raise SnapshotCorruptError("Delta triple columns have unequal lengths")
+    return columns
+
+
+def _apply_deltas(
+    store,
+    dictionary: TermDictionary,
+    delta_paths: List[Path],
+    mmap: bool,
+    verify: bool,
+    apply_terms: bool,
+    base_chain: Optional[int] = None,
+):
+    """Replay a delta chain over a freshly opened base store.
+
+    Returns a new frozen store holding the base content with every
+    delta's removals dropped and additions appended (rebuilt through
+    :meth:`TripleStore.from_id_columns`, so all three permutations come
+    back sorted/CSR exactly as a direct save of the final state would).
+    With ``apply_terms`` each delta's dictionary tail extends
+    ``dictionary`` first — the sharded open applies dictionary deltas
+    once per directory instead and passes ``apply_terms=False`` for the
+    per-shard chains.
+
+    ``base_chain`` (single-file chains) is the base header's content
+    stamp: deltas whose ``base_chain`` differs are stale leftovers of a
+    crashed :func:`compact_store` and are ignored from that point on.
+    When it is ``None`` the caller's file list is authoritative (the
+    sharded manifest is replaced atomically and names exactly the deltas
+    that apply), so no link validation happens — sharded per-shard
+    deltas deliberately carry no ``base_chain`` stamp.
+    """
+    from repro.store.triplestore import TripleStore, _numpy
+
+    deltas = []
+    validate = base_chain is not None
+    chain = base_chain
+    for path in delta_paths:
+        buffer = _load_buffer(path, use_mmap=mmap)
+        header, views = read_container(buffer, kind=KIND_DELTA, verify=verify)
+        if validate and header.get("base_chain") != chain:
+            # Stale chain from a folded base: everything from here on
+            # describes a previous generation and must not replay.
+            break
+        chain = header.get("chain")
+        deltas.append((header, views, buffer))
+    if not deltas:
+        return store
+    if apply_terms:
+        for header, views, _ in deltas:
+            offsets = _int64_view(views["dterms/offsets"], "dterms/offsets")
+            if len(offsets) <= 1:
+                continue
+            if header.get("base_terms") != len(dictionary):
+                raise SnapshotCorruptError(
+                    "Delta chain term counts are inconsistent with the base"
+                )
+            if not isinstance(dictionary, LazyTermDictionary):
+                raise SnapshotCorruptError(
+                    "Delta term tails require a lazy base dictionary"
+                )
+            dictionary.extend_tail(
+                views["dterms/heap"], offsets, views["dterms/kinds"]
+            )
+    np = _numpy()
+    total_removed = sum(
+        len(_int64_view(views[DELTA_DEL_SECTIONS[0]], DELTA_DEL_SECTIONS[0]))
+        for _, views, _ in deltas
+        if DELTA_DEL_SECTIONS[0] in views
+    )
+    s_rows, p_rows, o_rows = _expanded_rows(store)
+    if total_removed == 0:
+        # Append-only chain: adds are new by journal construction, so the
+        # final columns are a plain concatenation.
+        if np is not None:
+            parts = [[np.asarray(s_rows)], [np.asarray(p_rows)], [np.asarray(o_rows)]]
+            for _, views, _ in deltas:
+                for part, column in zip(parts, _delta_columns(views, DELTA_ADD_SECTIONS)):
+                    part.append(np.asarray(column))
+            s_rows, p_rows, o_rows = (np.concatenate(part) for part in parts)
+        else:
+            s_rows, p_rows, o_rows = (
+                array("q", s_rows),
+                array("q", p_rows),
+                array("q", o_rows),
+            )
+            for _, views, _ in deltas:
+                adds = _delta_columns(views, DELTA_ADD_SECTIONS)
+                s_rows.extend(adds[0])
+                p_rows.extend(adds[1])
+                o_rows.extend(adds[2])
+    else:
+        if np is not None:
+            current = set(zip(s_rows.tolist(), p_rows.tolist(), o_rows.tolist()))
+        else:
+            current = set(zip(s_rows, p_rows, o_rows))
+        for _, views, _ in deltas:
+            dels = _delta_columns(views, DELTA_DEL_SECTIONS)
+            for row in zip(*dels):
+                if row not in current:
+                    raise SnapshotCorruptError(
+                        "Delta removes a triple the chain never held"
+                    )
+                current.discard(row)
+            adds = _delta_columns(views, DELTA_ADD_SECTIONS)
+            current.update(zip(*adds))
+        s_rows = array("q")
+        p_rows = array("q")
+        o_rows = array("q")
+        for s, p, o in current:
+            s_rows.append(s)
+            p_rows.append(p)
+            o_rows.append(o)
+    replayed = TripleStore.from_id_columns(
+        store.name, dictionary, s_rows, p_rows, o_rows
+    )
+    expected = deltas[-1][0].get("triples")
+    if len(replayed) != expected:
+        raise SnapshotCorruptError(
+            f"Delta chain replays to {len(replayed)} triples, "
+            f"the last delta recorded {expected}"
+        )
+    # The dictionary's views may alias the base buffer; keep it (and the
+    # delta buffers cost nothing — extend_tail copied what it needed).
+    replayed._snapshot_retained = store._snapshot_retained
+    return replayed
+
+
 def _build_dictionary(
     header: dict, sections: Dict[str, memoryview]
 ) -> LazyTermDictionary:
@@ -341,6 +561,7 @@ def save_store(store, path: Union[str, Path]) -> None:
         triples=len(store),
         terms=len(store.dictionary),
     )
+    store.reset_journal()
 
 
 def open_store(
@@ -349,6 +570,8 @@ def open_store(
     verify: bool = True,
     _kind: str = KIND_STORE,
     _dictionary: Optional[TermDictionary] = None,
+    _expected_terms: Optional[int] = None,
+    _delta_paths: Optional[List[Path]] = None,
 ):
     """Reopen a snapshot written by :func:`save_store`.
 
@@ -359,25 +582,34 @@ def open_store(
     touches.  ``mmap=False`` reads the file into one bytes object instead
     (same structures, no page-cache dependence).  ``verify=False`` skips
     the per-section CRC pass (structural checks still run).
+
+    Deltas appended by :func:`save_store_delta` replay transparently:
+    for a ``store`` container the consecutive ``<path>.d1, .d2, ...``
+    siblings are discovered automatically; sharded opens pass the
+    manifest's per-shard delta files via ``_delta_paths`` (and the shard
+    base file's term count via ``_expected_terms``, since the shared
+    dictionary has already grown past it).
     """
     from repro.store.triplestore import TripleStore
 
+    path = Path(path)
     buffer = _load_buffer(path, use_mmap=mmap)
     header, sections = read_container(buffer, kind=_kind, verify=verify)
     if _dictionary is None:
         dictionary = _build_dictionary(header, sections)
     else:
         dictionary = _dictionary
-        if header.get("terms") != len(dictionary):
+        expected = len(dictionary) if _expected_terms is None else _expected_terms
+        if header.get("terms") != expected:
             raise SnapshotCorruptError(
                 f"Shard snapshot was written against {header.get('terms')} terms, "
-                f"shared dictionary holds {len(dictionary)}"
+                f"expected {expected}"
             )
     indexes = {
         order: _build_index(order, header, sections) for order in INDEX_ORDERS
     }
     name = header.get("name")
-    return TripleStore._from_snapshot(
+    store = TripleStore._from_snapshot(
         name=name if isinstance(name, str) else "store",
         dictionary=dictionary,
         spo=indexes["spo"],
@@ -385,6 +617,149 @@ def open_store(
         osp=indexes["osp"],
         retained=buffer,
     )
+    if _delta_paths is None and _kind == KIND_STORE:
+        _delta_paths = _scan_delta_paths(path)
+    if _delta_paths:
+        store = _apply_deltas(
+            store,
+            dictionary,
+            _delta_paths,
+            mmap=mmap,
+            verify=verify,
+            apply_terms=_dictionary is None,
+            base_chain=header.get("chain") if _dictionary is None else None,
+        )
+    return store
+
+
+# --------------------------------------------------------------------- #
+# Single-store delta chains
+# --------------------------------------------------------------------- #
+def _delta_path(path: Path, sequence: int) -> Path:
+    """The ``sequence``-th delta sibling of a single-file snapshot."""
+    return path.with_name(f"{path.name}.d{sequence}")
+
+
+def _scan_delta_paths(path: Path) -> List[Path]:
+    """The consecutive existing delta siblings of ``path`` (``.d1``,
+    ``.d2``, ... until the first gap — later files are unreachable)."""
+    paths: List[Path] = []
+    sequence = 1
+    while True:
+        candidate = _delta_path(path, sequence)
+        if not candidate.exists():
+            return paths
+        paths.append(candidate)
+        sequence += 1
+
+
+def _chain_state(path: Path, verify: bool = True) -> Tuple[int, int, int, int]:
+    """Walk the snapshot chain rooted at ``path``.
+
+    Returns ``(chain, terms, triples, next_sequence)`` describing the
+    state a reopen of ``path`` would reconstruct: the content stamp of
+    the last valid chain link, the term/triple counts it recorded, and
+    the sequence number the next delta should take.  Stale deltas (their
+    ``base_chain`` does not continue the chain — leftovers of a crashed
+    compact) terminate the walk exactly as :func:`_apply_deltas` would
+    ignore them.
+    """
+    buffer = _load_buffer(path, use_mmap=True)
+    header, _ = read_container(buffer, kind=KIND_STORE, verify=verify)
+    chain = header.get("chain")
+    terms = header.get("terms")
+    triples = header.get("triples")
+    sequence = 1
+    for delta in _scan_delta_paths(path):
+        delta_header, _ = read_container(
+            _load_buffer(delta, use_mmap=True), kind=KIND_DELTA, verify=verify
+        )
+        if delta_header.get("base_chain") != chain:
+            break
+        chain = delta_header.get("chain")
+        terms = delta_header.get("terms")
+        triples = delta_header.get("triples")
+        sequence += 1
+    return chain, terms, triples, sequence
+
+
+def save_store_delta(store, path: Union[str, Path]) -> bool:
+    """Append the store's journal as one delta next to its base snapshot.
+
+    The delta records only the terms interned since the chain's tip and
+    the net added/removed ID triples, in the same checksummed container
+    format as a full save — orders of magnitude smaller than rewriting a
+    large store for a small mutation burst.  Returns ``False`` (writing
+    nothing) when the store state already matches the chain tip.
+
+    Raises :class:`~repro.errors.StoreError` when no base snapshot
+    exists at ``path``, the journal was lost (``clear()`` or overflow),
+    or the journal does not bridge the chain tip to the live state (the
+    base belongs to some other store) — callers fall back to a full
+    :func:`save_store`.
+    """
+    path = Path(path)
+    journal = store.journal
+    if journal is None:
+        raise StoreError(
+            "Mutation journal was lost (clear() or overflow); "
+            "a delta cannot capture the state — use save()"
+        )
+    if not path.exists():
+        raise StoreError(f"No base snapshot at {path} to append a delta to")
+    chain, base_terms, base_triples, sequence = _chain_state(path)
+    added, removed = journal
+    if not added and not removed and base_terms == len(store.dictionary):
+        return False
+    if (
+        not isinstance(base_terms, int)
+        or not isinstance(base_triples, int)
+        or base_terms > len(store.dictionary)
+        or base_triples + len(added) - len(removed) != len(store)
+    ):
+        raise StoreError(
+            f"Journal ({len(added)} added, {len(removed)} removed) does not "
+            f"bridge the snapshot chain at {path} ({base_triples} triples, "
+            f"{base_terms} terms) to the live store ({len(store)} triples, "
+            f"{len(store.dictionary)} terms) — use save()"
+        )
+    sections = delta_term_sections(store.dictionary, base_terms)
+    sections.extend(delta_triple_sections(added, removed))
+    write_container(
+        _delta_path(path, sequence),
+        kind=KIND_DELTA,
+        name=store.name,
+        sections=sections,
+        triples=len(store),
+        terms=len(store.dictionary),
+        extra={
+            "base_chain": chain,
+            "base_terms": base_terms,
+            "base_triples": base_triples,
+            "added": len(added),
+            "removed": len(removed),
+            "sequence": sequence,
+        },
+    )
+    store.reset_journal()
+    return True
+
+
+def compact_store(store, path: Union[str, Path]) -> None:
+    """Fold the delta chain at ``path`` into a fresh base snapshot.
+
+    Writes the store's full current state as the new base (atomically
+    replacing the old one) and unlinks the now-folded delta files.  A
+    crash between the two steps is safe: the leftover deltas no longer
+    continue the new base's ``chain`` stamp, so reopen ignores them.
+    """
+    path = Path(path)
+    save_store(store, path)
+    for delta in _scan_delta_paths(path):
+        try:
+            delta.unlink()
+        except OSError:  # pragma: no cover - concurrent sweep
+            pass
 
 
 # --------------------------------------------------------------------- #
@@ -405,35 +780,125 @@ def _next_generation(directory: Path) -> int:
     return highest + 1
 
 
-def save_sharded_store(store, directory: Union[str, Path]) -> None:
+def _shard_clean(shard) -> bool:
+    """True when the shard's net content provably equals its last
+    snapshot point (journal intact and empty)."""
+    journal = shard.journal
+    return journal is not None and not journal[0] and not journal[1]
+
+
+def _previous_manifest(store, directory: Path) -> Optional[dict]:
+    """The directory's manifest, when it describes ``store``'s own last
+    snapshot (same directory pin, same topology) — the precondition for
+    reusing its files in an incremental save."""
+    if getattr(store, "_snapshot_dir", None) != directory:
+        return None
+    try:
+        previous = _read_manifest(directory)
+    except (FileNotFoundError, SnapshotCorruptError):
+        return None
+    if (
+        previous.get("name") != store.name
+        or previous.get("num_shards") != store.num_shards
+    ):
+        return None
+    return previous
+
+
+def save_sharded_store(
+    store, directory: Union[str, Path], compact: bool = False
+) -> None:
     """Write a sharded store as a snapshot directory (crash-safe).
 
     The shared dictionary is serialised exactly once; each shard's index
-    columns go to their own per-shard file so a future process-based
-    deployment can open shards independently.  All payload files carry a
-    fresh generation suffix and the manifest — which names exactly its
-    generation's files — is atomically replaced *last*: until that
-    instant any reader (or a post-crash reopen) resolves the previous
-    manifest to the previous generation's intact files, and afterwards
-    the stale generation is swept.
+    columns go to their own per-shard file so a process-based deployment
+    can open shards independently.  New payload files carry a fresh
+    generation suffix and the manifest — which names exactly its
+    snapshot's files — is atomically replaced *last*: until that instant
+    any reader (or a post-crash reopen) resolves the previous manifest
+    to its intact files, and afterwards unreferenced generations are
+    swept.  Journals reset only after the manifest is durable, so a
+    crash mid-save never loses the ability to re-save (or delta-save)
+    the same state.
+
+    Saving back into the store's own last snapshot directory is
+    incremental: shards whose journal is empty (net content unchanged)
+    keep their existing files and delta chains, and the dictionary file
+    is kept whenever the term count still matches (terms are
+    append-only, so an equal count means identical content).  A fully
+    clean re-save writes nothing at all.  With ``compact`` every
+    delta-bearing file is folded into a fresh base instead — afterwards
+    no chain remains.
     """
     directory = Path(directory)
     directory.mkdir(parents=True, exist_ok=True)
+    previous = _previous_manifest(store, directory)
+    if previous is not None:
+        journals = [shard.journal for shard in store.shards]
+        if all(journal is not None for journal in journals):
+            net = sum(len(added) - len(removed) for added, removed in journals)
+            if previous["triples"] + net != len(store):
+                # The journals do not bridge this manifest to the live
+                # state (they were consumed by a save elsewhere and the
+                # snapshot pin desynced): reusing "clean" shard files
+                # would corrupt the snapshot.  Rewrite everything.
+                previous = None
     generation = _next_generation(directory)
     terms = len(store.dictionary)
-    dictionary_name = f"dictionary-g{generation}.snap"
-    write_container(
-        directory / dictionary_name,
-        kind=KIND_DICTIONARY,
-        name=store.name,
-        sections=dictionary_sections(store.dictionary),
-        triples=len(store),
-        terms=terms,
+    reuse_dictionary = (
+        previous is not None
+        and previous["terms"] == terms
+        and not (compact and previous["dictionary_deltas"])
     )
-    shard_files = []
+    if reuse_dictionary:
+        dictionary_name = previous["dictionary"]
+        dictionary_terms = previous["dictionary_terms"]
+        dictionary_deltas = list(previous["dictionary_deltas"])
+    else:
+        dictionary_name = f"dictionary-g{generation}.snap"
+        dictionary_terms = terms
+        dictionary_deltas = []
+    shard_entries = []
+    rewritten = []
     for position, shard in enumerate(store.shards):
-        file_name = f"shard{position}-g{generation}.snap"
-        shard_files.append(file_name)
+        entry = None
+        if previous is not None and _shard_clean(shard):
+            candidate = previous["shards"][position]
+            if not (compact and candidate["deltas"]):
+                entry = {
+                    "file": candidate["file"],
+                    "terms": candidate["terms"],
+                    "deltas": list(candidate["deltas"]),
+                }
+        if entry is None:
+            entry = {
+                "file": f"shard{position}-g{generation}.snap",
+                "terms": terms,
+                "deltas": [],
+            }
+            rewritten.append((shard, entry["file"]))
+        shard_entries.append(entry)
+    if (
+        previous is not None
+        and reuse_dictionary
+        and not rewritten
+        and shard_entries == previous["shards"]
+        and list(store.boundaries) == previous["boundaries"]
+        and bool(store._bounded) == bool(previous["bounded"])
+        and bool(store._skew_warned) == bool(previous.get("skew_warned", False))
+        and store.skew_threshold == previous.get("skew_threshold", 4.0)
+    ):
+        return  # the snapshot on disk already equals the live state
+    if not reuse_dictionary:
+        write_container(
+            directory / dictionary_name,
+            kind=KIND_DICTIONARY,
+            name=store.name,
+            sections=dictionary_sections(store.dictionary),
+            triples=len(store),
+            terms=terms,
+        )
+    for shard, file_name in rewritten:
         sections = []
         for order in INDEX_ORDERS:
             sections.extend(index_sections(order, getattr(shard, f"_{order}")))
@@ -461,24 +926,163 @@ def save_sharded_store(store, directory: Union[str, Path]) -> None:
         "terms": terms,
         "triples": len(store),
         "dictionary": dictionary_name,
-        "shards": shard_files,
+        "dictionary_terms": dictionary_terms,
+        "dictionary_deltas": dictionary_deltas,
+        "shards": shard_entries,
     }
     body["crc32"] = zlib.crc32(_canonical_json(body).encode("utf-8"))
     _atomic_write_bytes(
         directory / MANIFEST_NAME,
         (json.dumps(body, sort_keys=True, indent=2) + "\n").encode("utf-8"),
     )
+    for shard, _ in rewritten:
+        shard.reset_journal()
     # The new manifest is durable; sweep payload files it does not name
     # (previous generations, leftovers of crashed saves).
-    keep = {MANIFEST_NAME, dictionary_name, *shard_files}
-    for entry in directory.iterdir():
-        if entry.name not in keep and (
-            _GENERATION_PATTERN.search(entry.name) or entry.name.endswith(".tmp")
+    keep = {MANIFEST_NAME, dictionary_name, *dictionary_deltas}
+    for entry in shard_entries:
+        keep.add(entry["file"])
+        keep.update(entry["deltas"])
+    for item in directory.iterdir():
+        if item.name not in keep and (
+            _GENERATION_PATTERN.search(item.name) or item.name.endswith(".tmp")
         ):
             try:
-                entry.unlink()
+                item.unlink()
             except OSError:  # pragma: no cover - concurrent sweep
                 pass
+
+
+def save_sharded_delta(store, directory: Union[str, Path]) -> bool:
+    """Append the sharded store's journals as per-shard delta files.
+
+    Writes one ``shard{i}-d{K}-g{G}.snap`` delta per shard with a
+    non-empty journal (only its net added/removed ID triples) plus at
+    most one ``dictionary-d{K}-g{G}.snap`` tail for terms interned since
+    the manifest, then atomically replaces the manifest to reference the
+    grown chains — untouched shards keep their files unread and
+    unwritten, which is the point: a small mutation burst costs I/O
+    proportional to the burst, not to the store.
+
+    Returns ``False`` (writing nothing) when the directory already
+    reflects the live state.  Raises :class:`~repro.errors.StoreError`
+    when the directory is not this store's own last snapshot or any
+    journal was lost — callers fall back to :func:`save_sharded_store`.
+    """
+    directory = Path(directory)
+    previous = _previous_manifest(store, directory)
+    if previous is None:
+        raise StoreError(
+            f"{directory} does not hold this store's snapshot — use save()"
+        )
+    for shard in store.shards:
+        if shard.journal is None:
+            raise StoreError(
+                "A shard's mutation journal was lost (clear() or overflow); "
+                "a delta cannot capture the state — use save()"
+            )
+    terms = len(store.dictionary)
+    if not isinstance(previous["terms"], int) or previous["terms"] > terms:
+        raise StoreError(
+            f"Snapshot at {directory} records {previous['terms']} terms, "
+            f"store holds {terms} — not this store's snapshot; use save()"
+        )
+    changed = [
+        (position, shard)
+        for position, shard in enumerate(store.shards)
+        if not _shard_clean(shard)
+    ]
+    # The journals must bridge the manifest's state to the live store.
+    # They don't when a full save into some *other* directory consumed
+    # them since: writing a delta here would then record the new triple
+    # count without the triples, corrupting the snapshot silently.
+    net = sum(
+        len(shard.journal[0]) - len(shard.journal[1]) for shard in store.shards
+    )
+    if previous["triples"] + net != len(store):
+        raise StoreError(
+            f"Journals (net {net:+d} triples) do not bridge the snapshot at "
+            f"{directory} ({previous['triples']} triples) to the live store "
+            f"({len(store)} triples) — they were consumed by a save "
+            f"elsewhere; use save()"
+        )
+    grew = terms != previous["terms"]
+    metadata_same = (
+        list(store.boundaries) == previous["boundaries"]
+        and bool(store._bounded) == bool(previous["bounded"])
+        and bool(store._skew_warned) == bool(previous.get("skew_warned", False))
+    )
+    if not changed and not grew and metadata_same:
+        return False
+    generation = previous["generation"]
+    dictionary_deltas = list(previous["dictionary_deltas"])
+    if grew:
+        sequence = len(dictionary_deltas) + 1
+        name = f"dictionary-d{sequence}-g{generation}.snap"
+        write_container(
+            directory / name,
+            kind=KIND_DELTA,
+            name=store.name,
+            sections=delta_term_sections(store.dictionary, previous["terms"]),
+            triples=0,
+            terms=terms,
+            extra={"base_terms": previous["terms"], "sequence": sequence},
+        )
+        dictionary_deltas.append(name)
+    shard_entries = [
+        {
+            "file": entry["file"],
+            "terms": entry["terms"],
+            "deltas": list(entry["deltas"]),
+        }
+        for entry in previous["shards"]
+    ]
+    for position, shard in changed:
+        added, removed = shard.journal
+        entry = shard_entries[position]
+        sequence = len(entry["deltas"]) + 1
+        file_name = f"shard{position}-d{sequence}-g{generation}.snap"
+        write_container(
+            directory / file_name,
+            kind=KIND_DELTA,
+            name=shard.name,
+            sections=delta_triple_sections(added, removed),
+            triples=len(shard),
+            terms=terms,
+            extra={
+                "added": len(added),
+                "removed": len(removed),
+                "sequence": sequence,
+            },
+        )
+        entry["deltas"].append(file_name)
+    body = {
+        "format": "repro-sharded-snapshot",
+        "version": VERSION,
+        "generation": generation,
+        "name": store.name,
+        "num_shards": store.num_shards,
+        "boundaries": list(store.boundaries),
+        "bounded": store._bounded,
+        "skew_threshold": store.skew_threshold,
+        "skew_warned": bool(store._skew_warned),
+        "terms": terms,
+        "triples": len(store),
+        "dictionary": previous["dictionary"],
+        "dictionary_terms": previous["dictionary_terms"],
+        "dictionary_deltas": dictionary_deltas,
+        "shards": shard_entries,
+    }
+    body["crc32"] = zlib.crc32(_canonical_json(body).encode("utf-8"))
+    _atomic_write_bytes(
+        directory / MANIFEST_NAME,
+        (json.dumps(body, sort_keys=True, indent=2) + "\n").encode("utf-8"),
+    )
+    # Manifest durable; the journals it captured may now reset.  Orphans
+    # of a crash before this point are swept by the next full save.
+    for _, shard in changed:
+        shard.reset_journal()
+    return True
 
 
 def _read_manifest(directory: Path) -> dict:
@@ -511,6 +1115,26 @@ def _read_manifest(directory: Path) -> dict:
         or len(boundaries) > max(0, num_shards - 1)
     ):
         raise SnapshotCorruptError("Sharded manifest topology is inconsistent")
+    # Normalise to the delta-aware entry shape.  Pre-delta manifests
+    # listed bare file names; every shard was then written against the
+    # manifest's full term count and no chains existed.
+    entries = []
+    for entry in shards:
+        if isinstance(entry, str):
+            entry = {"file": entry, "terms": body.get("terms"), "deltas": []}
+        if (
+            not isinstance(entry, dict)
+            or not isinstance(entry.get("file"), str)
+            or not isinstance(entry.setdefault("deltas", []), list)
+        ):
+            raise SnapshotCorruptError("Sharded manifest shard entry is malformed")
+        entry.setdefault("terms", body.get("terms"))
+        entries.append(entry)
+    body["shards"] = entries
+    body.setdefault("dictionary_terms", body.get("terms"))
+    body.setdefault("dictionary_deltas", [])
+    if not isinstance(body["dictionary_deltas"], list):
+        raise SnapshotCorruptError("Sharded manifest dictionary chain is malformed")
     return body
 
 
@@ -530,11 +1154,31 @@ def _open_shared_dictionary(
     dict_header, dict_sections = read_container(
         dict_buffer, kind=KIND_DICTIONARY, verify=verify
     )
-    if dict_header.get("terms") != manifest["terms"]:
+    if dict_header.get("terms") != manifest["dictionary_terms"]:
         raise SnapshotCorruptError(
             "Sharded manifest and dictionary snapshot disagree on term count"
         )
-    return _build_dictionary(dict_header, dict_sections), dict_buffer
+    dictionary = _build_dictionary(dict_header, dict_sections)
+    for delta_name in manifest["dictionary_deltas"]:
+        delta_buffer = _load_buffer(directory / delta_name, use_mmap=mmap)
+        delta_header, delta_views = read_container(
+            delta_buffer, kind=KIND_DELTA, verify=verify
+        )
+        if delta_header.get("base_terms") != len(dictionary):
+            raise SnapshotCorruptError(
+                "Dictionary delta chain term counts are inconsistent"
+            )
+        dictionary.extend_tail(
+            delta_views["dterms/heap"],
+            _int64_view(delta_views["dterms/offsets"], "dterms/offsets"),
+            delta_views["dterms/kinds"],
+        )
+        # extend_tail copies the records it keeps; the delta buffer may go.
+    if len(dictionary) != manifest["terms"]:
+        raise SnapshotCorruptError(
+            "Dictionary delta chain does not reach the manifest's term count"
+        )
+    return dictionary, dict_buffer
 
 
 def open_sharded_store(
@@ -550,13 +1194,15 @@ def open_sharded_store(
     )
     shards = tuple(
         open_store(
-            directory / file_name,
+            directory / entry["file"],
             mmap=mmap,
             verify=verify,
             _kind=KIND_COLUMNS,
             _dictionary=dictionary,
+            _expected_terms=entry["terms"],
+            _delta_paths=[directory / name for name in entry["deltas"]],
         )
-        for file_name in manifest["shards"]
+        for entry in manifest["shards"]
     )
     if sum(len(shard) for shard in shards) != manifest["triples"]:
         raise SnapshotCorruptError(
@@ -604,12 +1250,15 @@ def open_shard_stores(
                 f"Shard index {index} out of range for "
                 f"{manifest['num_shards']}-shard snapshot"
             )
+        entry = manifest["shards"][index]
         store = open_store(
-            directory / manifest["shards"][index],
+            directory / entry["file"],
             mmap=mmap,
             verify=verify,
             _kind=KIND_COLUMNS,
             _dictionary=dictionary,
+            _expected_terms=entry["terms"],
+            _delta_paths=[directory / name for name in entry["deltas"]],
         )
         # The dictionary's heap/lookup views alias dict_buffer; retain it
         # alongside the shard's own buffer for the store's lifetime.

@@ -167,6 +167,11 @@ def _column_bytes(column) -> bytes:
 #: Below this batch size the pure-Python sort path wins (numpy call overhead).
 _BULK_NUMPY_MIN = 2048
 
+#: Net journal entries (adds + removes since the last snapshot) beyond
+#: which the mutation journal is dropped: a delta larger than this is no
+#: cheaper than a full save, so the memory is better spent elsewhere.
+_JOURNAL_LIMIT = 1 << 20
+
 #: Sentinel distinguishing "constant term unknown to the dictionary" (which
 #: can never match) from a ``None`` wildcard in internal pattern dispatch.
 _MISS = object()
@@ -219,6 +224,12 @@ class TripleStore:
         # these two flags track that state.  Warm stores never flip them.
         self._lazy_triples = False
         self._snapshot_retained = None  # keeps the mmap buffer alive
+        # Net mutation journal since the last snapshot point: (added,
+        # removed) ID-triple sets, or None once the journal is lost
+        # (clear(), or more net changes than _JOURNAL_LIMIT) — a lost
+        # journal forces the next snapshot to be a full save instead of a
+        # delta.  save()/open()/save_delta() reset it.
+        self._journal: Optional[Tuple[set, set]] = (set(), set())
         if triples is not None:
             self.bulk_load(triples)
 
@@ -244,6 +255,7 @@ class TripleStore:
         store._triple_ids = {}
         store._lazy_triples = True
         store._snapshot_retained = retained
+        store._journal = (set(), set())
         return store
 
     @classmethod
@@ -329,6 +341,27 @@ class TripleStore:
 
         save_store(self, path)
 
+    def save_delta(self, path) -> bool:
+        """Append the mutations since the last snapshot point as a delta.
+
+        Writes only the terms interned since and the net added/removed ID
+        triples next to the base snapshot at ``path`` (see
+        :func:`repro.store.persist.save_store_delta`); :meth:`open`
+        replays the chain transparently.  Returns ``False`` when there is
+        nothing to write.  Raises :class:`~repro.errors.StoreError` when
+        no base snapshot exists or the journal was lost (``clear()`` or
+        overflow) — fall back to :meth:`save` then.
+        """
+        from repro.store.persist import save_store_delta
+
+        return save_store_delta(self, path)
+
+    def compact(self, path) -> None:
+        """Fold the delta chain at ``path`` into a fresh base snapshot."""
+        from repro.store.persist import compact_store
+
+        compact_store(self, path)
+
     @classmethod
     def open(cls, path, mmap: bool = True, verify: bool = True) -> "TripleStore":
         """Reopen a snapshot written by :meth:`save`.
@@ -386,6 +419,42 @@ class TripleStore:
     # ------------------------------------------------------------------ #
     # Mutation
     # ------------------------------------------------------------------ #
+    def _journal_add(self, ids: Tuple[int, int, int]) -> None:
+        journal = self._journal
+        if journal is None:
+            return
+        added, removed = journal
+        if ids in removed:
+            removed.discard(ids)
+        else:
+            added.add(ids)
+            if len(added) + len(removed) > _JOURNAL_LIMIT:
+                self._journal = None
+
+    def _journal_remove(self, ids: Tuple[int, int, int]) -> None:
+        journal = self._journal
+        if journal is None:
+            return
+        added, removed = journal
+        if ids in added:
+            added.discard(ids)
+        else:
+            removed.add(ids)
+            if len(added) + len(removed) > _JOURNAL_LIMIT:
+                self._journal = None
+
+    def reset_journal(self) -> None:
+        """Restart the mutation journal (a new snapshot point)."""
+        self._journal = (set(), set())
+
+    @property
+    def journal(self) -> Optional[Tuple[set, set]]:
+        """The net ``(added, removed)`` ID-triple sets since the last
+        snapshot point, or ``None`` when the journal was lost (``clear``
+        or overflow) and only a full save can capture the state.  Do not
+        mutate."""
+        return self._journal
+
     def add(self, triple: Triple) -> bool:
         """Add a triple.  Returns ``True`` if the store changed."""
         if not isinstance(triple, Triple):
@@ -407,6 +476,7 @@ class TripleStore:
         self._triples[(s, p, o)] = triple
         self._triple_ids[triple] = (s, p, o)
         self._version += 1
+        self._journal_add((s, p, o))
         return True
 
     def add_all(self, triples: Iterable[Triple]) -> int:
@@ -489,6 +559,17 @@ class TripleStore:
             append_p(ids[1])
             append_o(ids[2])
         self._triples.update(pending)
+        journal = self._journal
+        if journal is not None:
+            added, removed = journal
+            if removed:
+                re_added = removed & pending.keys()
+                removed -= re_added
+                added.update(pending.keys() - re_added)
+            else:
+                added.update(pending.keys())
+            if len(added) + len(removed) > _JOURNAL_LIMIT:
+                self._journal = None
         if _numpy() is not None and count >= _BULK_NUMPY_MIN:
             s_arr = _np.frombuffer(s_col, dtype=_np.int64)
             p_arr = _np.frombuffer(p_col, dtype=_np.int64)
@@ -551,6 +632,7 @@ class TripleStore:
         del self._triples[(s, p, o)]
         del self._triple_ids[triple]
         self._version += 1
+        self._journal_remove((s, p, o))
         return True
 
     def clear(self) -> None:
@@ -574,6 +656,9 @@ class TripleStore:
             self._osp.clear()
         self._triples.clear()
         self._triple_ids.clear()
+        # A cleared store's net change is "everything the snapshot had is
+        # gone" — cheaper to re-snapshot fully than to journal per triple.
+        self._journal = None
 
     # ------------------------------------------------------------------ #
     # ID-level API (used by the SPARQL layer)

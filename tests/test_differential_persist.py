@@ -18,11 +18,17 @@ semantics instead of row identity.
 """
 
 import tempfile
+import threading
 from collections import Counter
 from pathlib import Path
 
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
+
+from repro.endpoint.policy import AccessPolicy
+from repro.endpoint.simulation import SimulatedSparqlEndpoint
+from repro.sparql.parser import parse_query
 
 from repro.rdf.namespace import Namespace
 from repro.rdf.terms import Literal
@@ -100,6 +106,40 @@ def _reopened_evaluators(triples):
                 ShardedQueryEvaluator(ShardedTripleStore.open(directory)),
             )
         )
+    # The same dataset arriving as base + mutation burst must replay
+    # (delta chain) and fold (compact) to identical answers.
+    half = len(triples) // 2
+    chained = TripleStore(triples=triples[:half])
+    chained.save(tmp / "chain.snap")
+    for triple in triples[half:]:
+        chained.add(triple)
+    chained.save_delta(tmp / "chain.snap")
+    evaluators.append(
+        ("delta-replay", QueryEvaluator(TripleStore.open(tmp / "chain.snap")))
+    )
+    chained.compact(tmp / "chain.snap")
+    evaluators.append(
+        ("compacted", QueryEvaluator(TripleStore.open(tmp / "chain.snap")))
+    )
+    sharded_chain = ShardedTripleStore(num_shards=2, triples=iter(triples[:half]))
+    chain_dir = tmp / "chain-shards2"
+    sharded_chain.save(chain_dir)
+    for triple in triples[half:]:
+        sharded_chain.add(triple)
+    sharded_chain.save_delta(chain_dir)
+    evaluators.append(
+        (
+            "delta-shards2",
+            ShardedQueryEvaluator(ShardedTripleStore.open(chain_dir)),
+        )
+    )
+    sharded_chain.compact(chain_dir)
+    evaluators.append(
+        (
+            "compacted-shards2",
+            ShardedQueryEvaluator(ShardedTripleStore.open(chain_dir)),
+        )
+    )
     return evaluators
 
 
@@ -216,3 +256,72 @@ class TestDifferentialAskLimitCount:
             where=GroupGraphPattern(tuple(patterns)),
         )
         _assert_identical(query, triples)
+
+class TestDifferentialHandover:
+    """Mid-wave handover: a query racing a live refresh must answer with
+    exactly the pre-mutation or the post-mutation dataset — never a
+    blend — at every shard count and on both scatter backends."""
+
+    def _dataset(self, count=90):
+        return [
+            Triple(EX[f"h{i:03d}"], EX.p, EX[f"o{i % 5}"]) for i in range(count)
+        ]
+
+    def _extras(self, count=30):
+        return [Triple(EX[f"hx{i}"], EX.p, EX[f"o{i % 3}"]) for i in range(count)]
+
+    @pytest.mark.parametrize("num_shards", SHARD_COUNTS)
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_wave_across_refresh_sees_one_generation(
+        self, tmp_path, num_shards, backend
+    ):
+        base, extras = self._dataset(), self._extras()
+        select = "SELECT ?s ?o WHERE { ?s <http://diffpersist.test/p> ?o }"
+        expected_before = _multiset(
+            QueryEvaluator(TripleStore(triples=base)).evaluate(
+                parse_query(select)
+            )
+        )
+        expected_after = _multiset(
+            QueryEvaluator(TripleStore(triples=base + extras)).evaluate(
+                parse_query(select)
+            )
+        )
+        store = ShardedTripleStore(num_shards=num_shards)
+        store.bulk_load(base)
+        with SimulatedSparqlEndpoint(
+            store,
+            policy=AccessPolicy(max_queries=None, max_result_rows=None),
+            backend=backend if backend == "process" else None,
+            snapshot_dir=(tmp_path / "snap") if backend == "process" else None,
+            pool_size=2 if backend == "process" else None,
+        ) as endpoint:
+            answers = []
+            errors = []
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        answers.append(_multiset(endpoint.query(select)))
+                    except Exception as error:  # noqa: BLE001 - asserted
+                        errors.append(error)
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                endpoint.refresh(
+                    mutate=lambda s: [s.add(t) for t in extras],
+                    rebalance=num_shards > 1,
+                )
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+            assert errors == []
+            for answer in answers:
+                assert answer in (expected_before, expected_after)
+            assert (
+                _multiset(endpoint.query(select)) == expected_after
+            )

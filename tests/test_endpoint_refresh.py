@@ -1,0 +1,229 @@
+"""Generation-swap handover: live refresh with zero failed queries.
+
+``SimulatedSparqlEndpoint.refresh`` quiesces briefly, mutates, persists
+a snapshot delta, resumes through an in-process bridge, then boots the
+next worker-process generation in the background and swaps atomically.
+These tests pin the contract: no query ever errors across a refresh,
+every answer is consistent with exactly one generation, the retired
+pool's protocol ledger balances, and the query budget refunds cleanly
+even when a worker of the outgoing generation is SIGKILLed mid-handover.
+"""
+
+import os
+import signal
+import threading
+
+import pytest
+
+from repro.endpoint import AccessPolicy, SimulatedSparqlEndpoint
+from repro.errors import EndpointError
+from repro.rdf.namespace import Namespace
+from repro.rdf.triple import Triple
+from repro.shard.sharded_store import ShardedTripleStore
+from repro.store.triplestore import TripleStore
+
+EX = Namespace("http://refresh.test/")
+
+SELECT = "SELECT ?s ?o WHERE { ?s <http://refresh.test/p> ?o }"
+
+
+def _base_triples(count=120):
+    return [Triple(EX[f"s{i:03d}"], EX.p, EX[f"o{i % 9}"]) for i in range(count)]
+
+
+def _extra_triples(count, start=0):
+    return [Triple(EX[f"zz{start + i}"], EX.p, EX[f"o{i % 5}"]) for i in range(count)]
+
+
+def _add_extras(count, start=0):
+    def mutate(store):
+        for triple in _extra_triples(count, start=start):
+            store.add(triple)
+
+    return mutate
+
+
+def _sharded(num_shards=2, count=120):
+    store = ShardedTripleStore(num_shards=num_shards)
+    store.bulk_load(_base_triples(count))
+    return store
+
+
+def _ledger_balanced(stats):
+    return stats["dispatched"] == (
+        stats["completed"] + stats["cancelled"] + stats["failed"] + stats["crashed"]
+    )
+
+
+class TestThreadBackendRefresh:
+    def test_refresh_swaps_generation_and_serves_new_data(self):
+        endpoint = SimulatedSparqlEndpoint(TripleStore(triples=_base_triples()))
+        assert endpoint.generation == 0
+        assert len(endpoint.query(SELECT)) == 120
+        report = endpoint.refresh(mutate=_add_extras(30))
+        assert report["generation"] == endpoint.generation == 1
+        assert report["persisted"] is None  # no snapshot to append to
+        assert report["paused_seconds"] >= 0.0
+        assert len(endpoint.query(SELECT)) == 150
+
+    def test_refresh_without_mutation_still_swaps(self):
+        endpoint = SimulatedSparqlEndpoint(TripleStore(triples=_base_triples()))
+        report = endpoint.refresh()
+        assert report["generation"] == 1
+        assert len(endpoint.query(SELECT)) == 120
+
+    def test_sharded_thread_refresh_appends_delta(self, tmp_path):
+        store = _sharded()
+        directory = tmp_path / "snap"
+        store.save(directory)
+        endpoint = SimulatedSparqlEndpoint(store)
+        report = endpoint.refresh(mutate=_add_extras(25))
+        assert report["persisted"] == "delta"
+        assert set(ShardedTripleStore.open(directory)) == set(store)
+        assert len(endpoint.query(SELECT)) == 145
+
+    def test_refresh_with_rebalance_reports_moves(self, tmp_path):
+        store = _sharded()
+        store.save(tmp_path / "snap")
+        endpoint = SimulatedSparqlEndpoint(store)
+        report = endpoint.refresh(mutate=_add_extras(80), rebalance=True)
+        assert report["rebalance"]["moved"] > 0
+        sizes = report["rebalance"]["shard_sizes"]
+        assert sum(sizes) == 200
+        assert min(sizes) > 0
+        assert len(endpoint.query(SELECT)) == 200
+
+    def test_rebalance_requires_sharded_store(self):
+        endpoint = SimulatedSparqlEndpoint(TripleStore(triples=_base_triples()))
+        with pytest.raises(EndpointError):
+            endpoint.refresh(rebalance=True)
+
+    def test_live_wave_sees_exactly_one_generation(self):
+        endpoint = SimulatedSparqlEndpoint(
+            _sharded(), policy=AccessPolicy(max_queries=None, max_result_rows=None)
+        )
+        errors = []
+        counts = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                try:
+                    counts.append(len(endpoint.query(SELECT)))
+                except Exception as error:  # noqa: BLE001 - the assertion
+                    errors.append(error)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        try:
+            endpoint.refresh(mutate=_add_extras(40))
+            endpoint.refresh(mutate=_add_extras(40, start=1000), rebalance=True)
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert errors == []
+        assert len(counts) > 0
+        # Every answer matches exactly one generation's dataset — never a
+        # blend of two.
+        assert set(counts) <= {120, 160, 200}
+        assert len(endpoint.query(SELECT)) == 200
+
+
+class TestProcessBackendRefresh:
+    def test_refresh_boots_new_pool_and_retires_old(self, tmp_path):
+        store = _sharded()
+        with SimulatedSparqlEndpoint(
+            store, backend="process", snapshot_dir=tmp_path / "snap"
+        ) as endpoint:
+            assert len(endpoint.query(SELECT)) == 120
+            old_executor = endpoint.executor
+            report = endpoint.refresh(mutate=_add_extras(30))
+            # Bridge swap then process swap: two generations forward.
+            assert report["generation"] == endpoint.generation == 2
+            assert report["persisted"] in ("delta", "full")
+            assert report["drained"] is True
+            assert endpoint.executor is not old_executor
+            assert _ledger_balanced(old_executor.protocol_stats())
+            assert len(endpoint.query(SELECT)) == 150
+            assert _ledger_balanced(endpoint.executor.protocol_stats())
+
+    def test_boot_failure_keeps_bridge_serving(self, tmp_path):
+        store = _sharded()
+        with SimulatedSparqlEndpoint(
+            store, backend="process", snapshot_dir=tmp_path / "snap"
+        ) as endpoint:
+            def broken_serve(*args, **kwargs):
+                raise OSError("no file descriptors left for worker pipes")
+
+            store.serve = broken_serve
+            try:
+                with pytest.raises(OSError):
+                    endpoint.refresh(mutate=_add_extras(30))
+            finally:
+                del store.serve
+            # Degraded to the in-process bridge, but serving and correct.
+            assert endpoint.generation == 1
+            assert len(endpoint.query(SELECT)) == 150
+            # The endpoint never stays paused after a failed refresh.
+            assert len(endpoint.query(SELECT)) == 150
+
+    def test_sigkill_mid_handover_leaves_ledger_balanced(self, tmp_path):
+        store = _sharded()
+        with SimulatedSparqlEndpoint(
+            store,
+            backend="process",
+            snapshot_dir=tmp_path / "snap",
+            policy=AccessPolicy(max_queries=10_000, max_result_rows=None),
+        ) as endpoint:
+            old_executor = endpoint.executor
+            errors = []
+            counts = []
+            stop = threading.Event()
+
+            def hammer():
+                while not stop.is_set():
+                    try:
+                        counts.append(len(endpoint.query(SELECT)))
+                    except Exception as error:  # noqa: BLE001
+                        errors.append(error)
+
+            threads = [threading.Thread(target=hammer) for _ in range(3)]
+            for thread in threads:
+                thread.start()
+            try:
+                # Kill a worker of the generation being retired while the
+                # wave is live, then refresh across the corpse.
+                os.kill(old_executor.worker_pids()[0], signal.SIGKILL)
+                report = endpoint.refresh(mutate=_add_extras(30))
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+            assert report["generation"] == endpoint.generation
+            # Either generation answered every query fully or refunded it;
+            # nothing was dropped or double-counted.
+            crashed = [e for e in errors if "Worker" in type(e).__name__]
+            assert errors == crashed  # only worker-crash refunds, if any
+            assert set(counts) <= {120, 150}
+            # Failed queries were refunded: only successes consumed budget.
+            assert endpoint.queries_remaining == 10_000 - len(counts)
+            assert _ledger_balanced(old_executor.protocol_stats())
+            assert _ledger_balanced(endpoint.executor.protocol_stats())
+            assert len(endpoint.query(SELECT)) == 150
+
+    def test_back_to_back_refreshes(self, tmp_path):
+        store = _sharded()
+        with SimulatedSparqlEndpoint(
+            store, backend="process", snapshot_dir=tmp_path / "snap"
+        ) as endpoint:
+            for round_number in range(2):
+                endpoint.refresh(
+                    mutate=_add_extras(20, start=round_number * 100),
+                    rebalance=(round_number == 1),
+                )
+            assert endpoint.generation == 4
+            assert len(endpoint.query(SELECT)) == 160
+            # The snapshot on disk tracks the live store across rounds.
+            assert set(ShardedTripleStore.open(tmp_path / "snap")) == set(store)

@@ -418,3 +418,174 @@ class TestBackpressureAndShutdown:
             assert status == 503
             client.close()
             running.server._closing = False
+
+class TestAcceptQValues:
+    """RFC 9110 content negotiation: ``;q=`` weights decide the format."""
+
+    def test_highest_q_wins(self):
+        from repro.http.server import _negotiate
+
+        accept = "application/sparql-results+json;q=0.2, text/tab-separated-values;q=0.9"
+        assert _negotiate(accept) == "tsv"
+
+    def test_q_zero_is_unacceptable(self):
+        from repro.http.server import _negotiate
+
+        assert _negotiate("application/sparql-results+json;q=0") is None
+        assert _negotiate("text/*;q=0.0, application/xml") is None
+
+    def test_missing_q_defaults_to_one(self):
+        from repro.http.server import _negotiate
+
+        # TSV at q=1 (implicit) beats JSON demoted to 0.5.
+        assert _negotiate("application/json;q=0.5, text/tab-separated-values") == "tsv"
+
+    def test_malformed_q_is_ignored(self):
+        from repro.http.server import _negotiate
+
+        assert _negotiate("application/json;q=banana") == "json"
+
+    def test_wildcard_carries_its_weight(self):
+        from repro.http.server import _negotiate
+
+        assert _negotiate("text/*;q=0.3, */*;q=0.8") == "json"
+        assert _negotiate("*/*;q=0.1, text/tab-separated-values;q=0.2") == "tsv"
+
+    def test_unknown_types_do_not_mask_a_known_one(self):
+        from repro.http.server import _negotiate
+
+        assert _negotiate("application/xml;q=1.0, application/json;q=0.4") == "json"
+
+    def test_q_values_drive_the_wire_response(self, client):
+        status, headers, _ = client.request_raw(
+            "POST",
+            "/sparql",
+            body=SELECT_USA.encode("utf-8"),
+            headers={
+                "Content-Type": "application/sparql-query",
+                "Accept": "application/sparql-results+json;q=0.1, "
+                "text/tab-separated-values;q=0.9",
+            },
+        )
+        assert status == 200
+        assert headers["content-type"] == "text/tab-separated-values"
+
+    def test_all_zero_q_is_406(self, client):
+        status, _, body = client.request_raw(
+            "POST",
+            "/sparql",
+            body=SELECT_USA.encode("utf-8"),
+            headers={
+                "Content-Type": "application/sparql-query",
+                "Accept": "application/sparql-results+json;q=0, text/*;q=0",
+            },
+        )
+        assert status == 406
+        assert json.loads(body)["error"] == "NotAcceptable"
+
+
+class TestSharedParseCache:
+    def test_per_client_endpoints_share_one_parse_cache(self):
+        store = _people_store()
+        # page_cache_size=0: a page-cache hit would answer Bob before
+        # the parser ever ran, hiding the thing under test.
+        with serve_http(
+            store=store,
+            client_policy=AccessPolicy(max_queries=10),
+            page_cache_size=0,
+            metrics=MetricsRegistry(),
+        ) as running:
+            alice = HttpSparqlClient(running.url, client_id="alice")
+            bob = HttpSparqlClient(running.url, client_id="bob")
+            try:
+                alice.select(SELECT_ALL_PEOPLE)
+                base = running.server.endpoint.parse_cache
+                after_alice = base.cache_info()
+                bob.select(SELECT_ALL_PEOPLE)
+                after_bob = base.cache_info()
+            finally:
+                alice.close()
+                bob.close()
+            # Bob's identical query hit the cache Alice warmed: one parse
+            # served both clients, and no second cache was ever created.
+            assert after_bob.hits > after_alice.hits
+            assert after_bob.currsize == after_alice.currsize
+            for client_id in running.server.client_ids():
+                endpoint = running.server._client_endpoints[client_id]
+                assert endpoint.parse_cache is base
+
+
+class TestLiveRefresh:
+    def _sharded_store(self, count=120):
+        from repro.shard.sharded_store import ShardedTripleStore
+
+        store = ShardedTripleStore(num_shards=2)
+        store.bulk_load(
+            [Triple(EX[f"p{i:03d}"], EX.bornIn, EX[f"c{i % 7}"]) for i in range(count)]
+        )
+        return store
+
+    def test_health_reports_generation(self):
+        with serve_http(store=_people_store(), metrics=MetricsRegistry()) as running:
+            with HttpSparqlClient(running.url) as client:
+                assert client.health()["generation"] == 0
+                running.refresh()
+                assert client.health()["generation"] == 1
+
+    def test_refresh_requires_a_refreshable_endpoint(self):
+        from repro.endpoint.endpoint import SparqlEndpoint
+
+        endpoint = SparqlEndpoint(_people_store(), name="plain")
+        with serve_http(endpoint, metrics=MetricsRegistry()) as running:
+            with pytest.raises(EndpointError):
+                running.refresh()
+
+    def test_refresh_under_live_requests_never_errors(self):
+        store = self._sharded_store()
+        select = PREFIX + "SELECT ?p ?c WHERE { ?p ex:bornIn ?c }"
+        with serve_http(
+            store=store,
+            client_policy=AccessPolicy(max_queries=None, max_result_rows=None),
+            metrics=MetricsRegistry(),
+        ) as running:
+            statuses = []
+            counts = []
+            stop = threading.Event()
+
+            def hammer(client_id):
+                with HttpSparqlClient(running.url, client_id=client_id) as client:
+                    while not stop.is_set():
+                        status, _, body = client.request_raw(
+                            "POST",
+                            "/sparql",
+                            body=select.encode("utf-8"),
+                            headers={"Content-Type": "application/sparql-query"},
+                        )
+                        statuses.append(status)
+                        if status == 200:
+                            counts.append(
+                                len(json.loads(body)["results"]["bindings"])
+                            )
+
+            threads = [
+                threading.Thread(target=hammer, args=(f"client{i}",))
+                for i in range(3)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                def grow(target):
+                    for i in range(40):
+                        target.add(Triple(EX[f"new{i}"], EX.bornIn, EX.Atlantis))
+
+                report = running.refresh(mutate=grow, rebalance=True)
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+            assert set(statuses) == {200}  # zero 5xx across the handover
+            # Every page was rendered from exactly one generation.
+            assert set(counts) <= {120, 160}
+            assert report["rebalance"]["moved"] >= 0
+            with HttpSparqlClient(running.url) as client:
+                assert len(client.select(select)) == 160

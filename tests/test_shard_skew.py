@@ -90,14 +90,33 @@ class TestShardSkewWarning:
             store.bulk_load(_late_triples(200))
         assert [w for w in caught if issubclass(w.category, ShardSkewWarning)] == []
 
-    def test_never_frozen_add_only_store_warns(self):
-        # add()-only stores never fix boundaries: everything routes to
-        # shard 0 and scatter parallelism is zero — that must warn too.
+    def test_add_only_store_seeds_boundaries(self):
+        # add()-only stores used to route everything to shard 0 forever
+        # (bisect over empty boundaries).  Now the first 64 distinct
+        # subjects seed the boundaries, so pure-add stores actually
+        # shard; the later pile-up on the last shard's open range is the
+        # ordinary frozen-era warning, not the unbounded one.
         store = ShardedTripleStore(num_shards=4, skew_threshold=2.0)
-        with pytest.warns(ShardSkewWarning, match="never frozen"):
+        with pytest.warns(ShardSkewWarning, match="last shard"):
             for triple in _late_triples(300):
                 store.add(triple)
+        sizes = store.shard_sizes()
+        assert sum(sizes) == 300
+        assert min(sizes) > 0  # not everything on one shard any more
+        assert store.boundaries  # seeding froze the ranges
+
+    def test_add_only_store_with_few_subjects_warns_honestly(self):
+        # Too few distinct subjects to ever seed boundaries: the store
+        # stays unbounded, piles onto shard 0, and says exactly that.
+        store = ShardedTripleStore(num_shards=4, skew_threshold=2.0)
+        triples = [
+            Triple(EX[f"late{i % 8}"], EX[f"p{i}"], EX.o0) for i in range(300)
+        ]
+        with pytest.warns(ShardSkewWarning, match="cannot be seeded"):
+            for triple in triples:
+                store.add(triple)
         assert store.shard_sizes() == [300, 0, 0, 0]
+        assert not store.boundaries
 
     def test_small_add_prelude_before_bulk_load_stays_silent(self):
         # The common build pattern — a handful of add()s and then the
@@ -114,13 +133,13 @@ class TestShardSkewWarning:
         assert min(sizes) > 0
 
     def test_freeze_rearms_the_warning(self):
-        # An unbounded-era warning must not mask a later frozen-era
-        # pile-up: fixing boundaries re-arms the one-shot.
+        # A seeded-era warning must not mask a later frozen-era pile-up
+        # after a re-freeze: fixing boundaries re-arms the one-shot.
         store = ShardedTripleStore(num_shards=2, skew_threshold=2.0)
-        with pytest.warns(ShardSkewWarning, match="never frozen"):
+        with pytest.warns(ShardSkewWarning, match="last shard"):
             for triple in _late_triples(300):
                 store.add(triple)
-        store.bulk_load(_seed_triples())  # freezes + re-homes
+        store.bulk_load(_seed_triples())  # re-freezes + re-homes
         with pytest.warns(ShardSkewWarning, match="last shard"):
             store.bulk_load(_late_triples(2000, start=1000))
 

@@ -439,18 +439,26 @@ class TestColdStoreSemantics:
         assert cold.bulk_load(list(warm_store)[:5]) == 0
         assert cold.is_frozen
 
-    def test_sharded_resave_rolls_generations(self, tmp_path, warm_store):
+    def test_sharded_resave_is_incremental(self, tmp_path, warm_store):
         sharded = ShardedTripleStore(num_shards=2, triples=iter(warm_store))
         directory = tmp_path / "shd"
         sharded.save(directory)
         gen1 = {p.name for p in directory.iterdir()}
         assert any("-g1.snap" in name for name in gen1)
+        # A clean resave writes nothing at all: same files, same manifest.
+        manifest_bytes = (directory / "manifest.json").read_bytes()
+        sharded.save(directory)
+        assert {p.name for p in directory.iterdir()} == gen1
+        assert (directory / "manifest.json").read_bytes() == manifest_bytes
+        # A dirty resave rewrites only the touched shard at the next
+        # generation; untouched shards keep their old-generation files.
+        sharded.add(Triple(EX.roll, EX.p0, EX.o0))
         sharded.save(directory)
         gen2 = {p.name for p in directory.iterdir()}
-        # The stale generation was swept; the new one opens fine.
-        assert not any("-g1.snap" in name for name in gen2)
         assert any("-g2.snap" in name for name in gen2)
-        assert len(ShardedTripleStore.open(directory)) == len(sharded)
+        assert any("-g1.snap" in name for name in gen2)
+        reopened = ShardedTripleStore.open(directory)
+        assert set(reopened) == set(sharded)
 
     def test_sharded_crashed_save_leaves_old_snapshot_openable(
         self, tmp_path, warm_store
@@ -465,8 +473,9 @@ class TestColdStoreSemantics:
         partial.write_bytes(b"half-written garbage from a crashed save")
         reopened = ShardedTripleStore.open(directory)
         assert set(reopened) == set(sharded)
-        # The next successful save claims generation 3 (never reusing the
-        # crashed generation's names) and sweeps the debris.
+        # The next save that actually writes claims generation 3 (never
+        # reusing the crashed generation's names) and sweeps the debris.
+        sharded.add(Triple(EX.after_crash, EX.p0, EX.o0))
         sharded.save(directory)
         names = {p.name for p in directory.iterdir()}
         assert not any("-g2.snap" in name for name in names)
